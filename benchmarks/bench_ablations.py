@@ -1,0 +1,171 @@
+"""Ablations over PrIU's design choices (DESIGN.md §4).
+
+* SVD ε: accuracy/rank trade-off of the provenance compression (Theorem 6)
+* interpolation grid: linearization error vs grid resolution (Theorem 4)
+* freeze fraction t_s: PrIU-opt's early-stop point (Sec. 5.4 rule of thumb)
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bench import CONFIGS, prepare_workload
+from repro.bench.reporting import report
+from repro.core import PrIUOptLogisticUpdater, PrIUUpdater, train_with_capture
+from repro.datasets import make_binary_classification, make_regression
+from repro.linalg import sigmoid_complement_interpolator
+from repro.models import make_schedule, objective_for, train
+
+from conftest import workload
+
+
+def test_ablation_svd_epsilon(benchmark):
+    """ε sweep: smaller ε -> higher rank, more memory, less deviation."""
+    data = make_regression(2000, 60, seed=301)
+    objective = objective_for("linear", 0.1)
+    schedule = make_schedule(data.n_samples, 30, 150, seed=81)
+    removed = list(range(20))
+    reference = train(
+        objective, data.features, data.labels, schedule, 0.01,
+        exclude=set(removed),
+    ).weights
+
+    def run(epsilon):
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+            compression="svd", epsilon=epsilon,
+        )
+        updater = PrIUUpdater(store, data.features, data.labels)
+        deviation = np.linalg.norm(updater.update(removed) - reference)
+        mean_rank = np.mean([record.summary.rank for record in store.records])
+        return {
+            "epsilon": epsilon,
+            "mean_rank": float(mean_rank),
+            "store_mb": store.nbytes() / 1e6,
+            "deviation": deviation,
+        }
+
+    rows = [run(epsilon) for epsilon in (0.5, 0.1, 0.01, 1e-4)]
+    benchmark.pedantic(lambda: run(0.01), rounds=1)
+    report("ablation_svd_epsilon", "Ablation: SVD ε (Theorem 6)", rows)
+    assert rows[-1]["deviation"] <= rows[0]["deviation"]
+    assert rows[-1]["mean_rank"] >= rows[0]["mean_rank"]
+
+
+def test_ablation_interpolation_grid(benchmark):
+    """Grid sweep: deviation from BaseL shrinks ~quadratically (Theorem 4)."""
+    data = make_binary_classification(1500, 10, seed=302)
+    objective = objective_for("binary_logistic", 0.01)
+    schedule = make_schedule(data.n_samples, 100, 200, seed=82)
+    removed = list(range(15))
+    reference = train(
+        objective, data.features, data.labels, schedule, 0.1,
+        exclude=set(removed),
+    ).weights
+
+    def run(n_intervals):
+        interp = sigmoid_complement_interpolator(n_intervals=n_intervals)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.1,
+            interpolator=interp,
+        )
+        updater = PrIUUpdater(store, data.features, data.labels)
+        return {
+            "n_intervals": n_intervals,
+            "deviation": np.linalg.norm(updater.update(removed) - reference),
+        }
+
+    rows = [run(n) for n in (16, 64, 1024, 100_000)]
+    benchmark.pedantic(lambda: run(1024), rounds=1)
+    report(
+        "ablation_interpolation",
+        "Ablation: interpolation grid (Theorem 4)",
+        rows,
+    )
+    deviations = [row["deviation"] for row in rows]
+    assert deviations == sorted(deviations, reverse=True)
+
+
+def test_ablation_freeze_fraction(benchmark):
+    """t_s sweep around the paper's 70% rule of thumb (Sec. 5.4)."""
+    data = make_binary_classification(1500, 10, seed=303)
+    objective = objective_for("binary_logistic", 0.01)
+    schedule = make_schedule(data.n_samples, 100, 200, seed=83)
+    removed = list(range(15))
+    reference = train(
+        objective, data.features, data.labels, schedule, 0.1,
+        exclude=set(removed),
+    ).weights
+
+    def run(freeze):
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.1,
+            freeze_at=freeze,
+        )
+        opt = PrIUOptLogisticUpdater(store, data.features, data.labels)
+        return {
+            "freeze_fraction": freeze,
+            "deviation": np.linalg.norm(opt.update(removed) - reference),
+            "store_mb": store.nbytes() / 1e6,
+        }
+
+    rows = [run(freeze) for freeze in (0.3, 0.5, 0.7, 0.9)]
+    benchmark.pedantic(lambda: run(0.7), rounds=1)
+    report("ablation_freeze", "Ablation: PrIU-opt freeze point t_s", rows)
+    assert rows[-1]["deviation"] <= rows[0]["deviation"] + 1e-9
+
+
+def test_ablation_compression_toggle(benchmark):
+    """PrIU with vs without SVD on the m > B regime (Sec. 5.1 motivation).
+
+    SGEMM (extended) appends *random* features, so its batch grams have a
+    flat spectrum and the ε-rank stays near B — the factors can even exceed
+    the dense matrix in bytes. This is precisely the regime where the paper
+    leans on PrIU-opt instead; the invariant SVD caching does guarantee is
+    rank ≤ B, and the update stays correct either way.
+    """
+    config = dataclasses.replace(
+        CONFIGS["SGEMM (extended)"], scale=CONFIGS["SGEMM (extended)"].scale * 0.05
+    )
+    wl = prepare_workload(config)
+    removed = wl.subset(0.01)
+    dense_result, dense_store = train_with_capture(
+        wl.trainer.objective,
+        wl.dataset.features,
+        wl.dataset.labels,
+        wl.trainer.schedule,
+        wl.trainer.learning_rate,
+        compression="none",
+    )
+    ranks = [record.summary.rank for record in wl.trainer.store.records]
+    rows = [
+        {
+            "variant": "svd (auto)",
+            "store_mb": wl.trainer.store.nbytes() / 1e6,
+            "mean_rank": float(np.mean(ranks)),
+        },
+        {
+            "variant": "dense",
+            "store_mb": dense_store.nbytes() / 1e6,
+            "mean_rank": float(wl.dataset.n_features),
+        },
+    ]
+    benchmark.pedantic(
+        lambda: PrIUUpdater(wl.trainer.store, wl.dataset.features,
+                            wl.dataset.labels).update(removed),
+        rounds=2,
+    )
+    report("ablation_compression", "Ablation: SVD compression on/off", rows)
+    assert max(ranks) <= wl.trainer.batch_size
+    # Both representations produce the same updated model up to the
+    # Theorem 6 O(ε) deviation (ε = 0.01 here).
+    compressed = PrIUUpdater(
+        wl.trainer.store, wl.dataset.features, wl.dataset.labels
+    ).update(removed)
+    dense = PrIUUpdater(
+        dense_store, wl.dataset.features, wl.dataset.labels
+    ).update(removed)
+    assert np.linalg.norm(compressed - dense) <= 0.05 * max(
+        1.0, np.linalg.norm(dense)
+    )

@@ -1,0 +1,69 @@
+"""Figure 1: update time for linear regression (SGEMM original + extended).
+
+``test_update_*`` are pytest-benchmark targets measuring one update call per
+method; ``test_report_*`` sweeps the full deletion-rate axis and persists the
+paper-style series under ``results/``.
+"""
+
+import pytest
+
+from repro.bench import DELETION_RATES, run_update, sweep_update_times
+from repro.bench.reporting import report
+
+from conftest import requires_scale, workload
+
+METHODS_ORIGINAL = ["basel", "priu", "priu-opt", "closed-form", "infl"]
+SMALL_RATE = 0.001
+LARGE_RATE = 0.1
+
+
+@pytest.mark.parametrize("method", METHODS_ORIGINAL)
+@pytest.mark.parametrize("rate", [SMALL_RATE, LARGE_RATE])
+def test_update_sgemm_original(benchmark, method, rate):
+    wl = workload("SGEMM (original)")
+    removed = wl.subset(rate)
+    benchmark.pedantic(
+        lambda: run_update(wl, method, removed), rounds=3, warmup_rounds=1
+    )
+
+
+@pytest.mark.parametrize("method", METHODS_ORIGINAL)
+def test_update_sgemm_extended(benchmark, method):
+    wl = workload("SGEMM (extended)")
+    removed = wl.subset(SMALL_RATE)
+    benchmark.pedantic(
+        lambda: run_update(wl, method, removed), rounds=3, warmup_rounds=1
+    )
+
+
+def test_report_fig1a():
+    requires_scale(0.05)
+    wl = workload("SGEMM (original)")
+    rows = sweep_update_times(wl, DELETION_RATES)
+    report("fig1a", "Fig 1a: update time, linear regression — SGEMM (original)", rows)
+    basel = {r["deletion_rate"]: r for r in rows if r["method"] == "basel"}
+    opt = {r["deletion_rate"]: r for r in rows if r["method"] == "priu-opt"}
+    # Paper shape: PrIU-opt wins by >10x at small deletion rates.
+    assert opt[min(DELETION_RATES)]["speedup_vs_basel"] > 10
+    assert basel[min(DELETION_RATES)]["speedup_vs_basel"] == 1.0
+
+
+def test_report_fig1b():
+    requires_scale(0.05)
+    wl = workload("SGEMM (extended)")
+    rows = sweep_update_times(wl, DELETION_RATES)
+    report("fig1b", "Fig 1b: update time, linear regression — SGEMM (extended)", rows)
+    small = min(DELETION_RATES)
+    by_method = {
+        r["method"]: r for r in rows if r["deletion_rate"] == small
+    }
+    # Paper shape: PrIU-opt significantly better than PrIU, and faster than
+    # the closed-form incremental baseline once m is large.
+    assert (
+        by_method["priu-opt"]["update_seconds"]
+        < by_method["priu"]["update_seconds"]
+    )
+    assert (
+        by_method["priu-opt"]["update_seconds"]
+        < by_method["closed-form"]["update_seconds"]
+    )

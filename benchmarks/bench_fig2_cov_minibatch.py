@@ -1,0 +1,70 @@
+"""Figure 2: logistic update time on Cov — mini-batch and iteration effects.
+
+Q6's contrast: Cov (small) vs Cov (large 1) isolates the mini-batch size B;
+Cov (large 1) vs (large 2) isolates the iteration count τ.
+"""
+
+import pytest
+
+from repro.bench import DELETION_RATES, run_update, sweep_update_times
+from repro.bench.reporting import report
+
+from conftest import requires_scale, workload
+
+EXPERIMENTS = ["Cov (small)", "Cov (large 1)", "Cov (large 2)"]
+SMALL_RATE = 0.001
+
+
+@pytest.mark.parametrize("experiment", EXPERIMENTS)
+@pytest.mark.parametrize("method", ["basel", "priu", "priu-opt"])
+def test_update_cov(benchmark, experiment, method):
+    wl = workload(experiment)
+    removed = wl.subset(SMALL_RATE)
+    benchmark.pedantic(
+        lambda: run_update(wl, method, removed), rounds=3, warmup_rounds=1
+    )
+
+
+@pytest.mark.parametrize(
+    "fig_id, experiment",
+    [("fig2a", "Cov (small)"), ("fig2b", "Cov (large 1)"), ("fig2c", "Cov (large 2)")],
+)
+def test_report_fig2(fig_id, experiment):
+    requires_scale(0.05)
+    wl = workload(experiment)
+    rows = sweep_update_times(wl, DELETION_RATES)
+    report(fig_id, f"Fig 2: update time, logistic — {experiment}", rows)
+    opt_small = next(
+        r
+        for r in rows
+        if r["method"] == "priu-opt" and r["deletion_rate"] == min(DELETION_RATES)
+    )
+    assert opt_small["speedup_vs_basel"] > 1.0
+
+
+def test_larger_minibatch_gives_larger_speedup():
+    requires_scale(0.05)
+    """Q6: the PrIU speedup grows with the mini-batch size."""
+    small = workload("Cov (small)")
+    large = workload("Cov (large 1)")
+    rate = min(DELETION_RATES)
+    rows_small = sweep_update_times(small, [rate], methods=["basel", "priu"])
+    rows_large = sweep_update_times(large, [rate], methods=["basel", "priu"])
+    speedup_small = next(
+        r["speedup_vs_basel"] for r in rows_small if r["method"] == "priu"
+    )
+    speedup_large = next(
+        r["speedup_vs_basel"] for r in rows_large if r["method"] == "priu"
+    )
+    assert speedup_large > speedup_small
+
+
+def test_iteration_count_scales_memory_not_speedup():
+    """Q6/Q8: τ scales provenance memory ~linearly; speedups stay similar."""
+    one = workload("Cov (large 1)")
+    two = workload("Cov (large 2)")
+    ratio_iters = (
+        two.config.n_iterations / one.config.n_iterations
+    )
+    ratio_memory = two.trainer.store.nbytes() / one.trainer.store.nbytes()
+    assert ratio_memory == pytest.approx(ratio_iters, rel=0.5)

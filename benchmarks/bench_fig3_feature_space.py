@@ -1,0 +1,83 @@
+"""Figure 3: logistic update time across feature-space regimes.
+
+* fig3a Heartbeat — mid-size dense parameter space (~1k parameters)
+* fig3b HIGGS — small dense, binary
+* fig3c RCV1 (sparse, PrIU only) and cifar10 (large dense, PrIU only)
+"""
+
+import pytest
+
+from repro.bench import DELETION_RATES, run_update, sweep_update_times
+from repro.bench.reporting import report
+
+from conftest import requires_scale, workload
+
+SMALL_RATE = 0.001
+
+
+@pytest.mark.parametrize("experiment", ["Heartbeat", "HIGGS"])
+@pytest.mark.parametrize("method", ["basel", "priu", "priu-opt"])
+def test_update_dense(benchmark, experiment, method):
+    wl = workload(experiment)
+    removed = wl.subset(SMALL_RATE)
+    benchmark.pedantic(
+        lambda: run_update(wl, method, removed), rounds=3, warmup_rounds=1
+    )
+
+
+@pytest.mark.parametrize("experiment", ["RCV1", "cifar10"])
+@pytest.mark.parametrize("method", ["basel", "priu"])
+def test_update_large_feature_space(benchmark, experiment, method):
+    wl = workload(experiment)
+    removed = wl.subset(SMALL_RATE)
+    benchmark.pedantic(
+        lambda: run_update(wl, method, removed), rounds=3, warmup_rounds=1
+    )
+
+
+@pytest.mark.parametrize(
+    "fig_id, experiment",
+    [("fig3a", "Heartbeat"), ("fig3b", "HIGGS")],
+)
+def test_report_fig3_dense(fig_id, experiment):
+    wl = workload(experiment)
+    rows = sweep_update_times(wl, DELETION_RATES)
+    report(fig_id, f"Fig 3: update time, logistic — {experiment}", rows)
+
+
+def test_report_fig3c():
+    requires_scale(0.05)
+    rows = []
+    for experiment in ("RCV1", "cifar10"):
+        wl = workload(experiment)
+        rows.extend(
+            sweep_update_times(wl, (0.001, 0.01, 0.1), methods=["basel", "priu"])
+        )
+    report("fig3c", "Fig 3c: update time — RCV1 (sparse) and cifar10", rows)
+    # Paper shape: marginal gain on sparse data, clear gain on large dense.
+    rcv1 = [
+        r for r in rows if r["experiment"] == "RCV1" and r["method"] == "priu"
+    ]
+    cifar = [
+        r for r in rows if r["experiment"] == "cifar10" and r["method"] == "priu"
+    ]
+    assert max(r["speedup_vs_basel"] for r in rcv1) < 3.0
+    assert max(r["speedup_vs_basel"] for r in cifar) > 1.2
+
+
+def test_smaller_parameter_count_updates_faster():
+    requires_scale(0.05)
+    """Q7: update time grows with the number of model parameters."""
+    higgs = workload("HIGGS")  # 28 parameters
+    heartbeat = workload("Heartbeat")  # ~940 parameters
+    rate = 0.001
+    t_higgs = sweep_update_times(higgs, [rate], methods=["priu"])[0][
+        "update_seconds"
+    ]
+    t_heartbeat = sweep_update_times(heartbeat, [rate], methods=["priu"])[0][
+        "update_seconds"
+    ]
+    # Per-iteration PrIU cost is O(rm): normalize by iteration count.
+    per_iter_higgs = t_higgs / higgs.config.n_iterations
+    per_iter_heartbeat = t_heartbeat / heartbeat.config.n_iterations
+    assert per_iter_heartbeat > per_iter_higgs

@@ -1,0 +1,54 @@
+"""Figure 4: total time of 10 repeated subset removals (extended datasets).
+
+The interpretability workload: provenance is collected once during the
+initial training of Tcat; ten different random subsets (deletion rate 0.1%)
+are then removed one after another.
+"""
+
+import pytest
+
+from repro.bench import repeated_deletion_rows, run_update
+from repro.bench.reporting import report
+
+from conftest import requires_scale, workload
+
+EXPERIMENTS = ["Cov (extended)", "HIGGS (extended)", "Heartbeat (extended)"]
+
+
+@pytest.mark.parametrize("experiment", EXPERIMENTS)
+@pytest.mark.parametrize("method", ["basel", "priu"])
+def test_one_removal(benchmark, experiment, method):
+    wl = workload(experiment)
+    removed = wl.subset(0.001)
+    benchmark.pedantic(
+        lambda: run_update(wl, method, removed), rounds=2, warmup_rounds=1
+    )
+
+
+@pytest.mark.parametrize("experiment", EXPERIMENTS)
+def test_report_fig4(experiment):
+    requires_scale(0.05)
+    wl = workload(experiment)
+    rows = repeated_deletion_rows(wl, n_subsets=10, deletion_rate=0.001)
+    tag = experiment.split(" ")[0].lower()
+    report(f"fig4_{tag}", f"Fig 4: 10 repeated removals — {experiment}", rows)
+    priu = next(r for r in rows if r["method"] == "priu")
+    # Paper shape: clear cumulative speedup for the repeated workload.
+    assert priu["speedup_vs_basel"] > 1.5
+
+
+def test_higgs_extended_beats_heartbeat_extended():
+    requires_scale(0.05)
+    """Q7 on the repeated workload: fewer parameters -> larger speedup."""
+    higgs_rows = repeated_deletion_rows(
+        workload("HIGGS (extended)"), n_subsets=5, deletion_rate=0.001,
+        methods=["basel", "priu"],
+    )
+    heartbeat_rows = repeated_deletion_rows(
+        workload("Heartbeat (extended)"), n_subsets=5, deletion_rate=0.001,
+        methods=["basel", "priu"],
+    )
+    speedup = lambda rows: next(
+        r["speedup_vs_basel"] for r in rows if r["method"] == "priu"
+    )
+    assert speedup(higgs_rows) > speedup(heartbeat_rows)

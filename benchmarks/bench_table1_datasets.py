@@ -1,0 +1,15 @@
+"""Table 1: characteristics of the dataset analogues."""
+
+from repro.bench import dataset_summary_rows
+from repro.bench.reporting import report
+
+
+def test_report_table1(benchmark):
+    rows = benchmark.pedantic(dataset_summary_rows, rounds=1)
+    report("table1", "Table 1: dataset analogues", rows)
+    by_name = {row["name"]: row for row in rows}
+    # The shape regimes the evaluation depends on.
+    assert by_name["SGEMM"]["task"] == "linear"
+    assert by_name["RCV1"]["sparse"]
+    assert by_name["cifar10"]["# features"] * by_name["cifar10"]["# classes"] > 1000
+    assert by_name["HIGGS"]["# samples"] == max(r["# samples"] for r in rows)

@@ -1,0 +1,60 @@
+"""Table 4: accuracy / distance / similarity, PrIU(-opt) vs INFL at 20%.
+
+The cleaning scenario: 20% of the training samples are corrupted, the initial
+model is trained on the dirty set, and the dirty samples are then removed.
+"""
+
+import pytest
+
+from repro.bench import accuracy_rows
+from repro.bench.reporting import report
+
+from conftest import requires_scale, workload
+
+EXPERIMENTS = [
+    "SGEMM (original)",
+    "Cov (small)",
+    "HIGGS",
+    "Heartbeat",
+]
+
+DIRTY_RATE = 0.2
+
+
+@pytest.mark.parametrize("experiment", EXPERIMENTS)
+def test_update_accuracy(benchmark, experiment):
+    requires_scale(0.03)
+    wl = workload(experiment, dirty_rate=DIRTY_RATE)
+    rows = benchmark.pedantic(
+        lambda: accuracy_rows(wl, wl.dirty_indices), rounds=1
+    )
+    tag = experiment.replace(" ", "_").replace("(", "").replace(")", "")
+    report(f"table4_{tag}", f"Table 4 row — {experiment}", rows)
+    by_method = {row["method"]: row for row in rows}
+    priu = by_method.get("priu-opt", by_method["priu"])
+    # Paper shapes at deletion rate 0.2:
+    #  - PrIU(-opt) stays close to BaseL (cosine similarity near 1);
+    #  - INFL is clearly worse on both distance and similarity.
+    assert priu["similarity"] > 0.95
+    if "infl" in by_method:
+        infl = by_method["infl"]
+        assert infl["distance"] > priu["distance"]
+        assert infl["similarity"] < priu["similarity"]
+
+
+def test_priu_matches_basel_validation_metric():
+    requires_scale(0.03)
+    """Q3: the headline claim — no accuracy sacrificed."""
+    wl = workload("HIGGS", dirty_rate=DIRTY_RATE)
+    rows = accuracy_rows(wl, wl.dirty_indices, methods=["priu"])
+    row = rows[0]
+    assert row["metric"] == pytest.approx(row["reference_metric"], abs=0.02)
+
+
+def test_sign_flips_are_rare_for_priu():
+    requires_scale(0.03)
+    """Q4's fine-grained analysis: few/no sign flips vs BaseL."""
+    wl = workload("HIGGS", dirty_rate=DIRTY_RATE)
+    rows = accuracy_rows(wl, wl.dirty_indices, methods=["priu"])
+    n_params = wl.trainer.weights_.size
+    assert rows[0]["sign_flips"] <= max(2, int(0.1 * n_params))

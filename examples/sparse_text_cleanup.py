@@ -1,0 +1,64 @@
+"""Sparse high-dimensional data: the RCV1 regime (paper Sec. 5.3).
+
+Bag-of-words text classifiers have tens of thousands of features and sparse
+rows.  PrIU's SVD caching would destroy sparsity, so the sparse path replays
+the *linearized* update rule (Eq. 11) directly with the cached interpolation
+coefficients — the paper reports only a ~10% gain here, and this example
+reproduces that honest negative-ish result alongside the accuracy guarantee.
+
+Run:  python examples/sparse_text_cleanup.py
+"""
+
+import numpy as np
+
+from repro import IncrementalTrainer
+from repro.datasets import inject_dirty, make_sparse_binary_classification
+from repro.eval import cosine_similarity
+
+
+def main() -> None:
+    data = make_sparse_binary_classification(
+        n_samples=9000, n_features=6000, density=0.002, seed=21
+    )
+    nnz = data.features.nnz
+    print(f"sparse dataset: {data.n_samples} samples x "
+          f"{data.n_features} features, {nnz} non-zeros "
+          f"(density {nnz / (data.n_samples * data.n_features):.4f})")
+
+    # Mislabelled documents sneak into the corpus.
+    dirty = inject_dirty(data.features, data.labels, deletion_rate=0.02, seed=22)
+    trainer = IncrementalTrainer(
+        task="binary_logistic",
+        learning_rate=0.01,
+        regularization=0.1,
+        batch_size=300,
+        n_iterations=300,
+        seed=23,
+    )
+    trainer.fit(dirty.features, dirty.labels)
+    print(f"store mode: {trainer.store.compression} "
+          f"(coefficient-only caching, features stay sparse)")
+
+    removed = dirty.dirty_indices
+    incremental = trainer.remove(removed)  # sparse PrIU (Eq. 11 replay)
+    retrained = trainer.retrain(removed)
+
+    speedup = retrained.seconds / incremental.seconds
+    print(f"\nupdate time: PrIU {incremental.seconds:.3f}s vs "
+          f"BaseL {retrained.seconds:.3f}s -> {speedup:.2f}x")
+    print("(the paper reports only ~10% gain for sparse data — the win is "
+          "skipping the exp(), not the data pass)")
+
+    similarity = cosine_similarity(incremental.weights, retrained.weights)
+    acc_inc = trainer.evaluate(
+        data.valid_features, data.valid_labels, incremental.weights
+    )
+    acc_ret = trainer.evaluate(
+        data.valid_features, data.valid_labels, retrained.weights
+    )
+    print(f"\ncosine similarity to retrained model: {similarity:.6f}")
+    print(f"validation accuracy: PrIU {acc_inc:.4f} vs BaseL {acc_ret:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — a full reproduction of PrIU (Wu, Tannen & Davidson, SIGMOD 2020).
+
+PrIU treats trained regression models as materialized views over their
+training data and uses provenance-semiring machinery, extended to linear
+algebra, to *incrementally delete* training samples: the post-deletion model
+is produced without retraining, up to two orders of magnitude faster, while
+matching the retrained model's accuracy.
+
+Public entry points
+-------------------
+:class:`repro.IncrementalTrainer`
+    Train once with provenance capture; delete subsets many times.
+:mod:`repro.provenance`
+    The provenance-polynomial semiring and annotated-matrix algebra.
+:mod:`repro.models`
+    GBM training, closed-form and influence-function baselines.
+:mod:`repro.datasets`
+    Synthetic analogues of the paper's six evaluation datasets.
+:mod:`repro.eval`
+    The paper's accuracy / distance / similarity metrics.
+"""
+
+from .core.api import IncrementalTrainer, UpdateOutcome
+
+__version__ = "1.0.0"
+
+__all__ = ["IncrementalTrainer", "UpdateOutcome", "__version__"]

@@ -1,0 +1,30 @@
+"""Benchmark harness: configs (Table 2), runner, reporting."""
+
+from .configs import CONFIGS, DELETION_RATES, ExperimentConfig, get
+from .runner import (
+    FittedWorkload,
+    accuracy_rows,
+    available_methods,
+    dataset_summary_rows,
+    memory_row,
+    prepare_workload,
+    repeated_deletion_rows,
+    run_update,
+    sweep_update_times,
+)
+
+__all__ = [
+    "CONFIGS",
+    "DELETION_RATES",
+    "ExperimentConfig",
+    "FittedWorkload",
+    "accuracy_rows",
+    "available_methods",
+    "dataset_summary_rows",
+    "get",
+    "memory_row",
+    "prepare_workload",
+    "repeated_deletion_rows",
+    "run_update",
+    "sweep_update_times",
+]

@@ -1,0 +1,38 @@
+"""Rendering and persistence of benchmark results.
+
+Every harness invocation appends its formatted tables to
+``results/<experiment>.txt`` so EXPERIMENTS.md can be assembled from real
+runs; the same text is printed for interactive use.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..eval.comparison import format_table
+
+RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+
+
+def render(title: str, rows: list[dict], columns: list[str] | None = None) -> str:
+    body = format_table(rows, columns)
+    bar = "=" * max(len(title), 8)
+    return f"{bar}\n{title}\n{bar}\n{body}\n"
+
+
+def save(name: str, text: str) -> Path:
+    """Write (overwrite) a result artifact and return its path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    return path
+
+
+def report(name: str, title: str, rows: list[dict], columns=None, echo=True) -> str:
+    """Render, persist and (optionally) print one result table."""
+    text = render(title, rows, columns)
+    save(name, text)
+    if echo:
+        print(text)
+    return text

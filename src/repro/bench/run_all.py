@@ -1,0 +1,136 @@
+"""Standalone harness: regenerate every table and figure of the paper.
+
+Usage::
+
+    python -m repro.bench.run_all [--scale 1.0] [--quick]
+
+Output tables are printed and persisted under ``results/``; EXPERIMENTS.md
+records the measured numbers next to the paper's.  ``--quick`` shrinks the
+workloads roughly 10× for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from .configs import CONFIGS, DELETION_RATES
+from .reporting import report
+from .runner import (
+    accuracy_rows,
+    dataset_summary_rows,
+    memory_row,
+    prepare_workload,
+    repeated_deletion_rows,
+    sweep_update_times,
+)
+
+UPDATE_TIME_EXPERIMENTS = {
+    "fig1a": "SGEMM (original)",
+    "fig1b": "SGEMM (extended)",
+    "fig2a": "Cov (small)",
+    "fig2b": "Cov (large 1)",
+    "fig2c": "Cov (large 2)",
+    "fig3a": "Heartbeat",
+    "fig3b": "HIGGS",
+    "fig3c-rcv1": "RCV1",
+    "fig3c-cifar10": "cifar10",
+}
+
+REPEATED_EXPERIMENTS = {
+    "fig4-cov": "Cov (extended)",
+    "fig4-higgs": "HIGGS (extended)",
+    "fig4-heartbeat": "Heartbeat (extended)",
+}
+
+TABLE4_EXPERIMENTS = [
+    "Cov (small)",
+    "Cov (large 1)",
+    "Cov (large 2)",
+    "HIGGS",
+    "Heartbeat",
+    "SGEMM (original)",
+    "SGEMM (extended)",
+]
+
+
+def _scaled(config, scale: float):
+    return dataclasses.replace(config, scale=config.scale * scale)
+
+
+def run_table1() -> None:
+    report("table1_datasets", "Table 1: dataset analogues", dataset_summary_rows())
+
+
+def run_figures(scale: float, rates) -> None:
+    for fig_id, name in UPDATE_TIME_EXPERIMENTS.items():
+        workload = prepare_workload(_scaled(CONFIGS[name], scale))
+        rows = sweep_update_times(workload, rates)
+        report(fig_id, f"{fig_id}: update time — {name}", rows)
+
+
+def run_fig4(scale: float) -> None:
+    for fig_id, name in REPEATED_EXPERIMENTS.items():
+        workload = prepare_workload(_scaled(CONFIGS[name], scale))
+        rows = repeated_deletion_rows(workload, n_subsets=10, deletion_rate=0.001)
+        report(fig_id, f"{fig_id}: 10 repeated removals — {name}", rows)
+
+
+def run_table3(scale: float) -> None:
+    rows = []
+    for name in (
+        "Cov (small)",
+        "Cov (large 1)",
+        "Cov (large 2)",
+        "HIGGS",
+        "SGEMM (original)",
+        "SGEMM (extended)",
+        "Heartbeat",
+        "RCV1",
+        "cifar10",
+    ):
+        workload = prepare_workload(_scaled(CONFIGS[name], scale))
+        rows.append(memory_row(workload).row())
+    report("table3_memory", "Table 3: memory consumption", rows)
+
+
+def run_table4(scale: float, dirty_rate: float = 0.2) -> None:
+    rows = []
+    for name in TABLE4_EXPERIMENTS:
+        workload = prepare_workload(_scaled(CONFIGS[name], scale), dirty_rate=dirty_rate)
+        rows.extend(accuracy_rows(workload, workload.dirty_indices))
+    report(
+        "table4_accuracy",
+        f"Table 4: accuracy/distance/similarity at deletion rate {dirty_rate}",
+        rows,
+    )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--quick", action="store_true", help="~10x smaller run")
+    parser.add_argument(
+        "--only",
+        choices=["table1", "figures", "fig4", "table3", "table4"],
+        default=None,
+    )
+    args = parser.parse_args(argv)
+    scale = args.scale * (0.1 if args.quick else 1.0)
+    rates = DELETION_RATES if not args.quick else (0.001, 0.01, 0.1, 0.2)
+    steps = {
+        "table1": run_table1,
+        "figures": lambda: run_figures(scale, rates),
+        "fig4": lambda: run_fig4(scale),
+        "table3": lambda: run_table3(scale),
+        "table4": lambda: run_table4(scale),
+    }
+    if args.only:
+        steps[args.only]()
+        return
+    for step in steps.values():
+        step()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,247 @@
+"""Experiment runner: produces the rows/series behind each table and figure.
+
+The same entry points back both the pytest-benchmark targets under
+``benchmarks/`` and the standalone harness (``python -m repro.bench.run_all``).
+
+Measurement protocol (Sec. 6.2 "Incrementality"): provenance collection is
+offline and excluded; *update time* is the time from receiving the removal
+set to producing the updated parameter vector, for each of
+
+    BaseL (retraining), PrIU, PrIU-opt, Closed-form (linear only), INFL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.api import IncrementalTrainer
+from ..datasets.corruption import inject_dirty, random_subsets
+from ..datasets.synthetic import Dataset
+from ..eval.comparison import compare_updated_models
+from ..eval.memory import MemoryReport, memory_report
+from ..eval.timing import measure
+from .configs import ExperimentConfig
+
+
+@dataclass
+class FittedWorkload:
+    """A config + dataset + fitted trainer, ready for update measurements."""
+
+    config: ExperimentConfig
+    dataset: Dataset
+    trainer: IncrementalTrainer
+    dirty_indices: np.ndarray | None = None
+
+    @property
+    def n_samples(self) -> int:
+        return self.dataset.features.shape[0]
+
+    def subset(self, deletion_rate: float, seed: int = 0) -> np.ndarray:
+        """A random removal set of the requested rate."""
+        rng = np.random.default_rng(seed)
+        size = max(1, int(round(deletion_rate * self.n_samples)))
+        return np.sort(rng.choice(self.n_samples, size=size, replace=False))
+
+
+def prepare_workload(
+    config: ExperimentConfig,
+    dirty_rate: float | None = None,
+    seed: int = 0,
+) -> FittedWorkload:
+    """Fit the initial model (offline phase) over clean or dirtied data.
+
+    With ``dirty_rate`` the cleaning scenario is simulated: that fraction of
+    the training samples is corrupted before training, and the corrupted ids
+    become the canonical removal set.
+    """
+    dataset = config.load()
+    features, labels = dataset.features, dataset.labels
+    dirty_indices = None
+    if dirty_rate is not None:
+        dirty = inject_dirty(features, labels, dirty_rate, seed=seed)
+        features, labels = dirty.features, dirty.labels
+        dirty_indices = dirty.dirty_indices
+    trainer = IncrementalTrainer(seed=seed, **config.trainer_kwargs())
+    trainer.fit(features, labels)
+    n_params = trainer.objective.n_parameters(features.shape[1])
+    if not dataset.is_sparse and n_params <= trainer.opt_feature_limit:
+        trainer.prepare_baselines()
+    elif config.task == "linear":
+        trainer.prepare_baselines()
+    return FittedWorkload(
+        config=config,
+        dataset=Dataset(
+            dataset.name,
+            features,
+            labels,
+            dataset.valid_features,
+            dataset.valid_labels,
+            dataset.task,
+            dataset.n_classes,
+        ),
+        trainer=trainer,
+        dirty_indices=dirty_indices,
+    )
+
+
+def available_methods(workload: FittedWorkload, include_infl: bool = True) -> list[str]:
+    """Which update methods apply to this workload (mirrors Sec. 6.2)."""
+    methods = ["basel", "priu"]
+    if workload.trainer._opt is not None:
+        methods.append("priu-opt")
+    if workload.config.task == "linear":
+        methods.append("closed-form")
+    large = workload.trainer.objective.n_parameters(
+        workload.dataset.n_features
+    ) > workload.trainer.opt_feature_limit
+    if include_infl and not (workload.dataset.is_sparse or large):
+        methods.append("infl")
+    return methods
+
+
+def run_update(workload: FittedWorkload, method: str, removed: np.ndarray) -> np.ndarray:
+    """Dispatch one update; returns the updated parameter vector."""
+    trainer = workload.trainer
+    if method == "basel":
+        return trainer.retrain(removed).weights
+    if method in ("priu", "priu-opt"):
+        return trainer.remove(removed, method=method).weights
+    if method == "closed-form":
+        return trainer.closed_form(removed).weights
+    if method == "infl":
+        return trainer.influence(removed).weights
+    raise ValueError(f"unknown method: {method}")
+
+
+def sweep_update_times(
+    workload: FittedWorkload,
+    deletion_rates,
+    methods: list[str] | None = None,
+    repeats: int = 1,
+    seed: int = 0,
+) -> list[dict]:
+    """The update-time series of Figures 1-3: one row per (rate, method)."""
+    if methods is None:
+        methods = available_methods(workload)
+    rows = []
+    for rate in deletion_rates:
+        removed = workload.subset(rate, seed=seed)
+        times = {}
+        for method in methods:
+            timing = measure(lambda m=method: run_update(workload, m, removed), repeats)
+            times[method] = timing.best
+        basel = times.get("basel")
+        for method in methods:
+            rows.append(
+                {
+                    "experiment": workload.config.name,
+                    "deletion_rate": rate,
+                    "method": method,
+                    "update_seconds": times[method],
+                    "speedup_vs_basel": (
+                        basel / times[method] if basel else float("nan")
+                    ),
+                }
+            )
+    return rows
+
+
+def accuracy_rows(
+    workload: FittedWorkload,
+    removed: np.ndarray,
+    methods: list[str] | None = None,
+) -> list[dict]:
+    """Table 4 rows: validation metric, distance and similarity vs BaseL."""
+    if methods is None:
+        methods = [m for m in available_methods(workload) if m != "basel"]
+    reference = run_update(workload, "basel", removed)
+    objective = workload.trainer.objective
+    rows = []
+    for method in methods:
+        candidate = run_update(workload, method, removed)
+        comparison = compare_updated_models(
+            method,
+            objective,
+            reference,
+            candidate,
+            workload.dataset.valid_features,
+            workload.dataset.valid_labels,
+        )
+        row = {"experiment": workload.config.name, **comparison.row()}
+        rows.append(row)
+    return rows
+
+
+def repeated_deletion_rows(
+    workload: FittedWorkload,
+    n_subsets: int = 10,
+    deletion_rate: float = 0.001,
+    methods: list[str] | None = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Figure 4: total time to serve ``n_subsets`` independent removals."""
+    if methods is None:
+        methods = [m for m in available_methods(workload, include_infl=False)]
+    subsets = random_subsets(workload.n_samples, n_subsets, deletion_rate, seed=seed)
+    rows = []
+    for method in methods:
+        total = 0.0
+        for subset in subsets:
+            timing = measure(lambda: run_update(workload, method, subset), repeats=1)
+            total += timing.best
+        rows.append(
+            {
+                "experiment": workload.config.name,
+                "method": method,
+                "n_subsets": n_subsets,
+                "deletion_rate": deletion_rate,
+                "total_seconds": total,
+            }
+        )
+    basel_total = next(
+        (r["total_seconds"] for r in rows if r["method"] == "basel"), None
+    )
+    for row in rows:
+        row["speedup_vs_basel"] = (
+            basel_total / row["total_seconds"] if basel_total else float("nan")
+        )
+    return rows
+
+
+def memory_row(workload: FittedWorkload) -> MemoryReport:
+    """Table 3 row for one configuration."""
+    trainer = workload.trainer
+    opt_bytes = None
+    if trainer._opt is not None and hasattr(trainer._opt, "nbytes"):
+        opt_bytes = trainer._opt.nbytes()
+    elif trainer._opt is not None:
+        opt_bytes = 0
+    return memory_report(
+        workload.config.name,
+        workload.dataset.features,
+        workload.dataset.labels,
+        trainer.store,
+        opt_state_bytes=opt_bytes,
+    )
+
+
+def dataset_summary_rows() -> list[dict]:
+    """Table 1: characteristics of the dataset analogues."""
+    from ..datasets import catalog
+
+    rows = []
+    for name in ("SGEMM", "Cov", "HIGGS", "RCV1", "Heartbeat", "cifar10"):
+        data = catalog.load(name)
+        rows.append(
+            {
+                "name": name,
+                "# features": data.n_features,
+                "# classes": data.n_classes if data.task != "linear" else "-",
+                "# samples": data.n_samples + data.valid_features.shape[0],
+                "task": data.task,
+                "sparse": data.is_sparse,
+            }
+        )
+    return rows

@@ -1,0 +1,42 @@
+"""PrIU core: provenance capture, incremental updaters, facade."""
+
+from .api import IncrementalTrainer, UpdateOutcome
+from .diagnostics import (
+    UpdateErrorReport,
+    convergence_check,
+    error_report,
+    interpolation_delta,
+)
+from .serialization import load_store, save_store
+from .capture import train_with_capture
+from .priu import PrIUUpdater
+from .priu_opt import PrIUOptLinearUpdater, PrIUOptLogisticUpdater
+from .provenance_store import (
+    FrozenProvenance,
+    LinearRecord,
+    LogisticRecord,
+    MultinomialRecord,
+    ProvenanceStore,
+    apply_summary,
+)
+
+__all__ = [
+    "FrozenProvenance",
+    "UpdateErrorReport",
+    "convergence_check",
+    "error_report",
+    "interpolation_delta",
+    "load_store",
+    "save_store",
+    "IncrementalTrainer",
+    "LinearRecord",
+    "LogisticRecord",
+    "MultinomialRecord",
+    "PrIUOptLinearUpdater",
+    "PrIUOptLogisticUpdater",
+    "PrIUUpdater",
+    "ProvenanceStore",
+    "UpdateOutcome",
+    "apply_summary",
+    "train_with_capture",
+]

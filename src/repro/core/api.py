@@ -1,0 +1,265 @@
+"""High-level facade: train once, delete subsets many times.
+
+:class:`IncrementalTrainer` wires the substrates together the way the paper's
+evaluation uses them: fit an initial model while capturing provenance
+(offline), then answer any number of "what if these samples were removed?"
+questions through PrIU / PrIU-opt, or through the baselines (BaseL retraining,
+Closed-form, INFL) for comparison.
+
+>>> trainer = IncrementalTrainer("binary_logistic", learning_rate=1e-3,
+...                              regularization=0.01, batch_size=64,
+...                              n_iterations=200)
+>>> trainer.fit(features, labels)
+>>> outcome = trainer.remove([3, 17, 256])
+>>> outcome.weights  # the model as if those samples were never seen
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg.interpolation import sigmoid_complement_interpolator
+from ..linalg.matrix_utils import is_sparse
+from ..models.batching import make_schedule
+from ..models.closed_form import IncrementalClosedForm
+from ..models.influence import InfluenceFunctionUpdater
+from ..models.sgd import train, objective_for
+from .capture import train_with_capture
+from .priu import PrIUUpdater
+from .priu_opt import PrIUOptLinearUpdater, PrIUOptLogisticUpdater
+
+TASKS = ("linear", "binary_logistic", "multinomial_logistic")
+
+
+@dataclass
+class UpdateOutcome:
+    """Result of one incremental update (or baseline) run."""
+
+    weights: np.ndarray
+    method: str
+    seconds: float
+    removed: np.ndarray
+
+
+class IncrementalTrainer:
+    """Train-once / delete-many facade over PrIU, PrIU-opt and the baselines."""
+
+    def __init__(
+        self,
+        task: str,
+        learning_rate: float,
+        regularization: float,
+        batch_size: int,
+        n_iterations: int,
+        n_classes: int | None = None,
+        method: str = "auto",
+        seed: int = 0,
+        epsilon: float = 0.01,
+        freeze_fraction: float = 0.7,
+        interpolation_intervals: int = 100_000,
+        schedule_kind: str = "mb-sgd",
+        max_dense_params: int = 2500,
+        opt_feature_limit: int = 2500,
+    ) -> None:
+        if task not in TASKS:
+            raise ValueError(f"task must be one of {TASKS}")
+        if method not in ("auto", "priu", "priu-opt"):
+            raise ValueError("method must be auto, priu or priu-opt")
+        self.task = task
+        self.learning_rate = float(learning_rate)
+        self.regularization = float(regularization)
+        self.batch_size = int(batch_size)
+        self.n_iterations = int(n_iterations)
+        self.n_classes = n_classes
+        self.method = method
+        self.seed = int(seed)
+        self.epsilon = float(epsilon)
+        self.freeze_fraction = float(freeze_fraction)
+        self.interpolation_intervals = int(interpolation_intervals)
+        self.schedule_kind = schedule_kind
+        self.max_dense_params = int(max_dense_params)
+        self.opt_feature_limit = int(opt_feature_limit)
+        self._fitted = False
+
+    # -------------------------------------------------------------- fitting
+    def fit(self, features, labels: np.ndarray) -> "IncrementalTrainer":
+        """Train the initial model and run the offline provenance phase."""
+        self.features = features
+        self.labels = np.asarray(labels)
+        self.objective = objective_for(
+            self.task, self.regularization, self.n_classes
+        )
+        n_samples = features.shape[0]
+        self.schedule = make_schedule(
+            n_samples,
+            self.batch_size,
+            self.n_iterations,
+            seed=self.seed,
+            kind=self.schedule_kind,
+        )
+        dense = not is_sparse(features)
+        n_params = self.objective.n_parameters(features.shape[1])
+        use_opt = self._resolve_opt(dense, n_params)
+
+        interpolator = None
+        freeze_at = None
+        if self.task != "linear":
+            interpolator = sigmoid_complement_interpolator(
+                n_intervals=self.interpolation_intervals
+            )
+            if use_opt and dense:
+                freeze_at = self.freeze_fraction
+        self.result, self.store = train_with_capture(
+            self.objective,
+            features,
+            self.labels,
+            self.schedule,
+            self.learning_rate,
+            epsilon=self.epsilon,
+            interpolator=interpolator,
+            freeze_at=freeze_at,
+            max_dense_params=self.max_dense_params,
+        )
+        # Offline construction of every updater (part of provenance phase).
+        self._priu = PrIUUpdater(self.store, features, self.labels)
+        self._opt = None
+        if use_opt and dense:
+            if self.task == "linear":
+                self._opt = PrIUOptLinearUpdater(
+                    features,
+                    self.labels,
+                    self.n_iterations,
+                    self.learning_rate,
+                    self.regularization,
+                )
+            elif self.store.frozen is not None and (
+                self.store.frozen.eigenvectors is not None
+            ):
+                self._opt = PrIUOptLogisticUpdater(
+                    self.store, features, self.labels
+                )
+        self._closed_form = None
+        self._influence = None
+        self._fitted = True
+        return self
+
+    def _resolve_opt(self, dense: bool, n_params: int) -> bool:
+        if self.method == "priu":
+            return False
+        if self.method == "priu-opt":
+            return True
+        return dense and n_params <= self.opt_feature_limit
+
+    def _require_fit(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("call fit() before requesting updates")
+
+    def prepare_baselines(self, influence_mode: str = "koh-liang") -> None:
+        """Build the baselines' offline state (Hessian, (M,N) views) up front.
+
+        Both INFL's Hessian and Closed-form's materialized views depend only
+        on the training data, not on the removal set, so benchmarks construct
+        them here rather than inside the first timed update.
+        """
+        self._require_fit()
+        if self.task == "linear" and self._closed_form is None:
+            self._closed_form = IncrementalClosedForm(
+                self.features, self.labels, self.regularization
+            )
+        if self._influence is None:
+            n_params = self.objective.n_parameters(self.features.shape[1])
+            if not is_sparse(self.features) and n_params <= self.opt_feature_limit:
+                self._influence = InfluenceFunctionUpdater(
+                    self.objective,
+                    self.features,
+                    self.labels,
+                    self.result.weights,
+                    mode=influence_mode,
+                )
+
+    # -------------------------------------------------------------- queries
+    @property
+    def weights_(self) -> np.ndarray:
+        """Parameters of the initial (full-data) model."""
+        self._require_fit()
+        return self.result.weights
+
+    def remove(self, indices, method: str | None = None) -> UpdateOutcome:
+        """Incremental update: the model with ``indices`` deleted."""
+        self._require_fit()
+        removed = np.unique(np.asarray(list(indices), dtype=int))
+        chosen = method or ("priu-opt" if self._opt is not None else "priu")
+        start = time.perf_counter()
+        if chosen == "priu-opt":
+            if self._opt is None:
+                raise ValueError("PrIU-opt is unavailable for this configuration")
+            weights = self._opt.update(removed)
+        elif chosen == "priu":
+            weights = self._priu.update(removed)
+        else:
+            raise ValueError(f"unknown update method: {chosen}")
+        seconds = time.perf_counter() - start
+        return UpdateOutcome(weights, chosen, seconds, removed)
+
+    def retrain(self, indices) -> UpdateOutcome:
+        """BaseL: retrain from scratch on the same schedule minus ``indices``."""
+        self._require_fit()
+        removed = np.unique(np.asarray(list(indices), dtype=int))
+        start = time.perf_counter()
+        result = train(
+            self.objective,
+            self.features,
+            self.labels,
+            self.schedule,
+            self.learning_rate,
+            exclude=frozenset(removed.tolist()),
+        )
+        seconds = time.perf_counter() - start
+        return UpdateOutcome(result.weights, "basel", seconds, removed)
+
+    def closed_form(self, indices) -> UpdateOutcome:
+        """Closed-form incremental baseline (linear regression only)."""
+        self._require_fit()
+        if self.task != "linear":
+            raise ValueError("closed-form updates exist only for linear regression")
+        if self._closed_form is None:
+            self._closed_form = IncrementalClosedForm(
+                self.features, self.labels, self.regularization
+            )
+        removed = np.unique(np.asarray(list(indices), dtype=int))
+        start = time.perf_counter()
+        weights = self._closed_form.delete(removed)
+        seconds = time.perf_counter() - start
+        return UpdateOutcome(weights, "closed-form", seconds, removed)
+
+    def influence(self, indices, mode: str = "koh-liang") -> UpdateOutcome:
+        """INFL: the influence-function baseline."""
+        self._require_fit()
+        if self._influence is None or self._influence.mode != mode:
+            self._influence = InfluenceFunctionUpdater(
+                self.objective,
+                self.features,
+                self.labels,
+                self.result.weights,
+                mode=mode,
+            )
+        removed = np.unique(np.asarray(list(indices), dtype=int))
+        start = time.perf_counter()
+        weights = self._influence.update(removed)
+        seconds = time.perf_counter() - start
+        return UpdateOutcome(weights, f"infl-{mode}", seconds, removed)
+
+    # ----------------------------------------------------------- evaluation
+    def evaluate(self, features, labels, weights: np.ndarray | None = None) -> float:
+        """Task metric on held-out data: MSE (linear) or accuracy (logistic)."""
+        self._require_fit()
+        w = self.weights_ if weights is None else weights
+        return self.objective.metric(w, features, np.asarray(labels))
+
+    def provenance_gigabytes(self) -> float:
+        """Memory held by the provenance store (Table 3)."""
+        self._require_fit()
+        return self.store.gigabytes()

@@ -1,0 +1,201 @@
+"""PrIU-opt: the small-feature-space optimizations (Sec. 5.2 and 5.4).
+
+Linear regression (Sec. 5.2)
+    mb-SGD is approximated by GD (statistically equivalent per [29]); the GD
+    recursion diagonalizes in the eigenbasis of ``M = XᵀX``.  The offline
+    phase eigendecomposes ``M`` once; an update incrementally corrects the
+    eigenvalues for ``M' = M - ΔXᵀΔX`` (Eq. 18, Ning et al. 2010) and then
+    evaluates the diagonal recursion of Eq. 17 in closed form — ``O(τm)``
+    arithmetic collapses to ``O(m)`` per coordinate for constant ``η``.
+
+Logistic regression (Sec. 5.4)
+    Interpolation coefficients stabilize as ``w^(t)`` converges, so new
+    provenance stops being captured at ``t_s`` (rule of thumb: 70% of ``τ``).
+    Phase 1 (``t < t_s``) replays PrIU; phase 2 uses the frozen full-dataset
+    ``C*``/``D*`` with the same eigenvalue machinery as the linear case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.eigen import (
+    EigenSystem,
+    eigendecompose,
+    gd_diagonal_recursion,
+    incremental_eigenvalues_from_rows,
+)
+from ..linalg.matrix_utils import is_sparse
+from .priu import PrIUUpdater
+from .provenance_store import ProvenanceStore
+
+
+class PrIUOptLinearUpdater:
+    """Eigen-based incremental updates for linear regression (Eq. 15-18)."""
+
+    def __init__(
+        self,
+        features,
+        labels: np.ndarray,
+        n_iterations: int,
+        learning_rate: float,
+        regularization: float,
+        w0: np.ndarray | None = None,
+    ) -> None:
+        if is_sparse(features):
+            raise ValueError("PrIU-opt requires dense features (Sec. 5.3)")
+        self.features = np.asarray(features, dtype=float)
+        self.labels = np.asarray(labels, dtype=float).ravel()
+        self.n_samples, self.n_features = self.features.shape
+        self.n_iterations = int(n_iterations)
+        self.learning_rate = float(learning_rate)
+        self.regularization = float(regularization)
+        self._w0 = (
+            np.zeros(self.n_features) if w0 is None else np.asarray(w0, float)
+        )
+        # Offline phase: M = XᵀX, N = XᵀY, eigendecomposition of M.
+        self._moment = self.features.T @ self.labels
+        self._eigen = eigendecompose(self.features.T @ self.features)
+
+    def nbytes(self) -> int:
+        """Cached state: Q, eigenvalues and N (Sec. 5.2 space analysis)."""
+        return int(self._eigen.nbytes() + self._moment.nbytes)
+
+    def update(self, removed_indices) -> np.ndarray:
+        """Post-deletion parameters in ``O(min(Δn,m)·m²) + O(m)`` work."""
+        removed = np.unique(np.asarray(list(removed_indices), dtype=int))
+        remaining = self.n_samples - removed.size
+        if remaining <= 0:
+            raise ValueError("cannot delete every training sample")
+        if removed.size:
+            rows = self.features[removed]
+            eigenvalues = incremental_eigenvalues_from_rows(self._eigen, rows)
+            moment = self._moment - rows.T @ self.labels[removed]
+        else:
+            eigenvalues = self._eigen.eigenvalues
+            moment = self._moment
+        q = self._eigen.eigenvectors
+        initial = q.T @ self._w0
+        bias = (2.0 / remaining) * (q.T @ moment)
+        coords = gd_diagonal_recursion(
+            eigenvalues,
+            initial,
+            bias,
+            n_samples=remaining,
+            n_iterations=self.n_iterations,
+            learning_rate=self.learning_rate,
+            regularization=self.regularization,
+            gram_sign=-2.0,
+        )
+        return q @ coords
+
+    def original(self) -> np.ndarray:
+        """The GD approximation of the original model (no deletion)."""
+        return self.update(())
+
+
+class PrIUOptLogisticUpdater:
+    """Two-phase updates for (binary or multinomial) logistic regression."""
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        features,
+        labels: np.ndarray,
+        w0: np.ndarray | None = None,
+    ) -> None:
+        if store.task not in ("binary_logistic", "multinomial_logistic"):
+            raise ValueError("PrIUOptLogisticUpdater requires a logistic store")
+        if store.frozen is None:
+            raise ValueError(
+                "store has no frozen provenance; capture with freeze_at="
+                "0.7 (or use plain PrIU)"
+            )
+        if store.frozen.eigenvectors is None:
+            raise ValueError(
+                "frozen provenance lacks the eigen state (sparse or "
+                "large-parameter capture); use plain PrIU"
+            )
+        self.store = store
+        self.features = np.asarray(features, dtype=float)
+        self.labels = np.asarray(labels)
+        self._phase1 = PrIUUpdater(store, features, labels, w0=w0)
+        frozen = store.frozen
+        self._eigen = EigenSystem(
+            eigenvectors=frozen.eigenvectors, eigenvalues=frozen.eigenvalues
+        )
+
+    def update(self, removed_indices) -> np.ndarray:
+        removed = np.unique(np.asarray(list(removed_indices), dtype=int))
+        frozen = self.store.frozen
+        n_total = self.store.n_samples
+        remaining = n_total - removed.size
+        if remaining <= 0:
+            raise ValueError("cannot delete every training sample")
+        # Phase 1: PrIU replay up to the freeze iteration.
+        w_ts = self._phase1.update(removed, stop_at=frozen.t_s)
+        # Phase 2: frozen-coefficient eigen recursion for the tail.
+        tail = self.store.schedule.n_iterations - frozen.t_s
+        if tail <= 0:
+            return w_ts
+        if self.store.task == "binary_logistic":
+            eigenvalues, moment = self._binary_tail_state(removed)
+        else:
+            eigenvalues, moment = self._multinomial_tail_state(removed)
+        q = self._eigen.eigenvectors
+        initial = q.T @ w_ts
+        bias = (q.T @ moment) / remaining
+        coords = gd_diagonal_recursion(
+            eigenvalues,
+            initial,
+            bias,
+            n_samples=remaining,
+            n_iterations=tail,
+            learning_rate=self.store.learning_rate,
+            regularization=self.store.regularization,
+            gram_sign=1.0,
+        )
+        return q @ coords
+
+    # ---------------------------------------------------------- tail state
+    def _binary_tail_state(self, removed: np.ndarray):
+        frozen = self.store.frozen
+        if removed.size == 0:
+            return frozen.eigenvalues, frozen.moment
+        rows = self.features[removed]
+        slopes = frozen.slopes[removed]
+        intercepts = frozen.intercepts[removed]
+        y = self.labels[removed].astype(float)
+        eigenvalues = incremental_eigenvalues_from_rows(
+            self._eigen, rows, weights=slopes
+        )
+        moment = frozen.moment - rows.T @ (intercepts * y)
+        return eigenvalues, moment
+
+    def _multinomial_tail_state(self, removed: np.ndarray):
+        frozen = self.store.frozen
+        if removed.size == 0:
+            return frozen.eigenvalues, frozen.moment
+        q_classes = self.store.n_classes
+        rows = self.features[removed]
+        probs = frozen.probabilities[removed]
+        wx = frozen.wx[removed]
+        y = self.labels[removed].astype(int)
+        # ΔC* in the Kronecker rank-1 expansion (see capture).
+        lam = -np.einsum("ik,il->ikl", probs, probs)
+        lam[:, np.arange(q_classes), np.arange(q_classes)] += probs
+        evals, evecs = np.linalg.eigh(lam)
+        kron_rows = np.einsum("iqk,im->ikqm", evecs, rows).reshape(
+            len(removed) * q_classes, -1
+        )
+        weights = -evals.reshape(-1)
+        eigenvalues = incremental_eigenvalues_from_rows(
+            self._eigen, kron_rows, weights=weights
+        )
+        # ΔD* from the frozen per-sample state.
+        pu = np.einsum("ik,ik->i", probs, wx)
+        lam_u = probs * wx - probs * pu[:, None]
+        coeff = lam_u - probs
+        coeff[np.arange(len(removed)), y] += 1.0
+        moment = frozen.moment - (coeff.T @ rows).ravel()
+        return eigenvalues, moment

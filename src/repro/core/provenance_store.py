@@ -1,0 +1,225 @@
+"""The provenance store: PrIU's cached per-iteration summaries (Sec. 5).
+
+During the original training run PrIU caches, for every iteration ``t``, the
+numeric image of the provenance-annotated intermediates of Equations 8/10:
+
+* linear regression — ``G^(t) = Σ_{i∈B(t)} x_i x_iᵀ`` and
+  ``d^(t) = Σ_{i∈B(t)} x_i y_i``;
+* binary logistic — ``C^(t) = Σ a_{i,(t)} x_i x_iᵀ`` and
+  ``D^(t) = Σ b_{i,(t)} y_i x_i`` plus the per-sample interpolation
+  coefficients themselves (needed to form ``ΔC^(t)``/``ΔD^(t)`` for an
+  arbitrary removal set later);
+* multinomial logistic — the frozen per-sample softmax state
+  (probabilities ``p_i`` and logits-times-weights ``u_i = W^(t) x_i``)
+  from which the removed samples' block contributions are reconstructed,
+  plus the aggregated ``C^(t)``/``D^(t)``.
+
+``m × m`` (or ``mq × mq``) summaries are optionally stored as truncated-SVD
+factor pairs (:class:`~repro.linalg.svd.TruncatedSummary`) per Theorems 6/8.
+
+The store also keeps an inverted *occurrence index* ``sample id → iterations
+containing it`` so an update touching ``Δn`` samples enumerates only the
+``O(Δn · τB/n)`` affected (iteration, sample) pairs instead of scanning every
+batch.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from ..linalg.svd import TruncatedSummary
+from ..models.batching import BatchSchedule
+
+Summary = Union[TruncatedSummary, np.ndarray, None]
+
+
+def _summary_nbytes(summary: Summary) -> int:
+    if summary is None:
+        return 0
+    if isinstance(summary, TruncatedSummary):
+        return summary.nbytes()
+    return int(summary.nbytes)
+
+
+def apply_summary(summary: Summary, vector: np.ndarray) -> np.ndarray:
+    """``G w`` through whichever representation the summary uses."""
+    if summary is None:
+        raise ValueError("iteration has no cached summary to apply")
+    if isinstance(summary, TruncatedSummary):
+        return summary.apply(vector)
+    return summary @ vector
+
+
+@dataclass
+class LinearRecord:
+    """Per-iteration cache for linear regression (Eq. 13/14)."""
+
+    batch: np.ndarray
+    summary: Summary  # G^(t) or its SVD factors
+    moment: np.ndarray  # d^(t)
+
+    def nbytes(self) -> int:
+        return int(
+            self.batch.nbytes + _summary_nbytes(self.summary) + self.moment.nbytes
+        )
+
+
+@dataclass
+class LogisticRecord:
+    """Per-iteration cache for binary logistic regression (Eq. 19/20)."""
+
+    batch: np.ndarray
+    slopes: np.ndarray  # a_{i,(t)}, aligned with batch
+    intercepts: np.ndarray  # b_{i,(t)}
+    summary: Summary  # C^(t) or its SVD factors
+    moment: np.ndarray  # D^(t)
+
+    def nbytes(self) -> int:
+        return int(
+            self.batch.nbytes
+            + self.slopes.nbytes
+            + self.intercepts.nbytes
+            + _summary_nbytes(self.summary)
+            + self.moment.nbytes
+        )
+
+
+@dataclass
+class MultinomialRecord:
+    """Per-iteration cache for multinomial logistic regression.
+
+    ``probabilities`` and ``wx`` (``u_i = W^(t) x_i``) are enough to rebuild
+    any removed sample's contribution to ``C^(t)`` and ``D^(t)``:
+    with ``Λ_i = diag(p_i) - p_i p_iᵀ``,
+
+        ``ΔC^(t)(W) = Σ_{i∈R} Λ_i (W x_i) x_iᵀ``
+        ``ΔD^(t)   = Σ_{i∈R} (Λ_i u_i - p_i + e_{y_i}) x_iᵀ``.
+    """
+
+    batch: np.ndarray
+    probabilities: np.ndarray  # B × q
+    wx: np.ndarray  # B × q : W^(t) x_i per batch sample
+    summary: Summary  # C^(t) on the vec'd parameter space, or factors
+    moment: np.ndarray  # D^(t) (q × m)
+
+    def nbytes(self) -> int:
+        return int(
+            self.batch.nbytes
+            + self.probabilities.nbytes
+            + self.wx.nbytes
+            + _summary_nbytes(self.summary)
+            + self.moment.nbytes
+        )
+
+
+@dataclass
+class FrozenProvenance:
+    """PrIU-opt logistic: full-dataset frozen coefficients at ``t_s`` (Sec 5.4).
+
+    For binary logistic: ``slopes``/``intercepts`` are the frozen
+    ``a_{i,*}, b_{i,*}`` for *all* ``n`` samples, ``gram``/``moment`` the
+    frozen ``C*``/``D*`` over the full dataset, and ``eigen`` the offline
+    eigendecomposition of ``C*``.  For multinomial the per-sample state is
+    ``probabilities``/``wx`` instead.
+    """
+
+    t_s: int
+    weights_at_ts_available: bool
+    slopes: np.ndarray | None = None
+    intercepts: np.ndarray | None = None
+    probabilities: np.ndarray | None = None
+    wx: np.ndarray | None = None
+    gram: np.ndarray | None = None
+    moment: np.ndarray | None = None
+    eigenvectors: np.ndarray | None = None
+    eigenvalues: np.ndarray | None = None
+
+    def nbytes(self) -> int:
+        total = 0
+        for arr in (
+            self.slopes,
+            self.intercepts,
+            self.probabilities,
+            self.wx,
+            self.gram,
+            self.moment,
+            self.eigenvectors,
+            self.eigenvalues,
+        ):
+            if arr is not None:
+                total += int(arr.nbytes)
+        return total
+
+
+@dataclass
+class ProvenanceStore:
+    """Everything PrIU needs to replay an update without the nonlinearity."""
+
+    task: str  # "linear" | "binary_logistic" | "multinomial_logistic"
+    schedule: BatchSchedule
+    learning_rate: float
+    regularization: float
+    n_samples: int
+    n_features: int
+    n_classes: int = 1
+    records: list = field(default_factory=list)
+    frozen: FrozenProvenance | None = None
+    compression: str = "none"  # "none" | "svd"
+    epsilon: float = 0.01
+    sparse_mode: bool = False
+
+    _occurrences: dict[int, list[tuple[int, int]]] | None = None
+
+    def add(self, record) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------ occurrence index
+    def occurrences(self) -> dict[int, list[tuple[int, int]]]:
+        """Inverted index: sample id -> [(iteration, position in batch)]."""
+        if self._occurrences is None:
+            index: dict[int, list[tuple[int, int]]] = defaultdict(list)
+            for t, record in enumerate(self.records):
+                for pos, sample in enumerate(record.batch):
+                    index[int(sample)].append((t, pos))
+            self._occurrences = dict(index)
+        return self._occurrences
+
+    def removed_positions(
+        self, removed: np.ndarray
+    ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Per-iteration (sample ids, batch positions) of removed samples.
+
+        Costs ``O(Δn · τB/n)`` via the occurrence index — the complexity term
+        the paper's ``O(ΔB m)`` per-iteration bound presumes.
+        """
+        per_iteration: dict[int, tuple[list[int], list[int]]] = defaultdict(
+            lambda: ([], [])
+        )
+        occurrences = self.occurrences()
+        for sample in np.asarray(removed, dtype=int):
+            for t, pos in occurrences.get(int(sample), ()):
+                ids, positions = per_iteration[t]
+                ids.append(int(sample))
+                positions.append(pos)
+        return {
+            t: (np.asarray(ids, dtype=int), np.asarray(positions, dtype=int))
+            for t, (ids, positions) in per_iteration.items()
+        }
+
+    # -------------------------------------------------------------- memory
+    def nbytes(self) -> int:
+        """Provenance memory footprint (Table 3's PrIU/PrIU-opt columns)."""
+        total = sum(record.nbytes() for record in self.records)
+        if self.frozen is not None:
+            total += self.frozen.nbytes()
+        return int(total)
+
+    def gigabytes(self) -> float:
+        return self.nbytes() / 1e9

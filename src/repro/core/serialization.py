@@ -1,0 +1,188 @@
+"""Persisting provenance stores.
+
+The offline capture can be expensive (it shadows a full training run), so a
+real deployment saves the store next to the model checkpoint and reloads it
+when a deletion request arrives — possibly in a different process, days
+later.  Everything is packed into a single ``.npz`` (numpy archive): batch
+arrays, summaries (dense or SVD factors), per-sample coefficients, frozen
+PrIU-opt state, and the schedule metadata needed to rebuild it bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..linalg.svd import TruncatedSummary
+from ..models.batching import BatchSchedule
+from .provenance_store import (
+    FrozenProvenance,
+    LinearRecord,
+    LogisticRecord,
+    MultinomialRecord,
+    ProvenanceStore,
+)
+
+_FORMAT_VERSION = 1
+
+_FROZEN_FIELDS = (
+    "slopes",
+    "intercepts",
+    "probabilities",
+    "wx",
+    "gram",
+    "moment",
+    "eigenvectors",
+    "eigenvalues",
+)
+
+
+def _pack_summary(arrays: dict, key: str, summary) -> str:
+    """Store a summary under ``key``; returns its kind tag."""
+    if summary is None:
+        return "none"
+    if isinstance(summary, TruncatedSummary):
+        arrays[f"{key}_left"] = summary.left
+        arrays[f"{key}_right"] = summary.right
+        return "svd"
+    arrays[key] = np.asarray(summary)
+    return "dense"
+
+
+def _unpack_summary(archive, key: str, kind: str):
+    if kind == "none":
+        return None
+    if kind == "svd":
+        return TruncatedSummary(
+            left=archive[f"{key}_left"], right=archive[f"{key}_right"]
+        )
+    return archive[key]
+
+
+def save_store(store: ProvenanceStore, path: str | Path) -> Path:
+    """Serialize a provenance store to a ``.npz`` archive."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    summary_kinds: list[str] = []
+    for t, record in enumerate(store.records):
+        arrays[f"batch_{t}"] = record.batch
+        summary_kinds.append(_pack_summary(arrays, f"summary_{t}", record.summary))
+        arrays[f"moment_{t}"] = record.moment
+        if isinstance(record, LogisticRecord):
+            arrays[f"slopes_{t}"] = record.slopes
+            arrays[f"intercepts_{t}"] = record.intercepts
+        elif isinstance(record, MultinomialRecord):
+            arrays[f"probs_{t}"] = record.probabilities
+            arrays[f"wx_{t}"] = record.wx
+
+    frozen_meta: list = []
+    if store.frozen is not None:
+        frozen_meta = [store.frozen.t_s, int(store.frozen.weights_at_ts_available)]
+        for field in _FROZEN_FIELDS:
+            value = getattr(store.frozen, field)
+            if value is not None:
+                arrays[f"frozen_{field}"] = value
+
+    arrays["__meta__"] = np.array(
+        [
+            str(_FORMAT_VERSION),
+            store.task,
+            str(store.learning_rate),
+            str(store.regularization),
+            str(store.n_samples),
+            str(store.n_features),
+            str(store.n_classes),
+            store.compression,
+            str(store.epsilon),
+            str(int(store.sparse_mode)),
+            str(len(store.records)),
+        ]
+    )
+    arrays["__schedule__"] = np.array(
+        [
+            str(store.schedule.n_samples),
+            str(store.schedule.batch_size),
+            str(store.schedule.n_iterations),
+            str(store.schedule.seed),
+            store.schedule.kind,
+        ]
+    )
+    arrays["__summary_kinds__"] = np.array(summary_kinds)
+    arrays["__frozen_meta__"] = np.array([str(v) for v in frozen_meta])
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_store(path: str | Path) -> ProvenanceStore:
+    """Reload a provenance store saved by :func:`save_store`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        meta = archive["__meta__"]
+        version = int(meta[0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported store format version: {version}")
+        task = str(meta[1])
+        sched_meta = archive["__schedule__"]
+        schedule = BatchSchedule(
+            n_samples=int(sched_meta[0]),
+            batch_size=int(sched_meta[1]),
+            n_iterations=int(sched_meta[2]),
+            seed=int(sched_meta[3]),
+            kind=str(sched_meta[4]),
+        )
+        store = ProvenanceStore(
+            task=task,
+            schedule=schedule,
+            learning_rate=float(meta[2]),
+            regularization=float(meta[3]),
+            n_samples=int(meta[4]),
+            n_features=int(meta[5]),
+            n_classes=int(meta[6]),
+            compression=str(meta[7]),
+            epsilon=float(meta[8]),
+            sparse_mode=bool(int(meta[9])),
+        )
+        n_records = int(meta[10])
+        kinds = [str(k) for k in archive["__summary_kinds__"]]
+        for t in range(n_records):
+            batch = archive[f"batch_{t}"]
+            summary = _unpack_summary(archive, f"summary_{t}", kinds[t])
+            moment = archive[f"moment_{t}"]
+            if task == "linear":
+                store.add(LinearRecord(batch=batch, summary=summary, moment=moment))
+            elif task == "binary_logistic":
+                store.add(
+                    LogisticRecord(
+                        batch=batch,
+                        slopes=archive[f"slopes_{t}"],
+                        intercepts=archive[f"intercepts_{t}"],
+                        summary=summary,
+                        moment=moment,
+                    )
+                )
+            else:
+                store.add(
+                    MultinomialRecord(
+                        batch=batch,
+                        probabilities=archive[f"probs_{t}"],
+                        wx=archive[f"wx_{t}"],
+                        summary=summary,
+                        moment=moment,
+                    )
+                )
+        frozen_meta = [str(v) for v in archive["__frozen_meta__"]]
+        if frozen_meta:
+            fields = {
+                field: (
+                    archive[f"frozen_{field}"]
+                    if f"frozen_{field}" in archive.files
+                    else None
+                )
+                for field in _FROZEN_FIELDS
+            }
+            store.frozen = FrozenProvenance(
+                t_s=int(frozen_meta[0]),
+                weights_at_ts_available=bool(int(frozen_meta[1])),
+                **fields,
+            )
+    return store

@@ -1,0 +1,51 @@
+"""Dataset substrate: synthetic analogues of the paper's evaluation data."""
+
+from .catalog import (
+    CATALOG,
+    cifar10,
+    covtype,
+    covtype_extended,
+    heartbeat,
+    heartbeat_extended,
+    higgs,
+    higgs_extended,
+    load,
+    rcv1,
+    sgemm,
+    sgemm_extended,
+)
+from .corruption import DirtyDataset, inject_dirty, random_subsets
+from .synthetic import (
+    Dataset,
+    concatenate_copies,
+    extend_features,
+    make_binary_classification,
+    make_multiclass_classification,
+    make_regression,
+    make_sparse_binary_classification,
+)
+
+__all__ = [
+    "CATALOG",
+    "Dataset",
+    "DirtyDataset",
+    "cifar10",
+    "concatenate_copies",
+    "covtype",
+    "covtype_extended",
+    "extend_features",
+    "heartbeat",
+    "heartbeat_extended",
+    "higgs",
+    "higgs_extended",
+    "inject_dirty",
+    "load",
+    "make_binary_classification",
+    "make_multiclass_classification",
+    "make_regression",
+    "make_sparse_binary_classification",
+    "random_subsets",
+    "rcv1",
+    "sgemm",
+    "sgemm_extended",
+]

@@ -1,0 +1,150 @@
+"""Named analogues of the paper's six evaluation datasets (Table 1).
+
+Each factory returns a laptop-scale :class:`~repro.datasets.synthetic.Dataset`
+whose *shape regime* matches the paper's dataset: dense-vs-sparse, small-vs-
+large feature space, binary-vs-multinomial labels.  A global ``scale``
+parameter shrinks sample counts uniformly; the default sizes keep every
+benchmark in seconds rather than hours while preserving who-wins behaviour.
+
+Paper shapes for reference (Table 1):
+
+    SGEMM      18 features,            241,600 samples, regression
+    Cov        54 features,  7 classes, 581,012 samples
+    HIGGS      28 features,  2 classes, 11,000,000 samples
+    RCV1       47,236 features, 2 classes, 23,149 samples (sparse)
+    Heartbeat  188 features, 5 classes, 87,553 samples
+    cifar10    3,072 features, 10 classes, 50,000 samples
+"""
+
+from __future__ import annotations
+
+from .synthetic import (
+    Dataset,
+    concatenate_copies,
+    extend_features,
+    make_binary_classification,
+    make_multiclass_classification,
+    make_regression,
+    make_sparse_binary_classification,
+)
+
+
+def sgemm(scale: float = 1.0, seed: int = 7) -> Dataset:
+    """SGEMM analogue: small dense feature space, continuous labels."""
+    data = make_regression(
+        n_samples=max(200, int(24_000 * scale)),
+        n_features=18,
+        noise=0.05,
+        seed=seed,
+        name="SGEMM",
+    )
+    return data
+
+
+def sgemm_extended(scale: float = 1.0, seed: int = 7, extra: int = 300) -> Dataset:
+    """SGEMM with random features appended so that ``m`` exceeds ``B``."""
+    return extend_features(sgemm(scale=scale, seed=seed), extra, seed=seed + 1)
+
+
+def covtype(scale: float = 1.0, seed: int = 11) -> Dataset:
+    """Covtype analogue: 54 dense features, 7 classes."""
+    data = make_multiclass_classification(
+        n_samples=max(350, int(58_000 * scale)),
+        n_features=54,
+        n_classes=7,
+        separation=1.2,
+        seed=seed,
+        name="Cov",
+    )
+    return data
+
+
+def higgs(scale: float = 1.0, seed: int = 13) -> Dataset:
+    """HIGGS analogue: 28 dense features, binary, very many samples."""
+    data = make_binary_classification(
+        n_samples=max(400, int(110_000 * scale)),
+        n_features=28,
+        separation=0.6,
+        seed=seed,
+        name="HIGGS",
+    )
+    return data
+
+
+def rcv1(scale: float = 1.0, seed: int = 17) -> Dataset:
+    """RCV1 analogue: large sparse feature space, binary labels."""
+    return make_sparse_binary_classification(
+        n_samples=max(300, int(12_000 * scale)),
+        n_features=max(1_000, int(8_000 * scale) if scale < 1 else 8_000),
+        density=0.002,
+        seed=seed,
+        name="RCV1",
+    )
+
+
+def heartbeat(scale: float = 1.0, seed: int = 19) -> Dataset:
+    """Heartbeat analogue: mid-size dense features, 5 classes (~1k params)."""
+    return make_multiclass_classification(
+        n_samples=max(300, int(18_000 * scale)),
+        n_features=188,
+        n_classes=5,
+        separation=1.4,
+        seed=seed,
+        name="Heartbeat",
+    )
+
+
+def cifar10(scale: float = 1.0, seed: int = 23) -> Dataset:
+    """cifar10 analogue: large dense feature space, 10 classes.
+
+    The feature count is scaled from 3072 to 128 so that the dense
+    large-parameter regime (``qm`` above the PrIU-opt limit) is exercised without hour-long benches.
+    """
+    return make_multiclass_classification(
+        n_samples=max(400, int(10_000 * scale)),
+        n_features=128,
+        n_classes=10,
+        separation=1.6,
+        seed=seed,
+        name="cifar10",
+    )
+
+
+def covtype_extended(scale: float = 1.0, seed: int = 11, copies: int = 4) -> Dataset:
+    """Cov (extended): the Tcat tiling used in the repeated-deletion study."""
+    return concatenate_copies(covtype(scale=scale, seed=seed), copies, seed=seed)
+
+
+def higgs_extended(scale: float = 1.0, seed: int = 13, copies: int = 4) -> Dataset:
+    return concatenate_copies(higgs(scale=scale, seed=seed), copies, seed=seed)
+
+
+def heartbeat_extended(
+    scale: float = 1.0, seed: int = 19, copies: int = 4
+) -> Dataset:
+    return concatenate_copies(heartbeat(scale=scale, seed=seed), copies, seed=seed)
+
+
+CATALOG = {
+    "SGEMM": sgemm,
+    "SGEMM (extended)": sgemm_extended,
+    "Cov": covtype,
+    "HIGGS": higgs,
+    "RCV1": rcv1,
+    "Heartbeat": heartbeat,
+    "cifar10": cifar10,
+    "Cov (extended)": covtype_extended,
+    "HIGGS (extended)": higgs_extended,
+    "Heartbeat (extended)": heartbeat_extended,
+}
+
+
+def load(name: str, scale: float = 1.0) -> Dataset:
+    """Load a catalog dataset by its paper name."""
+    try:
+        factory = CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(CATALOG)}"
+        ) from None
+    return factory(scale=scale)

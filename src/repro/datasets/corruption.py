@@ -1,0 +1,92 @@
+"""Dirty-sample injection (Sec. 6.2, first experiment set).
+
+The cleaning scenario: a fraction of the training samples — the *deletion
+rate* — is corrupted by rescaling to incorrect values, the initial model is
+trained over the dirty set, and the dirty samples are then removed in the
+model-update phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class DirtyDataset:
+    """A corrupted training set plus the ids of the corrupted rows."""
+
+    features: object
+    labels: np.ndarray
+    dirty_indices: np.ndarray
+
+    @property
+    def deletion_rate(self) -> float:
+        return self.dirty_indices.size / self.features.shape[0]
+
+
+def inject_dirty(
+    features,
+    labels: np.ndarray,
+    deletion_rate: float,
+    seed: int = 0,
+    feature_scale: float = 10.0,
+    label_scale: float = -5.0,
+) -> DirtyDataset:
+    """Rescale a random subset of samples to incorrect values.
+
+    ``deletion_rate`` follows the paper's definition: the ratio of corrupted
+    samples to the training-set size, from 1e-4 up to 0.2.
+    """
+    if not 0.0 < deletion_rate < 1.0:
+        raise ValueError("deletion_rate must be in (0, 1)")
+    n = features.shape[0]
+    n_dirty = max(1, int(round(deletion_rate * n)))
+    rng = np.random.default_rng(seed)
+    dirty = np.sort(rng.choice(n, size=n_dirty, replace=False))
+
+    labels = np.asarray(labels).copy()
+    if sp.issparse(features):
+        features = features.tocsr(copy=True)
+        scaler = sp.eye(n, format="csr")
+        diag = np.ones(n)
+        diag[dirty] = feature_scale
+        scaler.setdiag(diag)
+        features = scaler @ features
+    else:
+        features = np.asarray(features, dtype=float).copy()
+        features[dirty] *= feature_scale
+
+    if np.issubdtype(labels.dtype, np.floating) and set(np.unique(labels)) != {
+        -1.0,
+        1.0,
+    }:
+        labels[dirty] = labels[dirty] * label_scale  # regression targets
+    elif set(np.unique(labels)) <= {-1.0, 1.0, -1, 1}:
+        labels[dirty] = -labels[dirty]  # flip binary labels
+    else:
+        n_classes = int(labels.max()) + 1
+        labels[dirty] = (labels[dirty] + 1 + rng.integers(0, n_classes - 1,
+                                                          size=n_dirty)) % n_classes
+    return DirtyDataset(features=features, labels=labels, dirty_indices=dirty)
+
+
+def random_subsets(
+    n_samples: int,
+    n_subsets: int,
+    deletion_rate: float,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """The repeated-deletion workload (Sec. 6.2, second experiment set).
+
+    ``n_subsets`` independent random subsets, each of ``deletion_rate · n``
+    samples, as removed one after another in the interpretability scenario.
+    """
+    rng = np.random.default_rng(seed)
+    size = max(1, int(round(deletion_rate * n_samples)))
+    return [
+        np.sort(rng.choice(n_samples, size=size, replace=False))
+        for _ in range(n_subsets)
+    ]

@@ -1,0 +1,33 @@
+"""Evaluation substrate: metrics, model comparison, timing, memory."""
+
+from .comparison import ModelComparison, compare_updated_models, format_table
+from .memory import MemoryReport, data_bytes, memory_report
+from .metrics import (
+    MagnitudeChange,
+    accuracy,
+    cosine_similarity,
+    l2_distance,
+    magnitude_change,
+    mse,
+    sign_flips,
+)
+from .timing import Stopwatch, Timing, measure
+
+__all__ = [
+    "MagnitudeChange",
+    "MemoryReport",
+    "ModelComparison",
+    "Stopwatch",
+    "Timing",
+    "accuracy",
+    "compare_updated_models",
+    "cosine_similarity",
+    "data_bytes",
+    "format_table",
+    "l2_distance",
+    "magnitude_change",
+    "measure",
+    "memory_report",
+    "mse",
+    "sign_flips",
+]

@@ -1,0 +1,97 @@
+"""Structured model comparison: the rows of Table 4 and the Q4 analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import (
+    MagnitudeChange,
+    cosine_similarity,
+    l2_distance,
+    magnitude_change,
+    sign_flips,
+)
+
+
+@dataclass
+class ModelComparison:
+    """How close a candidate updated model is to the reference (BaseL)."""
+
+    name: str
+    reference_metric: float
+    candidate_metric: float
+    distance: float
+    similarity: float
+    sign_flips: int
+    magnitude: MagnitudeChange
+
+    def row(self) -> dict:
+        """A flat dict suitable for table printing."""
+        return {
+            "method": self.name,
+            "metric": self.candidate_metric,
+            "reference_metric": self.reference_metric,
+            "distance": self.distance,
+            "similarity": self.similarity,
+            "sign_flips": self.sign_flips,
+            "max_rel_magnitude": self.magnitude.max_relative,
+        }
+
+
+def compare_updated_models(
+    name: str,
+    objective,
+    reference_weights: np.ndarray,
+    candidate_weights: np.ndarray,
+    valid_features,
+    valid_labels: np.ndarray,
+) -> ModelComparison:
+    """Compare ``candidate`` against the retrained reference model.
+
+    ``objective.metric`` provides the task-appropriate validation number
+    (MSE for linear — lower is better; accuracy for logistic — higher is
+    better), matching the paper's accuracy columns.
+    """
+    reference_metric = objective.metric(reference_weights, valid_features, valid_labels)
+    candidate_metric = objective.metric(candidate_weights, valid_features, valid_labels)
+    return ModelComparison(
+        name=name,
+        reference_metric=reference_metric,
+        candidate_metric=candidate_metric,
+        distance=l2_distance(reference_weights, candidate_weights),
+        similarity=cosine_similarity(reference_weights, candidate_weights),
+        sign_flips=sign_flips(reference_weights, candidate_weights),
+        magnitude=magnitude_change(reference_weights, candidate_weights),
+    )
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Minimal fixed-width table renderer for harness output."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    divider = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line))
+        for line in rendered
+    )
+    return "\n".join([header, divider, body])
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,78 @@
+"""The paper's evaluation metrics (Sec. 6.2).
+
+* *Accuracy*: validation MSE for linear regression, validation accuracy for
+  (binary or multinomial) logistic regression.
+* *Model comparison*: L2 distance and cosine similarity between parameter
+  vectors, plus the fine-grained sign-flip / magnitude-change analysis the
+  paper reports for Q4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def mse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean squared error (linear-regression validation metric)."""
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    return float(np.mean((predictions - targets) ** 2))
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of matching hard labels."""
+    return float(np.mean(np.asarray(predictions) == np.asarray(targets)))
+
+
+def l2_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """``‖a − b‖₂`` — the "distance" column of Table 4."""
+    return float(np.linalg.norm(np.asarray(a, float) - np.asarray(b, float)))
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine of the angle between parameter vectors — Table 4 "similarity"."""
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0.0:
+        return 1.0 if np.allclose(a, b) else 0.0
+    return float(a @ b / denom)
+
+
+def sign_flips(reference: np.ndarray, candidate: np.ndarray, atol: float = 1e-12) -> int:
+    """How many coordinates changed sign (Q4's fine-grained analysis).
+
+    Coordinates that are (numerically) zero in either vector don't count.
+    """
+    reference = np.asarray(reference, dtype=float).ravel()
+    candidate = np.asarray(candidate, dtype=float).ravel()
+    significant = (np.abs(reference) > atol) & (np.abs(candidate) > atol)
+    return int(np.sum(np.sign(reference[significant]) != np.sign(candidate[significant])))
+
+
+@dataclass
+class MagnitudeChange:
+    """Summary of per-coordinate relative magnitude changes."""
+
+    max_relative: float
+    mean_relative: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"max {self.max_relative:.3g}, mean {self.mean_relative:.3g}"
+
+
+def magnitude_change(
+    reference: np.ndarray, candidate: np.ndarray, atol: float = 1e-12
+) -> MagnitudeChange:
+    """Relative per-coordinate magnitude deviation of ``candidate``."""
+    reference = np.asarray(reference, dtype=float).ravel()
+    candidate = np.asarray(candidate, dtype=float).ravel()
+    significant = np.abs(reference) > atol
+    if not np.any(significant):
+        return MagnitudeChange(0.0, 0.0)
+    relative = np.abs(candidate[significant] - reference[significant]) / np.abs(
+        reference[significant]
+    )
+    return MagnitudeChange(float(relative.max()), float(relative.mean()))

@@ -1,0 +1,46 @@
+"""Wall-clock measurement helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+@dataclass
+class Timing:
+    """Repeated-measurement summary in seconds."""
+
+    best: float
+    mean: float
+    runs: int
+
+    def speedup_over(self, other: "Timing") -> float:
+        """``other / self`` — how many times faster this timing is."""
+        if self.best <= 0.0:
+            return float("inf")
+        return other.best / self.best
+
+
+def measure(func: Callable[[], object], repeats: int = 3) -> Timing:
+    """Best-of-``repeats`` wall time of a zero-argument callable."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        samples.append(time.perf_counter() - start)
+    return Timing(best=min(samples), mean=sum(samples) / len(samples), runs=repeats)
+
+
+class Stopwatch:
+    """Context manager capturing one elapsed interval."""
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start

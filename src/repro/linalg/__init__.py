@@ -1,0 +1,65 @@
+"""Linear-algebra substrate: interpolation, truncated SVD, eigen tools."""
+
+from .eigen import (
+    EigenSystem,
+    eigendecompose,
+    gd_diagonal_recursion,
+    gd_diagonal_recursion_scheduled,
+    incremental_eigenvalues,
+    incremental_eigenvalues_from_rows,
+)
+from .interpolation import (
+    SIGMOID_SECOND_DERIVATIVE_BOUND,
+    PiecewiseLinearInterpolator,
+    sigmoid,
+    sigmoid_complement,
+    sigmoid_complement_interpolator,
+)
+from .matrix_utils import (
+    gram,
+    is_sparse,
+    matvec,
+    moment,
+    nbytes_of,
+    row_block,
+    spectral_norm,
+    stable_solve,
+    symmetrize,
+    weighted_gram,
+)
+from .svd import (
+    TruncatedSummary,
+    select_rank,
+    spectral_mass_ratio,
+    truncate_from_samples,
+    truncate_summary,
+)
+
+__all__ = [
+    "EigenSystem",
+    "PiecewiseLinearInterpolator",
+    "SIGMOID_SECOND_DERIVATIVE_BOUND",
+    "TruncatedSummary",
+    "eigendecompose",
+    "gd_diagonal_recursion",
+    "gd_diagonal_recursion_scheduled",
+    "gram",
+    "incremental_eigenvalues",
+    "incremental_eigenvalues_from_rows",
+    "is_sparse",
+    "matvec",
+    "moment",
+    "nbytes_of",
+    "row_block",
+    "select_rank",
+    "sigmoid",
+    "sigmoid_complement",
+    "sigmoid_complement_interpolator",
+    "spectral_mass_ratio",
+    "spectral_norm",
+    "stable_solve",
+    "symmetrize",
+    "truncate_from_samples",
+    "truncate_summary",
+    "weighted_gram",
+]

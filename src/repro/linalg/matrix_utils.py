@@ -1,0 +1,94 @@
+"""Shared dense/sparse matrix helpers used across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+ArrayLike = np.ndarray
+
+
+def is_sparse(matrix) -> bool:
+    """Whether ``matrix`` is a scipy sparse matrix/array."""
+    return sp.issparse(matrix)
+
+
+def row_block(matrix, indices: np.ndarray):
+    """Select rows from a dense array or sparse matrix uniformly."""
+    if is_sparse(matrix):
+        return matrix[indices]
+    return np.asarray(matrix)[indices]
+
+
+def gram(matrix) -> np.ndarray:
+    """``XᵀX`` as a dense array (sparse inputs densify the small m×m result)."""
+    if is_sparse(matrix):
+        return np.asarray((matrix.T @ matrix).todense())
+    matrix = np.asarray(matrix, dtype=float)
+    return matrix.T @ matrix
+
+
+def weighted_gram(matrix, weights: np.ndarray) -> np.ndarray:
+    """``Σ w_i x_i x_iᵀ`` as a dense m×m array."""
+    weights = np.asarray(weights, dtype=float).ravel()
+    if is_sparse(matrix):
+        scaled = matrix.multiply(weights[:, None])
+        return np.asarray((matrix.T @ scaled).todense())
+    matrix = np.asarray(matrix, dtype=float)
+    return matrix.T @ (matrix * weights[:, None])
+
+
+def moment(matrix, labels: np.ndarray) -> np.ndarray:
+    """``XᵀY`` as a dense vector."""
+    labels = np.asarray(labels, dtype=float).ravel()
+    if is_sparse(matrix):
+        return np.asarray(matrix.T @ labels).ravel()
+    return np.asarray(matrix, dtype=float).T @ labels
+
+
+def matvec(matrix, vector: np.ndarray) -> np.ndarray:
+    """Uniform dense/sparse matrix-vector product returning a 1-D array."""
+    result = matrix @ vector
+    if is_sparse(result):  # pragma: no cover - sparse @ dense yields dense
+        result = result.todense()
+    return np.asarray(result).ravel()
+
+
+def spectral_norm(matrix, n_iterations: int = 50, seed: int = 0) -> float:
+    """2-norm estimate by power iteration (works for dense and sparse)."""
+    rng = np.random.default_rng(seed)
+    n = matrix.shape[1]
+    v = rng.standard_normal(n)
+    v /= np.linalg.norm(v)
+    for _ in range(n_iterations):
+        u = matvec(matrix, v)
+        w = matvec(matrix.T, u)
+        norm = np.linalg.norm(w)
+        if norm == 0.0:
+            return 0.0
+        v = w / norm
+    return float(np.linalg.norm(matvec(matrix, v)))
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Average a nearly-symmetric matrix with its transpose."""
+    return 0.5 * (matrix + matrix.T)
+
+
+def stable_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` falling back to least squares for singular ``A``."""
+    matrix = np.asarray(matrix, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+    try:
+        return np.linalg.solve(matrix, rhs)
+    except np.linalg.LinAlgError:
+        solution, *_ = np.linalg.lstsq(matrix, rhs, rcond=None)
+        return solution
+
+
+def nbytes_of(matrix) -> int:
+    """Approximate memory footprint of a dense or sparse matrix."""
+    if is_sparse(matrix):
+        csr = matrix.tocsr() if not sp.isspmatrix_csr(matrix) else matrix
+        return int(csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes)
+    return int(np.asarray(matrix).nbytes)

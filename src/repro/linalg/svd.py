@@ -1,0 +1,157 @@
+"""Truncated SVD of provenance summaries (Sec. 5.1/5.3, Theorems 6 and 8).
+
+PrIU caches one ``m × m`` matrix per iteration (``Σ x_i x_iᵀ`` for linear
+regression, ``Σ a_i x_i x_iᵀ`` for logistic).  Its rank is at most the
+mini-batch size ``B``, so when ``B < m`` the summary compresses losslessly to
+rank ``B`` — and lossily to rank ``r ≪ B`` while keeping
+
+    ``‖U_{1..r} S_{1..r} V_{1..r}ᵀ‖₂ / ‖U S Vᵀ‖₂ ≥ 1 - ε``
+
+(the paper's Theorem 6 criterion; because the truncated matrix keeps the top
+singular value, the criterion is equivalently enforced here through the
+*relative tail*: we keep the smallest ``r`` such that ``σ_{r+1} ≤ ε σ_1``,
+which bounds the 2-norm reconstruction error by ``ε ‖A‖₂`` and hence the
+parameter deviation by ``O(ε)``).
+
+The cached factors are ``P = U_{1..r} S_{1..r}`` and ``V_{1..r}``, each
+``m × r``; applying the summary to a vector costs ``O(rm)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TruncatedSummary:
+    """The cached pair ``(P, V)`` with ``A ≈ P Vᵀ``."""
+
+    left: np.ndarray  # P = U_{1..r} S_{1..r},  shape (m, r)
+    right: np.ndarray  # V_{1..r},              shape (m, r)
+
+    @property
+    def rank(self) -> int:
+        return self.left.shape[1]
+
+    @property
+    def n_features(self) -> int:
+        return self.left.shape[0]
+
+    def apply(self, vector: np.ndarray) -> np.ndarray:
+        """``(P Vᵀ) w`` via two matrix–vector products: O(rm)."""
+        return self.left @ (self.right.T @ vector)
+
+    def reconstruct(self) -> np.ndarray:
+        """Materialize ``P Vᵀ`` (testing/diagnostics only: O(rm²))."""
+        return self.left @ self.right.T
+
+    def nbytes(self) -> int:
+        """Memory held by the cached factors."""
+        return self.left.nbytes + self.right.nbytes
+
+
+def select_rank(singular_values: np.ndarray, epsilon: float) -> int:
+    """Smallest ``r >= 1`` with ``σ_{r+1} <= ε σ_1`` (tail-ratio criterion)."""
+    s = np.asarray(singular_values, dtype=float)
+    if s.size == 0 or s[0] <= 0.0:
+        return 1
+    tail_ok = s <= epsilon * s[0]
+    # Position of the first singular value small enough to drop.
+    drop_from = int(np.argmax(tail_ok)) if tail_ok.any() else s.size
+    return max(1, drop_from)
+
+
+def truncate_summary(
+    matrix: np.ndarray,
+    epsilon: float = 0.01,
+    max_rank: int | None = None,
+    symmetric: bool = False,
+) -> TruncatedSummary:
+    """Compress a dense summary matrix to its ε-rank truncated SVD factors.
+
+    Provenance summaries are symmetric (``Σ w_i x_i x_iᵀ``); passing
+    ``symmetric=True`` uses the ~3× cheaper eigendecomposition, with the
+    eigenvalue signs folded into the left factor.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("provenance summaries are square m×m matrices")
+    if symmetric:
+        evals, evecs = np.linalg.eigh(0.5 * (matrix + matrix.T))
+        order = np.argsort(-np.abs(evals))
+        evals = evals[order]
+        evecs = evecs[:, order]
+        rank = select_rank(np.abs(evals), epsilon)
+        if max_rank is not None:
+            rank = min(rank, max_rank)
+        rank = max(1, min(rank, evals.size))
+        return TruncatedSummary(
+            left=evecs[:, :rank] * evals[:rank], right=evecs[:, :rank]
+        )
+    u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+    rank = select_rank(s, epsilon)
+    if max_rank is not None:
+        rank = min(rank, max_rank)
+    rank = max(1, min(rank, s.size))
+    return TruncatedSummary(left=u[:, :rank] * s[:rank], right=vt[:rank].T)
+
+
+def truncate_from_samples(
+    rows: np.ndarray,
+    weights: np.ndarray | None = None,
+    epsilon: float = 0.01,
+    max_rank: int | None = None,
+) -> TruncatedSummary:
+    """Truncated factors of ``Σ w_i x_i x_iᵀ`` without forming the m×m matrix.
+
+    Uses the thin SVD of the ``B × m`` (weighted) sample block: if
+    ``X_B = U S Vᵀ`` then ``X_Bᵀ diag(sign) X_B``'s factors come from ``V`` and
+    ``S²``.  Negative weights (logistic slopes are negative) are handled by
+    folding ``|w|^(1/2)`` into the rows and the sign into the left factor.
+    Cost is ``O(B m min(B, m))`` — cheaper than the ``O(m³)`` dense SVD when
+    ``B ≪ m``, which is exactly the regime PrIU compresses.
+    """
+    rows = np.asarray(rows, dtype=float)
+    if rows.ndim != 2:
+        raise ValueError("rows must be a B×m block")
+    if weights is None:
+        weights = np.ones(rows.shape[0])
+    weights = np.asarray(weights, dtype=float).ravel()
+    if weights.shape[0] != rows.shape[0]:
+        raise ValueError("one weight per row is required")
+    if rows.shape[0] >= rows.shape[1]:
+        # More rows than dimensions: the m×m gram is the cheaper route.
+        dense = rows.T @ (rows * weights[:, None])
+        return truncate_summary(
+            dense, epsilon=epsilon, max_rank=max_rank, symmetric=True
+        )
+    scaled = rows * np.sqrt(np.abs(weights))[:, None]
+    signs = np.sign(weights)
+    # A = rowsᵀ diag(w) rows = scaledᵀ diag(sign) scaled.
+    u, s, vt = np.linalg.svd(scaled, full_matrices=False)
+    # A = V S (Uᵀ diag(sign) U) S Vᵀ; define B_mid = Uᵀ diag(sign) U (r0×r0).
+    mid = (u.T * signs) @ u
+    core = (s[:, None] * mid) * s[None, :]
+    # Eigen-decompose the small symmetric core to re-diagonalize.
+    evals, evecs = np.linalg.eigh(core)
+    order = np.argsort(-np.abs(evals))
+    evals = evals[order]
+    evecs = evecs[:, order]
+    magnitudes = np.abs(evals)
+    rank = select_rank(magnitudes, epsilon)
+    if max_rank is not None:
+        rank = min(rank, max_rank)
+    rank = max(1, min(rank, magnitudes.size))
+    basis = vt.T @ evecs[:, :rank]  # m × r, orthonormal columns
+    left = basis * evals[:rank]
+    return TruncatedSummary(left=left, right=basis)
+
+
+def spectral_mass_ratio(full: np.ndarray, summary: TruncatedSummary) -> float:
+    """``‖PVᵀ‖₂ / ‖A‖₂`` — the quantity Theorems 6/8 lower-bound by 1-ε."""
+    denom = np.linalg.norm(full, 2)
+    if denom == 0.0:
+        return 1.0
+    return float(np.linalg.norm(summary.reconstruct(), 2) / denom)

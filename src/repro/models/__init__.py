@@ -1,0 +1,25 @@
+"""Regression-model substrate: objectives, GBM trainer, baselines."""
+
+from .batching import BatchSchedule, make_schedule
+from .closed_form import IncrementalClosedForm, closed_form_solution
+from .influence import InfluenceFunctionUpdater
+from .objectives import (
+    BinaryLogisticObjective,
+    LinearRegressionObjective,
+    MultinomialLogisticObjective,
+)
+from .sgd import TrainingResult, objective_for, train
+
+__all__ = [
+    "BatchSchedule",
+    "BinaryLogisticObjective",
+    "IncrementalClosedForm",
+    "InfluenceFunctionUpdater",
+    "LinearRegressionObjective",
+    "MultinomialLogisticObjective",
+    "TrainingResult",
+    "closed_form_solution",
+    "make_schedule",
+    "objective_for",
+    "train",
+]

@@ -1,0 +1,108 @@
+"""Deterministic, replayable mini-batch schedules.
+
+PrIU's incremental update must walk the *same* batch sequence as the original
+training run (with the removed samples dropped from each batch), and BaseL —
+retraining from scratch — does the same.  A :class:`BatchSchedule` therefore
+materializes the full sequence of per-iteration index arrays once, seeded, so
+every consumer replays identical batches.
+
+``kind`` follows Section 3: ``"gd"`` uses the whole training set each
+iteration, ``"sgd"`` one sample, ``"mb-sgd"`` a mini-batch of size ``B``
+drawn by cycling through seeded permutations (epoch shuffling), which is the
+standard mb-SGD sampling the paper's convergence lemma assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class BatchSchedule:
+    """A fixed sequence of mini-batches over ``n_samples`` training rows."""
+
+    n_samples: int
+    batch_size: int
+    n_iterations: int
+    seed: int = 0
+    kind: str = "mb-sgd"
+    batches: list[np.ndarray] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.batches:
+            self.batches = self._materialize()
+
+    def _materialize(self) -> list[np.ndarray]:
+        if self.kind == "gd":
+            full = np.arange(self.n_samples)
+            return [full for _ in range(self.n_iterations)]
+        if self.kind == "sgd":
+            size = 1
+        elif self.kind == "mb-sgd":
+            size = min(self.batch_size, self.n_samples)
+        else:
+            raise ValueError(f"unknown schedule kind: {self.kind}")
+        rng = np.random.default_rng(self.seed)
+        batches: list[np.ndarray] = []
+        pool = rng.permutation(self.n_samples)
+        cursor = 0
+        for _ in range(self.n_iterations):
+            if cursor + size > self.n_samples:
+                pool = rng.permutation(self.n_samples)
+                cursor = 0
+            batches.append(np.sort(pool[cursor : cursor + size]))
+            cursor += size
+        return batches
+
+    # --------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return self.n_iterations
+
+    def __iter__(self):
+        return iter(self.batches)
+
+    def __getitem__(self, t: int) -> np.ndarray:
+        return self.batches[t]
+
+    def effective_batch_size(self, t: int, removed: set[int] | frozenset[int]) -> int:
+        """``B_U^(t)``: batch size after dropping removed sample ids."""
+        if not removed:
+            return len(self.batches[t])
+        return int(np.sum(~np.isin(self.batches[t], list(removed))))
+
+    def surviving(self, t: int, removed: set[int] | frozenset[int]) -> np.ndarray:
+        """Batch ``t`` restricted to retained samples."""
+        batch = self.batches[t]
+        if not removed:
+            return batch
+        mask = ~np.isin(batch, list(removed))
+        return batch[mask]
+
+    def removed_in_batch(
+        self, t: int, removed: set[int] | frozenset[int]
+    ) -> np.ndarray:
+        """The removed sample ids present in batch ``t`` (``R ∩ B(t)``)."""
+        if not removed:
+            return np.empty(0, dtype=int)
+        batch = self.batches[t]
+        mask = np.isin(batch, list(removed))
+        return batch[mask]
+
+
+def make_schedule(
+    n_samples: int,
+    batch_size: int,
+    n_iterations: int,
+    seed: int = 0,
+    kind: str = "mb-sgd",
+) -> BatchSchedule:
+    """Convenience constructor mirroring the paper's (B, τ) hyperparameters."""
+    return BatchSchedule(
+        n_samples=n_samples,
+        batch_size=batch_size,
+        n_iterations=n_iterations,
+        seed=seed,
+        kind=kind,
+    )

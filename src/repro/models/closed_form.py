@@ -1,0 +1,86 @@
+"""Closed-form linear regression and its incremental view (Sec. 2 & 6 baseline).
+
+The paper compares PrIU/PrIU-opt against the closed-form incremental update
+of [13, 22, 40] ("Closed-form"): because the ridge solution
+
+    ``w = (XᵀX + nλ/2 · I)⁻¹ XᵀY``
+
+contains a matrix inverse, only the *linear* intermediates ``M = XᵀX`` and
+``N = XᵀY`` are maintained as views; a deletion subtracts ``ΔXᵀΔX`` and
+``ΔXᵀΔY`` and then pays one fresh ``O(m³)`` solve.
+
+The ``nλ/2`` scaling makes the closed form the exact minimizer of the
+Equation 2 objective ``(1/n) Σ (y_i - x_iᵀw)² + λ/2 ‖w‖²``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.matrix_utils import gram, is_sparse, moment, stable_solve
+
+
+def closed_form_solution(
+    features, labels: np.ndarray, regularization: float
+) -> np.ndarray:
+    """Exact ridge minimizer of Equation 2 on the given data."""
+    n, m = features.shape
+    big_m = gram(features)
+    big_n = moment(features, labels)
+    return stable_solve(big_m + 0.5 * n * regularization * np.eye(m), big_n)
+
+
+class IncrementalClosedForm:
+    """Materialized ``(M, N)`` views supporting deletion (and insertion)."""
+
+    def __init__(self, features, labels: np.ndarray, regularization: float) -> None:
+        self.features = features
+        self.labels = np.asarray(labels, dtype=float).ravel()
+        self.regularization = float(regularization)
+        self.n_samples, self.n_features = features.shape
+        # Offline phase: materialize the linear views.
+        self._m = gram(features)
+        self._n = moment(features, self.labels)
+
+    def solve(self) -> np.ndarray:
+        """Model over the full training set."""
+        return self._solve(self._m, self._n, self.n_samples)
+
+    def _solve(self, m_view: np.ndarray, n_view: np.ndarray, n: int) -> np.ndarray:
+        ridge = m_view + 0.5 * n * self.regularization * np.eye(self.n_features)
+        return stable_solve(ridge, n_view)
+
+    def delete(self, removed_indices: np.ndarray) -> np.ndarray:
+        """Model after removing ``removed_indices`` — one delta + one solve.
+
+        The views themselves are left untouched so repeated exploratory
+        deletions all start from the same materialized state.
+        """
+        removed = np.asarray(removed_indices, dtype=int)
+        if removed.size == 0:
+            return self.solve()
+        block = self.features[removed]
+        if is_sparse(block):
+            delta_m = np.asarray((block.T @ block).todense())
+            delta_n = np.asarray(block.T @ self.labels[removed]).ravel()
+        else:
+            block = np.asarray(block, dtype=float)
+            delta_m = block.T @ block
+            delta_n = block.T @ self.labels[removed]
+        remaining = self.n_samples - removed.size
+        if remaining <= 0:
+            raise ValueError("cannot delete every training sample")
+        return self._solve(self._m - delta_m, self._n - delta_n, remaining)
+
+    def insert(self, new_features: np.ndarray, new_labels: np.ndarray) -> np.ndarray:
+        """Model after appending new samples (view maintenance symmetry)."""
+        new_features = np.atleast_2d(np.asarray(new_features, dtype=float))
+        new_labels = np.asarray(new_labels, dtype=float).ravel()
+        delta_m = new_features.T @ new_features
+        delta_n = new_features.T @ new_labels
+        total = self.n_samples + new_features.shape[0]
+        return self._solve(self._m + delta_m, self._n + delta_n, total)
+
+    def nbytes(self) -> int:
+        """Memory held by the materialized views."""
+        return int(self._m.nbytes + self._n.nbytes)

@@ -1,0 +1,114 @@
+"""INFL: the influence-function baseline (Koh & Liang 2017, multi-sample).
+
+The paper extends the single-sample influence function to deleting an
+arbitrary subset ``R``.  Removing sample ``i`` corresponds to perturbing its
+weight by ``ε = -1/n``; first-order influence of the whole group is the sum:
+
+    ``w_{-R} ≈ w* + H⁻¹ (Δn·λ·w* + Σ_{i∈R} ∇ℓ(z_i, w*)) / (n - Δn)``
+
+with ``H = ∇²h(w*)`` the full-data regularized Hessian and ``∇ℓ`` the
+*unregularized* per-sample loss gradient.  The ``Δn·λ·w*`` term is the
+renormalization drift of the mean loss against the fixed L2 penalty; it
+comes out of the same derivation and costs nothing extra (for ``Δn = 1`` and
+``λ = 0`` the formula reduces to Koh & Liang's ``w* + (1/n) H⁻¹ ∇ℓ``).
+One Hessian solve, no iteration — which is why INFL is fast, and why its
+accuracy collapses when ``|R|`` grows (the Taylor expansion is taken at the
+full-data optimum and the Hessian shift is ignored).
+
+``mode="newton"`` implements the sharper one-step Newton correction on the
+*retained* objective, included for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from ..linalg.matrix_utils import is_sparse, matvec
+from .objectives import (
+    BinaryLogisticObjective,
+    LinearRegressionObjective,
+    MultinomialLogisticObjective,
+)
+
+
+def _per_sample_loss_gradient_sum(objective, w, features, labels, indices):
+    """``Σ_{i∈R} ∇ℓ_i(w)`` without the regularization term."""
+    block = features[indices]
+    y = labels[indices]
+    if isinstance(objective, LinearRegressionObjective):
+        residual = matvec(block, w) - np.asarray(y, dtype=float)
+        return 2.0 * matvec(block.T, residual)
+    if isinstance(objective, BinaryLogisticObjective):
+        y = np.asarray(y, dtype=float)
+        margins = y * matvec(block, w)
+        from ..linalg.interpolation import sigmoid_complement
+
+        weights = y * sigmoid_complement(margins)
+        return -matvec(block.T, weights)
+    if isinstance(objective, MultinomialLogisticObjective):
+        dense = np.asarray(
+            block.todense() if is_sparse(block) else block, dtype=float
+        )
+        probs = objective.probabilities(w, dense)
+        probs[np.arange(len(indices)), np.asarray(y, dtype=int)] -= 1.0
+        return (probs.T @ dense).ravel()
+    raise TypeError(f"unsupported objective: {type(objective).__name__}")
+
+
+class InfluenceFunctionUpdater:
+    """Precomputes the Hessian factorization once; updates are one solve."""
+
+    def __init__(
+        self,
+        objective,
+        features,
+        labels: np.ndarray,
+        weights: np.ndarray,
+        mode: str = "koh-liang",
+        use_cg: bool = False,
+    ) -> None:
+        if mode not in ("koh-liang", "newton"):
+            raise ValueError(f"unknown INFL mode: {mode}")
+        self.objective = objective
+        self.features = features
+        self.labels = np.asarray(labels)
+        self.weights = np.asarray(weights, dtype=float).copy()
+        self.mode = mode
+        self.use_cg = use_cg
+        self.n_samples = features.shape[0]
+        # Offline: the full-data Hessian (the expensive part the paper calls
+        # out as prohibitive for very large feature spaces).
+        self._hessian = objective.hessian(self.weights, features, self.labels)
+
+    def _solve(self, hessian: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        if self.use_cg:
+            solution, info = spla.cg(hessian, rhs, rtol=1e-10, maxiter=10_000)
+            if info == 0:
+                return solution
+        return np.linalg.solve(hessian, rhs)
+
+    def update(self, removed_indices: np.ndarray) -> np.ndarray:
+        """Estimated parameters after deleting ``removed_indices``."""
+        removed = np.asarray(removed_indices, dtype=int)
+        if removed.size == 0:
+            return self.weights.copy()
+        if removed.size >= self.n_samples:
+            raise ValueError("cannot delete every training sample")
+        grad_sum = _per_sample_loss_gradient_sum(
+            self.objective, self.weights, self.features, self.labels, removed
+        )
+        if self.mode == "koh-liang":
+            remaining = self.n_samples - removed.size
+            drift = removed.size * self.objective.regularization * self.weights
+            delta = self._solve(self._hessian, (drift + grad_sum) / remaining)
+            return self.weights + delta
+        # One-step Newton on the retained objective.
+        keep = np.setdiff1d(np.arange(self.n_samples), removed)
+        retained_grad = self.objective.gradient(
+            self.weights, self.features[keep], self.labels[keep]
+        )
+        retained_hess = self.objective.hessian(
+            self.weights, self.features[keep], self.labels[keep]
+        )
+        return self.weights - self._solve(retained_hess, retained_grad)

@@ -1,0 +1,202 @@
+"""Objective functions of Section 3 (Equations 2-4), with gradients/Hessians.
+
+All three objectives carry L2 regularization ``λ/2 ‖w‖²`` and expose the same
+interface so the trainer, the influence-function baseline and the PrIU capture
+hooks can treat them uniformly:
+
+* ``value(w, X, y)`` — the (mean) regularized objective ``h(w)``
+* ``gradient(w, X, y)`` — ``∇h`` averaged over the given samples
+* ``hessian(w, X, y)`` — ``∇²h`` (dense; used only by INFL and tests)
+* ``predict(w, X)`` / ``metric(w, X, y)`` — task-appropriate evaluation
+
+Conventions: binary labels are ±1 (footnote 1 of the paper); multinomial
+labels are integers ``0..q-1`` and the parameter vector is
+``w = vec([w_1 … w_q])`` laid out class-major (``w.reshape(q, m)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.interpolation import sigmoid, sigmoid_complement
+from ..linalg.matrix_utils import is_sparse, matvec
+
+
+class LinearRegressionObjective:
+    """Equation 2: ``h(w) = (1/n) Σ (y_i - x_iᵀw)² + λ/2 ‖w‖²``."""
+
+    kind = "linear"
+
+    def __init__(self, regularization: float = 0.0) -> None:
+        self.regularization = float(regularization)
+
+    def value(self, w: np.ndarray, features, labels: np.ndarray) -> float:
+        residuals = matvec(features, w) - np.asarray(labels, dtype=float)
+        penalty = 0.5 * self.regularization * float(w @ w)
+        return float(np.mean(residuals**2) + penalty)
+
+    def gradient(self, w: np.ndarray, features, labels: np.ndarray) -> np.ndarray:
+        n = features.shape[0]
+        residuals = matvec(features, w) - np.asarray(labels, dtype=float)
+        grad = 2.0 * matvec(features.T, residuals) / n
+        return grad + self.regularization * w
+
+    def hessian(self, w: np.ndarray, features, labels: np.ndarray) -> np.ndarray:
+        n, m = features.shape
+        if is_sparse(features):
+            gram = np.asarray((features.T @ features).todense())
+        else:
+            feats = np.asarray(features, dtype=float)
+            gram = feats.T @ feats
+        return 2.0 * gram / n + self.regularization * np.eye(m)
+
+    def predict(self, w: np.ndarray, features) -> np.ndarray:
+        return matvec(features, w)
+
+    def metric(self, w: np.ndarray, features, labels: np.ndarray) -> float:
+        """Validation MSE (lower is better)."""
+        residuals = self.predict(w, features) - np.asarray(labels, dtype=float)
+        return float(np.mean(residuals**2))
+
+    def n_parameters(self, n_features: int) -> int:
+        return n_features
+
+
+class BinaryLogisticObjective:
+    """Equation 3 with labels in {-1, +1}."""
+
+    kind = "binary_logistic"
+
+    def __init__(self, regularization: float = 0.0) -> None:
+        self.regularization = float(regularization)
+
+    def margins(self, w: np.ndarray, features, labels: np.ndarray) -> np.ndarray:
+        """``y_i · w^T x_i`` — the argument of the non-linearity."""
+        return np.asarray(labels, dtype=float) * matvec(features, w)
+
+    def value(self, w: np.ndarray, features, labels: np.ndarray) -> float:
+        margins = self.margins(w, features, labels)
+        # ln(1 + e^{-z}) computed stably.
+        losses = np.logaddexp(0.0, -margins)
+        penalty = 0.5 * self.regularization * float(w @ w)
+        return float(np.mean(losses) + penalty)
+
+    def gradient(self, w: np.ndarray, features, labels: np.ndarray) -> np.ndarray:
+        n = features.shape[0]
+        labels = np.asarray(labels, dtype=float)
+        margins = labels * matvec(features, w)
+        weights = labels * sigmoid_complement(margins)  # y_i f(y_i wᵀx_i)
+        grad = -matvec(features.T, weights) / n
+        return grad + self.regularization * w
+
+    def hessian(self, w: np.ndarray, features, labels: np.ndarray) -> np.ndarray:
+        n, m = features.shape
+        margins = self.margins(w, features, labels)
+        # f'(z) = -σ(z)σ(-z); Hessian = (1/n) Σ σσ(-) x xᵀ + λI.
+        curvature = sigmoid(margins) * sigmoid(-margins)
+        if is_sparse(features):
+            scaled = features.multiply(curvature[:, None])
+            gram = np.asarray((features.T @ scaled).todense())
+        else:
+            feats = np.asarray(features, dtype=float)
+            gram = feats.T @ (feats * curvature[:, None])
+        return gram / n + self.regularization * np.eye(m)
+
+    def predict_proba(self, w: np.ndarray, features) -> np.ndarray:
+        """P(label = +1)."""
+        return sigmoid(matvec(features, w))
+
+    def predict(self, w: np.ndarray, features) -> np.ndarray:
+        """Hard ±1 predictions."""
+        return np.where(matvec(features, w) >= 0.0, 1.0, -1.0)
+
+    def metric(self, w: np.ndarray, features, labels: np.ndarray) -> float:
+        """Validation accuracy (higher is better)."""
+        return float(
+            np.mean(self.predict(w, features) == np.asarray(labels, dtype=float))
+        )
+
+    def n_parameters(self, n_features: int) -> int:
+        return n_features
+
+
+class MultinomialLogisticObjective:
+    """Equation 4: softmax regression over ``q`` classes.
+
+    Parameters are ``w = vec([w_1 … w_q])`` with ``w.reshape(q, m)`` giving
+    one row per class.  Labels are integers in ``0..q-1``.
+    """
+
+    kind = "multinomial_logistic"
+
+    def __init__(self, n_classes: int, regularization: float = 0.0) -> None:
+        if n_classes < 2:
+            raise ValueError("multinomial regression needs at least 2 classes")
+        self.n_classes = int(n_classes)
+        self.regularization = float(regularization)
+
+    def _weights_matrix(self, w: np.ndarray, n_features: int) -> np.ndarray:
+        return np.asarray(w, dtype=float).reshape(self.n_classes, n_features)
+
+    def logits(self, w: np.ndarray, features) -> np.ndarray:
+        """``n × q`` matrix of class scores."""
+        weight_rows = self._weights_matrix(w, features.shape[1])
+        scores = features @ weight_rows.T
+        if is_sparse(scores):  # pragma: no cover
+            scores = scores.todense()
+        return np.asarray(scores)
+
+    def probabilities(self, w: np.ndarray, features) -> np.ndarray:
+        scores = self.logits(w, features)
+        scores = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(scores)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def value(self, w: np.ndarray, features, labels: np.ndarray) -> float:
+        labels = np.asarray(labels, dtype=int)
+        scores = self.logits(w, features)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=1)) + scores.max(axis=1)
+        picked = scores[np.arange(len(labels)), labels]
+        penalty = 0.5 * self.regularization * float(w @ w)
+        return float(np.mean(log_norm - picked) + penalty)
+
+    def gradient(self, w: np.ndarray, features, labels: np.ndarray) -> np.ndarray:
+        n, m = features.shape
+        labels = np.asarray(labels, dtype=int)
+        probs = self.probabilities(w, features)
+        probs[np.arange(n), labels] -= 1.0  # p - onehot
+        if is_sparse(features):
+            grad_rows = np.asarray((features.T @ probs).todense()).T
+        else:
+            grad_rows = (np.asarray(features, dtype=float).T @ probs).T  # q × m
+        grad = grad_rows.ravel() / n
+        return grad + self.regularization * np.asarray(w, dtype=float)
+
+    def hessian(self, w: np.ndarray, features, labels: np.ndarray) -> np.ndarray:
+        """Dense ``(qm) × (qm)`` Hessian — INFL and small-scale tests only."""
+        n, m = features.shape
+        feats = np.asarray(
+            features.todense() if is_sparse(features) else features, dtype=float
+        )
+        probs = self.probabilities(w, feats)
+        q = self.n_classes
+        hess = np.zeros((q * m, q * m))
+        for i in range(n):
+            p = probs[i]
+            lam = np.diag(p) - np.outer(p, p)  # q × q
+            outer = np.outer(feats[i], feats[i])  # m × m
+            hess += np.kron(lam, outer)
+        hess /= n
+        hess += self.regularization * np.eye(q * m)
+        return hess
+
+    def predict(self, w: np.ndarray, features) -> np.ndarray:
+        return np.argmax(self.logits(w, features), axis=1)
+
+    def metric(self, w: np.ndarray, features, labels: np.ndarray) -> float:
+        """Validation accuracy (higher is better)."""
+        return float(np.mean(self.predict(w, features) == np.asarray(labels)))
+
+    def n_parameters(self, n_features: int) -> int:
+        return self.n_classes * n_features

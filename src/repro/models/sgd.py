@@ -1,0 +1,216 @@
+"""The gradient-based-method (GBM) trainer: GD / SGD / mb-SGD (Section 3).
+
+This is the paper's "standard method" baseline: the gradient of each
+objective is derived manually and the iterations of Equations 5/6 (and the
+multinomial analogue) are programmed explicitly.  The same trainer serves
+
+* the original training run (optionally with a *capture hook* through which
+  PrIU records provenance summaries — see :mod:`repro.core.capture`);
+* **BaseL**, retraining from scratch after a deletion: the identical batch
+  schedule is replayed with the removed samples dropped from every mini-batch
+  and the per-batch denominator replaced by ``B_U^(t)``;
+* the linearized iteration ``w_L`` of Equation 9 (``linearize=`` argument),
+  used to validate Theorem 4 empirically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..linalg.interpolation import (
+    PiecewiseLinearInterpolator,
+    sigmoid_complement,
+)
+from ..linalg.matrix_utils import is_sparse
+from .batching import BatchSchedule
+from .objectives import (
+    BinaryLogisticObjective,
+    LinearRegressionObjective,
+    MultinomialLogisticObjective,
+)
+
+CaptureHook = Callable[[int, np.ndarray, np.ndarray, dict[str, Any]], None]
+
+
+@dataclass
+class TrainingResult:
+    """Output of a GBM run: final parameters plus everything needed to replay."""
+
+    weights: np.ndarray
+    objective: Any
+    schedule: BatchSchedule
+    learning_rate: float
+    regularization: float
+    n_iterations: int
+    wall_time: float
+    objective_trace: list[float] = field(default_factory=list)
+
+    @property
+    def n_parameters(self) -> int:
+        return self.weights.shape[0]
+
+
+def _initial_weights(objective, n_features: int, w0: np.ndarray | None) -> np.ndarray:
+    size = objective.n_parameters(n_features)
+    if w0 is None:
+        return np.zeros(size)
+    w0 = np.asarray(w0, dtype=float).ravel()
+    if w0.shape[0] != size:
+        raise ValueError(f"w0 has {w0.shape[0]} entries, expected {size}")
+    return w0.copy()
+
+
+def train(
+    objective,
+    features,
+    labels: np.ndarray,
+    schedule: BatchSchedule,
+    learning_rate: float,
+    w0: np.ndarray | None = None,
+    exclude: frozenset[int] | set[int] = frozenset(),
+    capture_hook: CaptureHook | None = None,
+    linearize: PiecewiseLinearInterpolator | None = None,
+    trace_every: int = 0,
+) -> TrainingResult:
+    """Run GBM with the given (replayable) schedule.
+
+    Parameters
+    ----------
+    exclude:
+        Sample ids dropped from every mini-batch — this is BaseL's retraining
+        mode.  Batches that lose all their samples degenerate to a pure
+        shrinkage step ``w ← (1-ηλ)w``.
+    capture_hook:
+        Called once per iteration *before* the weight update with
+        ``(t, batch_indices, w, extras)``; ``extras`` carries the
+        objective-specific quantities PrIU caches (margins for binary
+        logistic, class probabilities for multinomial).
+    linearize:
+        When given (binary logistic only), the update uses the interpolant
+        ``s`` instead of ``f`` — the ``w_L`` iteration of Equation 9.
+    """
+    labels = np.asarray(labels)
+    exclude = frozenset(int(i) for i in exclude)
+    eta = float(learning_rate)
+    lam = float(objective.regularization)
+    w = _initial_weights(objective, features.shape[1], w0)
+    trace: list[float] = []
+    start = time.perf_counter()
+
+    if isinstance(objective, LinearRegressionObjective):
+        step = _linear_step
+    elif isinstance(objective, BinaryLogisticObjective):
+        step = _binary_step
+    elif isinstance(objective, MultinomialLogisticObjective):
+        step = _multinomial_step
+    else:
+        raise TypeError(f"unsupported objective: {type(objective).__name__}")
+
+    for t in range(schedule.n_iterations):
+        batch = schedule.surviving(t, exclude)
+        if batch.size == 0:
+            w = (1.0 - eta * lam) * w
+            continue
+        w = step(
+            objective, features, labels, batch, w, eta, lam, capture_hook, t,
+            linearize,
+        )
+        if trace_every and (t + 1) % trace_every == 0:
+            trace.append(objective.value(w, features, labels))
+    wall = time.perf_counter() - start
+    return TrainingResult(
+        weights=w,
+        objective=objective,
+        schedule=schedule,
+        learning_rate=eta,
+        regularization=lam,
+        n_iterations=schedule.n_iterations,
+        wall_time=wall,
+        objective_trace=trace,
+    )
+
+
+def _linear_step(
+    objective, features, labels, batch, w, eta, lam, hook, t, linearize
+) -> np.ndarray:
+    block = features[batch]
+    targets = labels[batch].astype(float)
+    if is_sparse(block):
+        residual = np.asarray(block @ w).ravel() - targets
+        gradient_term = np.asarray(block.T @ residual).ravel()
+    else:
+        block = np.asarray(block, dtype=float)
+        residual = block @ w - targets
+        gradient_term = block.T @ residual
+    if hook is not None:
+        hook(t, batch, w, {})
+    return (1.0 - eta * lam) * w - (2.0 * eta / batch.size) * gradient_term
+
+
+def _binary_step(
+    objective, features, labels, batch, w, eta, lam, hook, t, linearize
+) -> np.ndarray:
+    block = features[batch]
+    y = labels[batch].astype(float)
+    if is_sparse(block):
+        margins = y * np.asarray(block @ w).ravel()
+    else:
+        block = np.asarray(block, dtype=float)
+        margins = y * (block @ w)
+    if linearize is None:
+        factors = sigmoid_complement(margins)
+    else:
+        slopes, intercepts = linearize.coefficients(margins)
+        factors = slopes * margins + intercepts
+    if hook is not None:
+        hook(t, batch, w, {"margins": margins})
+    weighted = y * factors
+    if is_sparse(block):
+        gradient_term = np.asarray(block.T @ weighted).ravel()
+    else:
+        gradient_term = block.T @ weighted
+    return (1.0 - eta * lam) * w + (eta / batch.size) * gradient_term
+
+
+def _multinomial_step(
+    objective, features, labels, batch, w, eta, lam, hook, t, linearize
+) -> np.ndarray:
+    q = objective.n_classes
+    m = features.shape[1]
+    block = features[batch]
+    if is_sparse(block):
+        block = np.asarray(block.todense())
+    else:
+        block = np.asarray(block, dtype=float)
+    y = np.asarray(labels[batch], dtype=int)
+    weight_rows = w.reshape(q, m)
+    scores = block @ weight_rows.T
+    scores -= scores.max(axis=1, keepdims=True)
+    probs = np.exp(scores)
+    probs /= probs.sum(axis=1, keepdims=True)
+    if hook is not None:
+        hook(t, batch, w, {"probabilities": probs})
+    probs_minus = probs.copy()
+    probs_minus[np.arange(batch.size), y] -= 1.0
+    grad_rows = probs_minus.T @ block  # q × m
+    return (1.0 - eta * lam) * w - (eta / batch.size) * grad_rows.ravel()
+
+
+def objective_for(
+    task: str, regularization: float, n_classes: int | None = None
+):
+    """Factory keyed by task name used by configs and the facade."""
+    if task == "linear":
+        return LinearRegressionObjective(regularization)
+    if task == "binary_logistic":
+        return BinaryLogisticObjective(regularization)
+    if task == "multinomial_logistic":
+        if n_classes is None:
+            raise ValueError("multinomial task requires n_classes")
+        return MultinomialLogisticObjective(n_classes, regularization)
+    raise ValueError(f"unknown task: {task}")

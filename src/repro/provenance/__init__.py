@@ -1,0 +1,42 @@
+"""Provenance semiring substrate.
+
+Implements the ``N[T]`` provenance-polynomial semiring (Green et al., PODS
+2007), its standard homomorphic images, and the extension to linear algebra
+(Yan, Tannen & Ives, TaPP 2016) that PrIU builds on: matrices annotated with
+provenance polynomials, with deletion propagation by zeroing out tokens.
+"""
+
+from .annotated import AnnotatedMatrix
+from .polynomial import ONE, ZERO, Monomial, Polynomial
+from .semiring import (
+    BooleanSemiring,
+    NaturalsSemiring,
+    Semiring,
+    TropicalSemiring,
+    ViterbiSemiring,
+    WhyProvenanceSemiring,
+    eval_in_semiring,
+    why_provenance,
+)
+from .tokens import Token, TokenRegistry
+from .tracked_training import AnnotatedBatchSummary, ProvenanceTrackedRun
+
+__all__ = [
+    "AnnotatedBatchSummary",
+    "AnnotatedMatrix",
+    "BooleanSemiring",
+    "Monomial",
+    "NaturalsSemiring",
+    "ONE",
+    "Polynomial",
+    "ProvenanceTrackedRun",
+    "Semiring",
+    "Token",
+    "TokenRegistry",
+    "TropicalSemiring",
+    "ViterbiSemiring",
+    "WhyProvenanceSemiring",
+    "ZERO",
+    "eval_in_semiring",
+    "why_provenance",
+]

@@ -1,0 +1,251 @@
+"""Provenance-annotated matrices (Yan, Tannen & Ives, TaPP 2016 extension).
+
+An :class:`AnnotatedMatrix` is a formal sum ``Σ_k  m_k ∗ A_k`` where each
+``m_k`` is a provenance polynomial and each ``A_k`` a numeric matrix of a
+common shape.  Provenance polynomials play the role of *scalars*; ``∗`` is
+scalar multiplication.  The algebra satisfies the usual matrix laws plus the
+crucial joint-use property the paper highlights:
+
+    ``(p1 ∗ A1) @ (p2 ∗ A2) == (p1 · p2) ∗ (A1 @ A2)``
+
+Deletion propagation is :meth:`AnnotatedMatrix.zero_out`: terms whose
+provenance mentions a deleted token vanish; the survivors can then be
+evaluated with every remaining token set to ``1_prov``.
+
+Terms are kept in a canonical form keyed by polynomial — matrices annotated
+with equal provenance are summed together — so equality is structural.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Union
+
+import numpy as np
+
+from .polynomial import ONE, ZERO, Polynomial
+from .tokens import Token
+
+Number = Union[int, float]
+
+
+class AnnotatedMatrix:
+    """A formal sum of provenance-annotated numeric matrices."""
+
+    __slots__ = ("_terms", "_shape", "_idempotent")
+
+    def __init__(
+        self,
+        terms: Iterable[tuple[Polynomial, np.ndarray]] = (),
+        shape: tuple[int, ...] | None = None,
+        idempotent: bool = False,
+    ) -> None:
+        collected: dict[Polynomial, np.ndarray] = {}
+        inferred_shape = shape
+        for poly, matrix in terms:
+            matrix = np.asarray(matrix, dtype=float)
+            if inferred_shape is None:
+                inferred_shape = matrix.shape
+            elif matrix.shape != inferred_shape:
+                raise ValueError(
+                    f"shape mismatch: {matrix.shape} vs {inferred_shape}"
+                )
+            if idempotent:
+                poly = poly.idempotent()
+            if poly.is_zero() or not np.any(matrix):
+                continue
+            if poly in collected:
+                collected[poly] = collected[poly] + matrix
+            else:
+                collected[poly] = matrix.copy()
+        if inferred_shape is None:
+            raise ValueError("cannot infer shape of an empty annotated matrix")
+        # Drop terms that cancelled to numerically-zero matrices.
+        self._terms = {
+            p: m for p, m in collected.items() if np.any(m)
+        }
+        self._shape = tuple(inferred_shape)
+        self._idempotent = idempotent
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def pure(
+        cls, matrix: np.ndarray, idempotent: bool = False
+    ) -> "AnnotatedMatrix":
+        """Lift a numeric matrix with annotation ``1_prov``."""
+        return cls([(ONE, np.asarray(matrix, dtype=float))], idempotent=idempotent)
+
+    @classmethod
+    def annotated(
+        cls, poly: Polynomial, matrix: np.ndarray, idempotent: bool = False
+    ) -> "AnnotatedMatrix":
+        """The single term ``poly ∗ matrix``."""
+        return cls([(poly, np.asarray(matrix, dtype=float))], idempotent=idempotent)
+
+    @classmethod
+    def zeros(
+        cls, shape: tuple[int, ...], idempotent: bool = False
+    ) -> "AnnotatedMatrix":
+        return cls([], shape=shape, idempotent=idempotent)
+
+    @classmethod
+    def from_samples(
+        cls,
+        rows: np.ndarray,
+        tokens: list[Token],
+        idempotent: bool = False,
+    ) -> "AnnotatedMatrix":
+        """Decompose a data matrix row-wise, one token per row (Sec. 4.1).
+
+        Row ``i`` contributes the term ``p_i ∗ [0 ... x_i ... 0]``.
+        """
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim == 1:
+            rows = rows.reshape(-1, 1)
+        if len(tokens) != rows.shape[0]:
+            raise ValueError("need exactly one token per row")
+        terms = []
+        for i, token in enumerate(tokens):
+            embedded = np.zeros_like(rows)
+            embedded[i] = rows[i]
+            terms.append((Polynomial.of_token(token), embedded))
+        return cls(terms, shape=rows.shape, idempotent=idempotent)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def idempotent(self) -> bool:
+        return self._idempotent
+
+    @property
+    def terms(self) -> list[tuple[Polynomial, np.ndarray]]:
+        return [(p, m.copy()) for p, m in self._terms.items()]
+
+    def n_terms(self) -> int:
+        return len(self._terms)
+
+    def tokens(self) -> frozenset[Token]:
+        out: set[Token] = set()
+        for poly in self._terms:
+            out |= poly.tokens()
+        return frozenset(out)
+
+    # ------------------------------------------------------------- arithmetic
+    def _check_compatible(self, other: "AnnotatedMatrix") -> None:
+        if self._idempotent != other._idempotent:
+            raise ValueError("cannot mix idempotent and exact annotated matrices")
+
+    def __add__(self, other: "AnnotatedMatrix") -> "AnnotatedMatrix":
+        self._check_compatible(other)
+        if self._shape != other._shape:
+            raise ValueError(f"shape mismatch: {self._shape} vs {other._shape}")
+        return AnnotatedMatrix(
+            list(self._terms.items()) + list(other._terms.items()),
+            shape=self._shape,
+            idempotent=self._idempotent,
+        )
+
+    def __sub__(self, other: "AnnotatedMatrix") -> "AnnotatedMatrix":
+        return self + other.scale(-1.0)
+
+    def scale(self, value: Number) -> "AnnotatedMatrix":
+        """Multiply every numeric matrix by a plain scalar."""
+        return AnnotatedMatrix(
+            [(p, m * value) for p, m in self._terms.items()],
+            shape=self._shape,
+            idempotent=self._idempotent,
+        )
+
+    def annotate(self, poly: Polynomial) -> "AnnotatedMatrix":
+        """Multiply every term's provenance by ``poly`` (scalar ∗ action)."""
+        return AnnotatedMatrix(
+            [(poly * p, m) for p, m in self._terms.items()],
+            shape=self._shape,
+            idempotent=self._idempotent,
+        )
+
+    def __matmul__(self, other: "AnnotatedMatrix") -> "AnnotatedMatrix":
+        self._check_compatible(other)
+        if len(self._shape) != 2 or len(other._shape) != 2:
+            raise ValueError("matmul requires 2-D annotated matrices")
+        if self._shape[1] != other._shape[0]:
+            raise ValueError(f"matmul mismatch: {self._shape} @ {other._shape}")
+        out_shape = (self._shape[0], other._shape[1])
+        terms = []
+        for p1, m1 in self._terms.items():
+            for p2, m2 in other._terms.items():
+                terms.append((p1 * p2, m1 @ m2))
+        return AnnotatedMatrix(terms, shape=out_shape, idempotent=self._idempotent)
+
+    @property
+    def T(self) -> "AnnotatedMatrix":
+        if len(self._shape) != 2:
+            raise ValueError("transpose requires a 2-D annotated matrix")
+        return AnnotatedMatrix(
+            [(p, m.T) for p, m in self._terms.items()],
+            shape=(self._shape[1], self._shape[0]),
+            idempotent=self._idempotent,
+        )
+
+    # ---------------------------------------------------- deletion/evaluation
+    def zero_out(self, tokens: Iterable[Token]) -> "AnnotatedMatrix":
+        """Deletion propagation: drop every term mentioning a deleted token.
+
+        Equivalent to specializing those tokens to ``0_prov``.
+        """
+        deleted = frozenset(tokens)
+        kept = []
+        for poly, matrix in self._terms.items():
+            specialized = poly.specialize(zeroed=deleted)
+            if not specialized.is_zero():
+                kept.append((specialized, matrix))
+        return AnnotatedMatrix(kept, shape=self._shape, idempotent=self._idempotent)
+
+    def evaluate(self, assignment: Mapping[Token, Number] | None = None) -> np.ndarray:
+        """Collapse to a numeric matrix.
+
+        With no assignment, every remaining token is read as ``1_prov`` (the
+        paper's "retained" reading).  With an assignment, tokens evaluate to
+        the given numbers (0/1 for deletion propagation, arbitrary reals for
+        sensitivity-style analyses).
+        """
+        result = np.zeros(self._shape)
+        for poly, matrix in self._terms.items():
+            if assignment is None:
+                weight = sum(poly.terms.values())
+            else:
+                full = {t: assignment.get(t, 1) for t in poly.tokens()}
+                weight = poly.evaluate(full)
+            if weight:
+                result = result + weight * matrix
+        return result
+
+    def delete_and_evaluate(self, tokens: Iterable[Token]) -> np.ndarray:
+        """Zero out ``tokens`` then read all survivors as present."""
+        return self.zero_out(tokens).evaluate()
+
+    # ---------------------------------------------------------------- dunders
+    def allclose(self, other: "AnnotatedMatrix", atol: float = 1e-10) -> bool:
+        """Structural comparison term-by-term after canonicalization."""
+        if self._shape != other._shape:
+            return False
+        keys = set(self._terms) | set(other._terms)
+        for key in keys:
+            a = self._terms.get(key)
+            b = other._terms.get(key)
+            if a is None:
+                a = np.zeros(self._shape)
+            if b is None:
+                b = np.zeros(self._shape)
+            if not np.allclose(a, b, atol=atol):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AnnotatedMatrix(shape={self._shape}, terms={len(self._terms)}, "
+            f"idempotent={self._idempotent})"
+        )

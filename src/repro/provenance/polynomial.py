@@ -1,0 +1,248 @@
+"""Provenance polynomials ``N[T]`` over a set of tokens.
+
+A *monomial* is a multiset of tokens (token -> positive exponent); a
+*polynomial* is a finite map monomial -> natural-number coefficient.  The two
+semiring operations are:
+
+* ``+``  — alternative use of information (relational union / projection)
+* ``*``  — joint use of information (relational join)
+
+``ZERO`` (the polynomial with no terms) annotates absent data; ``ONE`` (the
+term of degree zero with coefficient 1) annotates data that is "always
+available, no need to track".
+
+PrIU additionally uses the *idempotent-multiplication* quotient
+(``p * p = p``), under which monomials degenerate to token *sets*; Theorem 3
+of the paper shows the provenance-annotated iterations converge under this
+quotient.  ``Monomial.idempotent()`` maps into the quotient.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Union
+
+from .tokens import Token
+
+Number = Union[int, float]
+
+
+class Monomial:
+    """An immutable multiset of tokens, e.g. ``p^2 q``.
+
+    The empty monomial is the multiplicative unit (degree zero).
+    """
+
+    __slots__ = ("_powers", "_hash")
+
+    def __init__(self, powers: Mapping[Token, int] | Iterable[Token] = ()) -> None:
+        if isinstance(powers, Mapping):
+            items = {t: int(e) for t, e in powers.items() if e != 0}
+        else:
+            items = {}
+            for token in powers:
+                items[token] = items.get(token, 0) + 1
+        for token, exp in items.items():
+            if exp < 0:
+                raise ValueError(f"negative exponent for {token}: {exp}")
+        self._powers = dict(sorted(items.items()))
+        self._hash = hash(tuple(self._powers.items()))
+
+    @property
+    def powers(self) -> dict[Token, int]:
+        return dict(self._powers)
+
+    def degree(self) -> int:
+        """Total degree (sum of exponents)."""
+        return sum(self._powers.values())
+
+    def tokens(self) -> frozenset[Token]:
+        """The set of tokens occurring in this monomial."""
+        return frozenset(self._powers)
+
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        merged = dict(self._powers)
+        for token, exp in other._powers.items():
+            merged[token] = merged.get(token, 0) + exp
+        return Monomial(merged)
+
+    def idempotent(self) -> "Monomial":
+        """Image under the quotient ``p*p = p`` (all exponents clamped to 1)."""
+        return Monomial({t: 1 for t in self._powers})
+
+    def mentions(self, token: Token) -> bool:
+        return token in self._powers
+
+    def evaluate(self, assignment: Mapping[Token, Number]) -> Number:
+        """Evaluate with a full numeric assignment of every mentioned token."""
+        value: Number = 1
+        for token, exp in self._powers.items():
+            value *= assignment[token] ** exp
+        return value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Monomial) and self._powers == other._powers
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self._powers:
+            return "1"
+        parts = []
+        for token, exp in self._powers.items():
+            parts.append(token.name if exp == 1 else f"{token.name}^{exp}")
+        return "·".join(parts)
+
+
+ONE_MONOMIAL = Monomial()
+
+
+class Polynomial:
+    """A provenance polynomial: finite map ``Monomial -> coefficient``.
+
+    Coefficients live in N for the classical semiring, but we accept floats
+    so the same class can serve aggregation-style annotations; the PrIU
+    pipeline only ever uses naturals.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, Number] | None = None) -> None:
+        cleaned: dict[Monomial, Number] = {}
+        if terms:
+            for mono, coeff in terms.items():
+                if coeff != 0:
+                    cleaned[mono] = cleaned.get(mono, 0) + coeff
+        self._terms = {m: c for m, c in cleaned.items() if c != 0}
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """``0_prov`` — signifies absence."""
+        return cls()
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        """``1_prov`` — neutral presence, no need to track."""
+        return cls({ONE_MONOMIAL: 1})
+
+    @classmethod
+    def of_token(cls, token: Token, exponent: int = 1) -> "Polynomial":
+        return cls({Monomial({token: exponent}): 1})
+
+    @classmethod
+    def constant(cls, value: Number) -> "Polynomial":
+        return cls({ONE_MONOMIAL: value}) if value else cls()
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def terms(self) -> dict[Monomial, Number]:
+        return dict(self._terms)
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def is_one(self) -> bool:
+        return self._terms == {ONE_MONOMIAL: 1}
+
+    def tokens(self) -> frozenset[Token]:
+        out: set[Token] = set()
+        for mono in self._terms:
+            out |= mono.tokens()
+        return frozenset(out)
+
+    def degree(self) -> int:
+        return max((m.degree() for m in self._terms), default=0)
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        merged = dict(self._terms)
+        for mono, coeff in other._terms.items():
+            merged[mono] = merged.get(mono, 0) + coeff
+        return Polynomial(merged)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        out: dict[Monomial, Number] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in other._terms.items():
+                prod = m1 * m2
+                out[prod] = out.get(prod, 0) + c1 * c2
+        return Polynomial(out)
+
+    def scale(self, value: Number) -> "Polynomial":
+        """Multiply every coefficient by a scalar (aggregation-style use)."""
+        return Polynomial({m: c * value for m, c in self._terms.items()})
+
+    def idempotent(self) -> "Polynomial":
+        """Quotient by ``p*p = p`` and ``p+p = p``: the B[T]-style reduction.
+
+        Under multiplication idempotence all exponents collapse to 1 and
+        duplicate monomials are merged with coefficient clamped to 1, which is
+        the absorptive reading used in Theorem 3 (we only care about *which*
+        samples contribute, not how many times).
+        """
+        out: dict[Monomial, Number] = {}
+        for mono in self._terms:
+            out[mono.idempotent()] = 1
+        return Polynomial(out)
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate(self, assignment: Mapping[Token, Number]) -> Number:
+        """Full numeric evaluation; every mentioned token must be assigned."""
+        return sum(
+            coeff * mono.evaluate(assignment) for mono, coeff in self._terms.items()
+        )
+
+    def specialize(
+        self,
+        zeroed: Iterable[Token] = (),
+        kept: Iterable[Token] | None = None,
+    ) -> "Polynomial":
+        """Deletion propagation: set ``zeroed`` tokens to ``0_prov``.
+
+        If ``kept`` is given those tokens are set to ``1_prov``; tokens in
+        neither set survive symbolically.  This is the paper's "zeroing-out"
+        operation.
+        """
+        zero_set = frozenset(zeroed)
+        keep_set = frozenset(kept) if kept is not None else None
+        out: dict[Monomial, Number] = {}
+        for mono, coeff in self._terms.items():
+            if any(t in zero_set for t in mono.tokens()):
+                continue
+            if keep_set is None:
+                new_mono = mono
+            else:
+                remaining = {
+                    t: e for t, e in mono.powers.items() if t not in keep_set
+                }
+                new_mono = Monomial(remaining)
+            out[new_mono] = out.get(new_mono, 0) + coeff
+        return Polynomial(out)
+
+    # --------------------------------------------------------------- dunders
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Polynomial) and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self._terms:
+            return "0prov"
+        parts = []
+        for mono, coeff in sorted(
+            self._terms.items(), key=lambda kv: (-kv[0].degree(), repr(kv[0]))
+        ):
+            if mono == ONE_MONOMIAL:
+                parts.append(str(coeff))
+            elif coeff == 1:
+                parts.append(repr(mono))
+            else:
+                parts.append(f"{coeff}·{mono!r}")
+        return " + ".join(parts)
+
+
+ZERO = Polynomial.zero()
+ONE = Polynomial.one()

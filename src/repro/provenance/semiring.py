@@ -1,0 +1,193 @@
+"""Commutative semirings and standard provenance instances.
+
+The provenance-polynomial semiring ``N[T]`` is universal among commutative
+semirings: any token assignment into a semiring ``K`` extends uniquely to a
+homomorphism ``N[T] -> K``.  We expose that homomorphism as
+:func:`eval_in_semiring`, and ship the standard instances used in the
+provenance literature (Green & Tannen 2017):
+
+* :class:`NaturalsSemiring` — bag semantics / counting
+* :class:`BooleanSemiring` — set semantics / presence
+* :class:`TropicalSemiring` — min-cost derivations
+* :class:`ViterbiSemiring` — max-probability derivations
+* :class:`WhyProvenanceSemiring` — sets of witness token-sets (Why(X))
+
+These instances are exercised by the test suite to validate that the
+polynomial algebra really is the free object it claims to be; PrIU itself
+only needs ``N[T]`` with 0/1 specialization (deletion propagation), but
+downstream users of the library get the full framework.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+from typing import Any, Generic, TypeVar
+
+from .polynomial import Polynomial
+from .tokens import Token
+
+K = TypeVar("K")
+
+
+class Semiring(ABC, Generic[K]):
+    """A commutative semiring ``(K, plus, times, zero, one)``."""
+
+    @property
+    @abstractmethod
+    def zero(self) -> K:
+        ...
+
+    @property
+    @abstractmethod
+    def one(self) -> K:
+        ...
+
+    @abstractmethod
+    def plus(self, a: K, b: K) -> K:
+        ...
+
+    @abstractmethod
+    def times(self, a: K, b: K) -> K:
+        ...
+
+    def power(self, a: K, exponent: int) -> K:
+        """``a`` multiplied by itself ``exponent`` times (``one`` for 0)."""
+        if exponent < 0:
+            raise ValueError("semiring powers require non-negative exponents")
+        result = self.one
+        for _ in range(exponent):
+            result = self.times(result, a)
+        return result
+
+    def sum(self, values) -> K:
+        result = self.zero
+        for value in values:
+            result = self.plus(result, value)
+        return result
+
+    def product(self, values) -> K:
+        result = self.one
+        for value in values:
+            result = self.times(result, value)
+        return result
+
+    def is_idempotent_plus(self) -> bool:
+        """Whether ``a + a = a`` holds; instances may override."""
+        return False
+
+
+class NaturalsSemiring(Semiring[int]):
+    """``(N, +, *, 0, 1)`` — how many derivations produce each output."""
+
+    zero = 0
+    one = 1
+
+    def plus(self, a: int, b: int) -> int:
+        return a + b
+
+    def times(self, a: int, b: int) -> int:
+        return a * b
+
+
+class BooleanSemiring(Semiring[bool]):
+    """``({F,T}, or, and, F, T)`` — set semantics / deletion propagation."""
+
+    zero = False
+    one = True
+
+    def plus(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def times(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def is_idempotent_plus(self) -> bool:
+        return True
+
+
+class TropicalSemiring(Semiring[float]):
+    """``(R∞, min, +, ∞, 0)`` — cost of the cheapest derivation."""
+
+    zero = float("inf")
+    one = 0.0
+
+    def plus(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def times(self, a: float, b: float) -> float:
+        return a + b
+
+    def is_idempotent_plus(self) -> bool:
+        return True
+
+
+class ViterbiSemiring(Semiring[float]):
+    """``([0,1], max, *, 0, 1)`` — probability of the best derivation."""
+
+    zero = 0.0
+    one = 1.0
+
+    def plus(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def times(self, a: float, b: float) -> float:
+        return a * b
+
+    def is_idempotent_plus(self) -> bool:
+        return True
+
+
+class WhyProvenanceSemiring(Semiring[frozenset]):
+    """``Why(X)``: sets of witnesses, each witness a set of tokens.
+
+    ``plus`` is union of witness sets; ``times`` is pairwise union of
+    witnesses.  This is the image of ``N[T]`` under "drop coefficients and
+    exponents".
+    """
+
+    zero: frozenset = frozenset()
+    one: frozenset = frozenset({frozenset()})
+
+    def plus(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def times(self, a: frozenset, b: frozenset) -> frozenset:
+        return frozenset(w1 | w2 for w1 in a for w2 in b)
+
+    def is_idempotent_plus(self) -> bool:
+        return True
+
+
+def eval_in_semiring(
+    poly: Polynomial,
+    semiring: Semiring[K],
+    assignment: Mapping[Token, K],
+) -> K:
+    """Apply the unique homomorphism ``N[T] -> K`` induced by ``assignment``.
+
+    Natural-number coefficients are interpreted as repeated ``plus``;
+    exponents as repeated ``times``.  This is the universal property that
+    makes ``N[T]`` "the most informative" provenance annotation.
+    """
+    total = semiring.zero
+    for mono, coeff in poly.terms.items():
+        term = semiring.one
+        for token, exp in mono.powers.items():
+            term = semiring.times(term, semiring.power(assignment[token], exp))
+        if isinstance(coeff, int) and coeff >= 0:
+            repeated = semiring.zero
+            for _ in range(coeff):
+                repeated = semiring.plus(repeated, term)
+            term = repeated
+        else:  # non-natural coefficient: only meaningful in numeric semirings
+            term = semiring.times(term, coeff)  # type: ignore[arg-type]
+        total = semiring.plus(total, term)
+    return total
+
+
+def why_provenance(poly: Polynomial) -> frozenset:
+    """Witness sets of ``poly``: its image in :class:`WhyProvenanceSemiring`."""
+    semiring = WhyProvenanceSemiring()
+    assignment = {t: frozenset({frozenset({t})}) for t in poly.tokens()}
+    return eval_in_semiring(poly, semiring, assignment)

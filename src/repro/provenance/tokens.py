@@ -1,0 +1,65 @@
+"""Provenance tokens: the indeterminates of provenance polynomials.
+
+In the semiring framework (Green, Karvounarakis, Tannen, PODS 2007) every
+input item is annotated with a distinct *token*.  Tokens are opaque symbols;
+the only structure they carry is identity and a human-readable name.  PrIU
+annotates every training sample ``(x_i, y_i)`` with a token ``p_i``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Token:
+    """A provenance token (an indeterminate of ``N[T]``).
+
+    Tokens compare and hash by ``(name, uid)`` so that two registries can
+    create tokens with the same display name without them colliding.
+    """
+
+    name: str
+    uid: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class TokenRegistry:
+    """Factory for distinct tokens.
+
+    A registry hands out tokens with unique ``uid`` values.  The typical use
+    in PrIU is one token per training sample::
+
+        reg = TokenRegistry()
+        tokens = reg.annotate_samples(n)   # p_0 ... p_{n-1}
+    """
+
+    def __init__(self, prefix: str = "p") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+        self._tokens: list[Token] = []
+
+    def fresh(self, name: str | None = None) -> Token:
+        """Create a new token, optionally with an explicit display name."""
+        uid = next(self._counter)
+        token = Token(name if name is not None else f"{self._prefix}{uid}", uid)
+        self._tokens.append(token)
+        return token
+
+    def annotate_samples(self, n: int) -> list[Token]:
+        """Create one fresh token per sample index ``0..n-1``."""
+        return [self.fresh(f"{self._prefix}{i}") for i in range(n)]
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __iter__(self):
+        return iter(self._tokens)
+
+    @property
+    def tokens(self) -> list[Token]:
+        """All tokens created so far, in creation order."""
+        return list(self._tokens)

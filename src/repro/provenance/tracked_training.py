@@ -1,0 +1,221 @@
+"""Reference semantics: gradient descent run *inside* the annotated algebra.
+
+This module is the ground truth the compiled PrIU paths are tested against.
+It literally executes the provenance-annotated update rules of Section 4
+(Equations 7/8 for linear regression, 10/11 for linearized logistic
+regression) using :class:`~repro.provenance.annotated.AnnotatedMatrix`:
+
+* During "training" each mini-batch contributes the annotated summaries
+  ``G^(t) = Σ p_i² ∗ x_i x_iᵀ`` and ``d^(t) = Σ p_i² ∗ x_i y_i`` (or their
+  ``a/b``-weighted logistic counterparts).  These are the symbolic form of the
+  intermediate results PrIU caches numerically.
+* Deletion propagation zeroes out the removed tokens in every summary, then
+  replays the recursion with the updated batch sizes ``B_U^(t)`` — exactly
+  the paper's move of replacing the annotated count ``P^(t)`` by an integer.
+
+Because the full symbolic unrolling of ``W^(t)`` grows exponentially in the
+iteration count, :meth:`ProvenanceTrackedRun.unrolled_parameters` (used to
+demonstrate Theorem 2/3 behaviour) is only intended for toy inputs; the
+summary-based :meth:`updated_parameters` path scales to the sizes the test
+suite uses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .annotated import AnnotatedMatrix
+from .polynomial import Polynomial
+from .tokens import Token, TokenRegistry
+
+
+@dataclass
+class AnnotatedBatchSummary:
+    """Symbolic per-iteration provenance summaries for one mini-batch."""
+
+    batch_indices: np.ndarray
+    gram: AnnotatedMatrix  # Σ p_i² ∗ (α_i x_i x_iᵀ)
+    moment: AnnotatedMatrix  # Σ p_i² ∗ (β_i x_i)  (column vector, m×1)
+
+
+def _token_squared(token: Token, idempotent: bool) -> Polynomial:
+    poly = Polynomial.of_token(token, exponent=2)
+    return poly.idempotent() if idempotent else poly
+
+
+class ProvenanceTrackedRun:
+    """A GBM training run with symbolic provenance summaries.
+
+    Parameters
+    ----------
+    features, labels:
+        The training set ``(X, Y)``; labels are a 1-D array.
+    learning_rate, regularization:
+        ``η`` and ``λ`` of Equations 5/6 (constant learning rate, as required
+        by the convergence conditions of Lemma 1).
+    idempotent:
+        Work in the multiplication-idempotent quotient (Theorem 3's
+        assumption).  The numeric results are identical because deletion
+        propagation only distinguishes zero from non-zero exponents.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        learning_rate: float,
+        regularization: float,
+        idempotent: bool = True,
+    ) -> None:
+        self.features = np.asarray(features, dtype=float)
+        self.labels = np.asarray(labels, dtype=float).ravel()
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise ValueError("features and labels disagree on sample count")
+        self.learning_rate = float(learning_rate)
+        self.regularization = float(regularization)
+        self.idempotent = idempotent
+        self.registry = TokenRegistry()
+        self.tokens = self.registry.annotate_samples(self.features.shape[0])
+        self.summaries: list[AnnotatedBatchSummary] = []
+        self._initial = np.zeros(self.features.shape[1])
+
+    # ----------------------------------------------------------- training
+    def record_linear(self, batches: Sequence[np.ndarray]) -> None:
+        """Record the annotated summaries of a linear-regression run (Eq. 7)."""
+        m = self.features.shape[1]
+        for batch in batches:
+            batch = np.asarray(batch, dtype=int)
+            gram_terms = []
+            moment_terms = []
+            for i in batch:
+                x = self.features[i].reshape(-1, 1)
+                poly = _token_squared(self.tokens[i], self.idempotent)
+                gram_terms.append((poly, x @ x.T))
+                moment_terms.append((poly, x * self.labels[i]))
+            self.summaries.append(
+                AnnotatedBatchSummary(
+                    batch_indices=batch,
+                    gram=AnnotatedMatrix(
+                        gram_terms, shape=(m, m), idempotent=self.idempotent
+                    ),
+                    moment=AnnotatedMatrix(
+                        moment_terms, shape=(m, 1), idempotent=self.idempotent
+                    ),
+                )
+            )
+
+    def record_logistic(
+        self,
+        batches: Sequence[np.ndarray],
+        coefficients: Sequence[tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Record summaries of a linearized logistic run (Eq. 10).
+
+        ``coefficients[t]`` holds per-sample ``(a_{i,(t)}, b_{i,(t)})`` arrays
+        aligned with ``batches[t]`` — the slopes/intercepts produced by the
+        piecewise-linear interpolation during the original training.
+        """
+        if len(batches) != len(coefficients):
+            raise ValueError("one coefficient pair per batch is required")
+        m = self.features.shape[1]
+        for batch, (slopes, intercepts) in zip(batches, coefficients):
+            batch = np.asarray(batch, dtype=int)
+            gram_terms = []
+            moment_terms = []
+            for pos, i in enumerate(batch):
+                x = self.features[i].reshape(-1, 1)
+                poly = _token_squared(self.tokens[i], self.idempotent)
+                gram_terms.append((poly, slopes[pos] * (x @ x.T)))
+                moment_terms.append((poly, intercepts[pos] * self.labels[i] * x))
+            self.summaries.append(
+                AnnotatedBatchSummary(
+                    batch_indices=batch,
+                    gram=AnnotatedMatrix(
+                        gram_terms, shape=(m, m), idempotent=self.idempotent
+                    ),
+                    moment=AnnotatedMatrix(
+                        moment_terms, shape=(m, 1), idempotent=self.idempotent
+                    ),
+                )
+            )
+
+    # ---------------------------------------------------------- evaluation
+    def _removed_tokens(self, removed_indices: Iterable[int]) -> list[Token]:
+        return [self.tokens[i] for i in removed_indices]
+
+    def original_parameters(self, kind: str = "linear") -> np.ndarray:
+        """Replay the recursion with every token present (all set to 1)."""
+        return self.updated_parameters((), kind=kind)
+
+    def updated_parameters(
+        self, removed_indices: Iterable[int], kind: str = "linear"
+    ) -> np.ndarray:
+        """Deletion propagation via zero-out, then numeric replay (Eq. 8/11).
+
+        ``kind`` selects the sign convention: linear regression subtracts the
+        gram term with factor ``2η/B_U``; linearized logistic *adds* the gram
+        term with factor ``η/B_U`` (the slopes are negative).
+        """
+        if kind not in ("linear", "logistic"):
+            raise ValueError(f"unknown kind: {kind}")
+        removed = set(int(i) for i in removed_indices)
+        removed_tokens = self._removed_tokens(removed)
+        eta = self.learning_rate
+        lam = self.regularization
+        w = self._initial.copy()
+        for summary in self.summaries:
+            surviving = [i for i in summary.batch_indices if i not in removed]
+            batch_size = len(surviving)
+            if batch_size == 0:
+                # The whole batch was deleted: the gradient term vanishes and
+                # only the shrinkage (regularization) step applies.
+                w = (1.0 - eta * lam) * w
+                continue
+            gram = summary.gram.delete_and_evaluate(removed_tokens)
+            moment = summary.moment.delete_and_evaluate(removed_tokens).ravel()
+            if kind == "linear":
+                w = (
+                    (1.0 - eta * lam) * w
+                    - (2.0 * eta / batch_size) * (gram @ w)
+                    + (2.0 * eta / batch_size) * moment
+                )
+            else:
+                w = (
+                    (1.0 - eta * lam) * w
+                    + (eta / batch_size) * (gram @ w)
+                    + (eta / batch_size) * moment
+                )
+        return w
+
+    # ------------------------------------------------- symbolic unrolling
+    def unrolled_parameters(self, kind: str = "linear") -> AnnotatedMatrix:
+        """Fully symbolic ``W^(t)`` for toy inputs (Equations 7/10 verbatim).
+
+        Returns the annotated column vector ``W = Σ m_k ∗ u_k``.  Deleting
+        sample set ``R`` and evaluating (``W.delete_and_evaluate(tokens)``)
+        yields the same numbers as :meth:`updated_parameters` *with the
+        original batch denominators* — i.e. the pure semiring reading in
+        which ``P^(t)`` is not renormalized.  Intended for datasets of a
+        handful of samples only; term counts grow combinatorially.
+        """
+        if kind not in ("linear", "logistic"):
+            raise ValueError(f"unknown kind: {kind}")
+        m = self.features.shape[1]
+        eta = self.learning_rate
+        lam = self.regularization
+        w = AnnotatedMatrix.pure(
+            self._initial.reshape(-1, 1), idempotent=self.idempotent
+        )
+        identity = AnnotatedMatrix.pure(np.eye(m), idempotent=self.idempotent)
+        for summary in self.summaries:
+            batch_size = len(summary.batch_indices)
+            sign = -2.0 if kind == "linear" else 1.0
+            step = identity.scale(1.0 - eta * lam) + summary.gram.scale(
+                sign * eta / batch_size
+            )
+            bias_scale = 2.0 if kind == "linear" else 1.0
+            w = (step @ w) + summary.moment.scale(bias_scale * eta / batch_size)
+        return w

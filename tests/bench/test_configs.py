@@ -1,0 +1,57 @@
+"""Unit tests for benchmark configurations (Table 2)."""
+
+import pytest
+
+from repro.bench import CONFIGS, DELETION_RATES, get
+
+
+class TestConfigRegistry:
+    def test_every_section6_experiment_present(self):
+        expected = {
+            "SGEMM (original)", "SGEMM (extended)",
+            "Cov (small)", "Cov (large 1)", "Cov (large 2)",
+            "HIGGS", "Heartbeat", "RCV1", "cifar10",
+            "Cov (extended)", "HIGGS (extended)", "Heartbeat (extended)",
+        }
+        assert expected <= set(CONFIGS)
+
+    def test_paper_hyperparameters_recorded(self):
+        for config in CONFIGS.values():
+            assert config.paper is not None
+            assert config.paper.n_iterations >= config.n_iterations
+
+    def test_minibatch_contrast_preserved(self):
+        """Cov (small) vs (large): the B contrast driving Q6."""
+        assert CONFIGS["Cov (small)"].batch_size < CONFIGS["Cov (large 1)"].batch_size
+        assert (
+            CONFIGS["Cov (large 2)"].n_iterations
+            > CONFIGS["Cov (large 1)"].n_iterations
+        )
+        assert (
+            CONFIGS["Cov (large 1)"].batch_size
+            == CONFIGS["Cov (large 2)"].batch_size
+        )
+
+    def test_sparse_and_large_use_priu_only(self):
+        assert CONFIGS["RCV1"].method == "priu"
+        assert CONFIGS["cifar10"].method == "priu"
+
+    def test_loadable(self):
+        import dataclasses
+
+        config = dataclasses.replace(get("HIGGS"), scale=0.005)
+        data = config.load()
+        assert data.task == config.task
+
+    def test_trainer_kwargs_complete(self):
+        kwargs = get("Cov (small)").trainer_kwargs()
+        assert kwargs["task"] == "multinomial_logistic"
+        assert kwargs["n_classes"] == 7
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get("MNIST (large)")
+
+    def test_deletion_rates_span_paper_range(self):
+        assert min(DELETION_RATES) <= 0.001
+        assert max(DELETION_RATES) == 0.2

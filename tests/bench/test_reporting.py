@@ -1,0 +1,65 @@
+"""Unit tests for benchmark reporting and the run_all harness plumbing."""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import reporting
+from repro.bench.run_all import (
+    REPEATED_EXPERIMENTS,
+    TABLE4_EXPERIMENTS,
+    UPDATE_TIME_EXPERIMENTS,
+    main,
+)
+
+
+class TestReporting:
+    def test_render_contains_title_and_rows(self):
+        text = reporting.render("My title", [{"x": 1.5, "y": "ok"}])
+        assert "My title" in text
+        assert "1.5000" in text
+        assert "ok" in text
+
+    def test_save_writes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        path = reporting.save("unit", "hello\n")
+        assert path.read_text() == "hello\n"
+        assert path.parent == tmp_path
+
+    def test_report_echoes_and_persists(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        reporting.report("unit2", "Title", [{"a": 1}])
+        captured = capsys.readouterr()
+        assert "Title" in captured.out
+        assert (tmp_path / "unit2.txt").exists()
+
+    def test_report_silent_mode(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        reporting.report("unit3", "Quiet", [{"a": 1}], echo=False)
+        assert capsys.readouterr().out == ""
+
+
+class TestRunAllRegistry:
+    def test_every_figure_has_an_experiment(self):
+        expected = {
+            "fig1a", "fig1b", "fig2a", "fig2b", "fig2c",
+            "fig3a", "fig3b", "fig3c-rcv1", "fig3c-cifar10",
+        }
+        assert set(UPDATE_TIME_EXPERIMENTS) == expected
+
+    def test_fig4_covers_three_extended_datasets(self):
+        assert len(REPEATED_EXPERIMENTS) == 3
+        assert all("extended" in name for name in REPEATED_EXPERIMENTS.values())
+
+    def test_table4_experiments_exist_in_configs(self):
+        from repro.bench import CONFIGS
+
+        for name in TABLE4_EXPERIMENTS:
+            assert name in CONFIGS
+
+    def test_main_quick_table1(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        main(["--quick", "--only", "table1"])
+        assert (tmp_path / "table1_datasets.txt").exists()
+        assert "Table 1" in capsys.readouterr().out

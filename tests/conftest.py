@@ -1,0 +1,59 @@
+"""Shared fixtures: small deterministic datasets and schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_binary_classification,
+    make_multiclass_classification,
+    make_regression,
+    make_sparse_binary_classification,
+)
+from repro.models import make_schedule, objective_for
+
+
+@pytest.fixture(scope="session")
+def regression_data():
+    return make_regression(400, 8, noise=0.05, seed=101)
+
+
+@pytest.fixture(scope="session")
+def binary_data():
+    return make_binary_classification(400, 10, separation=1.0, seed=102)
+
+
+@pytest.fixture(scope="session")
+def multiclass_data():
+    return make_multiclass_classification(450, 12, n_classes=3, seed=103)
+
+
+@pytest.fixture(scope="session")
+def sparse_binary_data():
+    return make_sparse_binary_classification(500, 300, density=0.02, seed=104)
+
+
+@pytest.fixture
+def linear_objective():
+    return objective_for("linear", 0.1)
+
+
+@pytest.fixture
+def binary_objective():
+    return objective_for("binary_logistic", 0.01)
+
+
+@pytest.fixture
+def multiclass_objective():
+    return objective_for("multinomial_logistic", 0.01, n_classes=3)
+
+
+@pytest.fixture
+def small_schedule(regression_data):
+    return make_schedule(regression_data.n_samples, 40, 120, seed=5)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

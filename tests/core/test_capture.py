@@ -1,0 +1,168 @@
+"""Unit tests for provenance capture (the offline phase)."""
+
+import numpy as np
+import pytest
+
+from repro.core import train_with_capture
+from repro.core.provenance_store import LinearRecord, LogisticRecord
+from repro.datasets import make_binary_classification, make_regression
+from repro.models import make_schedule, objective_for, train
+
+
+class TestCaptureBasics:
+    def test_one_record_per_iteration(self, regression_data, linear_objective):
+        schedule = make_schedule(regression_data.n_samples, 40, 37, seed=31)
+        _, store = train_with_capture(
+            linear_objective,
+            regression_data.features,
+            regression_data.labels,
+            schedule,
+            0.01,
+        )
+        assert len(store) == 37
+
+    def test_capture_does_not_change_training(self, regression_data, linear_objective):
+        schedule = make_schedule(regression_data.n_samples, 40, 50, seed=32)
+        plain = train(
+            linear_objective,
+            regression_data.features,
+            regression_data.labels,
+            schedule,
+            0.01,
+        )
+        captured, _ = train_with_capture(
+            linear_objective,
+            regression_data.features,
+            regression_data.labels,
+            schedule,
+            0.01,
+        )
+        assert np.allclose(plain.weights, captured.weights)
+
+    def test_store_metadata(self, regression_data, linear_objective):
+        schedule = make_schedule(regression_data.n_samples, 40, 10, seed=33)
+        _, store = train_with_capture(
+            linear_objective,
+            regression_data.features,
+            regression_data.labels,
+            schedule,
+            0.01,
+        )
+        assert store.task == "linear"
+        assert store.n_samples == regression_data.n_samples
+        assert store.learning_rate == 0.01
+        assert store.regularization == linear_objective.regularization
+
+    def test_linear_gram_matches_definition(self, regression_data, linear_objective):
+        schedule = make_schedule(regression_data.n_samples, 30, 5, seed=34)
+        _, store = train_with_capture(
+            linear_objective,
+            regression_data.features,
+            regression_data.labels,
+            schedule,
+            0.01,
+            compression="none",
+        )
+        record = store.records[2]
+        assert isinstance(record, LinearRecord)
+        block = regression_data.features[record.batch]
+        assert np.allclose(record.summary, block.T @ block)
+        assert np.allclose(
+            record.moment, block.T @ regression_data.labels[record.batch]
+        )
+
+    def test_invalid_compression(self, regression_data, linear_objective):
+        schedule = make_schedule(regression_data.n_samples, 30, 5, seed=35)
+        with pytest.raises(ValueError):
+            train_with_capture(
+                linear_objective,
+                regression_data.features,
+                regression_data.labels,
+                schedule,
+                0.01,
+                compression="pca",
+            )
+
+    def test_unsupported_objective(self, regression_data):
+        class Weird:
+            regularization = 0.0
+
+            def n_parameters(self, m):
+                return m
+
+        schedule = make_schedule(regression_data.n_samples, 30, 5, seed=36)
+        with pytest.raises(TypeError):
+            train_with_capture(
+                Weird(),
+                regression_data.features,
+                regression_data.labels,
+                schedule,
+                0.01,
+            )
+
+    def test_freeze_rejected_for_linear(self, regression_data, linear_objective):
+        schedule = make_schedule(regression_data.n_samples, 30, 5, seed=37)
+        with pytest.raises(ValueError):
+            train_with_capture(
+                linear_objective,
+                regression_data.features,
+                regression_data.labels,
+                schedule,
+                0.01,
+                freeze_at=0.7,
+            )
+
+
+class TestLogisticCapture:
+    def test_coefficients_come_from_interpolator(self, binary_data, binary_objective):
+        from repro.linalg import sigmoid_complement_interpolator
+
+        interp = sigmoid_complement_interpolator(n_intervals=1000)
+        schedule = make_schedule(binary_data.n_samples, 25, 8, seed=38)
+        result, store = train_with_capture(
+            binary_objective,
+            binary_data.features,
+            binary_data.labels,
+            schedule,
+            0.1,
+            interpolator=interp,
+        )
+        record = store.records[0]
+        assert isinstance(record, LogisticRecord)
+        # First iteration: w = 0, all margins are 0.
+        slopes, intercepts = interp.coefficients(np.zeros(record.batch.size))
+        assert np.allclose(record.slopes, slopes)
+        assert np.allclose(record.intercepts, intercepts)
+
+    def test_freeze_fraction_clamped(self, binary_data, binary_objective):
+        schedule = make_schedule(binary_data.n_samples, 25, 10, seed=39)
+        _, store = train_with_capture(
+            binary_objective,
+            binary_data.features,
+            binary_data.labels,
+            schedule,
+            0.1,
+            freeze_at=0.05,  # 0.5 iterations -> clamps to 1
+        )
+        assert store.frozen is not None
+        assert store.frozen.t_s == 1
+
+    def test_frozen_gram_matches_full_dataset(self, binary_data, binary_objective):
+        schedule = make_schedule(binary_data.n_samples, 25, 20, seed=40)
+        _, store = train_with_capture(
+            binary_objective,
+            binary_data.features,
+            binary_data.labels,
+            schedule,
+            0.1,
+            freeze_at=0.5,
+        )
+        frozen = store.frozen
+        x = binary_data.features
+        expected = x.T @ (x * frozen.slopes[:, None])
+        assert np.allclose(frozen.gram, expected)
+        # Eigen state reconstructs the frozen gram.
+        recon = (
+            frozen.eigenvectors * frozen.eigenvalues
+        ) @ frozen.eigenvectors.T
+        assert np.allclose(recon, expected, atol=1e-8)

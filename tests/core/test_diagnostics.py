@@ -1,0 +1,111 @@
+"""Unit tests for the theorem-bound diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    convergence_check,
+    error_report,
+    interpolation_delta,
+    train_with_capture,
+)
+from repro.datasets import make_binary_classification, make_regression
+from repro.models import make_schedule, objective_for
+
+
+@pytest.fixture(scope="module")
+def logistic_store():
+    data = make_binary_classification(300, 8, seed=161)
+    objective = objective_for("binary_logistic", 0.05)
+    schedule = make_schedule(data.n_samples, 30, 60, seed=91)
+    _, store = train_with_capture(
+        objective, data.features, data.labels, schedule, 0.1, freeze_at=0.7,
+    )
+    return data, store
+
+
+class TestErrorReport:
+    def test_ingredients_present_for_logistic(self, logistic_store):
+        data, store = logistic_store
+        report = error_report(store, data.features, range(10))
+        assert report.n_removed == 10
+        assert report.deletion_fraction == pytest.approx(10 / store.n_samples)
+        assert report.interpolation_delta is not None
+        assert report.linearization_term is not None
+        assert report.freeze_tail == store.schedule.n_iterations - store.frozen.t_s
+        terms = report.dominant_terms()
+        assert "thm4:linearization" in terms
+        assert "thm9:freeze_tail_iterations" in terms
+
+    def test_linear_has_no_linearization_term(self):
+        data = make_regression(200, 6, seed=162)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 20, 30, seed=92)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+        )
+        report = error_report(store, data.features, [0, 1])
+        assert report.interpolation_delta is None
+        assert report.linearization_term is None
+        assert interpolation_delta(store) is None
+
+    def test_fraction_term_grows(self, logistic_store):
+        data, store = logistic_store
+        small = error_report(store, data.features, range(2)).fraction_term
+        large = error_report(store, data.features, range(50)).fraction_term
+        assert large > small
+
+    def test_removed_gram_norm_monotone(self, logistic_store):
+        data, store = logistic_store
+        small = error_report(store, data.features, range(2)).removed_gram_norm
+        large = error_report(store, data.features, range(40)).removed_gram_norm
+        assert large >= small
+
+    def test_custom_delta_overrides(self, logistic_store):
+        data, store = logistic_store
+        report = error_report(store, data.features, [0], delta=0.5)
+        assert report.interpolation_delta == 0.5
+
+    def test_svd_epsilon_exposed(self):
+        data = make_regression(150, 40, seed=163)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 15, 20, seed=93)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+            compression="svd", epsilon=0.07,
+        )
+        report = error_report(store, data.features, [0])
+        assert report.svd_epsilon == 0.07
+        assert "thm6/8:svd_epsilon" in report.dominant_terms()
+
+
+class TestConvergenceCheck:
+    def test_safe_rate_detected(self):
+        data = make_regression(200, 5, seed=164)
+        check = convergence_check(data.features, 0.1, 1e-4)
+        assert check["satisfies_lemma1"] == 1.0
+        assert check["learning_rate"] < check["safe_learning_rate"]
+
+    def test_unsafe_rate_detected(self):
+        data = make_regression(200, 5, seed=165)
+        check = convergence_check(data.features, 0.1, 100.0)
+        assert check["satisfies_lemma1"] == 0.0
+
+    def test_lipschitz_matches_direct_computation(self):
+        data = make_regression(150, 4, seed=166)
+        check = convergence_check(data.features, 0.2, 0.01)
+        direct = (
+            2.0 * np.linalg.norm(data.features.T @ data.features, 2)
+            / data.n_samples
+            + 0.2
+        )
+        assert check["lipschitz"] == pytest.approx(direct, rel=1e-3)
+
+    def test_sparse_features(self):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(1)
+        dense = rng.standard_normal((100, 20))
+        dense[np.abs(dense) < 1.0] = 0.0
+        check = convergence_check(sp.csr_matrix(dense), 0.1, 0.001)
+        assert check["lipschitz"] > 0

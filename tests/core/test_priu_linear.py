@@ -1,0 +1,140 @@
+"""PrIU for linear regression: exactness against BaseL (Eq. 13/14)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PrIUUpdater, train_with_capture
+from repro.datasets import make_regression
+from repro.models import make_schedule, objective_for, train
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = make_regression(500, 10, noise=0.05, seed=81)
+    objective = objective_for("linear", 0.1)
+    schedule = make_schedule(data.n_samples, 50, 150, seed=9)
+    result, store = train_with_capture(
+        objective, data.features, data.labels, schedule, 0.01,
+        compression="none",
+    )
+    return data, objective, schedule, result, store
+
+
+class TestExactness:
+    def test_no_deletion_replays_original(self, setup):
+        data, objective, schedule, result, store = setup
+        updater = PrIUUpdater(store, data.features, data.labels)
+        assert np.allclose(updater.update([]), result.weights, atol=1e-12)
+
+    @pytest.mark.parametrize("removed", [[0], [3, 100, 200], list(range(40))])
+    def test_deletion_equals_basel_exactly(self, setup, removed):
+        data, objective, schedule, result, store = setup
+        updater = PrIUUpdater(store, data.features, data.labels)
+        retrained = train(
+            objective, data.features, data.labels, schedule, 0.01,
+            exclude=set(removed),
+        )
+        assert np.allclose(updater.update(removed), retrained.weights, atol=1e-9)
+
+    def test_duplicate_removal_ids_deduplicated(self, setup):
+        data, objective, schedule, result, store = setup
+        updater = PrIUUpdater(store, data.features, data.labels)
+        assert np.allclose(
+            updater.update([5, 5, 5, 9]), updater.update([5, 9]), atol=1e-12
+        )
+
+    def test_update_does_not_mutate_store(self, setup):
+        data, objective, schedule, result, store = setup
+        updater = PrIUUpdater(store, data.features, data.labels)
+        before = [record.moment.copy() for record in store.records]
+        updater.update(list(range(30)))
+        for snapshot, record in zip(before, store.records):
+            assert np.array_equal(snapshot, record.moment)
+
+    def test_sequential_updates_independent(self, setup):
+        """Repeated deletions of different subsets don't interfere."""
+        data, objective, schedule, result, store = setup
+        updater = PrIUUpdater(store, data.features, data.labels)
+        first = updater.update([1, 2, 3])
+        second = updater.update([10, 20])
+        first_again = updater.update([1, 2, 3])
+        assert np.allclose(first, first_again, atol=1e-14)
+        assert not np.allclose(first, second)
+
+
+class TestSVDCompression:
+    def test_tight_epsilon_is_near_exact(self):
+        data = make_regression(300, 40, seed=82)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 20, 100, seed=3)  # B < m
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+            compression="svd", epsilon=1e-12,
+        )
+        retrained = train(
+            objective, data.features, data.labels, schedule, 0.01,
+            exclude=set(range(15)),
+        )
+        updater = PrIUUpdater(store, data.features, data.labels)
+        assert np.allclose(
+            updater.update(range(15)), retrained.weights, atol=1e-6
+        )
+
+    def test_loose_epsilon_bounded_deviation(self):
+        """Theorem 6: ε-truncation deviates O(ε)."""
+        data = make_regression(300, 40, seed=83)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 20, 100, seed=3)
+        removed = list(range(10))
+        retrained = train(
+            objective, data.features, data.labels, schedule, 0.01,
+            exclude=set(removed),
+        )
+        deviations = []
+        for epsilon in (0.3, 0.01):
+            _, store = train_with_capture(
+                objective, data.features, data.labels, schedule, 0.01,
+                compression="svd", epsilon=epsilon,
+            )
+            updater = PrIUUpdater(store, data.features, data.labels)
+            deviations.append(
+                np.linalg.norm(updater.update(removed) - retrained.weights)
+            )
+        # Tighter epsilon -> smaller deviation.
+        assert deviations[1] <= deviations[0]
+        assert deviations[1] < 0.05 * max(1.0, np.linalg.norm(retrained.weights))
+
+    def test_svd_ranks_bounded_by_batch(self):
+        data = make_regression(200, 60, seed=84)
+        objective = objective_for("linear", 0.0)
+        schedule = make_schedule(data.n_samples, 10, 30, seed=4)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+            compression="svd",
+        )
+        from repro.linalg import TruncatedSummary
+
+        for record in store.records:
+            assert isinstance(record.summary, TruncatedSummary)
+            assert record.summary.rank <= 10
+
+
+class TestAutoCompression:
+    def test_small_m_stays_dense(self):
+        data = make_regression(100, 5, seed=85)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 25, 10, seed=5)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+        )
+        assert store.compression == "none"
+        assert isinstance(store.records[0].summary, np.ndarray)
+
+    def test_large_m_compresses(self):
+        data = make_regression(100, 50, seed=86)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 10, 10, seed=5)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+        )
+        assert store.compression == "svd"

@@ -1,0 +1,144 @@
+"""PrIU for binary logistic regression (Eq. 19/20) — Theorem 5/8 accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.core import PrIUUpdater, train_with_capture
+from repro.datasets import make_binary_classification
+from repro.eval import cosine_similarity
+from repro.models import make_schedule, objective_for, train
+
+ETA = 0.1
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = make_binary_classification(600, 12, separation=1.0, seed=91)
+    objective = objective_for("binary_logistic", 0.01)
+    schedule = make_schedule(data.n_samples, 60, 250, seed=11)
+    result, store = train_with_capture(
+        objective, data.features, data.labels, schedule, ETA,
+        compression="none",
+    )
+    return data, objective, schedule, result, store
+
+
+def basel(setup, removed):
+    data, objective, schedule, *_ = setup
+    return train(
+        objective, data.features, data.labels, schedule, ETA,
+        exclude=set(removed),
+    ).weights
+
+
+class TestAccuracy:
+    def test_no_deletion_matches_original_to_linearization_error(self, setup):
+        data, objective, schedule, result, store = setup
+        updater = PrIUUpdater(store, data.features, data.labels)
+        replayed = updater.update([])
+        # Theorem 4: O(Δx²) with the default fine grid -> tiny.
+        assert np.linalg.norm(replayed - result.weights) < 1e-6
+
+    @pytest.mark.parametrize("n_removed", [1, 10, 60])
+    def test_deletion_close_to_basel(self, setup, n_removed):
+        data, *_ , store = setup
+        updater = PrIUUpdater(store, data.features, data.labels)
+        removed = list(range(n_removed))
+        reference = basel(setup, removed)
+        updated = updater.update(removed)
+        assert cosine_similarity(updated, reference) > 0.999
+        assert np.linalg.norm(updated - reference) < 0.05 * np.linalg.norm(
+            reference
+        ) + 1e-3
+
+    def test_error_grows_with_removal_fraction(self, setup):
+        """Theorem 5: deviation O(Δn/n · Δx) + O((Δn/n)²)."""
+        data, *_ , store = setup
+        updater = PrIUUpdater(store, data.features, data.labels)
+        errors = []
+        for n_removed in (5, 120):
+            removed = list(range(n_removed))
+            errors.append(
+                np.linalg.norm(updater.update(removed) - basel(setup, removed))
+            )
+        assert errors[0] < errors[1] + 1e-9
+
+    def test_validation_accuracy_preserved(self, setup):
+        """The paper's headline: same validation accuracy as BaseL."""
+        data, objective, schedule, result, store = setup
+        updater = PrIUUpdater(store, data.features, data.labels)
+        removed = list(range(60))
+        reference = basel(setup, removed)
+        updated = updater.update(removed)
+        acc_ref = objective.metric(
+            reference, data.valid_features, data.valid_labels
+        )
+        acc_upd = objective.metric(updated, data.valid_features, data.valid_labels)
+        assert acc_upd == pytest.approx(acc_ref, abs=0.02)
+
+
+class TestCoarseGrids:
+    def test_coarse_interpolation_still_reasonable(self):
+        from repro.linalg import sigmoid_complement_interpolator
+
+        data = make_binary_classification(300, 8, seed=92)
+        objective = objective_for("binary_logistic", 0.05)
+        schedule = make_schedule(data.n_samples, 30, 150, seed=12)
+        result, store = train_with_capture(
+            objective, data.features, data.labels, schedule, ETA,
+            interpolator=sigmoid_complement_interpolator(n_intervals=500),
+        )
+        updater = PrIUUpdater(store, data.features, data.labels)
+        reference = train(
+            objective, data.features, data.labels, schedule, ETA,
+            exclude=set(range(10)),
+        ).weights
+        updated = updater.update(range(10))
+        assert cosine_similarity(updated, reference) > 0.99
+
+    def test_finer_grid_reduces_error(self):
+        from repro.linalg import sigmoid_complement_interpolator
+
+        data = make_binary_classification(300, 8, seed=93)
+        objective = objective_for("binary_logistic", 0.05)
+        schedule = make_schedule(data.n_samples, 30, 150, seed=13)
+        removed = list(range(8))
+        reference = train(
+            objective, data.features, data.labels, schedule, ETA,
+            exclude=set(removed),
+        ).weights
+        errors = []
+        for n_intervals in (16, 4096):
+            _, store = train_with_capture(
+                objective, data.features, data.labels, schedule, ETA,
+                interpolator=sigmoid_complement_interpolator(
+                    n_intervals=n_intervals
+                ),
+            )
+            updater = PrIUUpdater(store, data.features, data.labels)
+            errors.append(np.linalg.norm(updater.update(removed) - reference))
+        assert errors[1] < errors[0]
+
+
+class TestRecordsContent:
+    def test_slopes_negative_and_aligned(self, setup):
+        data, *_ , store = setup
+        for record in store.records[:10]:
+            assert record.slopes.shape == record.batch.shape
+            assert record.intercepts.shape == record.batch.shape
+            assert np.all(record.slopes <= 0)
+
+    def test_moment_matches_definition(self, setup):
+        data, *_ , store = setup
+        record = store.records[0]
+        block = data.features[record.batch]
+        y = data.labels[record.batch]
+        expected = block.T @ (record.intercepts * y)
+        assert np.allclose(record.moment, expected)
+
+    def test_dense_summary_matches_definition(self, setup):
+        data, *_ , store = setup
+        record = store.records[0]
+        block = data.features[record.batch]
+        expected = block.T @ (block * record.slopes[:, None])
+        assert np.allclose(record.summary, expected)

@@ -1,0 +1,121 @@
+"""PrIU for multinomial logistic regression (softmax linearization)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PrIUUpdater, train_with_capture
+from repro.datasets import make_multiclass_classification
+from repro.eval import cosine_similarity
+from repro.models import make_schedule, objective_for, train
+
+ETA = 0.05
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = make_multiclass_classification(700, 15, n_classes=4, seed=95)
+    objective = objective_for("multinomial_logistic", 0.01, n_classes=4)
+    schedule = make_schedule(data.n_samples, 70, 200, seed=15)
+    result, store = train_with_capture(
+        objective, data.features, data.labels, schedule, ETA,
+        compression="none",
+    )
+    return data, objective, schedule, result, store
+
+
+def basel(setup, removed):
+    data, objective, schedule, *_ = setup
+    return train(
+        objective, data.features, data.labels, schedule, ETA,
+        exclude=set(removed),
+    ).weights
+
+
+class TestAccuracy:
+    def test_replay_without_deletion_matches(self, setup):
+        data, objective, schedule, result, store = setup
+        updater = PrIUUpdater(store, data.features, data.labels)
+        assert np.allclose(updater.update([]), result.weights, atol=1e-10)
+
+    @pytest.mark.parametrize("n_removed", [1, 15, 70])
+    def test_deletion_close_to_basel(self, setup, n_removed):
+        data, *_ , store = setup
+        updater = PrIUUpdater(store, data.features, data.labels)
+        removed = list(range(n_removed))
+        reference = basel(setup, removed)
+        updated = updater.update(removed)
+        assert cosine_similarity(updated, reference) > 0.995
+        assert np.linalg.norm(updated - reference) < 0.1 * np.linalg.norm(
+            reference
+        ) + 1e-3
+
+    def test_validation_accuracy_preserved(self, setup):
+        data, objective, *_ , store = setup
+        updater = PrIUUpdater(store, data.features, data.labels)
+        removed = list(range(50))
+        reference = basel(setup, removed)
+        acc_ref = objective.metric(
+            reference, data.valid_features, data.valid_labels
+        )
+        acc_upd = objective.metric(
+            updater.update(removed), data.valid_features, data.valid_labels
+        )
+        assert acc_upd == pytest.approx(acc_ref, abs=0.03)
+
+    def test_svd_compression_agrees_with_dense(self, setup):
+        data, objective, schedule, result, _ = setup
+        _, store_svd = train_with_capture(
+            objective, data.features, data.labels, schedule, ETA,
+            compression="svd", epsilon=1e-10,
+        )
+        _, store_dense = train_with_capture(
+            objective, data.features, data.labels, schedule, ETA,
+            compression="none",
+        )
+        removed = list(range(20))
+        dense = PrIUUpdater(store_dense, data.features, data.labels).update(removed)
+        compressed = PrIUUpdater(store_svd, data.features, data.labels).update(
+            removed
+        )
+        assert np.allclose(dense, compressed, atol=1e-6)
+
+
+class TestRecords:
+    def test_cached_state_shapes(self, setup):
+        data, objective, *_ , store = setup
+        q = objective.n_classes
+        record = store.records[0]
+        assert record.probabilities.shape == (record.batch.size, q)
+        assert record.wx.shape == (record.batch.size, q)
+        assert record.moment.shape == (q, data.features.shape[1])
+
+    def test_probabilities_are_distributions(self, setup):
+        *_, store = setup
+        for record in store.records[:5]:
+            assert np.allclose(record.probabilities.sum(axis=1), 1.0)
+            assert np.all(record.probabilities >= 0)
+
+    def test_moment_matches_definition(self, setup):
+        """D^(t) = Σ_i (Λ_i u_i - p_i + e_{y_i}) x_iᵀ."""
+        data, *_ , store = setup
+        record = store.records[3]
+        block = data.features[record.batch]
+        y = data.labels[record.batch].astype(int)
+        probs, wx = record.probabilities, record.wx
+        pu = np.einsum("ik,ik->i", probs, wx)
+        coeff = probs * wx - probs * pu[:, None] - probs
+        coeff[np.arange(len(y)), y] += 1.0
+        assert np.allclose(record.moment, coeff.T @ block)
+
+    def test_dense_summary_matches_kron_definition(self, setup):
+        data, *_ , store = setup
+        record = store.records[0]
+        block = data.features[record.batch]
+        probs = record.probabilities
+        q = probs.shape[1]
+        m = block.shape[1]
+        expected = np.zeros((q * m, q * m))
+        for i in range(block.shape[0]):
+            lam = np.diag(probs[i]) - np.outer(probs[i], probs[i])
+            expected -= np.kron(lam, np.outer(block[i], block[i]))
+        assert np.allclose(record.summary, expected, atol=1e-8)

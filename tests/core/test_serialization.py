@@ -1,0 +1,130 @@
+"""Unit tests for provenance-store serialization (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PrIUUpdater, load_store, save_store, train_with_capture
+from repro.datasets import (
+    make_binary_classification,
+    make_multiclass_classification,
+    make_regression,
+    make_sparse_binary_classification,
+)
+from repro.models import make_schedule, objective_for
+
+
+def roundtrip(store, tmp_path):
+    path = save_store(store, tmp_path / "store.npz")
+    return load_store(path)
+
+
+def updates_agree(store, reloaded, features, labels, removed):
+    original = PrIUUpdater(store, features, labels).update(removed)
+    restored = PrIUUpdater(reloaded, features, labels).update(removed)
+    return np.allclose(original, restored, atol=1e-12)
+
+
+class TestRoundTrips:
+    def test_linear_dense(self, tmp_path):
+        data = make_regression(150, 6, seed=171)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 15, 30, seed=95)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+            compression="none",
+        )
+        reloaded = roundtrip(store, tmp_path)
+        assert reloaded.task == "linear"
+        assert len(reloaded) == len(store)
+        assert updates_agree(
+            store, reloaded, data.features, data.labels, [0, 5, 9]
+        )
+
+    def test_linear_svd(self, tmp_path):
+        data = make_regression(150, 40, seed=172)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 10, 20, seed=96)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+            compression="svd",
+        )
+        reloaded = roundtrip(store, tmp_path)
+        assert reloaded.compression == "svd"
+        assert updates_agree(store, reloaded, data.features, data.labels, [1])
+
+    def test_binary_with_frozen_state(self, tmp_path):
+        data = make_binary_classification(200, 8, seed=173)
+        objective = objective_for("binary_logistic", 0.05)
+        schedule = make_schedule(data.n_samples, 20, 40, seed=97)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.1,
+            freeze_at=0.7,
+        )
+        reloaded = roundtrip(store, tmp_path)
+        assert reloaded.frozen is not None
+        assert reloaded.frozen.t_s == store.frozen.t_s
+        assert np.allclose(reloaded.frozen.eigenvalues, store.frozen.eigenvalues)
+        # PrIU-opt still works from the reloaded store.
+        from repro.core import PrIUOptLogisticUpdater
+
+        original = PrIUOptLogisticUpdater(
+            store, data.features, data.labels
+        ).update([0, 1])
+        restored = PrIUOptLogisticUpdater(
+            reloaded, data.features, data.labels
+        ).update([0, 1])
+        assert np.allclose(original, restored, atol=1e-12)
+
+    def test_multinomial(self, tmp_path):
+        data = make_multiclass_classification(200, 8, n_classes=3, seed=174)
+        objective = objective_for("multinomial_logistic", 0.05, n_classes=3)
+        schedule = make_schedule(data.n_samples, 20, 25, seed=98)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.05,
+        )
+        reloaded = roundtrip(store, tmp_path)
+        assert reloaded.n_classes == 3
+        assert updates_agree(
+            store, reloaded, data.features, data.labels, [3, 4]
+        )
+
+    def test_sparse_coefficient_store(self, tmp_path):
+        data = make_sparse_binary_classification(200, 100, density=0.03, seed=175)
+        objective = objective_for("binary_logistic", 0.05)
+        schedule = make_schedule(data.n_samples, 20, 20, seed=99)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.05,
+        )
+        reloaded = roundtrip(store, tmp_path)
+        assert reloaded.sparse_mode
+        assert updates_agree(store, reloaded, data.features, data.labels, [2])
+
+    def test_schedule_reconstructed_identically(self, tmp_path):
+        data = make_regression(100, 4, seed=176)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 10, 15, seed=100)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+        )
+        reloaded = roundtrip(store, tmp_path)
+        for original, restored in zip(
+            store.schedule.batches, reloaded.schedule.batches
+        ):
+            assert np.array_equal(original, restored)
+
+    def test_version_check(self, tmp_path):
+        data = make_regression(50, 3, seed=177)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 10, 5, seed=101)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+        )
+        path = save_store(store, tmp_path / "s.npz")
+        # Corrupt the version field.
+        archive = dict(np.load(path, allow_pickle=False))
+        meta = archive["__meta__"].copy()
+        meta[0] = "999"
+        archive["__meta__"] = meta
+        np.savez_compressed(path, **archive)
+        with pytest.raises(ValueError):
+            load_store(path)

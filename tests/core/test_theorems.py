@@ -1,0 +1,159 @@
+"""Empirical validation of the paper's theorems (Sec. 4.3-4.4, Sec. 5).
+
+Each test exercises the *scaling* a theorem claims, not just a point value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PrIUUpdater, train_with_capture
+from repro.datasets import make_binary_classification, make_regression
+from repro.linalg import sigmoid_complement_interpolator
+from repro.models import make_schedule, objective_for, train
+
+ETA = 0.1
+
+
+@pytest.fixture(scope="module")
+def binary():
+    data = make_binary_classification(500, 8, seed=151)
+    objective = objective_for("binary_logistic", 0.05)
+    schedule = make_schedule(data.n_samples, 50, 200, seed=61)
+    return data, objective, schedule
+
+
+class TestTheorem4:
+    """||E(w - w_L)|| = O((Δx)²)."""
+
+    def test_quadratic_error_decay(self, binary):
+        data, objective, schedule = binary
+        exact = train(objective, data.features, data.labels, schedule, ETA)
+
+        def linearized_error(n_intervals):
+            interp = sigmoid_complement_interpolator(
+                half_width=10, n_intervals=n_intervals
+            )
+            approx = train(
+                objective, data.features, data.labels, schedule, ETA,
+                linearize=interp,
+            )
+            return np.linalg.norm(approx.weights - exact.weights)
+
+        errors = [linearized_error(n) for n in (20, 40, 80)]
+        # Each doubling of the grid should shrink error ~4x (allow 2.5x).
+        assert errors[1] < errors[0] / 2.5
+        assert errors[2] < errors[1] / 2.5
+
+
+class TestTheorem5:
+    """||E(w_LU - w_RU)|| = O(Δn/n · Δx) + O((Δn/n)²) + O((Δx)²)."""
+
+    def test_error_monotone_in_deletion_fraction(self, binary):
+        data, objective, schedule = binary
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, ETA,
+            compression="none",
+        )
+        updater = PrIUUpdater(store, data.features, data.labels)
+        fractions = (0.01, 0.05, 0.2)
+        errors = []
+        for fraction in fractions:
+            removed = list(range(int(fraction * data.n_samples)))
+            reference = train(
+                objective, data.features, data.labels, schedule, ETA,
+                exclude=set(removed),
+            ).weights
+            errors.append(np.linalg.norm(updater.update(removed) - reference))
+        assert errors[0] <= errors[-1] + 1e-9
+
+    def test_error_small_relative_to_model(self, binary):
+        data, objective, schedule = binary
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, ETA,
+            compression="none",
+        )
+        updater = PrIUUpdater(store, data.features, data.labels)
+        removed = list(range(25))  # 5%
+        reference = train(
+            objective, data.features, data.labels, schedule, ETA,
+            exclude=set(removed),
+        ).weights
+        relative = np.linalg.norm(
+            updater.update(removed) - reference
+        ) / np.linalg.norm(reference)
+        assert relative < 0.02
+
+
+class TestTheorem6:
+    """SVD approximation deviation is O(ε)."""
+
+    def test_deviation_shrinks_with_epsilon(self):
+        data = make_regression(250, 40, seed=152)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 20, 80, seed=62)
+        removed = list(range(10))
+        reference = train(
+            objective, data.features, data.labels, schedule, 0.01,
+            exclude=set(removed),
+        ).weights
+        errors = []
+        for epsilon in (0.5, 0.05, 1e-4):
+            _, store = train_with_capture(
+                objective, data.features, data.labels, schedule, 0.01,
+                compression="svd", epsilon=epsilon,
+            )
+            updater = PrIUUpdater(store, data.features, data.labels)
+            errors.append(np.linalg.norm(updater.update(removed) - reference))
+        assert errors[0] >= errors[1] >= errors[2] - 1e-12
+        assert errors[2] < 1e-3
+
+
+class TestTheorem7:
+    """PrIU-opt linear deviation is O(||ΔXᵀΔX||)."""
+
+    def test_deviation_tracks_removed_gram_norm(self):
+        from repro.core import PrIUOptLinearUpdater
+
+        data = make_regression(300, 8, seed=153)
+        objective = objective_for("linear", 0.1)
+        tau, eta = 300, 0.005
+        updater = PrIUOptLinearUpdater(data.features, data.labels, tau, eta, 0.1)
+        schedule = make_schedule(data.n_samples, data.n_samples, tau, kind="gd")
+
+        def gd_error(removed):
+            reference = train(
+                objective, data.features, data.labels, schedule, eta,
+                exclude=set(removed),
+            ).weights
+            return np.linalg.norm(updater.update(removed) - reference)
+
+        def gram_norm(removed):
+            rows = data.features[list(removed)]
+            return np.linalg.norm(rows.T @ rows, 2)
+
+        small, large = range(3), range(60)
+        assert gram_norm(small) < gram_norm(large)
+        assert gd_error(small) < gd_error(large) + 1e-12
+
+
+class TestTheorem9:
+    """PrIU-opt logistic deviation includes the O((τ - t_s)δ) freeze term."""
+
+    def test_later_freeze_is_more_accurate(self, binary):
+        from repro.core import PrIUOptLogisticUpdater
+
+        data, objective, schedule = binary
+        removed = list(range(10))
+        reference = train(
+            objective, data.features, data.labels, schedule, ETA,
+            exclude=set(removed),
+        ).weights
+        errors = {}
+        for freeze in (0.3, 0.9):
+            _, store = train_with_capture(
+                objective, data.features, data.labels, schedule, ETA,
+                compression="none", freeze_at=freeze,
+            )
+            opt = PrIUOptLogisticUpdater(store, data.features, data.labels)
+            errors[freeze] = np.linalg.norm(opt.update(removed) - reference)
+        assert errors[0.9] <= errors[0.3] + 1e-9

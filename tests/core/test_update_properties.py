@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) on the deletion-propagation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PrIUUpdater, train_with_capture
+from repro.datasets import make_regression
+from repro.models import make_schedule, objective_for, train
+
+# One shared fitted run; hypothesis varies the removal sets.
+_DATA = make_regression(80, 4, noise=0.05, seed=181)
+_OBJECTIVE = objective_for("linear", 0.1)
+_SCHEDULE = make_schedule(_DATA.n_samples, 10, 30, seed=103)
+_RESULT, _STORE = train_with_capture(
+    _OBJECTIVE, _DATA.features, _DATA.labels, _SCHEDULE, 0.02,
+    compression="none",
+)
+_UPDATER = PrIUUpdater(_STORE, _DATA.features, _DATA.labels)
+
+
+@st.composite
+def removal_sets(draw, max_size=20):
+    return draw(
+        st.lists(
+            st.integers(min_value=0, max_value=_DATA.n_samples - 1),
+            max_size=max_size,
+            unique=True,
+        )
+    )
+
+
+class TestDeletionPropagationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(removal_sets())
+    def test_priu_equals_basel_for_any_subset(self, removed):
+        """The central invariant: zero-out == retrain, exactly (linear)."""
+        retrained = train(
+            _OBJECTIVE, _DATA.features, _DATA.labels, _SCHEDULE, 0.02,
+            exclude=set(removed),
+        )
+        assert np.allclose(
+            _UPDATER.update(removed), retrained.weights, atol=1e-9
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(removal_sets())
+    def test_update_is_a_pure_function(self, removed):
+        first = _UPDATER.update(removed)
+        second = _UPDATER.update(removed)
+        assert np.array_equal(first, second)
+
+    @settings(max_examples=25, deadline=None)
+    @given(removal_sets())
+    def test_order_and_duplicates_irrelevant(self, removed):
+        doubled = list(removed) + list(reversed(removed))
+        assert np.allclose(
+            _UPDATER.update(removed), _UPDATER.update(doubled), atol=1e-12
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(removal_sets(max_size=8), removal_sets(max_size=8))
+    def test_supersets_move_at_least_as_far_structurally(self, a, b):
+        """Deleting A∪B differs from deleting A unless B adds nothing new."""
+        union = sorted(set(a) | set(b))
+        if set(union) == set(a):
+            assert np.allclose(
+                _UPDATER.update(a), _UPDATER.update(union), atol=1e-12
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(removal_sets())
+    def test_finite_outputs(self, removed):
+        updated = _UPDATER.update(removed)
+        assert np.isfinite(updated).all()
+        assert updated.shape == _RESULT.weights.shape
+
+
+class TestScheduleProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=60),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=25),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_batches_always_valid(self, n, batch_size, iterations, seed):
+        schedule = make_schedule(n, batch_size, iterations, seed=seed)
+        assert len(schedule) == iterations
+        for batch in schedule:
+            assert batch.size == min(batch_size, n)
+            assert batch.min() >= 0
+            assert batch.max() < n
+            assert np.unique(batch).size == batch.size  # no duplicates
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=5, max_value=40),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_surviving_plus_removed_is_batch(self, n, seed):
+        schedule = make_schedule(n, 5, 6, seed=seed)
+        removed = set(range(0, n, 3))
+        for t in range(len(schedule)):
+            surviving = schedule.surviving(t, removed)
+            dropped = schedule.removed_in_batch(t, removed)
+            combined = np.sort(np.concatenate([surviving, dropped]))
+            assert np.array_equal(combined, schedule[t])

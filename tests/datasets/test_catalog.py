@@ -1,0 +1,69 @@
+"""Unit tests for the dataset catalog (Table 1 analogues)."""
+
+import pytest
+
+from repro.datasets import CATALOG, load
+from repro.datasets import catalog
+
+
+class TestCatalogShapes:
+    def test_sgemm_regime(self):
+        data = catalog.sgemm(scale=0.02)
+        assert data.task == "linear"
+        assert data.n_features == 18
+
+    def test_sgemm_extended_has_more_features(self):
+        data = catalog.sgemm_extended(scale=0.02)
+        assert data.n_features == 318
+
+    def test_covtype_regime(self):
+        data = catalog.covtype(scale=0.01)
+        assert data.task == "multinomial_logistic"
+        assert data.n_features == 54
+        assert data.n_classes == 7
+
+    def test_higgs_regime(self):
+        data = catalog.higgs(scale=0.005)
+        assert data.task == "binary_logistic"
+        assert data.n_features == 28
+
+    def test_rcv1_is_sparse_large_features(self):
+        data = catalog.rcv1(scale=0.05)
+        assert data.is_sparse
+        assert data.n_features >= 1000
+
+    def test_heartbeat_parameter_count(self):
+        data = catalog.heartbeat(scale=0.02)
+        assert data.n_features == 188
+        assert data.n_classes == 5
+        assert 900 <= data.n_parameters <= 1000
+
+    def test_cifar10_regime(self):
+        data = catalog.cifar10(scale=0.05)
+        assert data.n_classes == 10
+        assert data.n_parameters > 1000
+
+    def test_extended_datasets_tile(self):
+        base = catalog.covtype(scale=0.01)
+        extended = catalog.covtype_extended(scale=0.01, copies=3)
+        assert extended.n_samples == 3 * base.n_samples
+
+
+class TestLoader:
+    def test_load_by_name(self):
+        data = load("HIGGS", scale=0.005)
+        assert data.name == "HIGGS"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("MNIST")
+
+    def test_catalog_names_all_loadable(self):
+        for name in CATALOG:
+            data = load(name, scale=0.003)
+            assert data.n_samples > 0
+
+    def test_scale_shrinks(self):
+        small = load("Cov", scale=0.005)
+        large = load("Cov", scale=0.02)
+        assert small.n_samples < large.n_samples

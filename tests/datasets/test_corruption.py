@@ -1,0 +1,94 @@
+"""Unit tests for dirty-sample injection and repeated-deletion workloads."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import (
+    inject_dirty,
+    make_binary_classification,
+    make_multiclass_classification,
+    make_regression,
+    make_sparse_binary_classification,
+    random_subsets,
+)
+
+
+class TestInjectDirty:
+    def test_deletion_rate_respected(self):
+        data = make_regression(1000, 5, seed=21)
+        dirty = inject_dirty(data.features, data.labels, 0.05, seed=1)
+        assert dirty.dirty_indices.size == round(0.05 * data.n_samples)
+        assert dirty.deletion_rate == pytest.approx(0.05, rel=0.1)
+
+    def test_regression_labels_rescaled(self):
+        data = make_regression(500, 5, seed=22)
+        dirty = inject_dirty(data.features, data.labels, 0.1, seed=2)
+        idx = dirty.dirty_indices
+        assert np.allclose(dirty.labels[idx], data.labels[idx] * -5.0)
+        clean = np.setdiff1d(np.arange(data.n_samples), idx)
+        assert np.array_equal(dirty.labels[clean], data.labels[clean])
+
+    def test_binary_labels_flipped(self):
+        data = make_binary_classification(500, 5, seed=23)
+        dirty = inject_dirty(data.features, data.labels, 0.1, seed=3)
+        idx = dirty.dirty_indices
+        assert np.array_equal(dirty.labels[idx], -data.labels[idx])
+
+    def test_multiclass_labels_changed(self):
+        data = make_multiclass_classification(500, 5, n_classes=4, seed=24)
+        dirty = inject_dirty(data.features, data.labels, 0.1, seed=4)
+        idx = dirty.dirty_indices
+        assert np.all(dirty.labels[idx] != data.labels[idx])
+        assert dirty.labels.max() < 4
+
+    def test_features_rescaled(self):
+        data = make_regression(300, 4, seed=25)
+        dirty = inject_dirty(data.features, data.labels, 0.1, seed=5)
+        idx = dirty.dirty_indices
+        assert np.allclose(dirty.features[idx], data.features[idx] * 10.0)
+
+    def test_original_arrays_untouched(self):
+        data = make_regression(300, 4, seed=26)
+        before = data.features.copy()
+        inject_dirty(data.features, data.labels, 0.1, seed=6)
+        assert np.array_equal(data.features, before)
+
+    def test_sparse_injection(self):
+        data = make_sparse_binary_classification(300, 100, seed=27)
+        dirty = inject_dirty(data.features, data.labels, 0.1, seed=7)
+        assert sp.issparse(dirty.features)
+        idx = dirty.dirty_indices
+        original = np.asarray(data.features[idx].todense())
+        corrupted = np.asarray(dirty.features[idx].todense())
+        assert np.allclose(corrupted, original * 10.0)
+
+    def test_invalid_rate(self):
+        data = make_regression(100, 3, seed=28)
+        for rate in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ValueError):
+                inject_dirty(data.features, data.labels, rate)
+
+    def test_tiny_rate_yields_at_least_one(self):
+        data = make_regression(100, 3, seed=29)
+        dirty = inject_dirty(data.features, data.labels, 1e-5, seed=8)
+        assert dirty.dirty_indices.size == 1
+
+
+class TestRandomSubsets:
+    def test_count_and_size(self):
+        subsets = random_subsets(10_000, 10, 0.001, seed=9)
+        assert len(subsets) == 10
+        assert all(s.size == 10 for s in subsets)
+
+    def test_subsets_differ(self):
+        subsets = random_subsets(1000, 5, 0.05, seed=10)
+        assert any(
+            not np.array_equal(subsets[0], other) for other in subsets[1:]
+        )
+
+    def test_indices_valid_and_unique(self):
+        for subset in random_subsets(500, 4, 0.1, seed=11):
+            assert subset.min() >= 0
+            assert subset.max() < 500
+            assert np.unique(subset).size == subset.size

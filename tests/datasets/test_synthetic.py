@@ -1,0 +1,123 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import (
+    concatenate_copies,
+    extend_features,
+    make_binary_classification,
+    make_multiclass_classification,
+    make_regression,
+    make_sparse_binary_classification,
+)
+
+
+class TestRegression:
+    def test_shapes_and_split(self):
+        data = make_regression(1000, 12, seed=1)
+        assert data.features.shape == (900, 12)
+        assert data.valid_features.shape == (100, 12)
+        assert data.task == "linear"
+        assert data.n_parameters == 12
+
+    def test_deterministic(self):
+        a = make_regression(100, 5, seed=2)
+        b = make_regression(100, 5, seed=2)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_learnable(self):
+        from repro.models import closed_form_solution, objective_for
+
+        data = make_regression(2000, 8, noise=0.05, seed=3)
+        w = closed_form_solution(data.features, data.labels, 0.0)
+        obj = objective_for("linear", 0.0)
+        assert obj.metric(w, data.valid_features, data.valid_labels) < 0.1
+
+    def test_spectral_decay_produces_low_rank(self):
+        # With decay k^-1 over m=40 directions the spectrum spans a factor
+        # of ~40, so the 5%-of-top threshold truncates well below full rank.
+        data = make_regression(500, 40, seed=4, spectral_decay=1.0)
+        s = np.linalg.svd(data.features, compute_uv=False)
+        assert np.sum(s > 0.05 * s[0]) < 30
+
+    def test_no_decay_is_flat(self):
+        data = make_regression(500, 40, seed=4, spectral_decay=0.0)
+        s = np.linalg.svd(data.features, compute_uv=False)
+        assert np.sum(s > 0.01 * s[0]) == 40
+
+
+class TestBinary:
+    def test_labels_are_plus_minus_one(self):
+        data = make_binary_classification(200, 6, seed=5)
+        assert set(np.unique(data.labels)) == {-1.0, 1.0}
+        assert data.task == "binary_logistic"
+
+    def test_separable_enough(self):
+        from repro.models import make_schedule, objective_for, train
+
+        data = make_binary_classification(1000, 8, separation=2.0, seed=6)
+        obj = objective_for("binary_logistic", 0.01)
+        schedule = make_schedule(data.n_samples, 50, 300, seed=1)
+        result = train(obj, data.features, data.labels, schedule, 0.2)
+        acc = obj.metric(result.weights, data.valid_features, data.valid_labels)
+        assert acc > 0.9
+
+
+class TestMulticlass:
+    def test_label_range(self):
+        data = make_multiclass_classification(300, 7, n_classes=5, seed=7)
+        assert data.labels.min() >= 0
+        assert data.labels.max() <= 4
+        assert data.n_classes == 5
+        assert data.n_parameters == 35
+
+    def test_every_class_present(self):
+        data = make_multiclass_classification(500, 6, n_classes=4, seed=8)
+        assert set(np.unique(data.labels)) == {0, 1, 2, 3}
+
+
+class TestSparse:
+    def test_csr_and_density(self):
+        data = make_sparse_binary_classification(400, 800, density=0.01, seed=9)
+        assert sp.isspmatrix_csr(data.features)
+        assert data.is_sparse
+        density = data.features.nnz / (data.features.shape[0] * 800)
+        assert density == pytest.approx(0.01, rel=0.3)
+
+    def test_labels_pm_one(self):
+        data = make_sparse_binary_classification(200, 300, seed=10)
+        assert set(np.unique(data.labels)) <= {-1.0, 1.0}
+
+
+class TestTransforms:
+    def test_extend_features(self):
+        base = make_regression(200, 10, seed=11)
+        extended = extend_features(base, 25, seed=12)
+        assert extended.n_features == 35
+        assert np.array_equal(extended.features[:, :10], base.features)
+        assert np.array_equal(extended.labels, base.labels)
+
+    def test_extend_rejects_sparse(self):
+        data = make_sparse_binary_classification(100, 50, seed=13)
+        with pytest.raises(ValueError):
+            extend_features(data, 5)
+
+    def test_concatenate_copies(self):
+        base = make_multiclass_classification(100, 5, n_classes=3, seed=14)
+        tiled = concatenate_copies(base, 4, seed=15)
+        assert tiled.n_samples == 4 * base.n_samples
+        assert np.array_equal(tiled.labels[: base.n_samples], base.labels)
+        # Copies are perturbed, not identical (keeps grams non-degenerate).
+        assert not np.array_equal(
+            tiled.features[: base.n_samples],
+            tiled.features[base.n_samples : 2 * base.n_samples],
+        )
+
+    def test_concatenate_sparse(self):
+        data = make_sparse_binary_classification(100, 60, seed=16)
+        tiled = concatenate_copies(data, 3)
+        assert sp.issparse(tiled.features)
+        assert tiled.n_samples == 3 * data.n_samples

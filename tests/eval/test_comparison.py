@@ -1,0 +1,60 @@
+"""Unit tests for model comparison and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.eval import compare_updated_models, format_table
+from repro.models import objective_for
+
+
+class TestCompareUpdatedModels:
+    def test_identical_models(self, rng):
+        obj = objective_for("linear", 0.1)
+        x = rng.standard_normal((30, 4))
+        y = rng.standard_normal(30)
+        w = rng.standard_normal(4)
+        comparison = compare_updated_models("priu", obj, w, w.copy(), x, y)
+        assert comparison.distance == 0.0
+        assert comparison.similarity == 1.0
+        assert comparison.sign_flips == 0
+        assert comparison.candidate_metric == comparison.reference_metric
+
+    def test_diverging_model_flagged(self, rng):
+        obj = objective_for("binary_logistic", 0.1)
+        x = rng.standard_normal((40, 4))
+        y = np.where(rng.standard_normal(40) > 0, 1.0, -1.0)
+        reference = rng.standard_normal(4)
+        candidate = -reference  # opposite direction
+        comparison = compare_updated_models("infl", obj, reference, candidate, x, y)
+        assert comparison.similarity == pytest.approx(-1.0)
+        assert comparison.sign_flips == 4
+        assert comparison.distance > 0
+
+    def test_row_is_flat_dict(self, rng):
+        obj = objective_for("linear", 0.0)
+        x = rng.standard_normal((10, 3))
+        y = rng.standard_normal(10)
+        w = rng.standard_normal(3)
+        row = compare_updated_models("m", obj, w, w + 0.01, x, y).row()
+        assert row["method"] == "m"
+        assert set(row) >= {"distance", "similarity", "sign_flips"}
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        rows = [
+            {"a": 1, "b": 0.5},
+            {"a": 200, "b": 1.25e-7},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "200" in text
+        assert "1.250e-07" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_missing_column_filled(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "b" in text

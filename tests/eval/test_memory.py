@@ -1,0 +1,49 @@
+"""Unit tests for memory accounting (Table 3)."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core import train_with_capture
+from repro.datasets import make_regression
+from repro.eval import data_bytes, memory_report
+from repro.models import make_schedule, objective_for
+
+
+class TestDataBytes:
+    def test_dense(self):
+        x = np.zeros((10, 4))
+        y = np.zeros(10)
+        assert data_bytes(x, y) == x.nbytes + y.nbytes
+
+    def test_sparse_counts_csr_arrays(self):
+        x = sp.random(50, 40, density=0.1, format="csr")
+        y = np.zeros(50)
+        expected = x.data.nbytes + x.indices.nbytes + x.indptr.nbytes + y.nbytes
+        assert data_bytes(x, y) == expected
+
+
+class TestMemoryReport:
+    def test_priu_exceeds_basel(self):
+        data = make_regression(200, 6, seed=31)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 20, 50, seed=1)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+        )
+        report = memory_report("test", data.features, data.labels, store)
+        assert report.priu > report.basel
+        assert report.priu_opt is None
+        row = report.row()
+        assert row["PrIU ratio"] > 1.0
+
+    def test_opt_state_added(self):
+        data = make_regression(100, 5, seed=32)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 20, 10, seed=2)
+        _, store = train_with_capture(
+            objective, data.features, data.labels, schedule, 0.01,
+        )
+        report = memory_report(
+            "t", data.features, data.labels, store, opt_state_bytes=1000
+        )
+        assert report.priu_opt == report.priu + 1000

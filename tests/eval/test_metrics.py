@@ -1,0 +1,74 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    accuracy,
+    cosine_similarity,
+    l2_distance,
+    magnitude_change,
+    mse,
+    sign_flips,
+)
+
+
+class TestBasicMetrics:
+    def test_mse(self):
+        assert mse(np.array([1.0, 2.0]), np.array([1.0, 4.0])) == 2.0
+        assert mse(np.zeros(5), np.zeros(5)) == 0.0
+
+    def test_accuracy(self):
+        assert accuracy(np.array([1, -1, 1]), np.array([1, 1, 1])) == pytest.approx(
+            2 / 3
+        )
+
+    def test_l2_distance(self):
+        assert l2_distance(np.array([3.0, 0.0]), np.array([0.0, 4.0])) == 5.0
+        assert l2_distance(np.ones(4), np.ones(4)) == 0.0
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self):
+        v = np.array([1.0, -2.0])
+        assert cosine_similarity(v, -v) == pytest.approx(-1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == (
+            pytest.approx(0.0)
+        )
+
+    def test_zero_vectors(self):
+        assert cosine_similarity(np.zeros(3), np.zeros(3)) == 1.0
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_scale_invariance(self):
+        a = np.array([1.0, 2.0, -1.0])
+        assert cosine_similarity(a, 7.5 * a) == pytest.approx(1.0)
+
+
+class TestFineGrained:
+    def test_sign_flips_counts(self):
+        ref = np.array([1.0, -1.0, 2.0, -2.0])
+        cand = np.array([1.0, 1.0, -2.0, -2.0])
+        assert sign_flips(ref, cand) == 2
+
+    def test_sign_flips_ignores_zeros(self):
+        ref = np.array([0.0, 1.0])
+        cand = np.array([-1.0, 1.0])
+        assert sign_flips(ref, cand) == 0
+
+    def test_magnitude_change(self):
+        ref = np.array([2.0, 4.0])
+        cand = np.array([2.2, 4.0])
+        change = magnitude_change(ref, cand)
+        assert change.max_relative == pytest.approx(0.1)
+        assert change.mean_relative == pytest.approx(0.05)
+
+    def test_magnitude_change_all_zero_reference(self):
+        change = magnitude_change(np.zeros(3), np.ones(3))
+        assert change.max_relative == 0.0

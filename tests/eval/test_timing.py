@@ -1,0 +1,43 @@
+"""Unit tests for timing helpers."""
+
+import time
+
+import pytest
+
+from repro.eval import Stopwatch, Timing, measure
+
+
+class TestMeasure:
+    def test_counts_runs(self):
+        calls = []
+        timing = measure(lambda: calls.append(1), repeats=4)
+        assert len(calls) == 4
+        assert timing.runs == 4
+        assert timing.best <= timing.mean
+
+    def test_measures_sleep(self):
+        timing = measure(lambda: time.sleep(0.01), repeats=2)
+        assert timing.best >= 0.009
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+
+class TestSpeedup:
+    def test_speedup_over(self):
+        fast = Timing(best=0.1, mean=0.1, runs=1)
+        slow = Timing(best=1.0, mean=1.0, runs=1)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+
+    def test_zero_time(self):
+        instant = Timing(best=0.0, mean=0.0, runs=1)
+        other = Timing(best=1.0, mean=1.0, runs=1)
+        assert instant.speedup_over(other) == float("inf")
+
+
+class TestStopwatch:
+    def test_captures_interval(self):
+        with Stopwatch() as watch:
+            time.sleep(0.01)
+        assert watch.seconds >= 0.009

@@ -1,0 +1,92 @@
+"""Three-way semantic agreement: symbolic algebra == compiled PrIU == BaseL.
+
+The strongest guarantee in the repository: the compiled numeric fast path
+(PrIU) computes exactly the deletion-propagation semantics defined by the
+annotated-matrix algebra, which in turn agrees with literal retraining.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PrIUUpdater, train_with_capture
+from repro.datasets import make_binary_classification, make_regression
+from repro.linalg import sigmoid_complement_interpolator
+from repro.models import make_schedule, objective_for, train
+from repro.provenance import ProvenanceTrackedRun
+
+
+class TestThreeWayLinear:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = make_regression(120, 5, noise=0.05, seed=211)
+        objective = objective_for("linear", 0.05)
+        schedule = make_schedule(data.n_samples, 12, 50, seed=71)
+        eta = 0.02
+        result, store = train_with_capture(
+            objective, data.features, data.labels, schedule, eta,
+            compression="none",
+        )
+        symbolic = ProvenanceTrackedRun(
+            data.features, data.labels, eta, objective.regularization
+        )
+        symbolic.record_linear(schedule.batches)
+        return data, objective, schedule, eta, store, symbolic
+
+    @pytest.mark.parametrize("removed", [[], [0], [1, 5, 9], list(range(20))])
+    def test_agreement(self, setup, removed):
+        data, objective, schedule, eta, store, symbolic = setup
+        basel = train(
+            objective, data.features, data.labels, schedule, eta,
+            exclude=set(removed),
+        ).weights
+        compiled = PrIUUpdater(store, data.features, data.labels).update(removed)
+        algebraic = symbolic.updated_parameters(removed, kind="linear")
+        assert np.allclose(compiled, basel, atol=1e-10)
+        assert np.allclose(algebraic, basel, atol=1e-10)
+        assert np.allclose(compiled, algebraic, atol=1e-10)
+
+
+class TestThreeWayLogistic:
+    def test_compiled_equals_symbolic_exactly(self):
+        """PrIU's compiled path == the annotated-algebra replay, bit-close.
+
+        (Both share the linearization; only BaseL differs by the O(Δx²)
+        linearization error.)
+        """
+        data = make_binary_classification(100, 4, seed=212)
+        objective = objective_for("binary_logistic", 0.02)
+        schedule = make_schedule(data.n_samples, 10, 40, seed=72)
+        eta = 0.05
+        interp = sigmoid_complement_interpolator(n_intervals=5000)
+        result, store = train_with_capture(
+            objective, data.features, data.labels, schedule, eta,
+            compression="none", interpolator=interp,
+        )
+        symbolic = ProvenanceTrackedRun(
+            data.features, data.labels, eta, objective.regularization
+        )
+        coefficients = [
+            (record.slopes, record.intercepts) for record in store.records
+        ]
+        symbolic.record_logistic(schedule.batches, coefficients)
+        removed = [2, 7, 30]
+        compiled = PrIUUpdater(store, data.features, data.labels).update(removed)
+        algebraic = symbolic.updated_parameters(removed, kind="logistic")
+        assert np.allclose(compiled, algebraic, atol=1e-10)
+
+    def test_all_three_close_for_logistic(self):
+        data = make_binary_classification(150, 5, seed=213)
+        objective = objective_for("binary_logistic", 0.05)
+        schedule = make_schedule(data.n_samples, 15, 60, seed=73)
+        eta = 0.1
+        result, store = train_with_capture(
+            objective, data.features, data.labels, schedule, eta,
+            compression="none",
+        )
+        removed = [0, 10, 20]
+        basel = train(
+            objective, data.features, data.labels, schedule, eta,
+            exclude=set(removed),
+        ).weights
+        compiled = PrIUUpdater(store, data.features, data.labels).update(removed)
+        assert np.linalg.norm(compiled - basel) < 1e-3

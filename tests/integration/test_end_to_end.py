@@ -1,0 +1,123 @@
+"""End-to-end integration: the paper's two usage scenarios."""
+
+import numpy as np
+import pytest
+
+from repro import IncrementalTrainer
+from repro.datasets import (
+    inject_dirty,
+    make_binary_classification,
+    make_regression,
+    random_subsets,
+)
+from repro.eval import compare_updated_models, cosine_similarity
+
+
+class TestCleaningScenario:
+    """Scenario 1: train on dirty data, remove the dirty samples."""
+
+    def test_cleaning_recovers_accuracy_linear(self):
+        data = make_regression(1500, 10, noise=0.05, seed=201)
+        dirty = inject_dirty(data.features, data.labels, 0.1, seed=1)
+        trainer = IncrementalTrainer(
+            "linear", learning_rate=0.005, regularization=0.01,
+            batch_size=100, n_iterations=300, seed=2,
+        )
+        trainer.fit(dirty.features, dirty.labels)
+        dirty_mse = trainer.evaluate(data.valid_features, data.valid_labels)
+        cleaned = trainer.remove(dirty.dirty_indices)
+        clean_mse = trainer.evaluate(
+            data.valid_features, data.valid_labels, cleaned.weights
+        )
+        # Removing the corrupted samples must improve validation MSE.
+        assert clean_mse < dirty_mse
+
+    def test_cleaning_matches_retraining_quality_logistic(self):
+        data = make_binary_classification(1200, 10, separation=1.5, seed=202)
+        dirty = inject_dirty(data.features, data.labels, 0.2, seed=3)
+        trainer = IncrementalTrainer(
+            "binary_logistic", learning_rate=0.05, regularization=0.01,
+            batch_size=100, n_iterations=250, seed=4,
+        )
+        trainer.fit(dirty.features, dirty.labels)
+        removed = dirty.dirty_indices
+        basel = trainer.retrain(removed)
+        priu = trainer.remove(removed, method="priu")
+        infl = trainer.influence(removed)
+        comparison_priu = compare_updated_models(
+            "priu", trainer.objective, basel.weights, priu.weights,
+            data.valid_features, data.valid_labels,
+        )
+        comparison_infl = compare_updated_models(
+            "infl", trainer.objective, basel.weights, infl.weights,
+            data.valid_features, data.valid_labels,
+        )
+        # The paper's Table 4 shape: PrIU tracks BaseL much more closely
+        # than the influence-function extension at 20% deletion.
+        assert comparison_priu.similarity > comparison_infl.similarity
+        assert comparison_priu.distance < comparison_infl.distance
+        assert comparison_priu.candidate_metric == pytest.approx(
+            comparison_priu.reference_metric, abs=0.06
+        )
+
+
+class TestInterpretabilityScenario:
+    """Scenario 2: repeatedly remove different subsets from one capture."""
+
+    def test_ten_subsets_all_track_basel(self):
+        data = make_binary_classification(900, 8, seed=203)
+        trainer = IncrementalTrainer(
+            "binary_logistic", learning_rate=0.1, regularization=0.01,
+            batch_size=90, n_iterations=150, seed=5,
+        )
+        trainer.fit(data.features, data.labels)
+        subsets = random_subsets(data.n_samples, 10, 0.01, seed=6)
+        for subset in subsets:
+            updated = trainer.remove(subset, method="priu")
+            reference = trainer.retrain(subset)
+            assert cosine_similarity(updated.weights, reference.weights) > 0.999
+
+    def test_subset_influence_ranking(self):
+        """Removing a coherent group moves the model more than a random one."""
+        rng = np.random.default_rng(7)
+        data = make_binary_classification(800, 6, separation=1.0, seed=204)
+        trainer = IncrementalTrainer(
+            "binary_logistic", learning_rate=0.1, regularization=0.01,
+            batch_size=80, n_iterations=150, seed=8,
+        )
+        trainer.fit(data.features, data.labels)
+        # Group: the 40 positive samples with the largest margins.
+        scores = data.features @ trainer.weights_
+        positives = np.where(data.labels > 0)[0]
+        coherent = positives[np.argsort(-scores[positives])][:40]
+        random_group = rng.choice(data.n_samples, size=40, replace=False)
+        move_coherent = np.linalg.norm(
+            trainer.remove(coherent).weights - trainer.weights_
+        )
+        move_random = np.linalg.norm(
+            trainer.remove(random_group).weights - trainer.weights_
+        )
+        assert move_coherent > move_random
+
+
+class TestMethodConsistency:
+    def test_all_methods_agree_at_tiny_deletions(self):
+        data = make_regression(600, 8, seed=205)
+        # Enough iterations that mb-SGD reaches the ridge optimum, so the
+        # closed-form solution is comparable with the iterative methods.
+        trainer = IncrementalTrainer(
+            "linear", learning_rate=0.02, regularization=0.05,
+            batch_size=60, n_iterations=2000, seed=9,
+        )
+        trainer.fit(data.features, data.labels)
+        removed = [0]
+        results = {
+            "priu": trainer.remove(removed, method="priu").weights,
+            "priu-opt": trainer.remove(removed, method="priu-opt").weights,
+            "basel": trainer.retrain(removed).weights,
+            "closed-form": trainer.closed_form(removed).weights,
+            "infl": trainer.influence(removed).weights,
+        }
+        reference = results["basel"]
+        for name, weights in results.items():
+            assert cosine_similarity(weights, reference) > 0.99, name

@@ -1,0 +1,156 @@
+"""Unit tests for the PrIU-opt eigen machinery (Eq. 15-18)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    eigendecompose,
+    gd_diagonal_recursion,
+    gd_diagonal_recursion_scheduled,
+    incremental_eigenvalues,
+    incremental_eigenvalues_from_rows,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture
+def gram_and_rows(rng):
+    rows = rng.standard_normal((60, 8))
+    return rows.T @ rows, rows
+
+
+class TestEigendecompose:
+    def test_reconstruction(self, gram_and_rows):
+        gram, _ = gram_and_rows
+        system = eigendecompose(gram)
+        assert np.allclose(system.reconstruct(), gram, atol=1e-8)
+
+    def test_orthonormal_eigenvectors(self, gram_and_rows):
+        gram, _ = gram_and_rows
+        system = eigendecompose(gram)
+        q = system.eigenvectors
+        assert np.allclose(q.T @ q, np.eye(q.shape[1]), atol=1e-10)
+
+    def test_basis_roundtrip(self, gram_and_rows, rng):
+        gram, _ = gram_and_rows
+        system = eigendecompose(gram)
+        v = rng.standard_normal(8)
+        assert np.allclose(system.from_eigenbasis(system.to_eigenbasis(v)), v)
+
+    def test_asymmetric_input_symmetrized(self, rng):
+        m = rng.standard_normal((5, 5))
+        system = eigendecompose(m)
+        assert np.allclose(system.reconstruct(), 0.5 * (m + m.T), atol=1e-8)
+
+
+class TestIncrementalEigenvalues:
+    def test_exact_when_eigenvectors_unchanged(self, rng):
+        """If ΔM commutes with M's eigenbasis the update is exact."""
+        basis, _ = np.linalg.qr(rng.standard_normal((6, 6)))
+        values = np.array([9.0, 7.0, 5.0, 3.0, 2.0, 1.0])
+        gram = (basis * values) @ basis.T
+        system = eigendecompose(gram)
+        delta_values = np.array([0.5, 0.1, 0.0, 0.2, 0.0, 0.1])
+        delta = (system.eigenvectors * delta_values) @ system.eigenvectors.T
+        updated = incremental_eigenvalues(system, delta)
+        true = np.linalg.eigvalsh(gram - delta)
+        assert np.allclose(np.sort(updated), np.sort(true), atol=1e-8)
+
+    def test_small_perturbation_accuracy(self, gram_and_rows, rng):
+        """Ning et al.: accuracy O(‖ΔM‖) for small removals."""
+        gram, rows = gram_and_rows
+        system = eigendecompose(gram)
+        removed = rows[:2]
+        delta = removed.T @ removed
+        updated = incremental_eigenvalues(system, delta)
+        true = np.linalg.eigvalsh(gram - delta)
+        error = np.max(np.abs(np.sort(updated) - np.sort(true)))
+        assert error <= np.linalg.norm(delta, 2)
+
+    def test_from_rows_matches_dense(self, gram_and_rows):
+        gram, rows = gram_and_rows
+        system = eigendecompose(gram)
+        removed = rows[:5]
+        dense = incremental_eigenvalues(system, removed.T @ removed)
+        factored = incremental_eigenvalues_from_rows(system, removed)
+        assert np.allclose(dense, factored, atol=1e-10)
+
+    def test_from_rows_with_weights(self, gram_and_rows):
+        gram, rows = gram_and_rows
+        system = eigendecompose(gram)
+        removed = rows[:4]
+        weights = np.array([-0.2, -0.5, -0.1, -0.9])
+        dense = incremental_eigenvalues(
+            system, removed.T @ (removed * weights[:, None])
+        )
+        factored = incremental_eigenvalues_from_rows(system, removed, weights)
+        assert np.allclose(dense, factored, atol=1e-10)
+
+    def test_empty_removal_is_identity(self, gram_and_rows):
+        gram, _ = gram_and_rows
+        system = eigendecompose(gram)
+        updated = incremental_eigenvalues_from_rows(system, np.empty((0, 8)))
+        assert np.allclose(updated, system.eigenvalues)
+
+
+class TestDiagonalRecursion:
+    def _manual(self, rho, v0, b, eta, t):
+        v = v0.copy()
+        for _ in range(t):
+            v = rho * v + eta * b
+        return v
+
+    def test_closed_form_matches_loop(self, rng):
+        eigenvalues = rng.uniform(0.5, 5.0, size=6)
+        v0 = rng.standard_normal(6)
+        b = rng.standard_normal(6)
+        eta, lam, n, t = 0.05, 0.1, 100, 40
+        closed = gd_diagonal_recursion(eigenvalues, v0, b, n, t, eta, lam)
+        rho = 1.0 - eta * lam - 2.0 * eta / n * eigenvalues
+        assert np.allclose(closed, self._manual(rho, v0, b, eta, t), atol=1e-10)
+
+    def test_positive_gram_sign(self, rng):
+        """Logistic tail uses gram_sign=+1 (slopes carry the minus)."""
+        eigenvalues = -rng.uniform(0.5, 5.0, size=4)  # negative: -a x xᵀ
+        v0 = rng.standard_normal(4)
+        b = rng.standard_normal(4)
+        eta, lam, n, t = 0.05, 0.1, 60, 25
+        closed = gd_diagonal_recursion(
+            eigenvalues, v0, b, n, t, eta, lam, gram_sign=1.0
+        )
+        rho = 1.0 - eta * lam + eta / n * eigenvalues
+        assert np.allclose(closed, self._manual(rho, v0, b, eta, t), atol=1e-10)
+
+    def test_rho_equal_one_special_case(self):
+        """ρ = 1 would divide by zero in the geometric form."""
+        # eta*lam = -2*eta*c/n  =>  choose lam=0, c=0.
+        closed = gd_diagonal_recursion(
+            np.array([0.0]), np.array([2.0]), np.array([3.0]),
+            n_samples=10, n_iterations=7, learning_rate=0.1, regularization=0.0,
+        )
+        # v_t = v0 + eta*b*t
+        assert closed[0] == pytest.approx(2.0 + 0.1 * 3.0 * 7)
+
+    def test_scheduled_variant_matches_constant_rate(self, rng):
+        eigenvalues = rng.uniform(0.1, 2.0, size=5)
+        v0 = rng.standard_normal(5)
+        b = rng.standard_normal(5)
+        constant = gd_diagonal_recursion(eigenvalues, v0, b, 50, 30, 0.02, 0.1)
+        scheduled = gd_diagonal_recursion_scheduled(
+            eigenvalues, v0, b, 50, np.full(30, 0.02), 0.1
+        )
+        assert np.allclose(constant, scheduled, atol=1e-10)
+
+    def test_convergence_to_fixed_point(self, rng):
+        """With ρ < 1 the recursion converges to ηb / (1-ρ)."""
+        eigenvalues = np.array([4.0])
+        v0 = np.array([0.0])
+        b = np.array([1.0])
+        eta, lam, n = 0.1, 0.2, 10
+        result = gd_diagonal_recursion(eigenvalues, v0, b, n, 10_000, eta, lam)
+        rho = 1 - eta * lam - 2 * eta / n * eigenvalues
+        assert result[0] == pytest.approx(eta * b[0] / (1 - rho[0]), rel=1e-6)

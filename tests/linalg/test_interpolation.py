@@ -1,0 +1,86 @@
+"""Unit tests for piecewise linear interpolation (Sec. 4.2, Theorem 4)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    SIGMOID_SECOND_DERIVATIVE_BOUND,
+    PiecewiseLinearInterpolator,
+    sigmoid,
+    sigmoid_complement,
+    sigmoid_complement_interpolator,
+)
+
+
+class TestSigmoid:
+    def test_known_values(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert sigmoid(np.array([100.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-100.0]))[0] == pytest.approx(0.0)
+
+    def test_no_overflow_for_extreme_inputs(self):
+        values = sigmoid(np.array([-1e4, 1e4]))
+        assert np.all(np.isfinite(values))
+
+    def test_complement_identity(self):
+        x = np.linspace(-10, 10, 101)
+        assert np.allclose(sigmoid_complement(x), 1.0 - sigmoid(x))
+
+    def test_symmetry(self):
+        x = np.linspace(-5, 5, 51)
+        assert np.allclose(sigmoid(-x), 1.0 - sigmoid(x))
+
+
+class TestInterpolator:
+    def test_exact_at_grid_points(self):
+        interp = sigmoid_complement_interpolator(half_width=4, n_intervals=16)
+        assert np.allclose(interp(interp.grid), interp.values)
+
+    def test_coefficients_reconstruct_interpolant(self):
+        interp = sigmoid_complement_interpolator(half_width=5, n_intervals=50)
+        x = np.linspace(-4.9, 4.9, 37)
+        slopes, intercepts = interp.coefficients(x)
+        assert np.allclose(slopes * x + intercepts, interp(x))
+
+    def test_saturation_outside_interval(self):
+        interp = sigmoid_complement_interpolator(half_width=3, n_intervals=10)
+        slopes, intercepts = interp.coefficients(np.array([-10.0, 10.0]))
+        assert np.allclose(slopes, 0.0)
+        assert intercepts[0] == pytest.approx(sigmoid_complement(np.array([-3.0]))[0])
+        assert intercepts[1] == pytest.approx(sigmoid_complement(np.array([3.0]))[0])
+
+    def test_error_bound_theorem4(self):
+        """Empirical max error must respect Δx²/8 · max|f''| (Lemma 9)."""
+        interp = sigmoid_complement_interpolator(half_width=20, n_intervals=2000)
+        bound = interp.max_error_bound(SIGMOID_SECOND_DERIVATIVE_BOUND)
+        assert interp.empirical_max_error() <= bound + 1e-12
+
+    def test_error_shrinks_quadratically(self):
+        """Halving Δx must shrink the error by ~4x — the O(Δx²) rate."""
+        coarse = sigmoid_complement_interpolator(half_width=8, n_intervals=64)
+        fine = sigmoid_complement_interpolator(half_width=8, n_intervals=128)
+        ratio = coarse.empirical_max_error() / fine.empirical_max_error()
+        assert 3.0 < ratio < 5.0
+
+    def test_slopes_of_sigmoid_complement_are_negative_inside(self):
+        interp = sigmoid_complement_interpolator(half_width=6, n_intervals=60)
+        x = np.linspace(-5.5, 5.5, 23)
+        slopes, _ = interp.coefficients(x)
+        assert np.all(slopes < 0)
+
+    def test_generic_function(self):
+        interp = PiecewiseLinearInterpolator(np.cos, half_width=3, n_intervals=300)
+        x = np.linspace(-2.9, 2.9, 100)
+        assert np.max(np.abs(interp(x) - np.cos(x))) < 1e-3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearInterpolator(np.cos, half_width=0)
+        with pytest.raises(ValueError):
+            PiecewiseLinearInterpolator(np.cos, n_intervals=0)
+
+    def test_scalar_shapes_follow_input(self):
+        interp = sigmoid_complement_interpolator(half_width=2, n_intervals=8)
+        slopes, intercepts = interp.coefficients(np.array(0.5))
+        assert np.ndim(slopes) == 0
+        assert np.ndim(intercepts) == 0

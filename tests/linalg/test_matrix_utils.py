@@ -1,0 +1,102 @@
+"""Unit tests for dense/sparse matrix helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import (
+    gram,
+    is_sparse,
+    matvec,
+    moment,
+    nbytes_of,
+    row_block,
+    spectral_norm,
+    stable_solve,
+    symmetrize,
+    weighted_gram,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+@pytest.fixture
+def dense(rng):
+    return rng.standard_normal((20, 6))
+
+
+@pytest.fixture
+def sparse(dense):
+    masked = dense.copy()
+    masked[np.abs(masked) < 0.8] = 0.0
+    return sp.csr_matrix(masked)
+
+
+class TestBasics:
+    def test_is_sparse(self, dense, sparse):
+        assert is_sparse(sparse)
+        assert not is_sparse(dense)
+
+    def test_row_block(self, dense, sparse):
+        idx = np.array([1, 3, 5])
+        assert np.allclose(row_block(dense, idx), dense[idx])
+        assert np.allclose(row_block(sparse, idx).todense(), sparse[idx].todense())
+
+    def test_gram_dense_vs_sparse(self, dense, sparse):
+        assert np.allclose(gram(sparse), np.asarray(sparse.todense()).T @ sparse.todense())
+        assert np.allclose(gram(dense), dense.T @ dense)
+
+    def test_weighted_gram(self, dense, sparse, rng):
+        w = rng.uniform(-1, 1, size=20)
+        expected = dense.T @ (dense * w[:, None])
+        assert np.allclose(weighted_gram(dense, w), expected)
+        sparse_dense = np.asarray(sparse.todense())
+        expected_sp = sparse_dense.T @ (sparse_dense * w[:, None])
+        assert np.allclose(weighted_gram(sparse, w), expected_sp)
+
+    def test_moment(self, dense, sparse, rng):
+        y = rng.standard_normal(20)
+        assert np.allclose(moment(dense, y), dense.T @ y)
+        assert np.allclose(moment(sparse, y), np.asarray(sparse.todense()).T @ y)
+
+    def test_matvec_shapes(self, dense, sparse, rng):
+        v = rng.standard_normal(6)
+        assert matvec(dense, v).shape == (20,)
+        assert matvec(sparse, v).shape == (20,)
+        assert np.allclose(matvec(sparse, v), np.asarray(sparse.todense()) @ v)
+
+
+class TestNumerics:
+    def test_spectral_norm_matches_numpy(self, rng):
+        m = rng.standard_normal((15, 10))
+        assert spectral_norm(m, n_iterations=200) == pytest.approx(
+            np.linalg.norm(m, 2), rel=1e-3
+        )
+
+    def test_spectral_norm_zero_matrix(self):
+        assert spectral_norm(np.zeros((4, 4))) == 0.0
+
+    def test_symmetrize(self, rng):
+        m = rng.standard_normal((5, 5))
+        s = symmetrize(m)
+        assert np.allclose(s, s.T)
+
+    def test_stable_solve_regular(self, rng):
+        a = rng.standard_normal((6, 6)) + 6 * np.eye(6)
+        b = rng.standard_normal(6)
+        assert np.allclose(a @ stable_solve(a, b), b)
+
+    def test_stable_solve_singular_falls_back(self):
+        a = np.zeros((3, 3))
+        a[0, 0] = 1.0
+        b = np.array([2.0, 0.0, 0.0])
+        x = stable_solve(a, b)
+        assert np.allclose(a @ x, b)
+
+    def test_nbytes(self, dense, sparse):
+        assert nbytes_of(dense) == dense.nbytes
+        assert nbytes_of(sparse) > 0
+        assert nbytes_of(sparse) < nbytes_of(dense)

@@ -1,0 +1,136 @@
+"""Unit tests for truncated SVD summaries (Theorems 6/8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    select_rank,
+    spectral_mass_ratio,
+    truncate_from_samples,
+    truncate_summary,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def low_rank_gram(rng, m=20, rank=4, scale=None):
+    basis = rng.standard_normal((m, rank))
+    if scale is not None:
+        basis *= scale
+    return basis @ basis.T
+
+
+class TestSelectRank:
+    def test_flat_spectrum_keeps_everything(self):
+        s = np.ones(5)
+        assert select_rank(s, 0.01) == 5
+
+    def test_decaying_spectrum_truncates(self):
+        s = np.array([1.0, 0.5, 0.001, 0.0001])
+        assert select_rank(s, 0.01) == 2
+
+    def test_zero_matrix(self):
+        assert select_rank(np.zeros(3), 0.01) == 1
+
+    def test_rank_at_least_one(self):
+        assert select_rank(np.array([1.0, 1e-9]), 0.5) >= 1
+
+
+class TestTruncateSummary:
+    def test_low_rank_matrix_reconstructs_exactly(self, rng):
+        gram = low_rank_gram(rng, m=15, rank=3)
+        summary = truncate_summary(gram, epsilon=1e-10)
+        assert summary.rank <= 4  # rank 3 + tolerance
+        assert np.allclose(summary.reconstruct(), gram, atol=1e-8)
+
+    def test_symmetric_fast_path_agrees(self, rng):
+        gram = low_rank_gram(rng, m=12, rank=5)
+        dense = truncate_summary(gram, epsilon=1e-10, symmetric=False)
+        fast = truncate_summary(gram, epsilon=1e-10, symmetric=True)
+        assert np.allclose(dense.reconstruct(), fast.reconstruct(), atol=1e-8)
+
+    def test_apply_equals_reconstruct_matvec(self, rng):
+        gram = low_rank_gram(rng, m=10, rank=3)
+        summary = truncate_summary(gram, epsilon=1e-12)
+        v = rng.standard_normal(10)
+        assert np.allclose(summary.apply(v), gram @ v, atol=1e-8)
+
+    def test_max_rank_cap(self, rng):
+        gram = low_rank_gram(rng, m=10, rank=8)
+        summary = truncate_summary(gram, epsilon=1e-12, max_rank=2)
+        assert summary.rank == 2
+
+    def test_mass_ratio_criterion(self, rng):
+        """Theorem 6 condition: kept spectral mass ratio >= 1 - eps."""
+        scales = np.array([10.0, 5.0, 1.0, 0.01, 0.001])
+        gram = low_rank_gram(rng, m=20, rank=5, scale=scales)
+        summary = truncate_summary(gram, epsilon=0.05, symmetric=True)
+        assert spectral_mass_ratio(gram, summary) >= 0.95
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            truncate_summary(rng.standard_normal((3, 4)))
+
+    def test_negative_eigenvalues_preserved(self, rng):
+        """Logistic summaries Σ a_i x_i x_iᵀ are negative semi-definite."""
+        basis = rng.standard_normal((8, 3))
+        gram = -(basis @ basis.T)
+        summary = truncate_summary(gram, epsilon=1e-10, symmetric=True)
+        assert np.allclose(summary.reconstruct(), gram, atol=1e-8)
+
+
+class TestTruncateFromSamples:
+    def test_matches_dense_route_tall_block(self, rng):
+        rows = rng.standard_normal((30, 8))
+        weights = rng.uniform(0.5, 2.0, size=30)
+        factored = truncate_from_samples(rows, weights, epsilon=1e-12)
+        dense = rows.T @ (rows * weights[:, None])
+        assert np.allclose(factored.reconstruct(), dense, atol=1e-8)
+
+    def test_matches_dense_route_wide_block(self, rng):
+        """B < m: the thin-SVD path PrIU uses when batches are small."""
+        rows = rng.standard_normal((5, 20))
+        weights = rng.uniform(0.5, 2.0, size=5)
+        factored = truncate_from_samples(rows, weights, epsilon=1e-12)
+        dense = rows.T @ (rows * weights[:, None])
+        assert factored.rank <= 5
+        assert np.allclose(factored.reconstruct(), dense, atol=1e-8)
+
+    def test_negative_weights(self, rng):
+        rows = rng.standard_normal((4, 12))
+        weights = np.array([-0.5, -0.1, -0.9, -0.2])
+        factored = truncate_from_samples(rows, weights, epsilon=1e-12)
+        dense = rows.T @ (rows * weights[:, None])
+        assert np.allclose(factored.reconstruct(), dense, atol=1e-8)
+
+    def test_mixed_sign_weights(self, rng):
+        rows = rng.standard_normal((6, 10))
+        weights = np.array([1.0, -1.0, 0.5, -0.5, 2.0, -0.1])
+        factored = truncate_from_samples(rows, weights, epsilon=1e-12)
+        dense = rows.T @ (rows * weights[:, None])
+        assert np.allclose(factored.reconstruct(), dense, atol=1e-8)
+
+    def test_default_weights_are_ones(self, rng):
+        rows = rng.standard_normal((4, 9))
+        factored = truncate_from_samples(rows, epsilon=1e-12)
+        assert np.allclose(factored.reconstruct(), rows.T @ rows, atol=1e-8)
+
+    def test_weight_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            truncate_from_samples(rng.standard_normal((4, 3)), np.ones(5))
+
+    def test_nbytes_accounts_factors(self, rng):
+        rows = rng.standard_normal((3, 6))
+        summary = truncate_from_samples(rows, epsilon=1e-12)
+        expected = summary.left.nbytes + summary.right.nbytes
+        assert summary.nbytes() == expected
+
+    def test_truncation_reduces_rank_on_decaying_spectrum(self, rng):
+        # Rows drawn with strongly decaying directions compress hard.
+        scales = np.array([10.0**-k for k in range(10)])
+        rows = rng.standard_normal((50, 10)) * scales
+        summary = truncate_from_samples(rows, epsilon=0.01)
+        assert summary.rank < 6

@@ -1,0 +1,79 @@
+"""Unit tests for replayable batch schedules."""
+
+import numpy as np
+import pytest
+
+from repro.models import BatchSchedule, make_schedule
+
+
+class TestScheduleKinds:
+    def test_gd_uses_all_samples(self):
+        schedule = make_schedule(10, 4, 5, kind="gd")
+        for batch in schedule:
+            assert np.array_equal(batch, np.arange(10))
+
+    def test_sgd_uses_single_samples(self):
+        schedule = make_schedule(10, 4, 20, kind="sgd", seed=1)
+        assert all(batch.size == 1 for batch in schedule)
+
+    def test_mb_sgd_batch_size(self):
+        schedule = make_schedule(100, 16, 30, seed=2)
+        assert all(batch.size == 16 for batch in schedule)
+
+    def test_batch_size_capped_at_n(self):
+        schedule = make_schedule(8, 100, 4, seed=3)
+        assert all(batch.size == 8 for batch in schedule)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_schedule(10, 2, 5, kind="momentum")
+
+
+class TestDeterminism:
+    def test_same_seed_same_batches(self):
+        a = make_schedule(50, 8, 25, seed=7)
+        b = make_schedule(50, 8, 25, seed=7)
+        for left, right in zip(a, b):
+            assert np.array_equal(left, right)
+
+    def test_different_seed_differs(self):
+        a = make_schedule(50, 8, 25, seed=7)
+        b = make_schedule(50, 8, 25, seed=8)
+        assert any(
+            not np.array_equal(left, right) for left, right in zip(a, b)
+        )
+
+    def test_epoch_covers_all_samples(self):
+        """Within one epoch every sample is visited exactly once."""
+        schedule = make_schedule(40, 10, 4, seed=5)
+        seen = np.concatenate(schedule.batches)
+        assert np.array_equal(np.sort(seen), np.arange(40))
+
+
+class TestRemovalViews:
+    def test_effective_batch_size(self):
+        schedule = make_schedule(20, 5, 10, seed=4)
+        batch = schedule[0]
+        removed = {int(batch[0]), int(batch[2]), 9999}
+        assert schedule.effective_batch_size(0, removed) == 3
+
+    def test_surviving_and_removed_partition(self):
+        schedule = make_schedule(20, 6, 8, seed=4)
+        batch = schedule[3]
+        removed = {int(batch[1]), int(batch[4])}
+        surviving = schedule.surviving(3, removed)
+        dropped = schedule.removed_in_batch(3, removed)
+        assert surviving.size + dropped.size == batch.size
+        assert set(surviving) | set(dropped) == set(batch)
+        assert set(surviving) & set(dropped) == set()
+
+    def test_empty_removal_fast_paths(self):
+        schedule = make_schedule(10, 3, 5, seed=1)
+        assert np.array_equal(schedule.surviving(0, set()), schedule[0])
+        assert schedule.removed_in_batch(0, set()).size == 0
+        assert schedule.effective_batch_size(0, frozenset()) == 3
+
+    def test_len_and_getitem(self):
+        schedule = make_schedule(10, 3, 7, seed=1)
+        assert len(schedule) == 7
+        assert schedule[6].size == 3

@@ -1,0 +1,102 @@
+"""Unit tests for closed-form linear regression and incremental views."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import make_regression
+from repro.models import IncrementalClosedForm, closed_form_solution
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_regression(250, 7, noise=0.05, seed=61)
+
+
+class TestClosedFormSolution:
+    def test_minimizes_objective(self, data):
+        from repro.models import objective_for
+
+        obj = objective_for("linear", 0.2)
+        w = closed_form_solution(data.features, data.labels, 0.2)
+        base = obj.value(w, data.features, data.labels)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            perturbed = w + 0.01 * rng.standard_normal(w.size)
+            assert obj.value(perturbed, data.features, data.labels) >= base
+
+    def test_zero_regularization_is_least_squares(self, data):
+        w = closed_form_solution(data.features, data.labels, 0.0)
+        lstsq, *_ = np.linalg.lstsq(data.features, data.labels, rcond=None)
+        assert np.allclose(w, lstsq, atol=1e-8)
+
+    def test_gradient_vanishes_at_solution(self, data):
+        from repro.models import objective_for
+
+        obj = objective_for("linear", 0.3)
+        w = closed_form_solution(data.features, data.labels, 0.3)
+        grad = obj.gradient(w, data.features, data.labels)
+        assert np.linalg.norm(grad) < 1e-10
+
+
+class TestIncrementalClosedForm:
+    def test_solve_matches_direct(self, data):
+        view = IncrementalClosedForm(data.features, data.labels, 0.1)
+        direct = closed_form_solution(data.features, data.labels, 0.1)
+        assert np.allclose(view.solve(), direct)
+
+    def test_delete_matches_retraining_on_remaining(self, data):
+        view = IncrementalClosedForm(data.features, data.labels, 0.1)
+        removed = np.array([0, 5, 17, 100])
+        keep = np.setdiff1d(np.arange(data.n_samples), removed)
+        incremental = view.delete(removed)
+        direct = closed_form_solution(data.features[keep], data.labels[keep], 0.1)
+        assert np.allclose(incremental, direct, atol=1e-8)
+
+    def test_delete_is_stateless(self, data):
+        view = IncrementalClosedForm(data.features, data.labels, 0.1)
+        first = view.delete(np.array([1, 2, 3]))
+        again = view.delete(np.array([1, 2, 3]))
+        assert np.allclose(first, again)
+        # The base view is untouched.
+        assert np.allclose(
+            view.solve(), closed_form_solution(data.features, data.labels, 0.1)
+        )
+
+    def test_empty_deletion(self, data):
+        view = IncrementalClosedForm(data.features, data.labels, 0.1)
+        assert np.allclose(view.delete(np.array([], dtype=int)), view.solve())
+
+    def test_delete_everything_rejected(self, data):
+        view = IncrementalClosedForm(data.features, data.labels, 0.1)
+        with pytest.raises(ValueError):
+            view.delete(np.arange(data.n_samples))
+
+    def test_insert_then_delete_roundtrip(self, data):
+        view = IncrementalClosedForm(data.features, data.labels, 0.1)
+        extra_x = np.random.default_rng(3).standard_normal((5, 7))
+        extra_y = np.random.default_rng(4).standard_normal(5)
+        inserted = view.insert(extra_x, extra_y)
+        combined_x = np.vstack([data.features, extra_x])
+        combined_y = np.concatenate([data.labels, extra_y])
+        direct = closed_form_solution(combined_x, combined_y, 0.1)
+        assert np.allclose(inserted, direct, atol=1e-8)
+
+    def test_sparse_features(self):
+        rng = np.random.default_rng(5)
+        dense = rng.standard_normal((100, 20))
+        dense[np.abs(dense) < 1.0] = 0.0
+        features = sp.csr_matrix(dense)
+        labels = rng.standard_normal(100)
+        view = IncrementalClosedForm(features, labels, 0.05)
+        removed = np.arange(10)
+        keep = np.arange(10, 100)
+        assert np.allclose(
+            view.delete(removed),
+            closed_form_solution(dense[keep], labels[keep], 0.05),
+            atol=1e-8,
+        )
+
+    def test_nbytes_positive(self, data):
+        view = IncrementalClosedForm(data.features, data.labels, 0.1)
+        assert view.nbytes() == view._m.nbytes + view._n.nbytes

@@ -1,0 +1,126 @@
+"""Unit tests for the INFL baseline (group influence functions)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_binary_classification, make_regression
+from repro.models import (
+    InfluenceFunctionUpdater,
+    closed_form_solution,
+    make_schedule,
+    objective_for,
+    train,
+)
+
+
+@pytest.fixture(scope="module")
+def linear_setup():
+    data = make_regression(300, 6, noise=0.05, seed=71)
+    obj = objective_for("linear", 0.1)
+    w_star = closed_form_solution(data.features, data.labels, 0.1)
+    return data, obj, w_star
+
+
+@pytest.fixture(scope="module")
+def logistic_setup():
+    data = make_binary_classification(400, 8, seed=72)
+    obj = objective_for("binary_logistic", 0.05)
+    schedule = make_schedule(data.n_samples, 64, 800, seed=1)
+    result = train(obj, data.features, data.labels, schedule, 0.2)
+    return data, obj, result.weights
+
+
+class TestInfluenceLinear:
+    def test_empty_removal_returns_original(self, linear_setup):
+        data, obj, w_star = linear_setup
+        infl = InfluenceFunctionUpdater(obj, data.features, data.labels, w_star)
+        assert np.allclose(infl.update(np.array([], dtype=int)), w_star)
+
+    def test_single_removal_tracks_direction(self, linear_setup):
+        """One-sample influence must move toward the true leave-one-out model."""
+        data, obj, w_star = linear_setup
+        infl = InfluenceFunctionUpdater(obj, data.features, data.labels, w_star)
+        removed = np.array([10])
+        keep = np.setdiff1d(np.arange(data.n_samples), removed)
+        true = closed_form_solution(data.features[keep], data.labels[keep], 0.1)
+        estimated = infl.update(removed)
+        assert np.linalg.norm(estimated - true) < np.linalg.norm(w_star - true) + 1e-12
+
+    def test_accuracy_degrades_with_group_size(self, linear_setup):
+        """The paper's point: INFL error grows as more samples are removed."""
+        data, obj, w_star = linear_setup
+        infl = InfluenceFunctionUpdater(obj, data.features, data.labels, w_star)
+
+        def error(k):
+            removed = np.arange(k)
+            keep = np.arange(k, data.n_samples)
+            true = closed_form_solution(
+                data.features[keep], data.labels[keep], 0.1
+            )
+            return np.linalg.norm(infl.update(removed) - true)
+
+        assert error(60) > error(5)
+
+    def test_newton_mode_is_exact_for_quadratic(self, linear_setup):
+        """One Newton step on a quadratic objective lands on the optimum."""
+        data, obj, w_star = linear_setup
+        infl = InfluenceFunctionUpdater(
+            obj, data.features, data.labels, w_star, mode="newton"
+        )
+        removed = np.arange(30)
+        keep = np.arange(30, data.n_samples)
+        true = closed_form_solution(data.features[keep], data.labels[keep], 0.1)
+        assert np.allclose(infl.update(removed), true, atol=1e-6)
+
+    def test_cannot_delete_everything(self, linear_setup):
+        data, obj, w_star = linear_setup
+        infl = InfluenceFunctionUpdater(obj, data.features, data.labels, w_star)
+        with pytest.raises(ValueError):
+            infl.update(np.arange(data.n_samples))
+
+    def test_unknown_mode_rejected(self, linear_setup):
+        data, obj, w_star = linear_setup
+        with pytest.raises(ValueError):
+            InfluenceFunctionUpdater(
+                obj, data.features, data.labels, w_star, mode="taylor-3"
+            )
+
+
+class TestInfluenceLogistic:
+    def test_small_removal_stays_close_to_retraining(self, logistic_setup):
+        data, obj, w_star = logistic_setup
+        infl = InfluenceFunctionUpdater(obj, data.features, data.labels, w_star)
+        removed = np.arange(4)
+        schedule = make_schedule(data.n_samples, 64, 800, seed=1)
+        retrained = train(
+            obj, data.features, data.labels, schedule, 0.2,
+            exclude=set(removed.tolist()),
+        )
+        estimated = infl.update(removed)
+        assert np.linalg.norm(estimated - retrained.weights) < 0.5 * np.linalg.norm(
+            retrained.weights
+        )
+
+    def test_cg_solver_agrees_with_direct(self, logistic_setup):
+        data, obj, w_star = logistic_setup
+        direct = InfluenceFunctionUpdater(obj, data.features, data.labels, w_star)
+        cg = InfluenceFunctionUpdater(
+            obj, data.features, data.labels, w_star, use_cg=True
+        )
+        removed = np.arange(10)
+        assert np.allclose(direct.update(removed), cg.update(removed), atol=1e-6)
+
+    def test_multinomial_gradient_sum_path(self):
+        from repro.datasets import make_multiclass_classification
+
+        data = make_multiclass_classification(200, 5, n_classes=3, seed=73)
+        obj = objective_for("multinomial_logistic", 0.05, n_classes=3)
+        schedule = make_schedule(data.n_samples, 32, 300, seed=2)
+        result = train(obj, data.features, data.labels, schedule, 0.2)
+        infl = InfluenceFunctionUpdater(
+            obj, data.features, data.labels, result.weights
+        )
+        removed = np.arange(5)
+        updated = infl.update(removed)
+        assert updated.shape == result.weights.shape
+        assert not np.allclose(updated, result.weights)

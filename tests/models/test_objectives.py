@@ -1,0 +1,183 @@
+"""Unit tests for the three objectives, incl. finite-difference gradients."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BinaryLogisticObjective,
+    LinearRegressionObjective,
+    MultinomialLogisticObjective,
+    objective_for,
+)
+
+
+def numeric_gradient(func, w, eps=1e-6):
+    grad = np.zeros_like(w)
+    for i in range(w.size):
+        up = w.copy()
+        up[i] += eps
+        down = w.copy()
+        down[i] -= eps
+        grad[i] = (func(up) - func(down)) / (2 * eps)
+    return grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestLinearObjective:
+    def test_value_at_truth_is_noise_level(self, rng):
+        x = rng.standard_normal((50, 4))
+        w_true = rng.standard_normal(4)
+        y = x @ w_true
+        obj = LinearRegressionObjective(0.0)
+        assert obj.value(w_true, x, y) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        x = rng.standard_normal((30, 5))
+        y = rng.standard_normal(30)
+        w = rng.standard_normal(5)
+        obj = LinearRegressionObjective(0.3)
+        numeric = numeric_gradient(lambda v: obj.value(v, x, y), w)
+        assert np.allclose(obj.gradient(w, x, y), numeric, atol=1e-5)
+
+    def test_hessian_is_constant_and_correct(self, rng):
+        x = rng.standard_normal((30, 4))
+        y = rng.standard_normal(30)
+        obj = LinearRegressionObjective(0.2)
+        w = rng.standard_normal(4)
+        expected = 2.0 * x.T @ x / 30 + 0.2 * np.eye(4)
+        assert np.allclose(obj.hessian(w, x, y), expected)
+
+    def test_metric_is_mse(self, rng):
+        x = rng.standard_normal((20, 3))
+        y = rng.standard_normal(20)
+        obj = LinearRegressionObjective(0.5)
+        w = np.zeros(3)
+        assert obj.metric(w, x, y) == pytest.approx(np.mean(y**2))
+
+    def test_regularization_enters_value_not_metric(self, rng):
+        x = rng.standard_normal((20, 3))
+        y = rng.standard_normal(20)
+        w = rng.standard_normal(3)
+        with_reg = LinearRegressionObjective(1.0)
+        without = LinearRegressionObjective(0.0)
+        assert with_reg.value(w, x, y) > without.value(w, x, y)
+        assert with_reg.metric(w, x, y) == without.metric(w, x, y)
+
+
+class TestBinaryLogisticObjective:
+    def test_gradient_matches_finite_differences(self, rng):
+        x = rng.standard_normal((40, 5))
+        y = rng.choice([-1.0, 1.0], size=40)
+        w = 0.5 * rng.standard_normal(5)
+        obj = BinaryLogisticObjective(0.1)
+        numeric = numeric_gradient(lambda v: obj.value(v, x, y), w)
+        assert np.allclose(obj.gradient(w, x, y), numeric, atol=1e-5)
+
+    def test_hessian_matches_finite_differences(self, rng):
+        x = rng.standard_normal((25, 3))
+        y = rng.choice([-1.0, 1.0], size=25)
+        w = 0.3 * rng.standard_normal(3)
+        obj = BinaryLogisticObjective(0.05)
+        hessian = obj.hessian(w, x, y)
+        numeric = np.column_stack(
+            [
+                numeric_gradient(lambda v: obj.gradient(v, x, y)[i], w)
+                for i in range(3)
+            ]
+        )
+        assert np.allclose(hessian, numeric, atol=1e-4)
+        # PSD: logistic loss + L2 is convex.
+        assert np.min(np.linalg.eigvalsh(hessian)) > 0
+
+    def test_value_is_stable_for_extreme_margins(self):
+        obj = BinaryLogisticObjective(0.0)
+        x = np.array([[1000.0], [-1000.0]])
+        y = np.array([1.0, -1.0])
+        value = obj.value(np.array([1.0]), x, y)
+        assert np.isfinite(value)
+        assert value == pytest.approx(0.0, abs=1e-10)
+
+    def test_predictions_and_accuracy(self, rng):
+        obj = BinaryLogisticObjective(0.0)
+        x = np.array([[2.0], [-3.0], [0.5]])
+        w = np.array([1.0])
+        assert np.allclose(obj.predict(w, x), [1.0, -1.0, 1.0])
+        assert obj.metric(w, x, np.array([1.0, -1.0, -1.0])) == pytest.approx(2 / 3)
+
+    def test_predict_proba_bounds(self, rng):
+        obj = BinaryLogisticObjective(0.0)
+        x = rng.standard_normal((10, 3))
+        probs = obj.predict_proba(rng.standard_normal(3), x)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+
+class TestMultinomialObjective:
+    def test_gradient_matches_finite_differences(self, rng):
+        q, m = 3, 4
+        x = rng.standard_normal((30, m))
+        y = rng.integers(0, q, size=30)
+        w = 0.2 * rng.standard_normal(q * m)
+        obj = MultinomialLogisticObjective(q, 0.05)
+        numeric = numeric_gradient(lambda v: obj.value(v, x, y), w)
+        assert np.allclose(obj.gradient(w, x, y), numeric, atol=1e-5)
+
+    def test_hessian_matches_finite_differences(self, rng):
+        q, m = 3, 2
+        x = rng.standard_normal((15, m))
+        y = rng.integers(0, q, size=15)
+        w = 0.2 * rng.standard_normal(q * m)
+        obj = MultinomialLogisticObjective(q, 0.1)
+        hessian = obj.hessian(w, x, y)
+        numeric = np.column_stack(
+            [
+                numeric_gradient(lambda v: obj.gradient(v, x, y)[i], w)
+                for i in range(q * m)
+            ]
+        )
+        assert np.allclose(hessian, numeric, atol=1e-4)
+
+    def test_probabilities_sum_to_one(self, rng):
+        obj = MultinomialLogisticObjective(4, 0.0)
+        x = rng.standard_normal((12, 3))
+        probs = obj.probabilities(rng.standard_normal(12), x)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_logit_shift_invariance(self, rng):
+        """Adding a constant vector to every class leaves probs unchanged."""
+        obj = MultinomialLogisticObjective(3, 0.0)
+        x = rng.standard_normal((8, 2))
+        w = rng.standard_normal(6)
+        shift = np.tile(rng.standard_normal(2), 3)
+        assert np.allclose(
+            obj.probabilities(w, x), obj.probabilities(w + shift, x)
+        )
+
+    def test_predict_argmax(self, rng):
+        obj = MultinomialLogisticObjective(3, 0.0)
+        x = np.eye(3)
+        w = np.eye(3).ravel()  # class k scores feature k
+        assert np.array_equal(obj.predict(w, x), [0, 1, 2])
+
+    def test_requires_two_classes(self):
+        with pytest.raises(ValueError):
+            MultinomialLogisticObjective(1)
+
+
+class TestFactory:
+    def test_known_tasks(self):
+        assert objective_for("linear", 0.1).kind == "linear"
+        assert objective_for("binary_logistic", 0.1).kind == "binary_logistic"
+        multi = objective_for("multinomial_logistic", 0.1, n_classes=5)
+        assert multi.n_classes == 5
+
+    def test_multinomial_requires_classes(self):
+        with pytest.raises(ValueError):
+            objective_for("multinomial_logistic", 0.1)
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError):
+            objective_for("svm", 0.1)

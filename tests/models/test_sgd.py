@@ -1,0 +1,190 @@
+"""Unit tests for the GBM trainer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_binary_classification, make_regression
+from repro.linalg import sigmoid_complement_interpolator
+from repro.models import (
+    closed_form_solution,
+    make_schedule,
+    objective_for,
+    train,
+)
+
+
+class TestLinearTraining:
+    def test_gd_converges_to_closed_form(self):
+        data = make_regression(300, 6, noise=0.01, seed=41)
+        obj = objective_for("linear", 0.05)
+        schedule = make_schedule(data.n_samples, data.n_samples, 3000, kind="gd")
+        result = train(obj, data.features, data.labels, schedule, 0.05)
+        exact = closed_form_solution(data.features, data.labels, 0.05)
+        assert np.allclose(result.weights, exact, atol=1e-4)
+
+    def test_objective_decreases(self):
+        data = make_regression(200, 5, seed=42)
+        obj = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 32, 200, seed=1)
+        result = train(
+            obj, data.features, data.labels, schedule, 0.01, trace_every=50
+        )
+        trace = result.objective_trace
+        assert trace[-1] < trace[0]
+
+    def test_zero_iterations_returns_initial(self):
+        data = make_regression(50, 3, seed=43)
+        obj = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 10, 0)
+        result = train(obj, data.features, data.labels, schedule, 0.01)
+        assert np.allclose(result.weights, 0.0)
+
+    def test_custom_initial_weights(self):
+        data = make_regression(50, 3, seed=44)
+        obj = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 10, 0)
+        w0 = np.array([1.0, 2.0, 3.0])
+        result = train(obj, data.features, data.labels, schedule, 0.01, w0=w0)
+        assert np.allclose(result.weights, w0)
+
+    def test_wrong_w0_size_rejected(self):
+        data = make_regression(50, 3, seed=44)
+        obj = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 10, 5)
+        with pytest.raises(ValueError):
+            train(obj, data.features, data.labels, schedule, 0.01, w0=np.ones(7))
+
+
+class TestExclusion:
+    def test_exclusion_changes_model(self):
+        data = make_regression(120, 4, seed=45)
+        obj = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 20, 80, seed=2)
+        full = train(obj, data.features, data.labels, schedule, 0.02)
+        partial = train(
+            obj, data.features, data.labels, schedule, 0.02,
+            exclude=set(range(20)),
+        )
+        assert not np.allclose(full.weights, partial.weights)
+
+    def test_exclusion_equals_physical_removal_under_gd(self):
+        """With GD, excluding == literally deleting rows and retraining."""
+        data = make_regression(80, 4, seed=46)
+        obj = objective_for("linear", 0.1)
+        removed = set(range(10))
+        keep = np.array([i for i in range(data.n_samples) if i not in removed])
+        schedule = make_schedule(data.n_samples, data.n_samples, 60, kind="gd")
+        excluded = train(
+            obj, data.features, data.labels, schedule, 0.02, exclude=removed
+        )
+        physical_schedule = make_schedule(keep.size, keep.size, 60, kind="gd")
+        physical = train(
+            obj, data.features[keep], data.labels[keep], physical_schedule, 0.02
+        )
+        assert np.allclose(excluded.weights, physical.weights, atol=1e-12)
+
+    def test_fully_excluded_batch_shrinks_only(self):
+        data = make_regression(20, 3, seed=47, validation_fraction=0.0)
+        obj = objective_for("linear", 0.5)
+        schedule = make_schedule(20, 20, 1, kind="gd")
+        result = train(
+            obj, data.features, data.labels, schedule, 0.1,
+            exclude=set(range(20)), w0=np.ones(3),
+        )
+        assert np.allclose(result.weights, (1 - 0.1 * 0.5) * np.ones(3))
+
+
+class TestLogisticTraining:
+    def test_accuracy_beats_chance(self):
+        data = make_binary_classification(500, 8, separation=1.5, seed=48)
+        obj = objective_for("binary_logistic", 0.01)
+        schedule = make_schedule(data.n_samples, 50, 400, seed=3)
+        result = train(obj, data.features, data.labels, schedule, 0.1)
+        acc = obj.metric(result.weights, data.valid_features, data.valid_labels)
+        assert acc > 0.8
+
+    def test_linearized_training_close_to_exact(self):
+        """Theorem 4: ||w - w_L|| = O(Δx²)."""
+        data = make_binary_classification(200, 6, seed=49)
+        obj = objective_for("binary_logistic", 0.05)
+        schedule = make_schedule(data.n_samples, 32, 150, seed=4)
+        exact = train(obj, data.features, data.labels, schedule, 0.1)
+        interp = sigmoid_complement_interpolator(n_intervals=50_000)
+        linearized = train(
+            obj, data.features, data.labels, schedule, 0.1, linearize=interp
+        )
+        assert np.linalg.norm(exact.weights - linearized.weights) < 1e-6
+
+    def test_linearization_error_scales_quadratically(self):
+        data = make_binary_classification(150, 5, seed=50)
+        obj = objective_for("binary_logistic", 0.05)
+        schedule = make_schedule(data.n_samples, 30, 100, seed=5)
+        exact = train(obj, data.features, data.labels, schedule, 0.1)
+
+        def error(n_intervals):
+            interp = sigmoid_complement_interpolator(n_intervals=n_intervals)
+            approx = train(
+                obj, data.features, data.labels, schedule, 0.1, linearize=interp
+            )
+            return np.linalg.norm(exact.weights - approx.weights)
+
+        coarse, fine = error(64), error(256)
+        # Δx shrinks 4x -> error should shrink ~16x; allow slack.
+        assert fine < coarse / 6
+
+    def test_multinomial_accuracy(self, multiclass_data, multiclass_objective):
+        schedule = make_schedule(multiclass_data.n_samples, 64, 300, seed=6)
+        result = train(
+            multiclass_objective,
+            multiclass_data.features,
+            multiclass_data.labels,
+            schedule,
+            0.1,
+        )
+        acc = multiclass_objective.metric(
+            result.weights,
+            multiclass_data.valid_features,
+            multiclass_data.valid_labels,
+        )
+        assert acc > 0.7
+
+    def test_unsupported_objective_type(self):
+        class Weird:
+            regularization = 0.0
+
+            def n_parameters(self, m):
+                return m
+
+        data = make_regression(30, 3, seed=51)
+        schedule = make_schedule(data.n_samples, 10, 5)
+        with pytest.raises(TypeError):
+            train(Weird(), data.features, data.labels, schedule, 0.1)
+
+
+class TestCaptureHook:
+    def test_hook_sees_pre_update_weights(self):
+        data = make_regression(60, 3, seed=52)
+        obj = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 15, 10, seed=7)
+        snapshots = []
+
+        def hook(t, batch, w, extras):
+            snapshots.append((t, w.copy()))
+
+        train(obj, data.features, data.labels, schedule, 0.01, capture_hook=hook)
+        assert len(snapshots) == 10
+        assert np.allclose(snapshots[0][1], 0.0)  # w^(0) before first update
+        assert [t for t, _ in snapshots] == list(range(10))
+
+    def test_binary_hook_receives_margins(self, binary_data, binary_objective):
+        schedule = make_schedule(binary_data.n_samples, 25, 5, seed=8)
+        captured = []
+
+        def hook(t, batch, w, extras):
+            captured.append(extras["margins"].shape)
+
+        train(
+            binary_objective, binary_data.features, binary_data.labels,
+            schedule, 0.1, capture_hook=hook,
+        )
+        assert captured == [(25,)] * 5

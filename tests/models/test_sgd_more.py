@@ -1,0 +1,87 @@
+"""Additional trainer coverage: schedules, sparse inputs, result metadata."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import make_binary_classification, make_regression
+from repro.models import make_schedule, objective_for, train
+
+
+class TestSparseTraining:
+    def test_sparse_and_dense_linear_agree(self):
+        rng = np.random.default_rng(191)
+        dense = rng.standard_normal((120, 10))
+        dense[np.abs(dense) < 0.8] = 0.0
+        labels = rng.standard_normal(120)
+        obj = objective_for("linear", 0.1)
+        schedule = make_schedule(120, 20, 50, seed=105)
+        from_dense = train(obj, dense, labels, schedule, 0.01)
+        from_sparse = train(obj, sp.csr_matrix(dense), labels, schedule, 0.01)
+        assert np.allclose(from_dense.weights, from_sparse.weights, atol=1e-10)
+
+    def test_sparse_and_dense_binary_agree(self):
+        rng = np.random.default_rng(192)
+        dense = rng.standard_normal((120, 10))
+        dense[np.abs(dense) < 0.8] = 0.0
+        labels = rng.choice([-1.0, 1.0], size=120)
+        obj = objective_for("binary_logistic", 0.05)
+        schedule = make_schedule(120, 20, 50, seed=106)
+        from_dense = train(obj, dense, labels, schedule, 0.1)
+        from_sparse = train(obj, sp.csr_matrix(dense), labels, schedule, 0.1)
+        assert np.allclose(from_dense.weights, from_sparse.weights, atol=1e-10)
+
+    def test_sparse_multinomial_densifies_batches(self):
+        rng = np.random.default_rng(193)
+        dense = rng.standard_normal((90, 8))
+        dense[np.abs(dense) < 1.0] = 0.0
+        labels = rng.integers(0, 3, size=90)
+        obj = objective_for("multinomial_logistic", 0.05, n_classes=3)
+        schedule = make_schedule(90, 15, 30, seed=107)
+        from_dense = train(obj, dense, labels, schedule, 0.05)
+        from_sparse = train(obj, sp.csr_matrix(dense), labels, schedule, 0.05)
+        assert np.allclose(from_dense.weights, from_sparse.weights, atol=1e-10)
+
+
+class TestScheduleKindsEndToEnd:
+    @pytest.mark.parametrize("kind", ["gd", "sgd", "mb-sgd"])
+    def test_all_kinds_reduce_objective(self, kind):
+        data = make_regression(150, 5, seed=194)
+        obj = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 25, 150, seed=108, kind=kind)
+        result = train(obj, data.features, data.labels, schedule, 0.01)
+        initial = obj.value(np.zeros(5), data.features, data.labels)
+        final = obj.value(result.weights, data.features, data.labels)
+        assert final < initial
+
+    def test_sgd_matches_gd_statistically(self):
+        """The [29] claim behind PrIU-opt: SGD ends up near the GD solution."""
+        data = make_regression(400, 5, noise=0.02, seed=195)
+        obj = objective_for("linear", 0.1)
+        gd = train(
+            obj, data.features, data.labels,
+            make_schedule(data.n_samples, data.n_samples, 800, kind="gd"),
+            0.02,
+        )
+        mb = train(
+            obj, data.features, data.labels,
+            make_schedule(data.n_samples, 40, 4000, seed=109),
+            0.02,
+        )
+        assert np.linalg.norm(gd.weights - mb.weights) < 0.1 * np.linalg.norm(
+            gd.weights
+        ) + 0.05
+
+
+class TestTrainingResult:
+    def test_metadata_recorded(self):
+        data = make_binary_classification(100, 5, seed=196)
+        obj = objective_for("binary_logistic", 0.05)
+        schedule = make_schedule(data.n_samples, 10, 20, seed=110)
+        result = train(obj, data.features, data.labels, schedule, 0.1)
+        assert result.n_iterations == 20
+        assert result.learning_rate == 0.1
+        assert result.regularization == 0.05
+        assert result.wall_time > 0
+        assert result.n_parameters == 5
+        assert result.schedule is schedule

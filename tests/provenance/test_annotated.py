@@ -1,0 +1,169 @@
+"""Unit tests for provenance-annotated matrices."""
+
+import numpy as np
+import pytest
+
+from repro.provenance import AnnotatedMatrix, Polynomial, TokenRegistry
+from repro.provenance.polynomial import ONE
+
+
+@pytest.fixture
+def tokens():
+    return TokenRegistry().annotate_samples(4)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestConstruction:
+    def test_pure_has_one_term(self):
+        a = AnnotatedMatrix.pure(np.eye(2))
+        assert a.n_terms() == 1
+        assert a.shape == (2, 2)
+
+    def test_zero_matrix_terms_dropped(self, tokens):
+        a = AnnotatedMatrix.annotated(Polynomial.of_token(tokens[0]), np.zeros((2, 2)))
+        assert a.n_terms() == 0
+
+    def test_zero_polynomial_terms_dropped(self):
+        a = AnnotatedMatrix.annotated(Polynomial.zero(), np.eye(2))
+        assert a.n_terms() == 0
+
+    def test_like_terms_merge(self, tokens):
+        p = Polynomial.of_token(tokens[0])
+        a = AnnotatedMatrix([(p, np.eye(2)), (p, np.eye(2))])
+        assert a.n_terms() == 1
+        assert np.allclose(a.terms[0][1], 2 * np.eye(2))
+
+    def test_shape_mismatch_rejected(self, tokens):
+        with pytest.raises(ValueError):
+            AnnotatedMatrix([(ONE, np.eye(2)), (ONE, np.eye(3))])
+
+    def test_empty_needs_shape(self):
+        with pytest.raises(ValueError):
+            AnnotatedMatrix([])
+        assert AnnotatedMatrix.zeros((3, 2)).shape == (3, 2)
+
+    def test_from_samples_decomposition(self, tokens, rng):
+        rows = rng.standard_normal((4, 3))
+        annotated = AnnotatedMatrix.from_samples(rows, tokens)
+        assert annotated.n_terms() == 4
+        # Evaluating with all tokens present recovers the matrix.
+        assert np.allclose(annotated.evaluate(), rows)
+
+    def test_from_samples_token_count_mismatch(self, tokens, rng):
+        with pytest.raises(ValueError):
+            AnnotatedMatrix.from_samples(rng.standard_normal((3, 2)), tokens)
+
+
+class TestAlgebra:
+    def test_joint_use_property(self, tokens, rng):
+        """(p1 ∗ A1)(p2 ∗ A2) == (p1·p2) ∗ (A1 A2) — the key law from [52]."""
+        p1 = Polynomial.of_token(tokens[0])
+        p2 = Polynomial.of_token(tokens[1])
+        a1 = rng.standard_normal((2, 3))
+        a2 = rng.standard_normal((3, 2))
+        product = AnnotatedMatrix.annotated(p1, a1) @ AnnotatedMatrix.annotated(p2, a2)
+        expected = AnnotatedMatrix.annotated(p1 * p2, a1 @ a2)
+        assert product.allclose(expected)
+
+    def test_matmul_distributes_over_terms(self, tokens, rng):
+        p, q = tokens[0], tokens[1]
+        a = AnnotatedMatrix(
+            [(Polynomial.of_token(p), rng.standard_normal((2, 2)))]
+        ) + AnnotatedMatrix([(Polynomial.of_token(q), rng.standard_normal((2, 2)))])
+        b = AnnotatedMatrix.pure(rng.standard_normal((2, 2)))
+        product = a @ b
+        # Numeric evaluation must agree with plain numpy.
+        assert np.allclose(product.evaluate(), a.evaluate() @ b.evaluate())
+
+    def test_addition_evaluates_pointwise(self, tokens, rng):
+        a = AnnotatedMatrix.annotated(
+            Polynomial.of_token(tokens[0]), rng.standard_normal((3, 3))
+        )
+        b = AnnotatedMatrix.pure(rng.standard_normal((3, 3)))
+        assert np.allclose((a + b).evaluate(), a.evaluate() + b.evaluate())
+
+    def test_subtraction_and_scale(self, tokens, rng):
+        a = AnnotatedMatrix.annotated(
+            Polynomial.of_token(tokens[0]), rng.standard_normal((2, 2))
+        )
+        assert (a - a).n_terms() == 0
+        assert np.allclose(a.scale(2.0).evaluate(), 2.0 * a.evaluate())
+
+    def test_transpose(self, tokens, rng):
+        matrix = rng.standard_normal((2, 4))
+        a = AnnotatedMatrix.annotated(Polynomial.of_token(tokens[0]), matrix)
+        assert np.allclose(a.T.evaluate(), matrix.T)
+
+    def test_annotate_multiplies_provenance(self, tokens):
+        a = AnnotatedMatrix.pure(np.eye(2))
+        p = Polynomial.of_token(tokens[0])
+        annotated = a.annotate(p)
+        assert annotated.terms[0][0] == p
+
+    def test_matmul_shape_mismatch(self, rng):
+        a = AnnotatedMatrix.pure(rng.standard_normal((2, 3)))
+        b = AnnotatedMatrix.pure(rng.standard_normal((2, 3)))
+        with pytest.raises(ValueError):
+            a @ b
+
+    def test_mixing_idempotent_flags_rejected(self):
+        a = AnnotatedMatrix.pure(np.eye(2), idempotent=True)
+        b = AnnotatedMatrix.pure(np.eye(2), idempotent=False)
+        with pytest.raises(ValueError):
+            a + b
+
+
+class TestDeletionPropagation:
+    def test_zero_out_drops_mentioning_terms(self, tokens, rng):
+        p, q = tokens[0], tokens[1]
+        u = rng.standard_normal((2, 1))
+        v = rng.standard_normal((2, 1))
+        w = AnnotatedMatrix.annotated(
+            Polynomial.of_token(p), u
+        ) + AnnotatedMatrix.annotated(Polynomial.of_token(q), v)
+        after = w.zero_out([q])
+        assert np.allclose(after.evaluate(), u)
+
+    def test_paper_example(self, tokens, rng):
+        # w = p²q ∗ u + qr⁴ ∗ v + ps ∗ z; delete r -> u + z.
+        p, q, r, s = tokens
+        u, v, z = (rng.standard_normal(3) for _ in range(3))
+        from repro.provenance.polynomial import Monomial
+
+        w = AnnotatedMatrix(
+            [
+                (Polynomial({Monomial({p: 2, q: 1}): 1}), u),
+                (Polynomial({Monomial({q: 1, r: 4}): 1}), v),
+                (Polynomial({Monomial({p: 1, s: 1}): 1}), z),
+            ]
+        )
+        assert np.allclose(w.delete_and_evaluate([r]), u + z)
+
+    def test_evaluate_with_assignment(self, tokens, rng):
+        p = tokens[0]
+        u = rng.standard_normal((2, 2))
+        w = AnnotatedMatrix.annotated(Polynomial.of_token(p, 2), u)
+        assert np.allclose(w.evaluate({p: 3}), 9 * u)
+
+    def test_evaluate_default_reads_tokens_as_one(self, tokens, rng):
+        p = tokens[0]
+        u = rng.standard_normal((2, 2))
+        w = AnnotatedMatrix.annotated(Polynomial.of_token(p, 5), u)
+        assert np.allclose(w.evaluate(), u)
+
+    def test_tokens_listing(self, tokens):
+        w = AnnotatedMatrix.annotated(
+            Polynomial.of_token(tokens[0]) * Polynomial.of_token(tokens[2]),
+            np.eye(2),
+        )
+        assert w.tokens() == frozenset({tokens[0], tokens[2]})
+
+    def test_zero_out_everything(self, tokens, rng):
+        w = AnnotatedMatrix.from_samples(rng.standard_normal((4, 2)), tokens)
+        gone = w.zero_out(tokens)
+        assert gone.n_terms() == 0
+        assert np.allclose(gone.evaluate(), 0.0)

@@ -1,0 +1,145 @@
+"""Unit tests for provenance polynomials N[T]."""
+
+import pytest
+
+from repro.provenance import Monomial, Polynomial, TokenRegistry
+from repro.provenance.polynomial import ONE, ONE_MONOMIAL, ZERO
+
+
+@pytest.fixture
+def tokens():
+    return TokenRegistry().annotate_samples(4)
+
+
+class TestMonomial:
+    def test_empty_monomial_is_unit(self, tokens):
+        m = Monomial({tokens[0]: 2})
+        assert m * ONE_MONOMIAL == m
+        assert ONE_MONOMIAL.degree() == 0
+
+    def test_multiplication_adds_exponents(self, tokens):
+        p, q = tokens[0], tokens[1]
+        prod = Monomial({p: 2}) * Monomial({p: 1, q: 3})
+        assert prod.powers == {p: 3, q: 3}
+        assert prod.degree() == 6
+
+    def test_iterable_constructor_counts_multiplicity(self, tokens):
+        p = tokens[0]
+        assert Monomial([p, p, tokens[1]]).powers[p] == 2
+
+    def test_negative_exponent_rejected(self, tokens):
+        with pytest.raises(ValueError):
+            Monomial({tokens[0]: -1})
+
+    def test_zero_exponent_dropped(self, tokens):
+        assert Monomial({tokens[0]: 0}) == ONE_MONOMIAL
+
+    def test_idempotent_clamps_exponents(self, tokens):
+        p, q = tokens[0], tokens[1]
+        assert Monomial({p: 5, q: 2}).idempotent() == Monomial({p: 1, q: 1})
+
+    def test_evaluate(self, tokens):
+        p, q = tokens[0], tokens[1]
+        mono = Monomial({p: 2, q: 1})
+        assert mono.evaluate({p: 3, q: 5}) == 45
+
+    def test_mentions(self, tokens):
+        mono = Monomial({tokens[0]: 1})
+        assert mono.mentions(tokens[0])
+        assert not mono.mentions(tokens[1])
+
+
+class TestPolynomialConstruction:
+    def test_zero_and_one(self):
+        assert ZERO.is_zero()
+        assert ONE.is_one()
+        assert not ONE.is_zero()
+
+    def test_of_token(self, tokens):
+        poly = Polynomial.of_token(tokens[0], exponent=2)
+        assert poly.degree() == 2
+        assert poly.tokens() == frozenset({tokens[0]})
+
+    def test_constant(self):
+        assert Polynomial.constant(0).is_zero()
+        assert Polynomial.constant(1).is_one()
+        assert Polynomial.constant(3).terms == {ONE_MONOMIAL: 3}
+
+    def test_zero_coefficients_dropped(self, tokens):
+        poly = Polynomial({Monomial({tokens[0]: 1}): 0})
+        assert poly.is_zero()
+
+
+class TestPolynomialArithmetic:
+    def test_example_from_paper(self, tokens):
+        # w = p^2 q * u + q r^4 * v + p s * z; deleting r keeps terms 1 and 3.
+        p, q, r, s = tokens
+        w = (
+            Polynomial({Monomial({p: 2, q: 1}): 1})
+            + Polynomial({Monomial({q: 1, r: 4}): 1})
+            + Polynomial({Monomial({p: 1, s: 1}): 1})
+        )
+        survived = w.specialize(zeroed=[r], kept=[p, q, s])
+        assert survived == Polynomial.constant(2)  # u + z, two unit terms
+
+    def test_addition_merges_like_monomials(self, tokens):
+        p = Polynomial.of_token(tokens[0])
+        assert (p + p).terms == {Monomial({tokens[0]: 1}): 2}
+
+    def test_multiplication_distributes(self, tokens):
+        p = Polynomial.of_token(tokens[0])
+        q = Polynomial.of_token(tokens[1])
+        left = (p + q) * (p + q)
+        expanded = p * p + p * q + p * q + q * q
+        assert left == expanded
+
+    def test_zero_annihilates(self, tokens):
+        p = Polynomial.of_token(tokens[0])
+        assert (p * ZERO).is_zero()
+        assert p + ZERO == p
+
+    def test_one_is_neutral(self, tokens):
+        p = Polynomial.of_token(tokens[0])
+        assert p * ONE == p
+
+    def test_scale(self, tokens):
+        p = Polynomial.of_token(tokens[0])
+        assert p.scale(3).evaluate({tokens[0]: 2}) == 6
+        assert p.scale(0).is_zero()
+
+    def test_idempotent_reduction(self, tokens):
+        p = Polynomial.of_token(tokens[0], 3) + Polynomial.of_token(tokens[0], 3)
+        reduced = p.idempotent()
+        assert reduced == Polynomial.of_token(tokens[0], 1)
+
+
+class TestEvaluationAndSpecialization:
+    def test_full_evaluation(self, tokens):
+        p, q = tokens[0], tokens[1]
+        poly = Polynomial({Monomial({p: 2, q: 1}): 3})
+        assert poly.evaluate({p: 2, q: 5}) == 60
+
+    def test_specialize_zero_kills_mentioning_terms(self, tokens):
+        p, q = tokens[0], tokens[1]
+        poly = Polynomial.of_token(p) + Polynomial.of_token(q)
+        assert poly.specialize(zeroed=[p]) == Polynomial.of_token(q)
+
+    def test_specialize_keep_sets_tokens_to_one(self, tokens):
+        p, q = tokens[0], tokens[1]
+        poly = Polynomial({Monomial({p: 2, q: 1}): 1})
+        assert poly.specialize(kept=[p, q]) == ONE
+
+    def test_partial_specialization_is_symbolic(self, tokens):
+        p, q = tokens[0], tokens[1]
+        poly = Polynomial({Monomial({p: 1, q: 1}): 1})
+        partial = poly.specialize(kept=[p])
+        assert partial == Polynomial.of_token(q)
+
+    def test_degree_zero_after_keep_all(self, tokens):
+        poly = Polynomial({Monomial({t: 1 for t in tokens}): 4})
+        assert poly.specialize(kept=tokens) == Polynomial.constant(4)
+
+    def test_repr_smoke(self, tokens):
+        poly = Polynomial({Monomial({tokens[0]: 2}): 1}) + ONE
+        assert "p0" in repr(poly)
+        assert repr(ZERO) == "0prov"

@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for the provenance substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.provenance import (
+    AnnotatedMatrix,
+    Monomial,
+    Polynomial,
+    Token,
+)
+from repro.provenance.polynomial import ONE, ZERO
+
+TOKENS = [Token(f"p{i}", i) for i in range(4)]
+
+
+@st.composite
+def monomials(draw):
+    powers = draw(
+        st.dictionaries(
+            st.sampled_from(TOKENS), st.integers(min_value=1, max_value=3),
+            max_size=3,
+        )
+    )
+    return Monomial(powers)
+
+
+@st.composite
+def polynomials(draw):
+    terms = draw(
+        st.dictionaries(
+            monomials(), st.integers(min_value=1, max_value=4), max_size=4
+        )
+    )
+    return Polynomial(terms)
+
+
+@st.composite
+def assignments(draw):
+    return {t: draw(st.integers(min_value=0, max_value=3)) for t in TOKENS}
+
+
+class TestPolynomialSemiringAxioms:
+    @given(polynomials(), polynomials())
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(polynomials(), polynomials())
+    def test_multiplication_commutes(self, a, b):
+        assert a * b == b * a
+
+    @given(polynomials(), polynomials(), polynomials())
+    def test_addition_associates(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(polynomials(), polynomials(), polynomials())
+    def test_multiplication_associates(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @given(polynomials(), polynomials(), polynomials())
+    def test_distributivity(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(polynomials())
+    def test_identities(self, a):
+        assert a + ZERO == a
+        assert a * ONE == a
+        assert (a * ZERO).is_zero()
+
+    @given(polynomials(), assignments())
+    def test_evaluation_is_homomorphic_for_sum(self, a, assignment):
+        b = Polynomial.of_token(TOKENS[0])
+        assert (a + b).evaluate(assignment) == a.evaluate(assignment) + b.evaluate(
+            assignment
+        )
+
+    @given(polynomials(), polynomials(), assignments())
+    def test_evaluation_is_homomorphic_for_product(self, a, b, assignment):
+        assert (a * b).evaluate(assignment) == a.evaluate(assignment) * b.evaluate(
+            assignment
+        )
+
+    @given(polynomials())
+    def test_idempotent_is_idempotent(self, a):
+        reduced = a.idempotent()
+        assert reduced.idempotent() == reduced
+
+    @given(polynomials(), polynomials())
+    def test_idempotent_reduction_commutes_with_product(self, a, b):
+        assert ((a * b).idempotent()) == (
+            (a.idempotent() * b.idempotent()).idempotent()
+        )
+
+    @given(polynomials())
+    def test_specialize_zero_then_evaluate(self, a):
+        """Zeroing a token == evaluating it at 0."""
+        target = TOKENS[0]
+        zeroed = a.specialize(zeroed=[target])
+        full = {t: 1 for t in TOKENS}
+        killed = dict(full)
+        killed[target] = 0
+        assert zeroed.evaluate(full) == a.evaluate(killed)
+
+
+@st.composite
+def annotated_matrices(draw, shape=(2, 2)):
+    n_terms = draw(st.integers(min_value=0, max_value=3))
+    terms = []
+    for _ in range(n_terms):
+        poly = draw(polynomials())
+        values = draw(
+            st.lists(
+                st.floats(min_value=-4, max_value=4, allow_nan=False),
+                min_size=shape[0] * shape[1],
+                max_size=shape[0] * shape[1],
+            )
+        )
+        terms.append((poly, np.array(values).reshape(shape)))
+    return AnnotatedMatrix(terms, shape=shape)
+
+
+class TestAnnotatedMatrixLaws:
+    @settings(max_examples=50)
+    @given(annotated_matrices(), annotated_matrices())
+    def test_addition_evaluates_pointwise(self, a, b):
+        assert np.allclose((a + b).evaluate(), a.evaluate() + b.evaluate())
+
+    @settings(max_examples=50)
+    @given(annotated_matrices(), annotated_matrices())
+    def test_matmul_evaluates_pointwise(self, a, b):
+        assert np.allclose(
+            (a @ b).evaluate(), a.evaluate() @ b.evaluate(), atol=1e-8
+        )
+
+    @settings(max_examples=50)
+    @given(annotated_matrices())
+    def test_zero_out_equals_evaluating_token_at_zero(self, a):
+        target = TOKENS[0]
+        zeroed = a.zero_out([target]).evaluate()
+        direct = a.evaluate({target: 0})
+        assert np.allclose(zeroed, direct)
+
+    @settings(max_examples=50)
+    @given(annotated_matrices(), annotated_matrices(), annotated_matrices())
+    def test_matmul_distributes(self, a, b, c):
+        left = a @ (b + c)
+        right = (a @ b) + (a @ c)
+        assert np.allclose(left.evaluate(), right.evaluate(), atol=1e-8)
+
+    @settings(max_examples=50)
+    @given(annotated_matrices())
+    def test_transpose_involution(self, a):
+        assert np.allclose(a.T.T.evaluate(), a.evaluate())

@@ -1,0 +1,135 @@
+"""Unit tests for the semiring instances and the universal homomorphism."""
+
+import pytest
+
+from repro.provenance import (
+    BooleanSemiring,
+    Monomial,
+    NaturalsSemiring,
+    Polynomial,
+    TokenRegistry,
+    TropicalSemiring,
+    ViterbiSemiring,
+    WhyProvenanceSemiring,
+    eval_in_semiring,
+    why_provenance,
+)
+
+SEMIRINGS = [
+    NaturalsSemiring(),
+    BooleanSemiring(),
+    TropicalSemiring(),
+    ViterbiSemiring(),
+    WhyProvenanceSemiring(),
+]
+
+
+@pytest.fixture
+def tokens():
+    return TokenRegistry().annotate_samples(3)
+
+
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: type(s).__name__)
+class TestSemiringAxioms:
+    def _samples(self, semiring):
+        if isinstance(semiring, NaturalsSemiring):
+            return [0, 1, 2, 5]
+        if isinstance(semiring, BooleanSemiring):
+            return [False, True]
+        if isinstance(semiring, (TropicalSemiring,)):
+            return [0.0, 1.5, float("inf")]
+        if isinstance(semiring, ViterbiSemiring):
+            return [0.0, 0.25, 1.0]
+        one = WhyProvenanceSemiring.one
+        t = frozenset({frozenset({"a"})})
+        return [frozenset(), one, t]
+
+    def test_plus_identity(self, semiring):
+        for a in self._samples(semiring):
+            assert semiring.plus(a, semiring.zero) == a
+
+    def test_times_identity(self, semiring):
+        for a in self._samples(semiring):
+            assert semiring.times(a, semiring.one) == a
+
+    def test_times_annihilation(self, semiring):
+        for a in self._samples(semiring):
+            assert semiring.times(a, semiring.zero) == semiring.zero
+
+    def test_commutativity(self, semiring):
+        samples = self._samples(semiring)
+        for a in samples:
+            for b in samples:
+                assert semiring.plus(a, b) == semiring.plus(b, a)
+                assert semiring.times(a, b) == semiring.times(b, a)
+
+    def test_distributivity(self, semiring):
+        samples = self._samples(semiring)
+        for a in samples:
+            for b in samples:
+                for c in samples:
+                    left = semiring.times(a, semiring.plus(b, c))
+                    right = semiring.plus(
+                        semiring.times(a, b), semiring.times(a, c)
+                    )
+                    assert left == right
+
+
+class TestHomomorphism:
+    def test_naturals_matches_direct_evaluation(self, tokens):
+        p, q, r = tokens
+        poly = Polynomial({Monomial({p: 2, q: 1}): 3, Monomial({r: 1}): 1})
+        assignment = {p: 2, q: 3, r: 7}
+        assert eval_in_semiring(poly, NaturalsSemiring(), assignment) == (
+            poly.evaluate(assignment)
+        )
+
+    def test_boolean_deletion_propagation(self, tokens):
+        p, q, r = tokens
+        poly = Polynomial({Monomial({p: 1, q: 1}): 1, Monomial({r: 1}): 1})
+        # r deleted: the pq witness keeps the output alive.
+        alive = eval_in_semiring(
+            poly, BooleanSemiring(), {p: True, q: True, r: False}
+        )
+        assert alive is True
+        # p deleted too: only the r witness remains, and it is gone.
+        dead = eval_in_semiring(
+            poly, BooleanSemiring(), {p: False, q: True, r: False}
+        )
+        assert dead is False
+
+    def test_tropical_cheapest_derivation(self, tokens):
+        p, q, r = tokens
+        poly = Polynomial({Monomial({p: 1, q: 1}): 1, Monomial({r: 1}): 1})
+        cost = eval_in_semiring(poly, TropicalSemiring(), {p: 2.0, q: 3.0, r: 4.0})
+        assert cost == 4.0  # min(2+3, 4)
+
+    def test_viterbi_best_probability(self, tokens):
+        p, q, r = tokens
+        poly = Polynomial({Monomial({p: 1, q: 1}): 1, Monomial({r: 1}): 1})
+        prob = eval_in_semiring(poly, ViterbiSemiring(), {p: 0.9, q: 0.5, r: 0.4})
+        assert prob == pytest.approx(0.45)
+
+    def test_homomorphism_respects_product(self, tokens):
+        p, q, _ = tokens
+        a = Polynomial.of_token(p) + Polynomial.of_token(q)
+        b = Polynomial.of_token(p)
+        semiring = NaturalsSemiring()
+        assignment = {p: 3, q: 4}
+        assert eval_in_semiring(a * b, semiring, assignment) == (
+            eval_in_semiring(a, semiring, assignment)
+            * eval_in_semiring(b, semiring, assignment)
+        )
+
+
+class TestWhyProvenance:
+    def test_witness_sets(self, tokens):
+        p, q, r = tokens
+        poly = Polynomial({Monomial({p: 2, q: 1}): 5, Monomial({r: 3}): 1})
+        witnesses = why_provenance(poly)
+        assert witnesses == frozenset(
+            {frozenset({p, q}), frozenset({r})}
+        )
+
+    def test_zero_has_no_witnesses(self):
+        assert why_provenance(Polynomial.zero()) == frozenset()

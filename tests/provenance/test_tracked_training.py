@@ -1,0 +1,169 @@
+"""Cross-validation of semantics: symbolic provenance runs vs plain training.
+
+These are the load-bearing tests tying Section 4 to Section 5: the symbolic
+annotated-algebra replay, the compiled PrIU update and BaseL retraining must
+all agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_regression
+from repro.linalg.interpolation import sigmoid_complement_interpolator
+from repro.models import make_schedule, objective_for, train
+from repro.provenance import ProvenanceTrackedRun
+
+
+@pytest.fixture(scope="module")
+def tiny_linear():
+    data = make_regression(60, 4, noise=0.05, seed=21)
+    objective = objective_for("linear", 0.05)
+    schedule = make_schedule(data.n_samples, 10, 40, seed=3)
+    return data, objective, schedule
+
+
+class TestLinearTrackedRun:
+    ETA = 0.02
+
+    def _tracked(self, tiny_linear) -> ProvenanceTrackedRun:
+        data, objective, schedule = tiny_linear
+        run = ProvenanceTrackedRun(
+            data.features, data.labels, self.ETA, objective.regularization
+        )
+        run.record_linear(schedule.batches)
+        return run
+
+    def test_full_replay_matches_training(self, tiny_linear):
+        data, objective, schedule = tiny_linear
+        run = self._tracked(tiny_linear)
+        result = train(objective, data.features, data.labels, schedule, self.ETA)
+        assert np.allclose(run.original_parameters("linear"), result.weights)
+
+    def test_deletion_matches_retraining(self, tiny_linear):
+        data, objective, schedule = tiny_linear
+        run = self._tracked(tiny_linear)
+        removed = [0, 3, 17, 42]
+        retrained = train(
+            objective, data.features, data.labels, schedule, self.ETA,
+            exclude=set(removed),
+        )
+        updated = run.updated_parameters(removed, kind="linear")
+        assert np.allclose(updated, retrained.weights, atol=1e-10)
+
+    def test_idempotent_and_exact_agree(self, tiny_linear):
+        data, objective, schedule = tiny_linear
+        exact = ProvenanceTrackedRun(
+            data.features, data.labels, self.ETA,
+            objective.regularization, idempotent=False,
+        )
+        exact.record_linear(schedule.batches)
+        idem = self._tracked(tiny_linear)
+        removed = [1, 2]
+        assert np.allclose(
+            exact.updated_parameters(removed),
+            idem.updated_parameters(removed),
+        )
+
+    def test_deleting_whole_batch_only_shrinks(self):
+        data = make_regression(20, 3, seed=5, validation_fraction=0.0)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(20, 5, 8, seed=9)
+        run = ProvenanceTrackedRun(data.features, data.labels, 0.05, 0.1)
+        run.record_linear(schedule.batches)
+        removed = list(schedule.batches[0])  # kill iteration 0 entirely
+        retrained = train(
+            objective, data.features, data.labels, schedule, 0.05,
+            exclude=set(removed),
+        )
+        assert np.allclose(
+            run.updated_parameters(removed), retrained.weights, atol=1e-10
+        )
+
+
+class TestLogisticTrackedRun:
+    def test_linearized_replay_matches_linearized_training(self):
+        from repro.datasets import make_binary_classification
+
+        data = make_binary_classification(80, 5, seed=33)
+        objective = objective_for("binary_logistic", 0.02)
+        schedule = make_schedule(data.n_samples, 16, 60, seed=4)
+        interp = sigmoid_complement_interpolator(n_intervals=10_000)
+        eta = 0.05
+        # Collect the (a, b) coefficients the standard training produces.
+        coeffs = []
+
+        def hook(t, batch, w, extras):
+            slopes, intercepts = interp.coefficients(extras["margins"])
+            coeffs.append((slopes, intercepts))
+
+        result = train(
+            objective, data.features, data.labels, schedule, eta,
+            capture_hook=hook,
+        )
+        run = ProvenanceTrackedRun(
+            data.features, data.labels, eta, objective.regularization
+        )
+        run.record_logistic(schedule.batches, coeffs)
+        replayed = run.original_parameters(kind="logistic")
+        # The symbolic replay uses the linearized rule with coefficients from
+        # the *nonlinear* trajectory: Theorem 4 says they stay O(Δx²) close.
+        assert np.linalg.norm(replayed - result.weights) < 1e-3
+
+    def test_coefficients_batch_mismatch_rejected(self):
+        data = make_regression(10, 2, seed=1)
+        run = ProvenanceTrackedRun(data.features, data.labels, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            run.record_logistic([np.array([0, 1])], [])
+
+
+class TestUnrolledSymbolicParameters:
+    def test_unrolled_matches_replay_without_renormalization(self):
+        """Pure semiring reading: full symbolic W evaluated == replay."""
+        data = make_regression(8, 2, noise=0.01, seed=8, validation_fraction=0.0)
+        schedule = make_schedule(8, 8, 4, kind="gd")
+        run = ProvenanceTrackedRun(data.features, data.labels, 0.05, 0.1)
+        run.record_linear(schedule.batches)
+        symbolic = run.unrolled_parameters("linear")
+        # All tokens present: must equal the numeric replay exactly.
+        numeric = run.original_parameters("linear")
+        assert np.allclose(symbolic.evaluate().ravel(), numeric)
+
+    def test_unrolled_deletion_is_unrenormalized(self):
+        """Zero-out on the unrolled form keeps the original denominators.
+
+        This documents why Equation 8 replaces the annotated count P^(t) with
+        the integer B_U: naive zero-out alone does not renormalize.
+        """
+        data = make_regression(6, 2, noise=0.01, seed=9, validation_fraction=0.0)
+        schedule = make_schedule(6, 6, 3, kind="gd")
+        run = ProvenanceTrackedRun(data.features, data.labels, 0.05, 0.1)
+        run.record_linear(schedule.batches)
+        symbolic = run.unrolled_parameters("linear")
+        removed = [0]
+        zeroed = symbolic.delete_and_evaluate([run.tokens[0]]).ravel()
+        renormalized = run.updated_parameters(removed)
+        # Same direction, different scaling because of the denominators.
+        assert not np.allclose(zeroed, renormalized)
+        # Manual replay with original denominator n=6 must match the zeroed
+        # symbolic value.
+        eta, lam = 0.05, 0.1
+        w = np.zeros(2)
+        for batch in schedule.batches:
+            keep = [i for i in batch if i not in removed]
+            block = data.features[keep]
+            targets = data.labels[keep]
+            w = (
+                (1 - eta * lam) * w
+                - (2 * eta / len(batch)) * (block.T @ (block @ w))
+                + (2 * eta / len(batch)) * (block.T @ targets)
+            )
+        assert np.allclose(zeroed, w, atol=1e-10)
+
+    def test_term_growth_is_bounded_by_idempotence(self):
+        data = make_regression(5, 2, seed=10, validation_fraction=0.0)
+        schedule = make_schedule(5, 5, 6, kind="gd")
+        run = ProvenanceTrackedRun(data.features, data.labels, 0.05, 0.1)
+        run.record_linear(schedule.batches)
+        symbolic = run.unrolled_parameters("linear")
+        # With idempotent multiplication, monomials are subsets of 5 tokens.
+        assert symbolic.n_terms() <= 2**5
