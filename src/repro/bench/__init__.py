@@ -5,6 +5,7 @@ from .runner import (
     FittedWorkload,
     accuracy_rows,
     available_methods,
+    batched_deletion_rows,
     dataset_summary_rows,
     memory_row,
     prepare_workload,
@@ -20,6 +21,7 @@ __all__ = [
     "FittedWorkload",
     "accuracy_rows",
     "available_methods",
+    "batched_deletion_rows",
     "dataset_summary_rows",
     "get",
     "memory_row",

@@ -16,12 +16,19 @@ from .provenance_store import (
     LinearRecord,
     LogisticRecord,
     MultinomialRecord,
+    PackedOccurrenceIndex,
     ProvenanceStore,
     apply_summary,
+    normalize_removed_indices,
 )
+from .replay_plan import ReplayPlan, compile_replay_plan
 
 __all__ = [
     "FrozenProvenance",
+    "PackedOccurrenceIndex",
+    "ReplayPlan",
+    "compile_replay_plan",
+    "normalize_removed_indices",
     "UpdateErrorReport",
     "convergence_check",
     "error_report",

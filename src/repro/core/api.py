@@ -30,6 +30,8 @@ from ..models.sgd import train, objective_for
 from .capture import train_with_capture
 from .priu import PrIUUpdater
 from .priu_opt import PrIUOptLinearUpdater, PrIUOptLogisticUpdater
+from .provenance_store import normalize_removed_indices
+from .replay_plan import ReplayPlan
 
 TASKS = ("linear", "binary_logistic", "multinomial_logistic")
 
@@ -63,6 +65,7 @@ class IncrementalTrainer:
         schedule_kind: str = "mb-sgd",
         max_dense_params: int = 2500,
         opt_feature_limit: int = 2500,
+        plan_cache_sparse_blocks: bool = True,
     ) -> None:
         if task not in TASKS:
             raise ValueError(f"task must be one of {TASKS}")
@@ -82,6 +85,10 @@ class IncrementalTrainer:
         self.schedule_kind = schedule_kind
         self.max_dense_params = int(max_dense_params)
         self.opt_feature_limit = int(opt_feature_limit)
+        # Memory/time trade for sparse workloads: the plan's pre-sliced CSR
+        # batch blocks hold ~τB/n copies of the dataset; disable to re-slice
+        # inside the replay loop instead.
+        self.plan_cache_sparse_blocks = bool(plan_cache_sparse_blocks)
         self._fitted = False
 
     # -------------------------------------------------------------- fitting
@@ -124,7 +131,16 @@ class IncrementalTrainer:
             max_dense_params=self.max_dense_params,
         )
         # Offline construction of every updater (part of provenance phase).
+        # The compiled ReplayPlan builds the packed occurrence index once;
+        # the reference PrIUUpdater and the opt updaters all share it
+        # through the store.
         self._priu = PrIUUpdater(self.store, features, self.labels)
+        self._plan = ReplayPlan(
+            self.store,
+            features,
+            self.labels,
+            cache_sparse_blocks=self.plan_cache_sparse_blocks,
+        )
         self._opt = None
         if use_opt and dense:
             if self.task == "linear":
@@ -139,7 +155,7 @@ class IncrementalTrainer:
                 self.store.frozen.eigenvectors is not None
             ):
                 self._opt = PrIUOptLogisticUpdater(
-                    self.store, features, self.labels
+                    self.store, features, self.labels, plan=self._plan
                 )
         self._closed_form = None
         self._influence = None
@@ -188,26 +204,86 @@ class IncrementalTrainer:
         return self.result.weights
 
     def remove(self, indices, method: str | None = None) -> UpdateOutcome:
-        """Incremental update: the model with ``indices`` deleted."""
+        """Incremental update: the model with ``indices`` deleted.
+
+        ``method="priu"`` serves the request through the compiled
+        :class:`~repro.core.replay_plan.ReplayPlan`; ``"priu-seq"`` forces
+        the uncompiled per-record reference path (kept for verification and
+        benchmarking).
+        """
         self._require_fit()
-        removed = np.unique(np.asarray(list(indices), dtype=int))
+        removed = normalize_removed_indices(indices)
         chosen = method or ("priu-opt" if self._opt is not None else "priu")
         start = time.perf_counter()
         if chosen == "priu-opt":
             if self._opt is None:
                 raise ValueError("PrIU-opt is unavailable for this configuration")
-            weights = self._opt.update(removed)
+            weights = self._opt.update(removed, assume_unique=True)
         elif chosen == "priu":
-            weights = self._priu.update(removed)
+            if self._plan.supported:
+                weights = self._plan.run_single(removed, assume_unique=True)
+            else:
+                weights = self._priu.update(removed, assume_unique=True)
+        elif chosen == "priu-seq":
+            weights = self._priu.update(removed, assume_unique=True)
         else:
             raise ValueError(f"unknown update method: {chosen}")
         seconds = time.perf_counter() - start
         return UpdateOutcome(weights, chosen, seconds, removed)
 
+    def remove_many(
+        self, index_sets, method: str | None = None
+    ) -> list[UpdateOutcome]:
+        """Serve K deletion requests simultaneously (one per index set).
+
+        The K replays share every per-iteration bulk term: the weight
+        vectors stack into an ``m × K`` matrix so each cached summary is
+        applied as a single GEMM, and (for PrIU-opt) the eigen tail runs as
+        one broadcast recursion.  Returns one :class:`UpdateOutcome` per
+        set — numerically identical (≲1e-12) to sequential :meth:`remove`
+        calls — with the amortized wall-clock share attributed to each.
+        """
+        self._require_fit()
+        normalized = [normalize_removed_indices(s) for s in index_sets]
+        if not normalized:
+            return []
+        chosen = method or ("priu-opt" if self._opt is not None else "priu")
+        start = time.perf_counter()
+        if chosen == "priu-opt":
+            if self._opt is None:
+                raise ValueError("PrIU-opt is unavailable for this configuration")
+            stacked = self._opt.update_many(normalized, assume_unique=True)
+        elif chosen == "priu":
+            if self._plan.supported:
+                stacked = self._plan.run(normalized, assume_unique=True)
+            else:
+                stacked = np.stack(
+                    [
+                        self._priu.update(r, assume_unique=True)
+                        for r in normalized
+                    ],
+                    axis=1,
+                )
+        elif chosen == "priu-seq":
+            stacked = np.stack(
+                [self._priu.update(r, assume_unique=True) for r in normalized],
+                axis=1,
+            )
+        else:
+            raise ValueError(f"unknown update method: {chosen}")
+        seconds = time.perf_counter() - start
+        share = seconds / len(normalized)
+        return [
+            UpdateOutcome(
+                np.ascontiguousarray(stacked[:, k]), chosen, share, removed
+            )
+            for k, removed in enumerate(normalized)
+        ]
+
     def retrain(self, indices) -> UpdateOutcome:
         """BaseL: retrain from scratch on the same schedule minus ``indices``."""
         self._require_fit()
-        removed = np.unique(np.asarray(list(indices), dtype=int))
+        removed = normalize_removed_indices(indices)
         start = time.perf_counter()
         result = train(
             self.objective,
@@ -229,7 +305,7 @@ class IncrementalTrainer:
             self._closed_form = IncrementalClosedForm(
                 self.features, self.labels, self.regularization
             )
-        removed = np.unique(np.asarray(list(indices), dtype=int))
+        removed = normalize_removed_indices(indices)
         start = time.perf_counter()
         weights = self._closed_form.delete(removed)
         seconds = time.perf_counter() - start
@@ -246,7 +322,7 @@ class IncrementalTrainer:
                 self.result.weights,
                 mode=mode,
             )
-        removed = np.unique(np.asarray(list(indices), dtype=int))
+        removed = normalize_removed_indices(indices)
         start = time.perf_counter()
         weights = self._influence.update(removed)
         seconds = time.perf_counter() - start

@@ -29,6 +29,7 @@ from .provenance_store import (
     MultinomialRecord,
     ProvenanceStore,
     apply_summary,
+    normalize_removed_indices,
 )
 
 
@@ -53,8 +54,9 @@ class PrIUUpdater:
         else:
             n_params = store.n_features
         self._w0 = np.zeros(n_params) if w0 is None else np.asarray(w0, float)
-        # Build the occurrence index eagerly: it is part of the offline phase.
-        store.occurrences()
+        # The occurrence index is built lazily by the store (and shared with
+        # any compiled ReplayPlan), so constructing several updaters over the
+        # same store never builds it twice.
 
     # ----------------------------------------------------------------- API
     def update(
@@ -63,12 +65,17 @@ class PrIUUpdater:
         stop_at: int | None = None,
         start_weights: np.ndarray | None = None,
         start_iteration: int = 0,
+        assume_unique: bool = False,
     ) -> np.ndarray:
         """Model parameters after deleting ``removed_indices``.
 
         ``stop_at``/``start_*`` support the PrIU-opt two-phase replay.
+        ``assume_unique`` skips re-deduplication when the caller (e.g. the
+        facade) already normalized the removal set.
         """
-        removed = np.unique(np.asarray(list(removed_indices), dtype=int))
+        removed = normalize_removed_indices(
+            removed_indices, assume_unique=assume_unique
+        )
         if removed.size >= self.store.n_samples:
             raise ValueError("cannot delete every training sample")
         removed_map = self.store.removed_positions(removed)

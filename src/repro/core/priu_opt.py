@@ -13,6 +13,14 @@ Logistic regression (Sec. 5.4)
     provenance stops being captured at ``t_s`` (rule of thumb: 70% of ``τ``).
     Phase 1 (``t < t_s``) replays PrIU; phase 2 uses the frozen full-dataset
     ``C*``/``D*`` with the same eigenvalue machinery as the linear case.
+
+Both updaters also expose ``update_many``: K deletion requests share one
+vectorized eigen tail — the per-request eigenvalue corrections and moments
+stack into ``m × K`` matrices, :func:`~repro.linalg.eigen.gd_diagonal_recursion`
+broadcasts over the K columns, and the basis changes ``Qᵀ·`` / ``Q·`` become
+GEMMs.  The logistic phase 1 runs through a compiled
+:class:`~repro.core.replay_plan.ReplayPlan`, which batches the replay loop
+itself.
 """
 
 from __future__ import annotations
@@ -21,13 +29,13 @@ import numpy as np
 
 from ..linalg.eigen import (
     EigenSystem,
-    eigendecompose,
     gd_diagonal_recursion,
+    eigendecompose,
     incremental_eigenvalues_from_rows,
 )
 from ..linalg.matrix_utils import is_sparse
-from .priu import PrIUUpdater
-from .provenance_store import ProvenanceStore
+from .provenance_store import ProvenanceStore, normalize_removed_indices
+from .replay_plan import ReplayPlan
 
 
 class PrIUOptLinearUpdater:
@@ -61,22 +69,48 @@ class PrIUOptLinearUpdater:
         """Cached state: Q, eigenvalues and N (Sec. 5.2 space analysis)."""
         return int(self._eigen.nbytes() + self._moment.nbytes)
 
-    def update(self, removed_indices) -> np.ndarray:
+    def update(self, removed_indices, assume_unique: bool = False) -> np.ndarray:
         """Post-deletion parameters in ``O(min(Δn,m)·m²) + O(m)`` work."""
-        removed = np.unique(np.asarray(list(removed_indices), dtype=int))
-        remaining = self.n_samples - removed.size
-        if remaining <= 0:
-            raise ValueError("cannot delete every training sample")
-        if removed.size:
-            rows = self.features[removed]
-            eigenvalues = incremental_eigenvalues_from_rows(self._eigen, rows)
-            moment = self._moment - rows.T @ self.labels[removed]
-        else:
-            eigenvalues = self._eigen.eigenvalues
-            moment = self._moment
+        return self.update_many(
+            [removed_indices], assume_unique=assume_unique
+        )[:, 0]
+
+    def update_many(
+        self, removed_sets, assume_unique: bool = False
+    ) -> np.ndarray:
+        """K deletions through one vectorized recursion; ``(m, K)`` result.
+
+        The per-request work (eigenvalue correction, moment delta) stays
+        per-request; everything downstream — the diagonal recursion and the
+        two basis changes — runs as K-column matrix arithmetic.
+        """
+        sets = [
+            normalize_removed_indices(s, assume_unique=assume_unique)
+            for s in removed_sets
+        ]
+        n_requests = len(sets)
+        if n_requests == 0:
+            return np.zeros((self.n_features, 0))
+        m = self.n_features
+        eigenvalues = np.empty((m, n_requests))
+        moments = np.empty((m, n_requests))
+        remaining = np.empty(n_requests)
+        for k, removed in enumerate(sets):
+            remaining[k] = self.n_samples - removed.size
+            if remaining[k] <= 0:
+                raise ValueError("cannot delete every training sample")
+            if removed.size:
+                rows = self.features[removed]
+                eigenvalues[:, k] = incremental_eigenvalues_from_rows(
+                    self._eigen, rows
+                )
+                moments[:, k] = self._moment - rows.T @ self.labels[removed]
+            else:
+                eigenvalues[:, k] = self._eigen.eigenvalues
+                moments[:, k] = self._moment
         q = self._eigen.eigenvectors
-        initial = q.T @ self._w0
-        bias = (2.0 / remaining) * (q.T @ moment)
+        initial = (q.T @ self._w0)[:, None]
+        bias = (2.0 / remaining) * (q.T @ moments)
         coords = gd_diagonal_recursion(
             eigenvalues,
             initial,
@@ -103,6 +137,7 @@ class PrIUOptLogisticUpdater:
         features,
         labels: np.ndarray,
         w0: np.ndarray | None = None,
+        plan: ReplayPlan | None = None,
     ) -> None:
         if store.task not in ("binary_logistic", "multinomial_logistic"):
             raise ValueError("PrIUOptLogisticUpdater requires a logistic store")
@@ -119,32 +154,70 @@ class PrIUOptLogisticUpdater:
         self.store = store
         self.features = np.asarray(features, dtype=float)
         self.labels = np.asarray(labels)
-        self._phase1 = PrIUUpdater(store, features, labels, w0=w0)
+        self._w0 = w0
+        # Phase 1 replays through a compiled plan; callers that already hold
+        # one (the facade) pass it in so the packed index and stacked layout
+        # are shared rather than rebuilt.
+        self._plan = plan
         frozen = store.frozen
         self._eigen = EigenSystem(
             eigenvectors=frozen.eigenvectors, eigenvalues=frozen.eigenvalues
         )
 
-    def update(self, removed_indices) -> np.ndarray:
-        removed = np.unique(np.asarray(list(removed_indices), dtype=int))
+    def _phase1_plan(self) -> ReplayPlan:
+        if self._plan is None:
+            self._plan = ReplayPlan(
+                self.store, self.features, self.labels, w0=self._w0
+            )
+        return self._plan
+
+    def update(self, removed_indices, assume_unique: bool = False) -> np.ndarray:
+        return self.update_many(
+            [removed_indices], assume_unique=assume_unique
+        )[:, 0]
+
+    def update_many(
+        self, removed_sets, assume_unique: bool = False
+    ) -> np.ndarray:
+        """K two-phase updates at once; returns ``(n_params, K)``.
+
+        Phase 1 is the batched GEMM replay up to ``t_s``; phase 2 stacks the
+        per-request tail states and evaluates one broadcast diagonal
+        recursion for all K requests.
+        """
+        sets = [
+            normalize_removed_indices(s, assume_unique=assume_unique)
+            for s in removed_sets
+        ]
+        n_requests = len(sets)
         frozen = self.store.frozen
+        n_params = self._eigen.n_features
+        if n_requests == 0:
+            return np.zeros((n_params, 0))
         n_total = self.store.n_samples
-        remaining = n_total - removed.size
-        if remaining <= 0:
-            raise ValueError("cannot delete every training sample")
-        # Phase 1: PrIU replay up to the freeze iteration.
-        w_ts = self._phase1.update(removed, stop_at=frozen.t_s)
+        remaining = np.empty(n_requests)
+        for k, removed in enumerate(sets):
+            remaining[k] = n_total - removed.size
+            if remaining[k] <= 0:
+                raise ValueError("cannot delete every training sample")
+        # Phase 1: batched PrIU replay up to the freeze iteration.
+        w_ts = self._phase1_plan().run(sets, stop_at=frozen.t_s, assume_unique=True)
         # Phase 2: frozen-coefficient eigen recursion for the tail.
         tail = self.store.schedule.n_iterations - frozen.t_s
         if tail <= 0:
             return w_ts
-        if self.store.task == "binary_logistic":
-            eigenvalues, moment = self._binary_tail_state(removed)
-        else:
-            eigenvalues, moment = self._multinomial_tail_state(removed)
+        eigenvalues = np.empty((n_params, n_requests))
+        moments = np.empty((n_params, n_requests))
+        tail_state = (
+            self._binary_tail_state
+            if self.store.task == "binary_logistic"
+            else self._multinomial_tail_state
+        )
+        for k, removed in enumerate(sets):
+            eigenvalues[:, k], moments[:, k] = tail_state(removed)
         q = self._eigen.eigenvectors
         initial = q.T @ w_ts
-        bias = (q.T @ moment) / remaining
+        bias = (q.T @ moments) / remaining
         coords = gd_diagonal_recursion(
             eigenvalues,
             initial,

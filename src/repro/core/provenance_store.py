@@ -20,12 +20,15 @@ factor pairs (:class:`~repro.linalg.svd.TruncatedSummary`) per Theorems 6/8.
 The store also keeps an inverted *occurrence index* ``sample id → iterations
 containing it`` so an update touching ``Δn`` samples enumerates only the
 ``O(Δn · τB/n)`` affected (iteration, sample) pairs instead of scanning every
-batch.
+batch.  The index is materialized as a :class:`PackedOccurrenceIndex` —
+three flat, contiguous arrays sorted by sample id — so lookups are
+``np.searchsorted`` range scans rather than Python dict walks; the legacy
+dict APIs (:meth:`ProvenanceStore.occurrences` /
+:meth:`ProvenanceStore.removed_positions`) are thin views over it.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -35,6 +38,79 @@ from ..linalg.svd import TruncatedSummary
 from ..models.batching import BatchSchedule
 
 Summary = Union[TruncatedSummary, np.ndarray, None]
+
+
+def normalize_removed_indices(indices, assume_unique: bool = False) -> np.ndarray:
+    """Canonicalize a removal set to a sorted, unique int64 array.
+
+    Accepts ndarrays, sets, lists, tuples, ranges and generators without
+    round-tripping arrays through Python lists.  ``assume_unique`` skips the
+    dedup (the caller already ran it — e.g. the facade dedupes once before
+    timing starts) but still guarantees the sorted contract.
+    """
+    if isinstance(indices, np.ndarray):
+        arr = indices.ravel().astype(np.int64, copy=False)
+    elif isinstance(indices, (set, frozenset)):
+        arr = np.fromiter(indices, dtype=np.int64, count=len(indices))
+        arr.sort()
+        return arr
+    else:
+        arr = np.asarray(tuple(indices), dtype=np.int64)
+    if assume_unique:
+        if arr.size > 1 and np.any(arr[1:] < arr[:-1]):
+            arr = np.sort(arr)
+        return arr
+    return np.unique(arr)
+
+
+@dataclass
+class PackedOccurrenceIndex:
+    """Flat structure-of-arrays occurrence table, sorted by sample id.
+
+    Row ``j`` says: ``samples[j]`` sits at ``positions[j]`` inside the batch
+    of iteration ``iterations[j]``.  Because ``samples`` is sorted (stably,
+    so per-sample runs stay in iteration order), the occurrences of any
+    sample are one ``np.searchsorted`` range — the whole lookup for a
+    removal set is a handful of vectorized gathers instead of an
+    ``O(Δn · τB/n)`` Python loop.
+    """
+
+    samples: np.ndarray  # (H,) sorted sample ids
+    iterations: np.ndarray  # (H,) iteration of each occurrence
+    positions: np.ndarray  # (H,) position inside that iteration's batch
+
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    def lookup(
+        self, removed: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All occurrences of ``removed``: ``(sample ids, iterations, positions)``.
+
+        ``removed`` must be sorted-unique (see
+        :func:`normalize_removed_indices`); ids never seen in any batch are
+        silently skipped, matching the old dict ``get(..., ())`` behavior.
+        """
+        removed = np.asarray(removed, dtype=np.int64)
+        lo = np.searchsorted(self.samples, removed, side="left")
+        hi = np.searchsorted(self.samples, removed, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        # Expand each [lo, hi) run into explicit row numbers.
+        run_starts = np.repeat(lo, counts)
+        within = np.arange(total) - np.repeat(
+            np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+        )
+        sel = run_starts + within
+        return self.samples[sel], self.iterations[sel], self.positions[sel]
+
+    def nbytes(self) -> int:
+        return int(
+            self.samples.nbytes + self.iterations.nbytes + self.positions.nbytes
+        )
 
 
 def _summary_nbytes(summary: Summary) -> int:
@@ -173,22 +249,79 @@ class ProvenanceStore:
     sparse_mode: bool = False
 
     _occurrences: dict[int, list[tuple[int, int]]] | None = None
+    _packed: PackedOccurrenceIndex | None = None
+    # Bumped on every mutation; compiled ReplayPlans pin the version they
+    # were built against and refuse to run against a changed store.
+    _version: int = 0
 
     def add(self, record) -> None:
         self.records.append(record)
+        # New records invalidate any previously built index.
+        self._occurrences = None
+        self._packed = None
+        self._version += 1
 
     def __len__(self) -> int:
         return len(self.records)
 
     # ------------------------------------------------------ occurrence index
+    def packed_index(self) -> PackedOccurrenceIndex:
+        """The flat sorted occurrence table (built lazily, cached, shared).
+
+        Both :class:`~repro.core.priu.PrIUUpdater` and
+        :class:`~repro.core.replay_plan.ReplayPlan` resolve removal sets
+        through this one cached structure, so ``fit()`` never pays for the
+        index twice.
+        """
+        if self._packed is None:
+            if not self.records:
+                empty = np.empty(0, dtype=np.int64)
+                self._packed = PackedOccurrenceIndex(
+                    empty, empty.copy(), empty.copy()
+                )
+                return self._packed
+            sizes = np.fromiter(
+                (len(r.batch) for r in self.records),
+                dtype=np.int64,
+                count=len(self.records),
+            )
+            samples = np.concatenate(
+                [np.asarray(r.batch, dtype=np.int64) for r in self.records]
+            )
+            iterations = np.repeat(
+                np.arange(len(self.records), dtype=np.int64), sizes
+            )
+            positions = np.concatenate(
+                [np.arange(s, dtype=np.int64) for s in sizes]
+            )
+            order = np.argsort(samples, kind="stable")
+            self._packed = PackedOccurrenceIndex(
+                samples=samples[order],
+                iterations=iterations[order],
+                positions=positions[order],
+            )
+        return self._packed
+
     def occurrences(self) -> dict[int, list[tuple[int, int]]]:
-        """Inverted index: sample id -> [(iteration, position in batch)]."""
+        """Inverted index: sample id -> [(iteration, position in batch)].
+
+        Back-compat dict view over :meth:`packed_index`.
+        """
         if self._occurrences is None:
-            index: dict[int, list[tuple[int, int]]] = defaultdict(list)
-            for t, record in enumerate(self.records):
-                for pos, sample in enumerate(record.batch):
-                    index[int(sample)].append((t, pos))
-            self._occurrences = dict(index)
+            idx = self.packed_index()
+            if len(idx) == 0:
+                self._occurrences = {}
+                return self._occurrences
+            boundaries = np.flatnonzero(np.diff(idx.samples)) + 1
+            keys = idx.samples[np.concatenate(([0], boundaries))]
+            self._occurrences = {
+                int(key): list(zip(ts.tolist(), ps.tolist()))
+                for key, ts, ps in zip(
+                    keys,
+                    np.split(idx.iterations, boundaries),
+                    np.split(idx.positions, boundaries),
+                )
+            }
         return self._occurrences
 
     def removed_positions(
@@ -196,21 +329,25 @@ class ProvenanceStore:
     ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
         """Per-iteration (sample ids, batch positions) of removed samples.
 
-        Costs ``O(Δn · τB/n)`` via the occurrence index — the complexity term
-        the paper's ``O(ΔB m)`` per-iteration bound presumes.
+        One searchsorted range scan per removed sample plus a group-by on the
+        iteration column — the ``O(Δn · τB/n)`` output is produced with no
+        per-occurrence Python work.
         """
-        per_iteration: dict[int, tuple[list[int], list[int]]] = defaultdict(
-            lambda: ([], [])
-        )
-        occurrences = self.occurrences()
-        for sample in np.asarray(removed, dtype=int):
-            for t, pos in occurrences.get(int(sample), ()):
-                ids, positions = per_iteration[t]
-                ids.append(int(sample))
-                positions.append(pos)
+        removed = np.asarray(removed, dtype=np.int64).ravel()
+        ids, ts, pos = self.packed_index().lookup(removed)
+        if ids.size == 0:
+            return {}
+        order = np.argsort(ts, kind="stable")
+        ts, ids, pos = ts[order], ids[order], pos[order]
+        boundaries = np.flatnonzero(np.diff(ts)) + 1
+        keys = ts[np.concatenate(([0], boundaries))]
         return {
-            t: (np.asarray(ids, dtype=int), np.asarray(positions, dtype=int))
-            for t, (ids, positions) in per_iteration.items()
+            int(t): (ids_group, pos_group)
+            for t, ids_group, pos_group in zip(
+                keys.tolist(),
+                np.split(ids, boundaries),
+                np.split(pos, boundaries),
+            )
         }
 
     # -------------------------------------------------------------- memory

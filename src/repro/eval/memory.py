@@ -48,11 +48,17 @@ def memory_report(
     labels: np.ndarray,
     store,
     opt_state_bytes: int | None = None,
+    plan_bytes: int = 0,
 ) -> MemoryReport:
-    """Assemble a Table 3 row from a fitted trainer's components."""
+    """Assemble a Table 3 row from a fitted trainer's components.
+
+    ``plan_bytes`` is the compiled ReplayPlan's extra state — the layout the
+    default serving path actually holds — so the PrIU columns reflect what
+    the benchmarked configuration keeps resident, not just the raw store.
+    """
     base = data_bytes(features, labels)
-    priu = base + store.nbytes()
+    priu = base + store.nbytes() + plan_bytes
     priu_opt = None
     if opt_state_bytes is not None:
-        priu_opt = base + store.nbytes() + opt_state_bytes
+        priu_opt = base + store.nbytes() + plan_bytes + opt_state_bytes
     return MemoryReport(dataset=name, basel=base, priu=priu, priu_opt=priu_opt)

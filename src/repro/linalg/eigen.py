@@ -117,10 +117,17 @@ def gd_diagonal_recursion(
 
     A constant learning rate admits the closed geometric form, which we use;
     the loop fallback handles per-iteration schedules.
+
+    Every argument broadcasts: passing ``eigenvalues``/``bias_coords`` of
+    shape ``(m, K)`` with ``n_samples`` of shape ``(K,)`` evaluates the
+    recursions of K deletion requests in one vectorized sweep (the batched
+    eigen tail of ``remove_many``); ``initial_coords`` may be ``(m,)``,
+    ``(m, 1)`` or ``(m, K)``.
     """
     eigenvalues = np.asarray(eigenvalues, dtype=float)
+    n_samples = np.asarray(n_samples, dtype=float)
     rho = 1.0 - learning_rate * regularization + (
-        gram_sign * learning_rate / float(n_samples)
+        gram_sign * learning_rate / n_samples
     ) * eigenvalues
     v0 = np.asarray(initial_coords, dtype=float)
     b = np.asarray(bias_coords, dtype=float)
