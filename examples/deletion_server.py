@@ -1,0 +1,105 @@
+"""Deletion serving end-to-end: capture -> checkpoint -> serve from a queue.
+
+The PrIU workflow split across its two processes:
+
+1. *Training process* — fit with provenance capture, then persist the
+   store and the compiled replay plan (`save_checkpoint`).
+2. *Serving process* — rebuild the trainer from the checkpoint
+   (`from_checkpoint`: no recapture, plan arrays memory-mapped), stand up
+   a `DeletionServer`, and answer single deletion requests that the
+   server coalesces into batched replays behind the scenes.
+
+Run:  python examples/deletion_server.py            # full-size demo
+      python examples/deletion_server.py --smoke    # tiny sizes (CI)
+"""
+
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import AdmissionPolicy, DeletionServer, IncrementalTrainer
+from repro.datasets import make_binary_classification
+
+
+def main(smoke: bool = False) -> None:
+    n_samples, n_iterations, n_requests = (
+        (800, 60, 8) if smoke else (8000, 400, 32)
+    )
+
+    # ---------------------------------------------- 1. training process
+    data = make_binary_classification(
+        n_samples=n_samples, n_features=20, separation=1.2, seed=0
+    )
+    trainer = IncrementalTrainer(
+        task="binary_logistic",
+        learning_rate=0.1,
+        regularization=0.01,
+        batch_size=max(20, n_samples // 40),
+        n_iterations=n_iterations,
+        seed=0,
+    )
+    trainer.fit(data.features, data.labels)
+    checkpoint = Path(tempfile.mkdtemp(prefix="priu-checkpoint-"))
+    paths = trainer.save_checkpoint(checkpoint)
+    print(f"checkpoint written to {checkpoint}")
+    for kind, path in paths.items():
+        print(f"  {kind}: {path.name} ({path.stat().st_size / 1e3:.0f} kB)")
+
+    # ----------------------------------------------- 2. serving process
+    # (Same interpreter here for the demo; tests/core/test_plan_serialization.py
+    # proves the answers are identical from a genuinely fresh process.)
+    server_trainer = IncrementalTrainer.from_checkpoint(
+        checkpoint, data.features, data.labels
+    )
+    print(
+        "\nserving trainer rebuilt from checkpoint "
+        f"(weights restored: {np.array_equal(server_trainer.weights_, trainer.weights_)})"
+    )
+
+    policy = AdmissionPolicy(
+        max_batch=16, max_delay_seconds=0.01, max_pending=256
+    )
+    rng = np.random.default_rng(7)
+    train_n = data.features.shape[0]
+    requests = [
+        np.sort(rng.choice(train_n, size=max(1, train_n // 200), replace=False))
+        for _ in range(n_requests)
+    ]
+
+    with DeletionServer(server_trainer, policy, method="priu") as server:
+        futures = []
+        for i, removed in enumerate(requests):
+            futures.append(server.submit(removed))
+            if i % 4 == 3:  # a bursty arrival pattern, not a single batch
+                time.sleep(policy.max_delay_seconds / 2)
+        outcomes = [f.result(timeout=120) for f in futures]
+
+    # ------------------------------------------------------- 3. results
+    batch_sizes = sorted({o.batch_size for o in outcomes})
+    print(f"\nanswered {len(outcomes)} deletion requests")
+    print(f"  coalesced batch sizes seen: {batch_sizes}")
+    sample = outcomes[0]
+    reference = server_trainer.remove(requests[0], method="priu")
+    print(
+        "  first request: |w_served - w_direct| = "
+        f"{np.max(np.abs(sample.weights - reference.weights)):.2e}"
+    )
+
+    stats = server.stats()
+    print("\nserver stats")
+    print(f"  batches dispatched : {stats.batches}")
+    print(f"  mean batch size    : {stats.mean_batch_size:.1f}")
+    print(f"  wait    p50 / p95  : {stats.wait.p50 * 1e3:7.2f} / {stats.wait.p95 * 1e3:7.2f} ms")
+    print(f"  service p50 / p95  : {stats.service.p50 * 1e3:7.2f} / {stats.service.p95 * 1e3:7.2f} ms")
+    print(f"  latency p50 / p95  : {stats.latency.p50 * 1e3:7.2f} / {stats.latency.p95 * 1e3:7.2f} ms")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    main(parser.parse_args().smoke)

@@ -9,7 +9,11 @@ matching the retrained model's accuracy.
 Public entry points
 -------------------
 :class:`repro.IncrementalTrainer`
-    Train once with provenance capture; delete subsets many times.
+    Train once with provenance capture; delete subsets many times
+    (checkpoint round-trip via ``save_checkpoint``/``from_checkpoint``).
+:class:`repro.DeletionServer` / :class:`repro.AdmissionPolicy`
+    The serving layer: an admission-batched request queue over the
+    compiled replay engine (:mod:`repro.serving`).
 :mod:`repro.provenance`
     The provenance-polynomial semiring and annotated-matrix algebra.
 :mod:`repro.models`
@@ -17,11 +21,18 @@ Public entry points
 :mod:`repro.datasets`
     Synthetic analogues of the paper's six evaluation datasets.
 :mod:`repro.eval`
-    The paper's accuracy / distance / similarity metrics.
+    The paper's accuracy / distance / similarity metrics, plus timing.
 """
 
 from .core.api import IncrementalTrainer, UpdateOutcome
+from .serving import AdmissionPolicy, DeletionServer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["IncrementalTrainer", "UpdateOutcome", "__version__"]
+__all__ = [
+    "AdmissionPolicy",
+    "DeletionServer",
+    "IncrementalTrainer",
+    "UpdateOutcome",
+    "__version__",
+]

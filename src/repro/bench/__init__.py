@@ -1,4 +1,15 @@
-"""Benchmark harness: configs (Table 2), runner, reporting."""
+"""Benchmark harness: configs (Table 2), runner, reporting.
+
+Key entry points: :data:`CONFIGS` / :func:`get` name every experiment of
+Sec. 6 as an :class:`ExperimentConfig` (dataset analogue + scaled
+hyperparameters); :func:`prepare_workload` fits one into a
+:class:`FittedWorkload`; the ``*_rows`` producers
+(:func:`sweep_update_times`, :func:`accuracy_rows`,
+:func:`repeated_deletion_rows`, :func:`batched_deletion_rows`,
+:func:`serving_rows`, :func:`memory_row`) generate the rows behind each
+figure/table and behind ``BENCH_batched.json`` / ``BENCH_serving.json``.
+``python -m repro.bench.run_all`` regenerates everything.
+"""
 
 from .configs import CONFIGS, DELETION_RATES, ExperimentConfig, get
 from .runner import (
@@ -11,6 +22,7 @@ from .runner import (
     prepare_workload,
     repeated_deletion_rows,
     run_update,
+    serving_rows,
     sweep_update_times,
 )
 
@@ -28,5 +40,6 @@ __all__ = [
     "prepare_workload",
     "repeated_deletion_rows",
     "run_update",
+    "serving_rows",
     "sweep_update_times",
 ]

@@ -7,6 +7,15 @@ here are scaled so the full harness completes on a laptop while keeping each
 configuration in the same *regime* (B vs m ordering, passes over the data,
 convergence).  Both the paper's values and ours are recorded so
 EXPERIMENTS.md can print them side by side.
+
+Key entry points: :data:`CONFIGS` (name → :class:`ExperimentConfig`),
+:func:`get` (lookup with a helpful error), and
+:data:`DELETION_RATES` (the Sec. 6.2 sweep, 0.1%–20%).  An
+``ExperimentConfig`` knows how to :meth:`~ExperimentConfig.load` its
+dataset analogue at any scale and to produce
+:meth:`~ExperimentConfig.trainer_kwargs` for
+:class:`~repro.core.api.IncrementalTrainer`; benchmark modules shrink
+``scale`` uniformly via the ``REPRO_BENCH_SCALE`` environment variable.
 """
 
 from __future__ import annotations

@@ -271,6 +271,80 @@ def batched_deletion_rows(
     return rows
 
 
+def serving_rows(
+    workload: FittedWorkload,
+    n_requests: int = 16,
+    deletion_rate: float = 0.001,
+    method: str = "priu",
+    seed: int = 0,
+    repeats: int = 3,
+    max_delay_seconds: float = 0.05,
+) -> tuple[list[dict], dict]:
+    """Queued single-request serving vs one ``remove_many`` call in hand.
+
+    The acceptance bar for the serving layer: submitting ``n_requests``
+    removal sets one at a time through a :class:`~repro.serving
+    .DeletionServer` (which must coalesce them itself) should cost close to
+    the one-shot batched call a caller with all K requests in hand would
+    make.  The server is started *after* the queue is pre-loaded so the
+    dispatch is a deterministic single batch and the measured gap is pure
+    queueing overhead.  Returns ``(rows, stats)`` where ``stats`` is the
+    last served run's :meth:`~repro.serving.ServingStats.as_dict`.
+    """
+    from ..serving import AdmissionPolicy, DeletionServer
+
+    trainer = workload.trainer
+    subsets = random_subsets(
+        workload.n_samples, n_requests, deletion_rate, seed=seed
+    )
+    direct_timing = measure(
+        lambda: trainer.remove_many(subsets, method=method), repeats
+    )
+    policy = AdmissionPolicy(
+        max_batch=n_requests, max_delay_seconds=max_delay_seconds
+    )
+    last: dict = {}
+
+    def serve_queued() -> None:
+        server = DeletionServer(
+            trainer, policy, method=method, autostart=False
+        )
+        futures = [server.submit(subset) for subset in subsets]
+        server.start()
+        server.flush()
+        server.close()
+        last["outcomes"] = [f.result() for f in futures]
+        last["stats"] = server.stats()
+
+    served_timing = measure(serve_queued, repeats)
+    reference = trainer.remove_many(subsets, method=method)
+    deviation = max(
+        float(np.max(np.abs(out.weights - ref.weights)))
+        for out, ref in zip(last["outcomes"], reference)
+    )
+    rows = [
+        {
+            "experiment": workload.config.name,
+            "method": f"{method} (remove_many, all {n_requests} in hand)",
+            "n_requests": n_requests,
+            "total_seconds": direct_timing.best,
+            "seconds_per_request": direct_timing.best / n_requests,
+            "ratio_vs_remove_many": 1.0,
+            "max_abs_deviation": None,
+        },
+        {
+            "experiment": workload.config.name,
+            "method": "DeletionServer (queued single submissions)",
+            "n_requests": n_requests,
+            "total_seconds": served_timing.best,
+            "seconds_per_request": served_timing.best / n_requests,
+            "ratio_vs_remove_many": served_timing.best / direct_timing.best,
+            "max_abs_deviation": deviation,
+        },
+    ]
+    return rows, last["stats"].as_dict()
+
+
 def memory_row(workload: FittedWorkload) -> MemoryReport:
     """Table 3 row for one configuration."""
     trainer = workload.trainer

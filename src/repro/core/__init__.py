@@ -1,4 +1,24 @@
-"""PrIU core: provenance capture, incremental updaters, facade."""
+"""PrIU core: provenance capture, incremental updaters, serving facade.
+
+The package is layered bottom-up:
+
+* :mod:`~repro.core.provenance_store` — per-iteration summaries captured
+  during training, plus the packed occurrence index removal sets resolve
+  against;
+* :mod:`~repro.core.capture` — :func:`train_with_capture`, the offline
+  phase shadowing a GBM run;
+* :mod:`~repro.core.priu` / :mod:`~repro.core.priu_opt` — the reference
+  incremental updaters (Sec. 5.1–5.4);
+* :mod:`~repro.core.replay_plan` — :class:`ReplayPlan`, the compiled
+  structure-of-arrays layout serving K deletion requests per GEMM pass;
+* :mod:`~repro.core.serialization` — :func:`save_store`/:func:`load_store`
+  and :func:`save_plan`/:func:`load_plan`, the versioned on-disk formats;
+* :mod:`~repro.core.api` — :class:`IncrementalTrainer`, the train-once /
+  delete-many facade (and its checkpoint path) everything above plugs into.
+
+Most callers only need :class:`IncrementalTrainer`; the rest is exported
+for benchmarks, tests and the serving layer (:mod:`repro.serving`).
+"""
 
 from .api import IncrementalTrainer, UpdateOutcome
 from .diagnostics import (
@@ -7,7 +27,7 @@ from .diagnostics import (
     error_report,
     interpolation_delta,
 )
-from .serialization import load_store, save_store
+from .serialization import load_plan, load_store, save_plan, save_store
 from .capture import train_with_capture
 from .priu import PrIUUpdater
 from .priu_opt import PrIUOptLinearUpdater, PrIUOptLogisticUpdater
@@ -33,7 +53,9 @@ __all__ = [
     "convergence_check",
     "error_report",
     "interpolation_delta",
+    "load_plan",
     "load_store",
+    "save_plan",
     "save_store",
     "IncrementalTrainer",
     "LinearRecord",

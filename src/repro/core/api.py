@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -26,14 +27,19 @@ from ..linalg.matrix_utils import is_sparse
 from ..models.batching import make_schedule
 from ..models.closed_form import IncrementalClosedForm
 from ..models.influence import InfluenceFunctionUpdater
-from ..models.sgd import train, objective_for
+from ..models.sgd import TrainingResult, train, objective_for
 from .capture import train_with_capture
 from .priu import PrIUUpdater
 from .priu_opt import PrIUOptLinearUpdater, PrIUOptLogisticUpdater
 from .provenance_store import normalize_removed_indices
 from .replay_plan import ReplayPlan
+from .serialization import load_plan, load_store, save_plan, save_store
 
 TASKS = ("linear", "binary_logistic", "multinomial_logistic")
+
+# Canonical file names inside a checkpoint directory.
+STORE_FILENAME = "store.npz"
+PLAN_FILENAME = "plan.npz"
 
 
 @dataclass
@@ -47,7 +53,36 @@ class UpdateOutcome:
 
 
 class IncrementalTrainer:
-    """Train-once / delete-many facade over PrIU, PrIU-opt and the baselines."""
+    """Train-once / delete-many facade over PrIU, PrIU-opt and the baselines.
+
+    Update-method semantics (``method=`` of :meth:`remove` /
+    :meth:`remove_many`; constructor ``method=`` picks the default):
+
+    ``"priu"``
+        The provenance replay (Sec. 5.1/5.3) through the compiled
+        :class:`~repro.core.replay_plan.ReplayPlan` — the production hot
+        path.  Falls back to the uncompiled updater only where the plan is
+        unsupported (sparse multinomial).
+    ``"priu-seq"``
+        The *uncompiled* per-record reference implementation
+        (:class:`~repro.core.priu.PrIUUpdater`), kept for verification and
+        benchmarking; numerically it is the same recursion, so plan
+        results match it to BLAS reduction-order noise (≲1e-12).
+    ``"priu-opt"``
+        The small-feature-space optimizations (Sec. 5.2/5.4: closed
+        recursion for linear, frozen-provenance eigen tail for logistic).
+        An *approximation* controlled by ``epsilon``/``freeze_fraction`` —
+        its output legitimately differs from ``"priu"`` within the
+        paper's error bounds.  Unavailable for sparse or very wide
+        configurations (``opt_feature_limit``).
+    ``"auto"`` (constructor only)
+        ``"priu-opt"`` whenever it is available, else ``"priu"``.
+
+    Baselines live on their own methods: :meth:`retrain` (BaseL),
+    :meth:`closed_form`, :meth:`influence`.  A fitted trainer round-trips
+    through :meth:`save_checkpoint` / :meth:`from_checkpoint` so a fresh
+    serving process answers without re-running capture.
+    """
 
     def __init__(
         self,
@@ -196,6 +231,166 @@ class IncrementalTrainer:
                     mode=influence_mode,
                 )
 
+    # --------------------------------------------------------- checkpointing
+    def save_checkpoint(
+        self, directory: str | Path, include_plan: bool = True
+    ) -> dict[str, Path]:
+        """Persist the serving state: provenance store + compiled plan.
+
+        Writes ``store.npz`` (:func:`~repro.core.serialization.save_store`)
+        and, when the compiled plan supports this configuration,
+        ``plan.npz`` (:func:`~repro.core.serialization.save_plan`) with the
+        fitted model's final weights embedded.  The training data itself is
+        *not* saved — PrIU needs the original features/labels to form the
+        removed samples' delta corrections, so the caller hands them back
+        to :meth:`from_checkpoint`.
+        """
+        self._require_fit()
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = {"store": save_store(self.store, directory / STORE_FILENAME)}
+        if include_plan and self._plan.supported:
+            paths["plan"] = save_plan(
+                self._plan,
+                directory / PLAN_FILENAME,
+                weights=self.result.weights,
+            )
+        return paths
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str | Path,
+        features,
+        labels: np.ndarray,
+        plan_path: str | Path | None = None,
+        method: str = "auto",
+        mmap: bool = True,
+        plan_cache_sparse_blocks: bool = True,
+        **overrides,
+    ) -> "IncrementalTrainer":
+        """Rebuild a serving-ready trainer from a checkpoint — no recapture.
+
+        ``path`` is either the directory written by :meth:`save_checkpoint`
+        (containing ``store.npz`` and optionally ``plan.npz``) or the store
+        archive itself, with ``plan_path`` naming the plan archive.  A fresh
+        process goes checkpoint → compiled plan → first answered request:
+        every hyperparameter is recovered from the store's metadata, the
+        plan arrays are memory-mapped where possible (``mmap=True``), and
+        the deterministic batch schedule is taken verbatim from the store,
+        so the reconstructed trainer answers removal queries identically to
+        the one that called :meth:`fit`.
+
+        When no plan archive exists the plan is compiled from the reloaded
+        store (still far cheaper than re-running capture).  When the plan
+        archive does not embed final weights, ``weights_`` is recovered by
+        replaying the empty removal set — the provenance recursion with
+        ``R = ∅`` reproduces the captured training trajectory exactly.
+        """
+        path = Path(path)
+        if path.is_dir():
+            store_path = path / STORE_FILENAME
+            if plan_path is None:
+                candidate = path / PLAN_FILENAME
+                plan_path = candidate if candidate.exists() else None
+        else:
+            store_path = path
+        store = load_store(store_path)
+        n_classes = (
+            store.n_classes
+            if store.task == "multinomial_logistic"
+            else None
+        )
+        trainer = cls(
+            task=store.task,
+            learning_rate=store.learning_rate,
+            regularization=store.regularization,
+            batch_size=store.schedule.batch_size,
+            n_iterations=len(store.records),
+            n_classes=n_classes,
+            method=method,
+            seed=store.schedule.seed,
+            epsilon=store.epsilon,
+            schedule_kind=store.schedule.kind,
+            plan_cache_sparse_blocks=plan_cache_sparse_blocks,
+            **overrides,
+        )
+        trainer._restore(store, features, labels, plan_path, mmap)
+        return trainer
+
+    def _restore(
+        self, store, features, labels: np.ndarray, plan_path, mmap: bool
+    ) -> None:
+        """Attach checkpointed state; mirrors everything :meth:`fit` sets."""
+        labels = np.asarray(labels)
+        if features.shape[0] != store.n_samples:
+            raise ValueError(
+                f"checkpoint was captured over {store.n_samples} samples, "
+                f"got features with {features.shape[0]} rows"
+            )
+        self.features = features
+        self.labels = labels
+        self.objective = objective_for(
+            self.task, self.regularization, self.n_classes
+        )
+        self.schedule = store.schedule
+        self.store = store
+        self._priu = PrIUUpdater(store, features, labels)
+        if plan_path is not None:
+            self._plan = load_plan(
+                plan_path,
+                store,
+                features,
+                labels,
+                mmap=mmap,
+                cache_sparse_blocks=self.plan_cache_sparse_blocks,
+            )
+        else:
+            self._plan = ReplayPlan(
+                store,
+                features,
+                labels,
+                cache_sparse_blocks=self.plan_cache_sparse_blocks,
+            )
+        dense = not is_sparse(features)
+        n_params = self.objective.n_parameters(features.shape[1])
+        self._opt = None
+        if self._resolve_opt(dense, n_params) and dense:
+            if self.task == "linear":
+                self._opt = PrIUOptLinearUpdater(
+                    features,
+                    labels,
+                    self.n_iterations,
+                    self.learning_rate,
+                    self.regularization,
+                )
+            elif store.frozen is not None and (
+                store.frozen.eigenvectors is not None
+            ):
+                self._opt = PrIUOptLogisticUpdater(
+                    store, features, labels, plan=self._plan
+                )
+        weights = getattr(self._plan, "final_weights", None)
+        if weights is None:
+            empty = np.empty(0, dtype=np.int64)
+            weights = (
+                self._plan.run_single(empty)
+                if self._plan.supported
+                else self._priu.update(empty)
+            )
+        self.result = TrainingResult(
+            weights=np.asarray(weights, dtype=float),
+            objective=self.objective,
+            schedule=self.schedule,
+            learning_rate=self.learning_rate,
+            regularization=self.regularization,
+            n_iterations=self.n_iterations,
+            wall_time=0.0,
+        )
+        self._closed_form = None
+        self._influence = None
+        self._fitted = True
+
     # -------------------------------------------------------------- queries
     @property
     def weights_(self) -> np.ndarray:
@@ -242,6 +437,14 @@ class IncrementalTrainer:
         one broadcast recursion.  Returns one :class:`UpdateOutcome` per
         set — numerically identical (≲1e-12) to sequential :meth:`remove`
         calls — with the amortized wall-clock share attributed to each.
+
+        ``method`` takes the same values as :meth:`remove` (class
+        docstring); ``"priu-seq"`` deliberately runs the K requests
+        one-by-one through the uncompiled reference path, making it the
+        sequential baseline the batched speedup is measured against.
+        Callers who receive requests one at a time rather than K in hand
+        should sit a :class:`repro.serving.DeletionServer` in front of
+        this method instead of calling it directly.
         """
         self._require_fit()
         normalized = [normalize_removed_indices(s) for s in index_sets]

@@ -43,7 +43,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..linalg.matrix_utils import is_sparse
-from .provenance_store import ProvenanceStore, normalize_removed_indices
+from .provenance_store import (
+    PackedOccurrenceIndex,
+    ProvenanceStore,
+    normalize_removed_indices,
+)
 
 
 class ReplayPlan:
@@ -86,6 +90,9 @@ class ReplayPlan:
             np.zeros(self.n_params) if w0 is None else np.asarray(w0, float)
         )
         self._compiled_version = store._version
+        # Set by load_plan() when the archive embeds the fitted model's
+        # final parameter vector; None for plans compiled in-process.
+        self.final_weights: np.ndarray | None = None
         self.supported = not (self.sparse and self.task == "multinomial_logistic")
         if not self.supported:
             return
@@ -185,6 +192,182 @@ class ReplayPlan:
         if self._blocks is not None:
             return self._blocks[t]
         return self.features[self.store.records[t].batch]
+
+    # -------------------------------------------------------- persistence
+    #
+    # The compiled layout splits into (a) *derived* flat arrays that cost
+    # real work to build — the packed occurrence index, stacked moments
+    # (sparse mode's are τ sparse mat-vecs), the slot-indexed interpolation
+    # flats — and (b) cheap *views* into the store / feature matrix
+    # (summary refs, CSR batch slices).  Only (a) round-trips through
+    # ``save_plan``/``load_plan``; (b) is rebound against the reloaded
+    # store at load time.
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Every compiled array :func:`~repro.core.serialization.save_plan`
+        persists, keyed by its archive name.
+
+        Round-trip tests compare these bit-for-bit (``np.array_equal`` plus
+        dtype equality) between the original and a reloaded plan.
+        """
+        if not self.supported:
+            return {}
+        index = self.store.packed_index()
+        arrays: dict[str, np.ndarray] = {
+            "base_sizes": self.base_sizes,
+            "record_offsets": self._record_offsets,
+            "moments": self.moments,
+            "w0": self._w0,
+            "index_samples": index.samples,
+            "index_iterations": index.iterations,
+            "index_positions": index.positions,
+        }
+        for attr, key in (
+            ("_slopes_flat", "slopes_flat"),
+            ("_iy_flat", "iy_flat"),
+            ("_probs_flat", "probs_flat"),
+            ("_wx_flat", "wx_flat"),
+        ):
+            value = getattr(self, attr, None)
+            if value is not None:
+                arrays[key] = value
+        return arrays
+
+    def state_meta(self) -> dict[str, str]:
+        """Scalar descriptors saved alongside :meth:`state_arrays`."""
+        return {
+            "task": self.task,
+            "kind": self._kind,
+            "sparse": str(int(self.sparse)),
+            "n_iterations": str(self.n_iterations),
+            "n_params": str(self.n_params),
+            "n_samples": str(self.store.n_samples),
+            "learning_rate": repr(self.eta),
+            "regularization": repr(self.lam),
+        }
+
+    @classmethod
+    def from_compiled_state(
+        cls,
+        store: ProvenanceStore,
+        features,
+        labels: np.ndarray,
+        meta: dict[str, str],
+        arrays: dict[str, np.ndarray],
+        cache_sparse_blocks: bool = True,
+    ) -> "ReplayPlan":
+        """Rebuild a plan from persisted state without recompiling.
+
+        ``arrays`` may hold read-only memory maps — the replay loops only
+        ever read them.  The store, features and labels must be the ones the
+        plan was compiled against (same capture run); mismatches in task,
+        iteration count, batch sizes or sample count raise ``ValueError``
+        rather than silently replaying the wrong trajectory.
+        """
+        if meta["task"] != store.task:
+            raise ValueError(
+                f"plan was compiled for task {meta['task']!r}, "
+                f"store holds {store.task!r}"
+            )
+        n_iterations = int(meta["n_iterations"])
+        if n_iterations != len(store.records):
+            raise ValueError(
+                f"plan covers {n_iterations} iterations, "
+                f"store holds {len(store.records)}"
+            )
+        if int(meta["n_samples"]) != store.n_samples:
+            raise ValueError("plan and store disagree on the sample count")
+        sparse = is_sparse(features) or store.sparse_mode
+        if sparse != bool(int(meta["sparse"])):
+            raise ValueError(
+                "plan sparsity does not match the provided feature matrix"
+            )
+        store_kind = {"none": "dense"}.get(store.compression, store.compression)
+        if meta["kind"] != store_kind:
+            raise ValueError(
+                f"plan was compiled for {meta['kind']!r} summaries, "
+                f"store holds {store_kind!r}"
+            )
+        for field, value in (
+            ("learning_rate", store.learning_rate),
+            ("regularization", store.regularization),
+        ):
+            if float(meta[field]) != float(value):
+                raise ValueError(
+                    f"plan and store disagree on {field}: "
+                    f"{meta[field]} vs {value!r}"
+                )
+        base_sizes = np.asarray(arrays["base_sizes"])
+        record_sizes = np.fromiter(
+            (len(r.batch) for r in store.records),
+            dtype=np.int64,
+            count=len(store.records),
+        )
+        if not np.array_equal(base_sizes, record_sizes):
+            raise ValueError("plan batch sizes do not match the store")
+        labels = np.asarray(labels)
+        if labels.shape[0] != store.n_samples or (
+            features.shape[0] != store.n_samples
+        ):
+            raise ValueError(
+                "features/labels do not match the checkpointed training set"
+            )
+
+        plan = cls.__new__(cls)
+        plan.store = store
+        plan.task = store.task
+        plan.sparse = sparse
+        plan.features = features if sparse else np.asarray(features, float)
+        plan.labels = labels
+        plan.n_iterations = n_iterations
+        plan.eta = float(store.learning_rate)
+        plan.lam = float(store.regularization)
+        plan.shrink = 1.0 - plan.eta * plan.lam
+        plan.n_params = int(meta["n_params"])
+        plan._compiled_version = store._version
+        plan.final_weights = None
+        plan.supported = True
+        plan._scale_num = 2.0 * plan.eta if plan.task == "linear" else plan.eta
+        plan._kind = meta["kind"]
+
+        plan.base_sizes = arrays["base_sizes"]
+        plan._record_offsets = arrays["record_offsets"]
+        plan.moments = arrays["moments"]
+        plan._w0 = arrays["w0"]
+        # Donate the saved occurrence index so the store never re-sorts it.
+        if store._packed is None:
+            store._packed = PackedOccurrenceIndex(
+                samples=arrays["index_samples"],
+                iterations=arrays["index_iterations"],
+                positions=arrays["index_positions"],
+            )
+        if plan.task == "multinomial_logistic":
+            plan._labels_num = labels.astype(int)
+        else:
+            plan._labels_num = labels.astype(float)
+
+        if plan.task == "binary_logistic":
+            plan._slopes_flat = arrays["slopes_flat"]
+            plan._iy_flat = arrays["iy_flat"]
+        elif plan.task == "multinomial_logistic":
+            plan._probs_flat = arrays["probs_flat"]
+            plan._wx_flat = arrays["wx_flat"]
+
+        records = store.records
+        if sparse:
+            plan._blocks = (
+                [plan.features[r.batch] for r in records]
+                if cache_sparse_blocks
+                else None
+            )
+        elif plan._kind == "svd":
+            plan._lefts = [r.summary.left for r in records]
+            plan._rights = [r.summary.right for r in records]
+            plan._summaries = None
+        else:
+            plan._summaries = [np.asarray(r.summary) for r in records]
+            plan._lefts = plan._rights = None
+        return plan
 
     # ------------------------------------------------------------ queries
     def nbytes(self) -> int:

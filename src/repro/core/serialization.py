@@ -1,15 +1,31 @@
-"""Persisting provenance stores.
+"""Persisting provenance stores and compiled replay plans.
 
 The offline capture can be expensive (it shadows a full training run), so a
 real deployment saves the store next to the model checkpoint and reloads it
 when a deletion request arrives — possibly in a different process, days
-later.  Everything is packed into a single ``.npz`` (numpy archive): batch
-arrays, summaries (dense or SVD factors), per-sample coefficients, frozen
-PrIU-opt state, and the schedule metadata needed to rebuild it bit-for-bit.
+later.  Two artifacts cover the whole serving state:
+
+* :func:`save_store` / :func:`load_store` — the provenance store itself,
+  packed into a single compressed ``.npz``: batch arrays, summaries (dense
+  or SVD factors), per-sample coefficients, frozen PrIU-opt state, and the
+  schedule metadata needed to rebuild it bit-for-bit.
+* :func:`save_plan` / :func:`load_plan` — the *compiled*
+  :class:`~repro.core.replay_plan.ReplayPlan` layout (packed occurrence
+  index, stacked moments, slot-indexed interpolation flats), written as an
+  **uncompressed** ``.npz`` so a serving process can memory-map the arrays
+  straight out of the archive (``numpy`` itself ignores ``mmap_mode`` for
+  zip archives, so the loader maps each stored member by its byte offset).
+  A fresh process then goes checkpoint → plan → first answered request
+  without re-running capture *or* compilation.
+
+Both formats carry an explicit version number; loaders reject versions they
+do not understand instead of misinterpreting the layout (rules in
+``docs/architecture.md``).
 """
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -23,8 +39,10 @@ from .provenance_store import (
     MultinomialRecord,
     ProvenanceStore,
 )
+from .replay_plan import ReplayPlan
 
 _FORMAT_VERSION = 1
+_PLAN_FORMAT_VERSION = 1
 
 _FROZEN_FIELDS = (
     "slopes",
@@ -186,3 +204,147 @@ def load_store(path: str | Path) -> ProvenanceStore:
                 **fields,
             )
     return store
+
+
+# --------------------------------------------------------------- replay plans
+def save_plan(
+    plan: ReplayPlan, path: str | Path, weights: np.ndarray | None = None
+) -> Path:
+    """Serialize a compiled replay plan to an (uncompressed) ``.npz``.
+
+    Persists the derived structure-of-arrays state enumerated by
+    :meth:`~repro.core.replay_plan.ReplayPlan.state_arrays` — summaries and
+    sparse batch blocks stay in the store / feature matrix and are rebound
+    at load time.  ``weights`` optionally embeds the fitted model's final
+    parameter vector so :meth:`~repro.core.api.IncrementalTrainer.\
+from_checkpoint` can restore ``weights_`` without replaying anything.
+
+    The archive is written *uncompressed* on purpose: stored zip members
+    are contiguous byte ranges, which lets :func:`load_plan` memory-map
+    them (``mmap_mode="r"``) instead of copying into RAM.
+    """
+    if not plan.supported:
+        raise ValueError(
+            "this plan has no compiled state to persist (sparse multinomial "
+            "replays are unsupported); save only the store instead"
+        )
+    path = Path(path)
+    arrays = dict(plan.state_arrays())
+    if weights is not None:
+        arrays["final_weights"] = np.asarray(weights, dtype=float)
+    meta = dict(plan.state_meta())
+    meta["format"] = str(_PLAN_FORMAT_VERSION)
+    keys = sorted(meta)
+    arrays["__plan_meta_keys__"] = np.array(keys)
+    arrays["__plan_meta_values__"] = np.array([meta[k] for k in keys])
+    np.savez(path, **arrays)
+    return path
+
+
+def _mmap_member(handle, path: Path, info: zipfile.ZipInfo) -> np.ndarray | None:
+    """Memory-map one stored zip member's ``.npy`` payload, or None."""
+    handle.seek(info.header_offset)
+    local_header = handle.read(30)
+    if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+        return None
+    name_length = int.from_bytes(local_header[26:28], "little")
+    extra_length = int.from_bytes(local_header[28:30], "little")
+    handle.seek(info.header_offset + 30 + name_length + extra_length)
+    version = np.lib.format.read_magic(handle)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+    else:
+        return None
+    if dtype.hasobject or 0 in shape:
+        return None
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=handle.tell(),
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+
+
+def _mmap_npz_arrays(path: Path, names: list[str]) -> dict[str, np.ndarray]:
+    """Memory-map every mappable member of an ``.npz``; best effort.
+
+    ``np.load(..., mmap_mode="r")`` silently ignores the request for zip
+    archives, but members written by ``np.savez`` (``ZIP_STORED``, no
+    compression) sit in the file as a local header followed by the raw
+    ``.npy`` payload.  Parsing that payload's header in place yields the
+    dtype/shape/order and the absolute byte offset of the data, which is
+    everything ``np.memmap`` needs.  The central directory is parsed once
+    for all members.  Compressed members, zero-size arrays and exotic
+    headers are simply omitted (the caller falls back to a normal read).
+    """
+    mapped: dict[str, np.ndarray] = {}
+    try:
+        with zipfile.ZipFile(path) as archive, open(path, "rb") as handle:
+            for name in names:
+                try:
+                    info = archive.getinfo(name + ".npy")
+                except KeyError:
+                    continue
+                if info.compress_type != zipfile.ZIP_STORED:
+                    continue
+                try:
+                    member = _mmap_member(handle, path, info)
+                except (OSError, ValueError):
+                    member = None
+                if member is not None:
+                    mapped[name] = member
+    except (OSError, ValueError, zipfile.BadZipFile):
+        return mapped
+    return mapped
+
+
+def load_plan(
+    path: str | Path,
+    store: ProvenanceStore,
+    features,
+    labels: np.ndarray,
+    mmap: bool = True,
+    cache_sparse_blocks: bool = True,
+) -> ReplayPlan:
+    """Reload a compiled plan saved by :func:`save_plan`.
+
+    ``store`` must be the matching provenance store (typically just
+    reloaded via :func:`load_store`) and ``features``/``labels`` the
+    original training data — the plan validates task, iteration count,
+    batch sizes and sample count before accepting them.  With ``mmap=True``
+    every array that can be memory-mapped is loaded with ``mmap_mode="r"``
+    (read-only, zero-copy); the replay loops never write to plan state, so
+    serving works directly off the mapped file.
+
+    If the archive embeds final model weights they are exposed as
+    ``plan.final_weights``.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        keys = [str(k) for k in archive["__plan_meta_keys__"]]
+        values = [str(v) for v in archive["__plan_meta_values__"]]
+        meta = dict(zip(keys, values))
+        version = int(meta.get("format", "-1"))
+        if version != _PLAN_FORMAT_VERSION:
+            raise ValueError(f"unsupported plan format version: {version}")
+        names = [n for n in archive.files if not n.startswith("__")]
+        mapped = _mmap_npz_arrays(path, names) if mmap else {}
+        arrays = {
+            name: mapped[name] if name in mapped else archive[name]
+            for name in names
+        }
+    final_weights = arrays.pop("final_weights", None)
+    plan = ReplayPlan.from_compiled_state(
+        store,
+        features,
+        labels,
+        meta,
+        arrays,
+        cache_sparse_blocks=cache_sparse_blocks,
+    )
+    plan.final_weights = final_weights
+    return plan

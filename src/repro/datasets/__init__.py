@@ -1,4 +1,16 @@
-"""Dataset substrate: synthetic analogues of the paper's evaluation data."""
+"""Dataset substrate: synthetic analogues of the paper's evaluation data.
+
+Key entry points: the ``make_*`` generators (:func:`make_regression`,
+:func:`make_binary_classification`,
+:func:`make_multiclass_classification`,
+:func:`make_sparse_binary_classification`) produce seeded
+:class:`~repro.datasets.synthetic.Dataset` objects with held-out
+validation splits; :func:`load` / :data:`CATALOG` name the paper's six
+Table-1 datasets (SGEMM, Cov, HIGGS, RCV1, Heartbeat, cifar10) at any
+scale; :func:`~repro.datasets.corruption.inject_dirty` and
+:func:`~repro.datasets.corruption.random_subsets` build the deletion /
+data-cleaning scenarios of Sec. 6.2.
+"""
 
 from .catalog import (
     CATALOG,

@@ -1,4 +1,11 @@
-"""Evaluation substrate: metrics, model comparison, timing, memory."""
+"""Evaluation substrate: metrics, model comparison, timing, memory.
+
+Key entry points: :func:`compare_updated_models` (Table 4 rows),
+:func:`accuracy`/:func:`l2_distance`/:func:`cosine_similarity` (Sec. 6.2
+metrics), :func:`measure`/:class:`Timing` (benchmark wall-clock),
+:func:`summarize_latencies`/:class:`LatencySummary` (serving latency
+distributions), and :func:`memory_report` (Table 3 accounting).
+"""
 
 from .comparison import ModelComparison, compare_updated_models, format_table
 from .memory import MemoryReport, data_bytes, memory_report
@@ -11,9 +18,17 @@ from .metrics import (
     mse,
     sign_flips,
 )
-from .timing import Stopwatch, Timing, measure
+from .timing import (
+    LatencySummary,
+    Stopwatch,
+    Timing,
+    measure,
+    percentile,
+    summarize_latencies,
+)
 
 __all__ = [
+    "LatencySummary",
     "MagnitudeChange",
     "MemoryReport",
     "ModelComparison",
@@ -29,5 +44,7 @@ __all__ = [
     "measure",
     "memory_report",
     "mse",
+    "percentile",
     "sign_flips",
+    "summarize_latencies",
 ]

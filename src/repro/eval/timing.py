@@ -1,9 +1,23 @@
-"""Wall-clock measurement helpers for the benchmark harness."""
+"""Wall-clock measurement: benchmark timings and serving latency summaries.
+
+Two families of helpers live here:
+
+* :func:`measure` / :class:`Timing` / :class:`Stopwatch` — repeated
+  best-of-N measurement of a callable, used by the benchmark harness
+  (:mod:`repro.bench`) for every table and figure;
+* :func:`summarize_latencies` / :class:`LatencySummary` /
+  :func:`percentile` — order statistics over a batch of per-request
+  latency samples, used by the deletion server (:mod:`repro.serving`) to
+  surface queueing-wait and service-time distributions.
+
+Everything is plain stdlib so the timing layer never perturbs what it
+measures.
+"""
 
 from __future__ import annotations
 
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 
@@ -44,3 +58,68 @@ class Stopwatch:
 
     def __exit__(self, *exc) -> None:
         self.seconds = time.perf_counter() - self._start
+
+
+# ------------------------------------------------------------- latency stats
+def _quantile_of_sorted(values: list[float], q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted, non-empty list."""
+    position = q * (len(values) - 1)
+    low = int(position)
+    high = min(low + 1, len(values) - 1)
+    fraction = position - low
+    return values[low] * (1.0 - fraction) + values[high] * fraction
+
+
+def percentile(samples: Iterable[float], q: float) -> float:
+    """Linear-interpolated quantile ``q ∈ [0, 1]`` of ``samples``."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must lie in [0, 1]")
+    values = sorted(float(s) for s in samples)
+    if not values:
+        raise ValueError("percentile of an empty sample set")
+    return _quantile_of_sorted(values, q)
+
+
+@dataclass
+class LatencySummary:
+    """Order statistics over a batch of latency samples, in seconds."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    min: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "LatencySummary":
+        values = sorted(float(s) for s in samples)
+        if not values:
+            raise ValueError("at least one latency sample is required")
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=_quantile_of_sorted(values, 0.50),
+            p95=_quantile_of_sorted(values, 0.95),
+            min=values[0],
+            max=values[-1],
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-serializable form (for benchmark artifacts)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+def summarize_latencies(samples: Iterable[float]) -> LatencySummary | None:
+    """Summary of ``samples``, or None for an empty batch (nothing served)."""
+    values = list(samples)
+    if not values:
+        return None
+    return LatencySummary.from_samples(values)

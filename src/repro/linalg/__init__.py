@@ -1,4 +1,14 @@
-"""Linear-algebra substrate: interpolation, truncated SVD, eigen tools."""
+"""Linear-algebra substrate: interpolation, truncated SVD, eigen tools.
+
+Key entry points: :func:`sigmoid_complement_interpolator` builds the
+piecewise-linear approximation that removes the logistic non-linearity
+(Sec. 4.2); :func:`truncate_summary` / :class:`TruncatedSummary` are the
+SVD compression of provenance summaries (Theorems 6/8);
+:func:`eigendecompose` and :func:`gd_diagonal_recursion` power the
+PrIU-opt eigen tail (Sec. 5.2, Eqs. 15–18); :func:`is_sparse` and
+friends in :mod:`~repro.linalg.matrix_utils` keep dense/sparse handling
+uniform.
+"""
 
 from .eigen import (
     EigenSystem,

@@ -1,4 +1,13 @@
-"""Regression-model substrate: objectives, GBM trainer, baselines."""
+"""Regression-model substrate: objectives, GBM trainer, baselines.
+
+Key entry points: :func:`objective_for` maps a task name to its
+objective (Sec. 3, Eqs. 2–4); :func:`make_schedule` /
+:class:`BatchSchedule` build the deterministic, replayable mini-batch
+sequences every consumer (capture, PrIU replay, BaseL retraining)
+shares; :func:`train` is the GBM trainer with optional capture hook;
+:class:`IncrementalClosedForm` and :class:`InfluenceFunctionUpdater` are
+the Closed-form and INFL baselines of Sec. 6.
+"""
 
 from .batching import BatchSchedule, make_schedule
 from .closed_form import IncrementalClosedForm, closed_form_solution

@@ -1,0 +1,33 @@
+"""Deletion serving: the online half of the capture → compile → serve stack.
+
+PrIU's premise is that deletion requests arrive *after* training, in a
+long-lived serving process.  This package supplies that process:
+
+* :class:`DeletionServer` — ``submit(ids) -> Future``; a worker thread
+  coalesces queued requests and answers them through one batched
+  :meth:`~repro.core.api.IncrementalTrainer.remove_many` call per batch;
+* :class:`AdmissionPolicy` — the latency-budget / max-batch /
+  backpressure knobs governing coalescing;
+* :class:`ServedOutcome` — updated weights plus per-request
+  wait/service/latency timings;
+* :class:`ServingStats` — lifetime counters and latency distributions
+  (via :mod:`repro.eval.timing`);
+* :class:`BackpressureError` — raised when the bounded queue is full.
+
+Pair with :meth:`~repro.core.api.IncrementalTrainer.from_checkpoint` to
+stand a server up from a saved store + compiled plan without re-running
+capture (see ``examples/deletion_server.py``).
+"""
+
+from .policy import AdmissionPolicy
+from .server import BackpressureError, DeletionServer, ServedOutcome
+from .stats import ServingStats, StatsRecorder
+
+__all__ = [
+    "AdmissionPolicy",
+    "BackpressureError",
+    "DeletionServer",
+    "ServedOutcome",
+    "ServingStats",
+    "StatsRecorder",
+]

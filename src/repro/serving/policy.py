@@ -1,0 +1,51 @@
+"""Admission control: when does a queued deletion request get dispatched?
+
+The batched replay engine (:meth:`repro.IncrementalTrainer.remove_many`)
+amortizes each iteration's GEMM over K concurrent requests, but real
+deletion traffic arrives one request at a time.  An
+:class:`AdmissionPolicy` trades per-request latency for batching
+efficiency the way serving systems do:
+
+* **coalesce** — hold the oldest waiting request for at most
+  ``max_delay_seconds`` while later arrivals join its batch;
+* **cap** — dispatch immediately once ``max_batch`` requests are
+  collected (one ``remove_many`` call never exceeds it);
+* **bound** — reject new submissions once ``max_pending`` requests are
+  queued (backpressure instead of unbounded memory growth).
+
+With ``max_delay_seconds=0`` the server degenerates to sequential
+single-request service; with a generous delay and a large ``max_batch``
+it approaches the throughput of one ``remove_many(K)`` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Batching/backpressure knobs for :class:`~repro.serving.DeletionServer`."""
+
+    max_batch: int = 16
+    max_delay_seconds: float = 0.02
+    max_pending: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_delay_seconds < 0.0:
+            raise ValueError("max_delay_seconds must be >= 0")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+
+    def remaining_budget(self, oldest_wait: float) -> float:
+        """Seconds the current batch may still wait for more arrivals."""
+        return max(0.0, self.max_delay_seconds - oldest_wait)
+
+    def should_dispatch(self, n_collected: int, oldest_wait: float) -> bool:
+        """True once the batch is full or its oldest request is out of budget."""
+        return (
+            n_collected >= self.max_batch
+            or oldest_wait >= self.max_delay_seconds
+        )

@@ -1,0 +1,338 @@
+"""The deletion server: a request queue over the batched update engine.
+
+:class:`DeletionServer` turns :meth:`repro.IncrementalTrainer.remove_many`
+— a K-requests-in-hand batch API — into something deletion traffic can
+actually hit: callers :meth:`~DeletionServer.submit` one removal set at a
+time and get a :class:`concurrent.futures.Future` back immediately.  A
+single worker thread coalesces queued requests under the
+:class:`~repro.serving.policy.AdmissionPolicy` (latency budget ×
+max-batch-size), dispatches each batch through one ``remove_many`` call,
+and resolves every future with a :class:`ServedOutcome` carrying the
+updated weights plus that request's queueing/service timings.
+
+Backpressure is a bounded queue: once ``max_pending`` requests wait,
+further submissions raise :class:`BackpressureError` (or block, caller's
+choice) instead of growing memory without bound.  Request validation
+happens at submit time, so a malformed removal set fails its own caller
+and never poisons a batch.
+
+Typical use::
+
+    with DeletionServer(trainer, AdmissionPolicy(max_batch=32)) as server:
+        futures = [server.submit(ids) for ids in request_stream]
+        outcomes = [f.result() for f in futures]
+
+The server is deliberately single-worker: one batched replay already
+saturates the BLAS threads, so a second concurrent ``remove_many`` would
+fight it for cores rather than add throughput.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.provenance_store import normalize_removed_indices
+from .policy import AdmissionPolicy
+from .stats import ServingStats, StatsRecorder
+
+_SHUTDOWN = object()
+
+
+class BackpressureError(RuntimeError):
+    """The server's admission queue is full; retry later or block."""
+
+
+@dataclass
+class ServedOutcome:
+    """One answered deletion request, with its queueing economics.
+
+    ``seconds`` is the request's amortized share of its batch's
+    ``remove_many`` wall-clock (matching
+    :class:`~repro.core.api.UpdateOutcome`); ``latency_seconds`` is what
+    the caller actually experienced, enqueue to answer.
+    """
+
+    weights: np.ndarray
+    method: str
+    removed: np.ndarray
+    seconds: float
+    wait_seconds: float
+    latency_seconds: float
+    batch_size: int
+
+
+@dataclass
+class _Request:
+    indices: np.ndarray
+    future: Future
+    enqueued_at: float
+
+
+class DeletionServer:
+    """Admission-batched facade serving deletion requests from a queue.
+
+    Parameters
+    ----------
+    trainer:
+        A fitted :class:`~repro.core.api.IncrementalTrainer` (via
+        :meth:`~repro.core.api.IncrementalTrainer.fit` or
+        :meth:`~repro.core.api.IncrementalTrainer.from_checkpoint`).
+    policy:
+        Coalescing/backpressure knobs; defaults to
+        :class:`~repro.serving.policy.AdmissionPolicy()`.
+    method:
+        Forwarded to ``remove_many`` (``None`` = the trainer's default,
+        ``"priu"``, ``"priu-opt"`` or ``"priu-seq"``).
+    autostart:
+        Start the worker thread immediately.  Benchmarks pass ``False``,
+        pre-load the queue, then call :meth:`start` for a deterministic
+        single-batch dispatch.
+    """
+
+    def __init__(
+        self,
+        trainer,
+        policy: AdmissionPolicy | None = None,
+        method: str | None = None,
+        autostart: bool = True,
+    ) -> None:
+        trainer._require_fit()
+        if method not in (None, "priu", "priu-opt", "priu-seq"):
+            raise ValueError(
+                "method must be None, 'priu', 'priu-opt' or 'priu-seq'"
+            )
+        self.trainer = trainer
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.method = method
+        # Capacity is enforced by the semaphore, not the queue: submitters
+        # block on a slot *outside* any lock, the enqueue itself is always
+        # non-blocking, and close() can always append its sentinel.  The
+        # worker releases a slot for every request it takes off the queue.
+        self._queue: queue.Queue = queue.Queue()
+        self._slots = threading.BoundedSemaphore(self.policy.max_pending)
+        self._stats = StatsRecorder()
+        self._state_lock = threading.Condition()
+        # Serializes enqueueing against shutdown: every accepted request is
+        # enqueued while holding this lock, and close() flips _closed under
+        # it before appending the sentinel — so the sentinel is provably
+        # the last item and no request can slip in behind it and hang.
+        self._submit_lock = threading.Lock()
+        self._inflight = 0
+        self._closed = False
+        self._started = False
+        self._worker = threading.Thread(
+            target=self._serve_loop, name="deletion-server", daemon=True
+        )
+        if autostart:
+            self.start()
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> "DeletionServer":
+        """Start the worker thread (idempotent)."""
+        with self._state_lock:
+            if not self._started:
+                self._started = True
+                self._worker.start()
+        return self
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; drain the queue, then stop the worker."""
+        with self._submit_lock:
+            already_closed = self._closed
+            self._closed = True
+        if already_closed:
+            if wait and self._worker.is_alive():
+                self._worker.join()
+            return
+        # Ensure queued work drains even if the caller never start()ed.
+        self.start()
+        self._queue.put(_SHUTDOWN)
+        if wait:
+            self._worker.join()
+
+    def __enter__(self) -> "DeletionServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close(wait=True)
+
+    # ---------------------------------------------------------- submission
+    def submit(
+        self, indices, block: bool = True, timeout: float | None = None
+    ) -> Future:
+        """Enqueue one removal set; returns a future of :class:`ServedOutcome`.
+
+        Validation (bounds, not-everything) happens here, synchronously, so
+        a bad request raises in its caller instead of failing a batch.
+        When the queue is at ``max_pending``: ``block=True`` waits (up to
+        ``timeout``), ``block=False`` raises :class:`BackpressureError`
+        immediately.
+        """
+        removed = normalize_removed_indices(indices)
+        n_samples = self.trainer.store.n_samples
+        if removed.size and (removed[0] < 0 or removed[-1] >= n_samples):
+            raise ValueError(
+                f"removal ids must lie in [0, {n_samples}); "
+                f"got range [{removed[0]}, {removed[-1]}]"
+            )
+        if removed.size >= n_samples:
+            raise ValueError("cannot delete every training sample")
+        request = _Request(
+            indices=removed, future=Future(), enqueued_at=time.perf_counter()
+        )
+        # Backpressure: wait for a slot without holding any lock, so a
+        # blocked submitter can never stall close() or other submitters.
+        if block:
+            got_slot = self._slots.acquire(timeout=timeout)
+        else:
+            got_slot = self._slots.acquire(blocking=False)
+        if not got_slot:
+            self._stats.record_rejected()
+            raise BackpressureError(
+                f"admission queue is full ({self.policy.max_pending} pending)"
+            )
+        # The check-then-enqueue must be atomic w.r.t. close(), else a
+        # request could land behind the shutdown sentinel and never
+        # resolve.  Nothing inside this lock blocks.
+        with self._submit_lock:
+            if self._closed:
+                self._slots.release()
+                raise RuntimeError(
+                    "cannot submit to a closed DeletionServer"
+                )
+            with self._state_lock:
+                self._inflight += 1
+            self._stats.record_submitted()
+            self._queue.put_nowait(request)
+        return request.future
+
+    def submit_many(self, index_sets, **kwargs) -> list[Future]:
+        """Enqueue several removal sets (one future each)."""
+        return [self.submit(indices, **kwargs) for indices in index_sets]
+
+    def resolve(self, indices, timeout: float | None = None) -> ServedOutcome:
+        """Blocking convenience: submit one request and wait for its answer."""
+        return self.submit(indices).result(timeout=timeout)
+
+    # ----------------------------------------------------------- observers
+    def flush(self, timeout: float | None = None) -> bool:
+        """Block until every submitted request has been answered or failed."""
+        with self._state_lock:
+            if self._inflight and not self._started:
+                raise RuntimeError(
+                    "flush() would wait forever: requests are queued but the "
+                    "worker was never started (autostart=False)"
+                )
+            return self._state_lock.wait_for(
+                lambda: self._inflight == 0, timeout
+            )
+
+    def stats(self) -> ServingStats:
+        """Lifetime counters and wait/service/latency distributions."""
+        return self._stats.snapshot()
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet answered."""
+        with self._state_lock:
+            return self._inflight
+
+    # -------------------------------------------------------------- worker
+    def _finish(self, count: int) -> None:
+        with self._state_lock:
+            self._inflight -= count
+            if self._inflight == 0:
+                self._state_lock.notify_all()
+
+    def _serve_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            self._slots.release()
+            batch, saw_shutdown = self._collect(item)
+            if batch:
+                self._dispatch(batch)
+            if saw_shutdown:
+                break
+
+    def _collect(self, first: _Request) -> tuple[list[_Request], bool]:
+        """Coalesce queued requests behind ``first`` under the policy."""
+        batch = [first]
+        while True:
+            oldest_wait = time.perf_counter() - first.enqueued_at
+            if self.policy.should_dispatch(len(batch), oldest_wait):
+                break
+            try:
+                item = self._queue.get(
+                    timeout=self.policy.remaining_budget(oldest_wait)
+                )
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                return batch, True
+            self._slots.release()
+            batch.append(item)
+        # Budget spent (or batch full): still sweep up whatever is already
+        # sitting in the queue, up to the cap — free batching, no waiting.
+        while len(batch) < self.policy.max_batch:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                return batch, True
+            self._slots.release()
+            batch.append(item)
+        return batch, False
+
+    def _dispatch(self, batch: list[_Request]) -> None:
+        # Honor cancellations that happened while the request was queued.
+        live = [r for r in batch if r.future.set_running_or_notify_cancel()]
+        if len(live) < len(batch):
+            self._stats.record_cancelled(len(batch) - len(live))
+            self._finish(len(batch) - len(live))
+        if not live:
+            return
+        dispatched_at = time.perf_counter()
+        try:
+            outcomes = self.trainer.remove_many(
+                [r.indices for r in live], method=self.method
+            )
+        except Exception as exc:  # systemic: fail every request in the batch
+            for request in live:
+                request.future.set_exception(exc)
+            self._stats.record_failed(len(live))
+            self._finish(len(live))
+            return
+        answered_at = time.perf_counter()
+        service = answered_at - dispatched_at
+        waits, services, latencies = [], [], []
+        for request, outcome in zip(live, outcomes):
+            wait = dispatched_at - request.enqueued_at
+            latency = answered_at - request.enqueued_at
+            request.future.set_result(
+                ServedOutcome(
+                    weights=outcome.weights,
+                    method=outcome.method,
+                    removed=outcome.removed,
+                    seconds=outcome.seconds,
+                    wait_seconds=wait,
+                    latency_seconds=latency,
+                    batch_size=len(live),
+                )
+            )
+            waits.append(wait)
+            # Stats record the batch's actual dispatch->answer wall-clock
+            # (the same for every member); the per-request *amortized*
+            # share lives on ServedOutcome.seconds.
+            services.append(service)
+            latencies.append(latency)
+        self._stats.record_batch(waits, services, latencies)
+        self._finish(len(live))

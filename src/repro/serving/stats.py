@@ -1,0 +1,118 @@
+"""Per-request timing accounting for the deletion server.
+
+Every answered request contributes three samples — queueing wait, service
+share, and end-to-end latency — which are aggregated through
+:mod:`repro.eval.timing` order statistics (:class:`LatencySummary`).  A
+:class:`StatsRecorder` is the thread-safe accumulator the server's worker
+and submitter threads write into; :meth:`StatsRecorder.snapshot` freezes a
+consistent :class:`ServingStats` view at any moment.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..eval.timing import LatencySummary, summarize_latencies
+
+
+@dataclass
+class ServingStats:
+    """A consistent snapshot of a server's lifetime counters and timings."""
+
+    submitted: int
+    answered: int
+    failed: int
+    cancelled: int
+    rejected: int
+    batches: int
+    mean_batch_size: float
+    wait: LatencySummary | None  # enqueue -> dispatch
+    service: LatencySummary | None  # dispatch -> answer
+    latency: LatencySummary | None  # enqueue -> answer (end to end)
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet answered, failed or cancelled."""
+        return self.submitted - self.answered - self.failed - self.cancelled
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (for BENCH_serving.json and friends)."""
+        return {
+            "submitted": self.submitted,
+            "answered": self.answered,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "wait": None if self.wait is None else self.wait.as_dict(),
+            "service": None if self.service is None else self.service.as_dict(),
+            "latency": None if self.latency is None else self.latency.as_dict(),
+        }
+
+
+class StatsRecorder:
+    """Thread-safe accumulator behind :meth:`DeletionServer.stats`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._answered = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._rejected = 0
+        self._batches = 0
+        self._batch_sizes: list[int] = []
+        self._waits: list[float] = []
+        self._services: list[float] = []
+        self._latencies: list[float] = []
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self._submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_batch(
+        self,
+        waits: list[float],
+        services: list[float],
+        latencies: list[float],
+    ) -> None:
+        """One dispatched batch's per-request samples (parallel lists)."""
+        with self._lock:
+            self._batches += 1
+            self._batch_sizes.append(len(waits))
+            self._answered += len(waits)
+            self._waits.extend(waits)
+            self._services.extend(services)
+            self._latencies.extend(latencies)
+
+    def record_failed(self, count: int) -> None:
+        with self._lock:
+            self._failed += count
+
+    def record_cancelled(self, count: int) -> None:
+        with self._lock:
+            self._cancelled += count
+
+    def snapshot(self) -> ServingStats:
+        with self._lock:
+            sizes = self._batch_sizes
+            return ServingStats(
+                submitted=self._submitted,
+                answered=self._answered,
+                failed=self._failed,
+                cancelled=self._cancelled,
+                rejected=self._rejected,
+                batches=self._batches,
+                mean_batch_size=(
+                    sum(sizes) / len(sizes) if sizes else 0.0
+                ),
+                wait=summarize_latencies(self._waits),
+                service=summarize_latencies(self._services),
+                latency=summarize_latencies(self._latencies),
+            )

@@ -1,0 +1,309 @@
+"""Round-trip tests for compiled-plan persistence (save_plan / load_plan).
+
+The contract is stricter than the store's: the reloaded plan's state must
+be **bit-identical** (``np.array_equal`` plus dtype equality) to the
+original's, and a *fresh process* loading store + plan must answer removal
+queries identically to the in-process path.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IncrementalTrainer,
+    ReplayPlan,
+    load_plan,
+    load_store,
+    save_plan,
+    save_store,
+)
+from repro.datasets import (
+    make_binary_classification,
+    make_multiclass_classification,
+    make_regression,
+    make_sparse_binary_classification,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def fit_trainer(task, data, **kwargs):
+    defaults = dict(
+        learning_rate=0.05,
+        regularization=0.01,
+        batch_size=25,
+        n_iterations=40,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    trainer = IncrementalTrainer(task, **defaults)
+    trainer.fit(data.features, data.labels)
+    return trainer
+
+
+def roundtrip_plan(trainer, tmp_path, mmap=True):
+    store_path = save_store(trainer.store, tmp_path / "store.npz")
+    plan_path = save_plan(
+        trainer._plan, tmp_path / "plan.npz", weights=trainer.weights_
+    )
+    store = load_store(store_path)
+    return load_plan(
+        plan_path, store, trainer.features, trainer.labels, mmap=mmap
+    )
+
+
+def assert_state_bit_identical(original: ReplayPlan, reloaded: ReplayPlan):
+    state = original.state_arrays()
+    restored = reloaded.state_arrays()
+    assert state.keys() == restored.keys()
+    for key in state:
+        assert state[key].dtype == restored[key].dtype, key
+        assert np.array_equal(state[key], restored[key]), key
+
+
+CASES = {
+    "linear-dense": ("linear", lambda: make_regression(200, 6, seed=11), {}),
+    "linear-svd": (
+        "linear",
+        lambda: make_regression(220, 60, seed=12),
+        {"batch_size": 15, "max_dense_params": 20},
+    ),
+    "binary-frozen": (
+        "binary_logistic",
+        lambda: make_binary_classification(260, 8, seed=13),
+        {"learning_rate": 0.1, "freeze_fraction": 0.7},
+    ),
+    "multinomial": (
+        "multinomial_logistic",
+        lambda: make_multiclass_classification(260, 8, n_classes=3, seed=14),
+        {"n_classes": 3},
+    ),
+    "sparse-binary": (
+        "binary_logistic",
+        lambda: make_sparse_binary_classification(
+            260, 120, density=0.05, seed=15
+        ),
+        {},
+    ),
+}
+
+
+# The representation each case must exercise: (plan kind, frozen state).
+EXPECTED_SHAPE = {
+    "linear-dense": ("dense", False),
+    "linear-svd": ("svd", False),
+    "binary-frozen": ("dense", True),
+    "multinomial": ("dense", True),
+    "sparse-binary": ("sparse", False),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+class TestPlanRoundTrip:
+    def test_state_bit_identical(self, case, tmp_path):
+        task, make, kwargs = CASES[case]
+        trainer = fit_trainer(task, make(), **kwargs)
+        kind, frozen = EXPECTED_SHAPE[case]
+        assert trainer._plan._kind == kind
+        assert (trainer.store.frozen is not None) == frozen
+        reloaded = roundtrip_plan(trainer, tmp_path)
+        assert_state_bit_identical(trainer._plan, reloaded)
+
+    def test_answers_match_in_process_plan(self, case, tmp_path):
+        task, make, kwargs = CASES[case]
+        trainer = fit_trainer(task, make(), **kwargs)
+        reloaded = roundtrip_plan(trainer, tmp_path)
+        removed = [1, 7, 19]
+        expected = trainer._plan.run_single(removed)
+        assert np.array_equal(reloaded.run_single(removed), expected)
+        batch = [[0, 3], [5, 9, 30], [2]]
+        assert np.array_equal(reloaded.run(batch), trainer._plan.run(batch))
+
+    def test_final_weights_embedded(self, case, tmp_path):
+        task, make, kwargs = CASES[case]
+        trainer = fit_trainer(task, make(), **kwargs)
+        reloaded = roundtrip_plan(trainer, tmp_path)
+        assert reloaded.final_weights is not None
+        assert np.array_equal(
+            np.asarray(reloaded.final_weights), trainer.weights_
+        )
+
+    def test_roundtrip_without_mmap(self, case, tmp_path):
+        task, make, kwargs = CASES[case]
+        trainer = fit_trainer(task, make(), **kwargs)
+        reloaded = roundtrip_plan(trainer, tmp_path, mmap=False)
+        assert_state_bit_identical(trainer._plan, reloaded)
+        assert not isinstance(reloaded.moments, np.memmap)
+
+
+class TestMmapLoading:
+    def test_large_arrays_are_memory_mapped(self, tmp_path):
+        trainer = fit_trainer(
+            "binary_logistic", make_binary_classification(260, 8, seed=13)
+        )
+        reloaded = roundtrip_plan(trainer, tmp_path, mmap=True)
+        assert isinstance(reloaded.moments, np.memmap)
+        assert isinstance(reloaded._slopes_flat, np.memmap)
+        index = reloaded.store.packed_index()
+        assert isinstance(index.samples, np.memmap)
+
+
+class TestValidation:
+    def test_version_check(self, tmp_path):
+        trainer = fit_trainer("linear", make_regression(120, 5, seed=21))
+        plan_path = save_plan(trainer._plan, tmp_path / "plan.npz")
+        archive = dict(np.load(plan_path, allow_pickle=False))
+        keys = [str(k) for k in archive["__plan_meta_keys__"]]
+        values = archive["__plan_meta_values__"].copy()
+        values[keys.index("format")] = "999"
+        archive["__plan_meta_values__"] = values
+        np.savez(plan_path, **archive)
+        with pytest.raises(ValueError, match="version"):
+            load_plan(
+                plan_path, trainer.store, trainer.features, trainer.labels
+            )
+
+    def test_mismatched_store_rejected(self, tmp_path):
+        trainer = fit_trainer("linear", make_regression(120, 5, seed=22))
+        other = fit_trainer(
+            "linear", make_regression(120, 5, seed=22), n_iterations=30
+        )
+        plan_path = save_plan(trainer._plan, tmp_path / "plan.npz")
+        with pytest.raises(ValueError):
+            load_plan(plan_path, other.store, other.features, other.labels)
+
+    def test_mismatched_task_rejected(self, tmp_path):
+        trainer = fit_trainer("linear", make_regression(120, 5, seed=23))
+        other = fit_trainer(
+            "binary_logistic", make_binary_classification(140, 5, seed=23)
+        )
+        plan_path = save_plan(trainer._plan, tmp_path / "plan.npz")
+        with pytest.raises(ValueError, match="task"):
+            load_plan(plan_path, other.store, other.features, other.labels)
+
+    def test_mismatched_compression_kind_rejected(self, tmp_path):
+        from repro.core import train_with_capture
+        from repro.models import make_schedule, objective_for
+
+        data = make_regression(220, 40, seed=25)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 10, 20, seed=96)
+        stores = {}
+        for compression in ("svd", "none"):
+            _, stores[compression] = train_with_capture(
+                objective, data.features, data.labels, schedule, 0.01,
+                compression=compression,
+            )
+        svd_plan = ReplayPlan(stores["svd"], data.features, data.labels)
+        plan_path = save_plan(svd_plan, tmp_path / "plan.npz")
+        # Same task/schedule/sample count, different summary representation.
+        with pytest.raises(ValueError, match="summaries"):
+            load_plan(plan_path, stores["none"], data.features, data.labels)
+
+    def test_mismatched_hyperparameters_rejected(self, tmp_path):
+        from repro.core import train_with_capture
+        from repro.models import make_schedule, objective_for
+
+        data = make_regression(150, 6, seed=26)
+        objective = objective_for("linear", 0.1)
+        schedule = make_schedule(data.n_samples, 10, 20, seed=97)
+        stores = {}
+        for eta in (0.01, 0.02):
+            _, stores[eta] = train_with_capture(
+                objective, data.features, data.labels, schedule, eta,
+            )
+        plan = ReplayPlan(stores[0.01], data.features, data.labels)
+        plan_path = save_plan(plan, tmp_path / "plan.npz")
+        # Identical shapes everywhere; only the learning rate differs.
+        with pytest.raises(ValueError, match="learning_rate"):
+            load_plan(plan_path, stores[0.02], data.features, data.labels)
+
+    def test_unsupported_plan_refuses_to_save(self, tmp_path):
+        data = make_sparse_binary_classification(200, 80, density=0.05, seed=24)
+        trainer = fit_trainer("binary_logistic", data)
+        trainer._plan.supported = False  # simulate sparse-multinomial case
+        with pytest.raises(ValueError, match="compiled state"):
+            save_plan(trainer._plan, tmp_path / "plan.npz")
+
+
+class TestTrainerCheckpoint:
+    def test_checkpoint_roundtrip_serves_identically(self, tmp_path):
+        data = make_binary_classification(260, 8, seed=31)
+        trainer = fit_trainer(
+            "binary_logistic", data, learning_rate=0.1, freeze_fraction=0.7
+        )
+        trainer.save_checkpoint(tmp_path)
+        restored = IncrementalTrainer.from_checkpoint(
+            tmp_path, data.features, data.labels
+        )
+        assert np.array_equal(restored.weights_, trainer.weights_)
+        removed = [2, 9, 40]
+        for method in ("priu", "priu-seq", "priu-opt"):
+            assert np.array_equal(
+                restored.remove(removed, method=method).weights,
+                trainer.remove(removed, method=method).weights,
+            ), method
+
+    def test_checkpoint_without_plan_recovers_weights(self, tmp_path):
+        data = make_regression(150, 6, seed=32)
+        trainer = fit_trainer("linear", data)
+        trainer.save_checkpoint(tmp_path, include_plan=False)
+        assert not (tmp_path / "plan.npz").exists()
+        restored = IncrementalTrainer.from_checkpoint(
+            tmp_path, data.features, data.labels
+        )
+        # weights_ recovered by replaying the empty removal set.
+        assert np.allclose(restored.weights_, trainer.weights_, atol=1e-10)
+        assert np.array_equal(
+            restored.remove([4], method="priu").weights,
+            trainer.remove([4], method="priu").weights,
+        )
+
+    def test_wrong_training_data_rejected(self, tmp_path):
+        data = make_regression(150, 6, seed=33)
+        trainer = fit_trainer("linear", data)
+        trainer.save_checkpoint(tmp_path)
+        with pytest.raises(ValueError):
+            IncrementalTrainer.from_checkpoint(
+                tmp_path, data.features[:100], data.labels[:100]
+            )
+
+
+class TestCrossProcess:
+    def test_fresh_process_answers_identically(self, tmp_path):
+        """load_store + load_plan in a new interpreter == in-process path."""
+        data = make_binary_classification(260, 8, seed=41)
+        trainer = fit_trainer("binary_logistic", data, learning_rate=0.1)
+        trainer.save_checkpoint(tmp_path)
+        removed = np.array([3, 17, 99], dtype=np.int64)
+        expected = trainer.remove(removed, method="priu").weights
+
+        features_path = tmp_path / "features.npy"
+        labels_path = tmp_path / "labels.npy"
+        answer_path = tmp_path / "answer.npy"
+        np.save(features_path, data.features)
+        np.save(labels_path, data.labels)
+        script = (
+            "import numpy as np\n"
+            "from repro.core import IncrementalTrainer\n"
+            f"features = np.load({str(features_path)!r})\n"
+            f"labels = np.load({str(labels_path)!r})\n"
+            "trainer = IncrementalTrainer.from_checkpoint(\n"
+            f"    {str(tmp_path)!r}, features, labels)\n"
+            "outcome = trainer.remove([3, 17, 99], method='priu')\n"
+            f"np.save({str(answer_path)!r}, outcome.weights)\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO_SRC)},
+        )
+        assert completed.returncode == 0, completed.stderr
+        answer = np.load(answer_path)
+        assert np.allclose(answer, expected, rtol=0, atol=1e-12)

@@ -1,10 +1,17 @@
-"""Unit tests for timing helpers."""
+"""Unit tests for timing helpers and latency summaries."""
 
 import time
 
 import pytest
 
-from repro.eval import Stopwatch, Timing, measure
+from repro.eval import (
+    LatencySummary,
+    Stopwatch,
+    Timing,
+    measure,
+    percentile,
+    summarize_latencies,
+)
 
 
 class TestMeasure:
@@ -41,3 +48,53 @@ class TestStopwatch:
         with Stopwatch() as watch:
             time.sleep(0.01)
         assert watch.seconds >= 0.009
+
+
+class TestPercentile:
+    def test_median_of_odd_count(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == pytest.approx(2.0)
+
+    def test_interpolates(self):
+        assert percentile([0.0, 1.0], 0.25) == pytest.approx(0.25)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestLatencySummary:
+    def test_from_samples(self):
+        summary = LatencySummary.from_samples([0.1, 0.2, 0.3, 0.4])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(0.25)
+        assert summary.min == pytest.approx(0.1)
+        assert summary.max == pytest.approx(0.4)
+        assert summary.p50 == pytest.approx(0.25)
+        assert summary.min <= summary.p50 <= summary.p95 <= summary.max
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_samples([])
+
+    def test_as_dict_roundtrips_fields(self):
+        summary = LatencySummary.from_samples([1.0, 2.0])
+        payload = summary.as_dict()
+        assert payload["count"] == 2
+        assert set(payload) == {"count", "mean", "p50", "p95", "min", "max"}
+
+    def test_summarize_empty_is_none(self):
+        assert summarize_latencies([]) is None
+
+    def test_summarize_nonempty(self):
+        summary = summarize_latencies(iter([0.5]))
+        assert summary.count == 1
+        assert summary.p95 == pytest.approx(0.5)

@@ -1,0 +1,51 @@
+"""Unit tests for the admission policy (pure logic, no threads)."""
+
+import pytest
+
+from repro.serving import AdmissionPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = AdmissionPolicy()
+        assert policy.max_batch >= 1
+        assert policy.max_pending >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_delay_seconds": -0.1},
+            {"max_pending": 0},
+        ],
+    )
+    def test_rejects_degenerate_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(**kwargs)
+
+    def test_frozen(self):
+        policy = AdmissionPolicy()
+        with pytest.raises(Exception):
+            policy.max_batch = 99
+
+
+class TestDispatchLogic:
+    def test_dispatches_on_full_batch(self):
+        policy = AdmissionPolicy(max_batch=4, max_delay_seconds=10.0)
+        assert not policy.should_dispatch(3, 0.0)
+        assert policy.should_dispatch(4, 0.0)
+
+    def test_dispatches_on_expired_budget(self):
+        policy = AdmissionPolicy(max_batch=100, max_delay_seconds=0.05)
+        assert not policy.should_dispatch(1, 0.01)
+        assert policy.should_dispatch(1, 0.05)
+
+    def test_remaining_budget_clamps_at_zero(self):
+        policy = AdmissionPolicy(max_delay_seconds=0.02)
+        assert policy.remaining_budget(0.005) == pytest.approx(0.015)
+        assert policy.remaining_budget(1.0) == 0.0
+
+    def test_zero_delay_serves_immediately(self):
+        policy = AdmissionPolicy(max_delay_seconds=0.0)
+        assert policy.should_dispatch(1, 0.0)
+        assert policy.remaining_budget(0.0) == 0.0

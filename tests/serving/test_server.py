@@ -1,0 +1,237 @@
+"""End-to-end tests for the DeletionServer request queue.
+
+A small binary-logistic workload is fitted once per module; every test
+drives the real worker thread and the real batched replay engine — no
+mocks — so these tests double as an integration check of the whole
+capture → compile → serve pipeline.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import AdmissionPolicy, DeletionServer, IncrementalTrainer
+from repro.datasets import make_binary_classification
+from repro.serving import BackpressureError, ServedOutcome
+
+
+@pytest.fixture(scope="module")
+def trainer():
+    data = make_binary_classification(500, 10, separation=1.0, seed=7)
+    fitted = IncrementalTrainer(
+        "binary_logistic",
+        learning_rate=0.1,
+        regularization=0.01,
+        batch_size=50,
+        n_iterations=80,
+        seed=0,
+    )
+    fitted.fit(data.features, data.labels)
+    return fitted
+
+
+@pytest.fixture
+def removal_sets(trainer):
+    rng = np.random.default_rng(3)
+    n = trainer.store.n_samples
+    return [
+        np.sort(rng.choice(n, size=5, replace=False)) for _ in range(10)
+    ]
+
+
+class TestAnswers:
+    def test_served_matches_direct_remove(self, trainer, removal_sets):
+        with DeletionServer(trainer, method="priu") as server:
+            futures = [server.submit(s) for s in removal_sets]
+            outcomes = [f.result(timeout=30) for f in futures]
+        for removed, outcome in zip(removal_sets, outcomes):
+            expected = trainer.remove(removed, method="priu").weights
+            assert np.allclose(outcome.weights, expected, atol=1e-10)
+            assert isinstance(outcome, ServedOutcome)
+            assert np.array_equal(outcome.removed, removed)
+
+    def test_outcome_timings_are_consistent(self, trainer, removal_sets):
+        with DeletionServer(trainer) as server:
+            outcome = server.resolve(removal_sets[0], timeout=30)
+        assert outcome.wait_seconds >= 0.0
+        assert outcome.latency_seconds >= outcome.wait_seconds
+        assert outcome.batch_size >= 1
+
+    def test_empty_removal_set_is_served(self, trainer):
+        with DeletionServer(trainer, method="priu") as server:
+            outcome = server.resolve([], timeout=30)
+        assert np.allclose(outcome.weights, trainer.weights_, atol=1e-8)
+
+
+class TestCoalescing:
+    def test_preloaded_queue_coalesces_into_one_batch(
+        self, trainer, removal_sets
+    ):
+        server = DeletionServer(
+            trainer, AdmissionPolicy(max_batch=32), autostart=False
+        )
+        futures = [server.submit(s) for s in removal_sets]
+        server.start()
+        assert server.flush(timeout=30)
+        sizes = {f.result().batch_size for f in futures}
+        assert sizes == {len(removal_sets)}
+        stats = server.stats()
+        assert stats.batches == 1
+        assert stats.mean_batch_size == len(removal_sets)
+        server.close()
+
+    def test_max_batch_is_respected(self, trainer, removal_sets):
+        server = DeletionServer(
+            trainer, AdmissionPolicy(max_batch=3), autostart=False
+        )
+        futures = [server.submit(s) for s in removal_sets[:9]]
+        server.start()
+        assert server.flush(timeout=30)
+        assert all(f.result().batch_size <= 3 for f in futures)
+        assert server.stats().batches >= 3
+        server.close()
+
+    def test_zero_delay_still_answers_everything(self, trainer, removal_sets):
+        policy = AdmissionPolicy(max_batch=4, max_delay_seconds=0.0)
+        with DeletionServer(trainer, policy) as server:
+            futures = server.submit_many(removal_sets)
+            results = [f.result(timeout=30) for f in futures]
+        assert len(results) == len(removal_sets)
+
+
+class TestBackpressure:
+    def test_nonblocking_submit_raises_when_full(self, trainer, removal_sets):
+        server = DeletionServer(
+            trainer, AdmissionPolicy(max_pending=2), autostart=False
+        )
+        server.submit(removal_sets[0])
+        server.submit(removal_sets[1])
+        with pytest.raises(BackpressureError):
+            server.submit(removal_sets[2], block=False)
+        assert server.stats().rejected == 1
+        # The two accepted requests still drain.
+        server.start()
+        assert server.flush(timeout=30)
+        server.close()
+
+    def test_blocking_submit_with_timeout_raises(self, trainer, removal_sets):
+        server = DeletionServer(
+            trainer, AdmissionPolicy(max_pending=1), autostart=False
+        )
+        server.submit(removal_sets[0])
+        start = time.perf_counter()
+        with pytest.raises(BackpressureError):
+            server.submit(removal_sets[1], timeout=0.05)
+        assert time.perf_counter() - start >= 0.04
+        server.start()
+        server.flush(timeout=30)
+        server.close()
+
+
+class TestValidationAndLifecycle:
+    def test_out_of_range_ids_fail_at_submit(self, trainer):
+        with DeletionServer(trainer) as server:
+            with pytest.raises(ValueError, match="removal ids"):
+                server.submit([trainer.store.n_samples + 3])
+            with pytest.raises(ValueError, match="removal ids"):
+                server.submit([-4])
+
+    def test_cannot_delete_everything(self, trainer):
+        with DeletionServer(trainer) as server:
+            with pytest.raises(ValueError, match="every training sample"):
+                server.submit(np.arange(trainer.store.n_samples))
+
+    def test_unknown_method_rejected_at_construction(self, trainer):
+        with pytest.raises(ValueError, match="method"):
+            DeletionServer(trainer, method="priu_opt")
+
+    def test_submit_after_close_raises(self, trainer, removal_sets):
+        server = DeletionServer(trainer)
+        server.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(removal_sets[0])
+
+    def test_close_drains_queued_requests(self, trainer, removal_sets):
+        server = DeletionServer(trainer, autostart=False)
+        futures = [server.submit(s) for s in removal_sets[:4]]
+        server.close(wait=True)  # starts the worker, drains, then stops
+        assert all(f.done() for f in futures)
+        assert server.stats().answered == 4
+
+    def test_close_is_idempotent(self, trainer):
+        server = DeletionServer(trainer)
+        server.close()
+        server.close()
+
+    def test_flush_without_start_raises_instead_of_hanging(
+        self, trainer, removal_sets
+    ):
+        server = DeletionServer(trainer, autostart=False)
+        server.submit(removal_sets[0])
+        with pytest.raises(RuntimeError, match="never started"):
+            server.flush(timeout=1.0)
+        server.close()
+
+    def test_cancelled_future_is_skipped(self, trainer, removal_sets):
+        server = DeletionServer(trainer, autostart=False)
+        cancelled = server.submit(removal_sets[0])
+        kept = server.submit(removal_sets[1])
+        assert cancelled.cancel()
+        server.start()
+        assert server.flush(timeout=30)
+        assert kept.result().weights is not None
+        assert cancelled.cancelled()
+        stats = server.stats()
+        assert stats.cancelled == 1
+        assert stats.answered == 1
+        assert stats.pending == 0
+        server.close()
+
+
+class TestStats:
+    def test_stats_cover_all_requests(self, trainer, removal_sets):
+        with DeletionServer(trainer) as server:
+            futures = server.submit_many(removal_sets)
+            [f.result(timeout=30) for f in futures]
+            stats = server.stats()
+        assert stats.submitted == len(removal_sets)
+        assert stats.answered == len(removal_sets)
+        assert stats.failed == 0
+        assert stats.pending == 0
+        assert stats.latency is not None
+        assert stats.latency.count == len(removal_sets)
+        assert stats.wait.min >= 0.0
+        assert stats.latency.p95 >= stats.latency.p50
+        # latency = wait + service (dispatch->answer), so service can
+        # never exceed the worst end-to-end latency.
+        assert stats.service.max <= stats.latency.max
+        payload = stats.as_dict()
+        assert payload["answered"] == len(removal_sets)
+        assert payload["latency"]["count"] == len(removal_sets)
+
+    def test_fresh_server_has_empty_summaries(self, trainer):
+        server = DeletionServer(trainer, autostart=False)
+        stats = server.stats()
+        assert stats.latency is None
+        assert stats.mean_batch_size == 0.0
+        server.close()
+
+    def test_dispatch_failure_fails_the_batch_futures(
+        self, trainer, removal_sets
+    ):
+        server = DeletionServer(trainer, method="priu", autostart=False)
+        futures = [server.submit(s) for s in removal_sets[:3]]
+        # Sabotage the compiled plan so remove_many raises mid-dispatch.
+        original_version = trainer.store._version
+        trainer.store._version += 1
+        try:
+            server.start()
+            assert server.flush(timeout=30)
+            for future in futures:
+                with pytest.raises(RuntimeError, match="store changed"):
+                    future.result(timeout=5)
+            assert server.stats().failed == 3
+        finally:
+            trainer.store._version = original_version
+            server.close()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in README.md and docs/.
+
+Scans markdown inline links (``[text](target)``) and bare reference
+definitions (``[label]: target``).  External targets (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``) are ignored; every other
+target is resolved relative to the file containing it (or the repo root
+for absolute ``/``-style paths) and must exist on disk.
+
+Usage::
+
+    python tools/check_docs_links.py            # README.md + docs/**/*.md
+    python tools/check_docs_links.py FILE...    # explicit file list
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# [text](target) — skipping images' leading "!" is unnecessary: the capture
+# only needs the target. Nested parens are not used in our docs.
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced and inline code spans so example snippets never count."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def targets_in(path: Path) -> list[str]:
+    text = strip_code(path.read_text(encoding="utf-8"))
+    found = INLINE_LINK.findall(text) + REFERENCE_DEF.findall(text)
+    return [t for t in found if t]
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    try:
+        label = str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        label = str(path)
+    for target in targets_in(path):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        candidate = target.split("#", 1)[0]
+        if not candidate:
+            continue
+        if candidate.startswith("/"):
+            resolved = REPO_ROOT / candidate.lstrip("/")
+        else:
+            resolved = path.parent / candidate
+        if not resolved.exists():
+            errors.append(f"{label}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+    else:
+        files = [REPO_ROOT / "README.md"]
+        files += sorted((REPO_ROOT / "docs").rglob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 2
+    errors = [error for f in files for error in check_file(f)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = len(files)
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {checked} file(s), no broken intra-repo links")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
