@@ -6,8 +6,9 @@ hyperparameters); :func:`prepare_workload` fits one into a
 :class:`FittedWorkload`; the ``*_rows`` producers
 (:func:`sweep_update_times`, :func:`accuracy_rows`,
 :func:`repeated_deletion_rows`, :func:`batched_deletion_rows`,
-:func:`serving_rows`, :func:`memory_row`) generate the rows behind each
-figure/table and behind ``BENCH_batched.json`` / ``BENCH_serving.json``.
+:func:`serving_rows`, :func:`refresh_rows`, :func:`memory_row`)
+generate the rows behind each figure/table and behind
+``BENCH_batched.json`` / ``BENCH_serving.json`` / ``BENCH_refresh.json``.
 ``python -m repro.bench.run_all`` regenerates everything.
 """
 
@@ -20,6 +21,7 @@ from .runner import (
     dataset_summary_rows,
     memory_row,
     prepare_workload,
+    refresh_rows,
     repeated_deletion_rows,
     run_update,
     serving_rows,
@@ -38,6 +40,7 @@ __all__ = [
     "get",
     "memory_row",
     "prepare_workload",
+    "refresh_rows",
     "repeated_deletion_rows",
     "run_update",
     "serving_rows",

@@ -44,12 +44,18 @@ PLAN_FILENAME = "plan.npz"
 
 @dataclass
 class UpdateOutcome:
-    """Result of one incremental update (or baseline) run."""
+    """Result of one incremental update (or baseline) run.
+
+    ``store_version`` pins the provenance-store state the answer was
+    computed against; :meth:`IncrementalTrainer.commit` refuses outcomes
+    from before an earlier commit (their id space is stale).
+    """
 
     weights: np.ndarray
     method: str
     seconds: float
     removed: np.ndarray
+    store_version: int | None = None
 
 
 class IncrementalTrainer:
@@ -101,6 +107,7 @@ class IncrementalTrainer:
         max_dense_params: int = 2500,
         opt_feature_limit: int = 2500,
         plan_cache_sparse_blocks: bool = True,
+        plan_refresh_threshold: float = 0.25,
     ) -> None:
         if task not in TASKS:
             raise ValueError(f"task must be one of {TASKS}")
@@ -124,6 +131,10 @@ class IncrementalTrainer:
         # batch blocks hold ~τB/n copies of the dataset; disable to re-slice
         # inside the replay loop instead.
         self.plan_cache_sparse_blocks = bool(plan_cache_sparse_blocks)
+        # Commit path: incremental ReplayPlan.refresh() while a commit
+        # touches at most this fraction of the iterations, full recompile
+        # beyond it.
+        self.plan_refresh_threshold = float(plan_refresh_threshold)
         self._fitted = False
 
     # -------------------------------------------------------------- fitting
@@ -176,11 +187,21 @@ class IncrementalTrainer:
             self.labels,
             cache_sparse_blocks=self.plan_cache_sparse_blocks,
         )
+        self._build_opt()
+        self._closed_form = None
+        self._influence = None
+        self._fitted = True
+        return self
+
+    def _build_opt(self) -> None:
+        """(Re)construct the PrIU-opt updaters for the current store/data."""
+        dense = not is_sparse(self.features)
+        n_params = self.objective.n_parameters(self.features.shape[1])
         self._opt = None
-        if use_opt and dense:
+        if self._resolve_opt(dense, n_params) and dense:
             if self.task == "linear":
                 self._opt = PrIUOptLinearUpdater(
-                    features,
+                    self.features,
                     self.labels,
                     self.n_iterations,
                     self.learning_rate,
@@ -190,12 +211,8 @@ class IncrementalTrainer:
                 self.store.frozen.eigenvectors is not None
             ):
                 self._opt = PrIUOptLogisticUpdater(
-                    self.store, features, self.labels, plan=self._plan
+                    self.store, self.features, self.labels, plan=self._plan
                 )
-        self._closed_form = None
-        self._influence = None
-        self._fitted = True
-        return self
 
     def _resolve_opt(self, dense: bool, n_params: int) -> bool:
         if self.method == "priu":
@@ -323,9 +340,26 @@ class IncrementalTrainer:
     ) -> None:
         """Attach checkpointed state; mirrors everything :meth:`fit` sets."""
         labels = np.asarray(labels)
+        if (
+            store.n_original_samples is not None
+            and features.shape[0] == store.n_original_samples
+            and store.n_original_samples != store.n_samples
+        ):
+            # The checkpoint was committed: the caller hands back the
+            # *original* training data and the recorded deletion log picks
+            # out the current survivors.
+            survivors = store.survivor_original_ids()
+            features = features[survivors]
+            labels = labels[survivors]
         if features.shape[0] != store.n_samples:
+            expected = (
+                f"{store.n_samples}"
+                if store.n_original_samples is None
+                else f"{store.n_samples} (current) or "
+                f"{store.n_original_samples} (original, pre-commit)"
+            )
             raise ValueError(
-                f"checkpoint was captured over {store.n_samples} samples, "
+                f"checkpoint was captured over {expected} samples, "
                 f"got features with {features.shape[0]} rows"
             )
         self.features = features
@@ -352,24 +386,7 @@ class IncrementalTrainer:
                 labels,
                 cache_sparse_blocks=self.plan_cache_sparse_blocks,
             )
-        dense = not is_sparse(features)
-        n_params = self.objective.n_parameters(features.shape[1])
-        self._opt = None
-        if self._resolve_opt(dense, n_params) and dense:
-            if self.task == "linear":
-                self._opt = PrIUOptLinearUpdater(
-                    features,
-                    labels,
-                    self.n_iterations,
-                    self.learning_rate,
-                    self.regularization,
-                )
-            elif store.frozen is not None and (
-                store.frozen.eigenvectors is not None
-            ):
-                self._opt = PrIUOptLogisticUpdater(
-                    store, features, labels, plan=self._plan
-                )
+        self._build_opt()
         weights = getattr(self._plan, "final_weights", None)
         if weights is None:
             empty = np.empty(0, dtype=np.int64)
@@ -398,13 +415,30 @@ class IncrementalTrainer:
         self._require_fit()
         return self.result.weights
 
-    def remove(self, indices, method: str | None = None) -> UpdateOutcome:
+    @property
+    def n_samples(self) -> int:
+        """Current training-set size (shrinks with every commit)."""
+        self._require_fit()
+        return int(self.store.n_samples)
+
+    @property
+    def deletion_log(self) -> np.ndarray:
+        """Committed removals so far, in *original* id space, commit order."""
+        self._require_fit()
+        if self.store.deletion_log is None:
+            return np.empty(0, dtype=np.int64)
+        return self.store.deletion_log.copy()
+
+    def remove(
+        self, indices, method: str | None = None, commit: bool = False
+    ) -> UpdateOutcome:
         """Incremental update: the model with ``indices`` deleted.
 
         ``method="priu"`` serves the request through the compiled
         :class:`~repro.core.replay_plan.ReplayPlan`; ``"priu-seq"`` forces
         the uncompiled per-record reference path (kept for verification and
-        benchmarking).
+        benchmarking).  ``commit=True`` additionally adopts the answer as
+        the new baseline (see :meth:`commit`).
         """
         self._require_fit()
         removed = normalize_removed_indices(indices)
@@ -424,10 +458,15 @@ class IncrementalTrainer:
         else:
             raise ValueError(f"unknown update method: {chosen}")
         seconds = time.perf_counter() - start
-        return UpdateOutcome(weights, chosen, seconds, removed)
+        outcome = UpdateOutcome(
+            weights, chosen, seconds, removed, self.store._version
+        )
+        if commit:
+            self.commit(outcome)
+        return outcome
 
     def remove_many(
-        self, index_sets, method: str | None = None
+        self, index_sets, method: str | None = None, commit: bool = False
     ) -> list[UpdateOutcome]:
         """Serve K deletion requests simultaneously (one per index set).
 
@@ -445,43 +484,144 @@ class IncrementalTrainer:
         Callers who receive requests one at a time rather than K in hand
         should sit a :class:`repro.serving.DeletionServer` in front of
         this method instead of calling it directly.
+
+        ``commit=True`` switches to *committed* semantics: the K sets are
+        applied cumulatively in list order (request ``k`` is replayed with
+        the union of sets ``0..k``, so every caller's answer excludes both
+        their own samples and everything admitted before them), and the
+        final union becomes the new baseline via :meth:`commit`.  Each
+        returned outcome still reports its own request's ``removed`` set.
         """
         self._require_fit()
         normalized = [normalize_removed_indices(s) for s in index_sets]
         if not normalized:
             return []
+        replay_sets = normalized
+        if commit:
+            prefixes: list[np.ndarray] = []
+            acc = np.empty(0, dtype=np.int64)
+            for removed in normalized:
+                acc = np.union1d(acc, removed)
+                prefixes.append(acc)
+            replay_sets = prefixes
         chosen = method or ("priu-opt" if self._opt is not None else "priu")
+        version = self.store._version
         start = time.perf_counter()
         if chosen == "priu-opt":
             if self._opt is None:
                 raise ValueError("PrIU-opt is unavailable for this configuration")
-            stacked = self._opt.update_many(normalized, assume_unique=True)
+            stacked = self._opt.update_many(replay_sets, assume_unique=True)
         elif chosen == "priu":
             if self._plan.supported:
-                stacked = self._plan.run(normalized, assume_unique=True)
+                stacked = self._plan.run(replay_sets, assume_unique=True)
             else:
                 stacked = np.stack(
                     [
                         self._priu.update(r, assume_unique=True)
-                        for r in normalized
+                        for r in replay_sets
                     ],
                     axis=1,
                 )
         elif chosen == "priu-seq":
             stacked = np.stack(
-                [self._priu.update(r, assume_unique=True) for r in normalized],
+                [self._priu.update(r, assume_unique=True) for r in replay_sets],
                 axis=1,
             )
         else:
             raise ValueError(f"unknown update method: {chosen}")
         seconds = time.perf_counter() - start
         share = seconds / len(normalized)
-        return [
+        outcomes = [
             UpdateOutcome(
-                np.ascontiguousarray(stacked[:, k]), chosen, share, removed
+                np.ascontiguousarray(stacked[:, k]), chosen, share, removed,
+                version,
             )
             for k, removed in enumerate(normalized)
         ]
+        if commit:
+            self._apply_commit(replay_sets[-1], stacked[:, -1])
+        return outcomes
+
+    # --------------------------------------------------------------- commit
+    def commit(self, outcome: UpdateOutcome) -> dict:
+        """Adopt a previously computed update as the new baseline.
+
+        Where :meth:`remove` answers the counterfactual and leaves every
+        piece of state describing the original training set, ``commit``
+        makes the deletion permanent: the provenance store is compacted
+        (occurrence rows dropped, surviving ids remapped onto
+        ``[0, n - Δn)``), the compiled :class:`ReplayPlan` is incrementally
+        refreshed (or recompiled past ``plan_refresh_threshold``), the
+        held features/labels are sliced to the survivors, the PrIU /
+        PrIU-opt updaters are rebuilt over the compacted state, and
+        ``outcome.weights`` becomes :attr:`weights_`.
+
+        After a commit, *fresh* removal queries and removal ids are
+        expressed in the new, packed id space; :attr:`deletion_log` keeps
+        the cumulative original-space ids so checkpoints can be restored
+        from the original training data.  Replaying the committed trainer
+        with set ``T`` matches replaying the pre-commit trainer with
+        ``committed ∪ T`` to reduction-order noise (property-tested at
+        atol 1e-10).
+
+        Raises ``ValueError`` for outcomes computed before an earlier
+        commit (their removal ids point into a stale id space).  Returns a
+        receipt dict: ``mode`` (``refresh`` | ``recompile`` | ``noop`` |
+        ``unsupported``), the fraction of iterations touched, and
+        ``removed`` (how many samples left the store).
+        """
+        self._require_fit()
+        if outcome.store_version is not None and (
+            outcome.store_version != self.store._version
+        ):
+            raise ValueError(
+                "stale outcome: it was computed before an earlier commit "
+                "re-packed the id space; re-run the query and commit that"
+            )
+        return self._apply_commit(outcome.removed, outcome.weights)
+
+    def _apply_commit(self, removed: np.ndarray, weights: np.ndarray) -> dict:
+        removed = normalize_removed_indices(removed)
+        weights = np.ascontiguousarray(np.asarray(weights, dtype=float))
+        if removed.size == 0:
+            self.result.weights = weights
+            return {"mode": "noop", "fraction": 0.0, "removed": 0}
+        stats = self.store.compact(removed, self.features, self.labels)
+        survivors = np.delete(
+            np.arange(stats.n_samples_before, dtype=np.int64), removed
+        )
+        self.features = self.features[survivors]
+        self.labels = self.labels[survivors]
+        self.schedule = self.store.schedule
+        receipt = self._plan.refresh(
+            stats,
+            self.features,
+            self.labels,
+            recompile_threshold=self.plan_refresh_threshold,
+        )
+        self._priu = PrIUUpdater(self.store, self.features, self.labels)
+        if isinstance(self._opt, PrIUOptLinearUpdater):
+            # Downdate M/N by the removed rows (the updater still holds the
+            # pre-commit data) instead of recomputing the O(n·m²) gram.
+            self._opt.compact(removed, self.features, self.labels)
+        else:
+            # Logistic opt state lives in store.frozen, which compact()
+            # already downdated + re-eigendecomposed; rebuilding the
+            # wrapper is cheap.
+            self._build_opt()
+        self._closed_form = None
+        self._influence = None
+        self.result = TrainingResult(
+            weights=weights,
+            objective=self.objective,
+            schedule=self.schedule,
+            learning_rate=self.learning_rate,
+            regularization=self.regularization,
+            n_iterations=self.n_iterations,
+            wall_time=0.0,
+        )
+        receipt["removed"] = int(removed.size)
+        return receipt
 
     def retrain(self, indices) -> UpdateOutcome:
         """BaseL: retrain from scratch on the same schedule minus ``indices``."""
@@ -497,7 +637,9 @@ class IncrementalTrainer:
             exclude=frozenset(removed.tolist()),
         )
         seconds = time.perf_counter() - start
-        return UpdateOutcome(result.weights, "basel", seconds, removed)
+        return UpdateOutcome(
+            result.weights, "basel", seconds, removed, self.store._version
+        )
 
     def closed_form(self, indices) -> UpdateOutcome:
         """Closed-form incremental baseline (linear regression only)."""
@@ -512,7 +654,9 @@ class IncrementalTrainer:
         start = time.perf_counter()
         weights = self._closed_form.delete(removed)
         seconds = time.perf_counter() - start
-        return UpdateOutcome(weights, "closed-form", seconds, removed)
+        return UpdateOutcome(
+            weights, "closed-form", seconds, removed, self.store._version
+        )
 
     def influence(self, indices, mode: str = "koh-liang") -> UpdateOutcome:
         """INFL: the influence-function baseline."""
@@ -529,7 +673,9 @@ class IncrementalTrainer:
         start = time.perf_counter()
         weights = self._influence.update(removed)
         seconds = time.perf_counter() - start
-        return UpdateOutcome(weights, f"infl-{mode}", seconds, removed)
+        return UpdateOutcome(
+            weights, f"infl-{mode}", seconds, removed, self.store._version
+        )
 
     # ----------------------------------------------------------- evaluation
     def evaluate(self, features, labels, weights: np.ndarray | None = None) -> float:

@@ -62,12 +62,35 @@ class PrIUOptLinearUpdater:
             np.zeros(self.n_features) if w0 is None else np.asarray(w0, float)
         )
         # Offline phase: M = XᵀX, N = XᵀY, eigendecomposition of M.
+        # M is kept so the commit path can *downdate* it (Eq. 18's removal
+        # direction) instead of recomputing the O(n·m²) gram from scratch.
         self._moment = self.features.T @ self.labels
-        self._eigen = eigendecompose(self.features.T @ self.features)
+        self._gram = self.features.T @ self.features
+        self._eigen = eigendecompose(self._gram)
 
     def nbytes(self) -> int:
-        """Cached state: Q, eigenvalues and N (Sec. 5.2 space analysis)."""
-        return int(self._eigen.nbytes() + self._moment.nbytes)
+        """Cached state: Q, eigenvalues, M and N (Sec. 5.2 space analysis)."""
+        return int(
+            self._eigen.nbytes() + self._moment.nbytes + self._gram.nbytes
+        )
+
+    def compact(self, removed, features, labels: np.ndarray) -> None:
+        """Fold a committed removal into the cached offline state.
+
+        ``removed`` is expressed in this updater's (pre-commit) id space;
+        ``features``/``labels`` are the already-reduced survivors.  M and N
+        are downdated by the removed rows — O(Δn·m²) instead of the
+        O(n·m²) a from-scratch rebuild pays — and only the m³
+        eigendecomposition is recomputed.
+        """
+        removed = normalize_removed_indices(removed)
+        rows = self.features[removed]
+        self._gram = self._gram - rows.T @ rows
+        self._moment = self._moment - rows.T @ self.labels[removed]
+        self._eigen = eigendecompose(self._gram)
+        self.features = np.asarray(features, dtype=float)
+        self.labels = np.asarray(labels, dtype=float).ravel()
+        self.n_samples = self.features.shape[0]
 
     def update(self, removed_indices, assume_unique: bool = False) -> np.ndarray:
         """Post-deletion parameters in ``O(min(Δn,m)·m²) + O(m)`` work."""

@@ -34,6 +34,7 @@ from typing import Union
 
 import numpy as np
 
+from ..linalg.eigen import eigendecompose
 from ..linalg.svd import TruncatedSummary
 from ..models.batching import BatchSchedule
 
@@ -47,20 +48,56 @@ def normalize_removed_indices(indices, assume_unique: bool = False) -> np.ndarra
     round-tripping arrays through Python lists.  ``assume_unique`` skips the
     dedup (the caller already ran it — e.g. the facade dedupes once before
     timing starts) but still guarantees the sorted contract.
+
+    Non-integer dtypes are rejected (``astype(int64)`` would silently
+    truncate 3.7 → 3), and the result never aliases caller-owned memory —
+    the returned array is safe to keep (outcome records, deletion logs)
+    and to read after the caller mutates their own copy.
     """
     if isinstance(indices, np.ndarray):
+        if indices.size and indices.dtype.kind not in "iu":
+            raise TypeError(
+                "removal indices must have an integer dtype, got "
+                f"{indices.dtype} (casting would silently truncate)"
+            )
         arr = indices.ravel().astype(np.int64, copy=False)
+        caller_owned = np.shares_memory(arr, indices)
     elif isinstance(indices, (set, frozenset)):
-        arr = np.fromiter(indices, dtype=np.int64, count=len(indices))
-        arr.sort()
+        arr = np.asarray(tuple(indices))
+        if arr.size and arr.dtype.kind not in "iu":
+            raise TypeError(
+                "removal indices must be integers, got dtype "
+                f"{arr.dtype} (casting would silently truncate)"
+            )
+        arr = arr.astype(np.int64, copy=False)
+        arr.sort()  # set elements are already unique; sorting suffices
         return arr
     else:
-        arr = np.asarray(tuple(indices), dtype=np.int64)
+        arr = np.asarray(tuple(indices))
+        if arr.size and arr.dtype.kind not in "iu":
+            raise TypeError(
+                "removal indices must be integers, got dtype "
+                f"{arr.dtype} (casting would silently truncate)"
+            )
+        arr = arr.astype(np.int64, copy=False)
+        caller_owned = False
     if assume_unique:
         if arr.size > 1 and np.any(arr[1:] < arr[:-1]):
-            arr = np.sort(arr)
-        return arr
+            return np.sort(arr)  # np.sort copies: never aliases the input
+        return arr.copy() if caller_owned else arr
     return np.unique(arr)
+
+
+def remap_surviving_ids(ids: np.ndarray, removed: np.ndarray) -> np.ndarray:
+    """Map pre-compaction sample ids onto the packed post-compaction space.
+
+    ``removed`` must be sorted-unique and disjoint from ``ids``; each
+    surviving id simply shifts down by the number of removed ids below it.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    if removed.size == 0:
+        return ids.copy()
+    return ids - np.searchsorted(removed, ids, side="left")
 
 
 @dataclass
@@ -232,6 +269,32 @@ class FrozenProvenance:
 
 
 @dataclass
+class CompactionStats:
+    """What one :meth:`ProvenanceStore.compact` call changed.
+
+    Everything is expressed in the *pre*-compaction layout so that a
+    compiled :class:`~repro.core.replay_plan.ReplayPlan` built against the
+    old store can patch itself (:meth:`~repro.core.replay_plan.ReplayPlan.\
+refresh`) without re-deriving the hit set: ``dropped_slots`` are flat
+    occurrence-slot indices (``record_offsets[t] + position``) into the old
+    slot space, and ``affected_iterations`` / ``dropped_per_iteration``
+    describe which per-iteration state must be re-derived.
+    """
+
+    removed: np.ndarray  # sorted-unique ids, pre-compaction space
+    n_samples_before: int
+    n_samples_after: int
+    affected_iterations: np.ndarray  # sorted iterations that lost samples
+    dropped_per_iteration: np.ndarray  # aligned with affected_iterations
+    dropped_slots: np.ndarray  # sorted flat slot ids (old layout)
+    dropped_occurrences: int
+
+    @property
+    def n_iterations_touched(self) -> int:
+        return int(self.affected_iterations.size)
+
+
+@dataclass
 class ProvenanceStore:
     """Everything PrIU needs to replay an update without the nonlinearity."""
 
@@ -247,12 +310,24 @@ class ProvenanceStore:
     compression: str = "none"  # "none" | "svd"
     epsilon: float = 0.01
     sparse_mode: bool = False
+    # Commit bookkeeping: ``n_original_samples`` is the sample count of the
+    # capture run and ``deletion_log`` the cumulative committed removals in
+    # *original* id space, in commit order.  Both stay None until the first
+    # :meth:`compact`; checkpoints persist them so ``from_checkpoint`` can
+    # slice the original training data down to the current survivors.
+    n_original_samples: int | None = None
+    deletion_log: np.ndarray | None = None
 
     _occurrences: dict[int, list[tuple[int, int]]] | None = None
     _packed: PackedOccurrenceIndex | None = None
     # Bumped on every mutation; compiled ReplayPlans pin the version they
     # were built against and refuse to run against a changed store.
     _version: int = 0
+    # Seqlock for lock-free readers of the (n_samples, _version) pair:
+    # odd while a compact() is mutating, even otherwise.  A reader that
+    # sees the same even value before and after its reads observed a
+    # consistent id space (see DeletionServer.submit).
+    _commit_seq: int = 0
 
     def add(self, record) -> None:
         self.records.append(record)
@@ -349,6 +424,290 @@ class ProvenanceStore:
                 np.split(pos, boundaries),
             )
         }
+
+    # ------------------------------------------------------------ compaction
+    def survivor_original_ids(self) -> np.ndarray:
+        """Original-space ids of the current samples, in current id order."""
+        if self.n_original_samples is None or self.deletion_log is None:
+            return np.arange(self.n_samples, dtype=np.int64)
+        return np.delete(
+            np.arange(self.n_original_samples, dtype=np.int64),
+            np.unique(self.deletion_log),
+        )
+
+    def compact(self, removed, features, labels: np.ndarray) -> CompactionStats:
+        """Fold a committed deletion into the store itself.
+
+        Unlike a replay — which answers the counterfactual and leaves the
+        store describing the full capture run — ``compact`` makes the
+        removal permanent: the samples' occurrence rows are dropped from
+        every batch (per-sample interpolation state with them), their
+        contributions are subtracted from the cached summaries and moments,
+        surviving ids are remapped onto the packed ``[0, n - Δn)`` space,
+        and the packed occurrence index is rebuilt in one vectorized pass
+        (no re-sort: dropping rows and shifting ids both preserve order).
+
+        ``features``/``labels`` are the *pre*-compaction training data (the
+        removed rows' features are needed to form the subtracted
+        contributions).  Dense summaries are patched exactly; SVD summaries
+        get exact rank-``Δ`` correction factors appended (re-truncating
+        would change replay answers by ``O(ε)``); sparse records carry no
+        summaries.  Frozen PrIU-opt state is compacted the same way, with
+        the offline eigendecomposition recomputed.
+
+        Replaying the compacted store with removal set ``T`` is numerically
+        identical (BLAS reduction-order noise only) to replaying the
+        original store with ``committed ∪ T`` — the contract
+        ``tests/core/test_commit.py`` property-tests.
+        """
+        removed = normalize_removed_indices(removed)
+        n_before = self.n_samples
+        if features.shape[0] != n_before or (
+            np.asarray(labels).shape[0] != n_before
+        ):
+            raise ValueError(
+                f"compact() needs the pre-compaction training data "
+                f"({n_before} rows); got features with {features.shape[0]} "
+                f"and labels with {np.asarray(labels).shape[0]} — slice to "
+                "the survivors only *after* compacting"
+            )
+        if removed.size:
+            if removed[0] < 0 or removed[-1] >= n_before:
+                raise ValueError(
+                    f"removal ids must lie in [0, {n_before}); got range "
+                    f"[{removed[0]}, {removed[-1]}]"
+                )
+            if removed.size >= n_before:
+                raise ValueError("cannot delete every training sample")
+
+        self._commit_seq += 1  # odd: mutation in progress
+        try:
+            return self._compact_locked(removed, features, labels, n_before)
+        finally:
+            self._commit_seq += 1  # even again: readers may trust the pair
+
+    def _compact_locked(
+        self, removed: np.ndarray, features, labels, n_before: int
+    ) -> CompactionStats:
+        index = self.packed_index()
+        removed_map = self.removed_positions(removed)
+        sizes = np.fromiter(
+            (len(r.batch) for r in self.records),
+            dtype=np.int64,
+            count=len(self.records),
+        )
+        old_offsets = np.concatenate(([0], np.cumsum(sizes)))
+
+        # ---- per-record state: drop removed rows, patch summaries/moments
+        for t, (ids, positions) in removed_map.items():
+            self._compact_record(self.records[t], ids, positions, features, labels)
+        # ---- remap every surviving batch id onto the packed space
+        if removed.size:
+            for record in self.records:
+                record.batch = remap_surviving_ids(record.batch, removed)
+        # ---- frozen PrIU-opt state
+        if self.frozen is not None and removed.size:
+            self._compact_frozen(removed, features, labels)
+
+        # ---- occurrence index: one vectorized drop-and-shift pass
+        pos = np.searchsorted(removed, index.samples, side="left")
+        member = np.zeros(len(index), dtype=bool)
+        if removed.size:
+            in_range = pos < removed.size
+            member[in_range] = (
+                removed[pos[in_range]] == index.samples[in_range]
+            )
+        keep = ~member
+        dropped_slots = np.sort(
+            old_offsets[index.iterations[member]] + index.positions[member]
+        )
+        kept_iters = index.iterations[keep]
+        kept_slots = old_offsets[kept_iters] + index.positions[keep]
+        # Position shift: dropped slots below this occurrence in its batch.
+        shift = np.searchsorted(dropped_slots, kept_slots) - np.searchsorted(
+            dropped_slots, old_offsets[kept_iters]
+        )
+        new_index = PackedOccurrenceIndex(
+            samples=remap_surviving_ids(index.samples[keep], removed),
+            iterations=kept_iters,
+            positions=index.positions[keep] - shift,
+        )
+        affected, per_iter = np.unique(
+            index.iterations[member], return_counts=True
+        )
+
+        # ---- bookkeeping: deletion log, schedule, sizes, version
+        if self.n_original_samples is None:
+            self.n_original_samples = n_before
+        survivors = self.survivor_original_ids()
+        removed_original = survivors[removed]
+        self.deletion_log = (
+            removed_original
+            if self.deletion_log is None
+            else np.concatenate([self.deletion_log, removed_original])
+        )
+        self.n_samples = n_before - int(removed.size)
+        # The seeded schedule no longer regenerates the compacted batches;
+        # materialize it from the records (checkpoints do the same).
+        self.schedule = BatchSchedule(
+            n_samples=self.n_samples,
+            batch_size=self.schedule.batch_size,
+            n_iterations=len(self.records),
+            seed=self.schedule.seed,
+            kind="materialized",
+            batches=[record.batch for record in self.records],
+        )
+        self._version += 1
+        self._occurrences = None
+        self._packed = new_index
+        return CompactionStats(
+            removed=removed,
+            n_samples_before=n_before,
+            n_samples_after=self.n_samples,
+            affected_iterations=affected,
+            dropped_per_iteration=per_iter,
+            dropped_slots=dropped_slots,
+            dropped_occurrences=int(member.sum()),
+        )
+
+    def _compact_record(
+        self, record, ids: np.ndarray, positions: np.ndarray, features, labels
+    ) -> None:
+        """Drop ``positions`` from one record, subtracting their contributions."""
+        mask = np.ones(len(record.batch), dtype=bool)
+        mask[positions] = False
+        rows = None
+        if record.summary is not None or (
+            isinstance(record, LinearRecord) and record.moment.size
+        ):
+            rows = np.asarray(features[ids], dtype=float)
+        if isinstance(record, LinearRecord):
+            if rows is not None:
+                record.summary = self._shrunk_summary(record.summary, rows, None)
+                if record.moment.size:
+                    record.moment = record.moment - rows.T @ labels[ids].astype(
+                        float
+                    )
+        elif isinstance(record, LogisticRecord):
+            slopes_hit = record.slopes[positions]
+            if record.summary is not None:
+                record.summary = self._shrunk_summary(
+                    record.summary, rows, slopes_hit
+                )
+            if record.moment.size:
+                record.moment = record.moment - rows.T @ (
+                    record.intercepts[positions] * labels[ids].astype(float)
+                )
+            record.slopes = record.slopes[mask]
+            record.intercepts = record.intercepts[mask]
+        elif isinstance(record, MultinomialRecord):
+            if rows is None:
+                block = features[ids]
+                rows = np.asarray(
+                    block.todense() if hasattr(block, "todense") else block,
+                    dtype=float,
+                )
+            probs_hit = record.probabilities[positions]
+            wx_hit = record.wx[positions]
+            y = labels[ids].astype(int)
+            pu = np.einsum("ik,ik->i", probs_hit, wx_hit)
+            lam_u = probs_hit * wx_hit - probs_hit * pu[:, None]
+            coeff = lam_u - probs_hit
+            coeff[np.arange(len(ids)), y] += 1.0
+            record.moment = record.moment - coeff.T @ rows
+            if record.summary is not None:
+                record.summary = self._shrunk_multinomial_summary(
+                    record.summary, probs_hit, rows
+                )
+            record.probabilities = record.probabilities[mask]
+            record.wx = record.wx[mask]
+        record.batch = record.batch[mask]
+
+    @staticmethod
+    def _shrunk_summary(
+        summary: Summary, rows: np.ndarray, slopes: np.ndarray | None
+    ) -> Summary:
+        """``G - Σ a_i x_i x_iᵀ`` in whichever representation ``G`` uses.
+
+        Dense summaries are patched exactly.  Truncated-SVD summaries get
+        the removed samples appended as exact rank-1 correction factors
+        (``left ⟵ [P | -a_i x_i]``, ``right ⟵ [V | x_i]``) so the compacted
+        operator equals the pre-compaction operator minus the exact deltas —
+        the same arithmetic a replay of the uncompacted store performs.
+        """
+        weighted = rows if slopes is None else rows * slopes[:, None]
+        if isinstance(summary, TruncatedSummary):
+            return TruncatedSummary(
+                left=np.hstack([summary.left, -weighted.T]),
+                right=np.hstack([summary.right, rows.T]),
+            )
+        return summary - weighted.T @ rows
+
+    @staticmethod
+    def _shrunk_multinomial_summary(
+        summary: Summary, probs: np.ndarray, rows: np.ndarray
+    ) -> Summary:
+        """``C + Σ_i Λ_i ⊗ x_i x_iᵀ`` (the summary caches ``-Σ Λ ⊗ xxᵀ``)."""
+        n_hits, q = probs.shape
+        m = rows.shape[1]
+        lam = -np.einsum("ik,il->ikl", probs, probs)
+        lam[:, np.arange(q), np.arange(q)] += probs
+        if isinstance(summary, TruncatedSummary):
+            # Λ_i is PSD with rank ≤ q: expand into q weighted Kronecker
+            # columns per removed sample, appended as exact corrections.
+            evals, evecs = np.linalg.eigh(lam)  # (h, q), (h, q, q)
+            kron = np.einsum("hqk,hm->hkqm", evecs, rows).reshape(
+                n_hits * q, q * m
+            )
+            weights = evals.reshape(-1)
+            return TruncatedSummary(
+                left=np.hstack([summary.left, (kron * weights[:, None]).T]),
+                right=np.hstack([summary.right, kron.T]),
+            )
+        contrib = np.einsum("hkl,hm,hn->kmln", lam, rows, rows).reshape(
+            q * m, q * m
+        )
+        return summary + contrib
+
+    def _compact_frozen(self, removed: np.ndarray, features, labels) -> None:
+        """Compact the PrIU-opt frozen full-dataset state (Sec. 5.4)."""
+        frozen = self.frozen
+        needs_rows = frozen.gram is not None
+        rows = (
+            np.asarray(features[removed], dtype=float) if needs_rows else None
+        )
+        if frozen.slopes is not None:  # binary logistic
+            if frozen.gram is not None:
+                slopes_r = frozen.slopes[removed]
+                intercepts_r = frozen.intercepts[removed]
+                y = labels[removed].astype(float)
+                frozen.gram = frozen.gram - rows.T @ (rows * slopes_r[:, None])
+                frozen.moment = frozen.moment - rows.T @ (intercepts_r * y)
+            frozen.slopes = np.delete(frozen.slopes, removed)
+            frozen.intercepts = np.delete(frozen.intercepts, removed)
+        elif frozen.probabilities is not None:  # multinomial
+            if frozen.gram is not None:
+                probs_r = frozen.probabilities[removed]
+                wx_r = frozen.wx[removed]
+                y = labels[removed].astype(int)
+                q = probs_r.shape[1]
+                lam = -np.einsum("ik,il->ikl", probs_r, probs_r)
+                lam[:, np.arange(q), np.arange(q)] += probs_r
+                contrib = np.einsum(
+                    "hkl,hm,hn->kmln", lam, rows, rows
+                ).reshape(frozen.gram.shape)
+                frozen.gram = frozen.gram + contrib
+                pu = np.einsum("ik,ik->i", probs_r, wx_r)
+                lam_u = probs_r * wx_r - probs_r * pu[:, None]
+                coeff = lam_u - probs_r
+                coeff[np.arange(removed.size), y] += 1.0
+                frozen.moment = frozen.moment - (coeff.T @ rows).ravel()
+            frozen.probabilities = np.delete(frozen.probabilities, removed, axis=0)
+            frozen.wx = np.delete(frozen.wx, removed, axis=0)
+        if frozen.eigenvectors is not None:
+            eigen = eigendecompose(frozen.gram)
+            frozen.eigenvectors = eigen.eigenvectors
+            frozen.eigenvalues = eigen.eigenvalues
 
     # -------------------------------------------------------------- memory
     def nbytes(self) -> int:

@@ -44,10 +44,30 @@ import numpy as np
 
 from ..linalg.matrix_utils import is_sparse
 from .provenance_store import (
+    CompactionStats,
     PackedOccurrenceIndex,
     ProvenanceStore,
     normalize_removed_indices,
 )
+
+
+def _drop_rows(arr: np.ndarray, dropped: np.ndarray) -> np.ndarray:
+    """``np.delete(arr, dropped, axis=0)`` as contiguous-segment memcpy.
+
+    ``dropped`` is sorted-unique and sparse relative to ``arr``; stitching
+    the surviving segments with one ``np.concatenate`` is ~3× faster than
+    the boolean-mask gather ``np.delete`` performs, which is what keeps an
+    incremental plan refresh cheaper than recompiling the flats.
+    """
+    if dropped.size == 0:
+        return np.asarray(arr)
+    bounds = np.concatenate(([-1], dropped, [arr.shape[0]]))
+    return np.concatenate(
+        [
+            arr[int(bounds[i]) + 1 : int(bounds[i + 1])]
+            for i in range(bounds.size - 1)
+        ]
+    )
 
 
 class ReplayPlan:
@@ -94,6 +114,7 @@ class ReplayPlan:
         # final parameter vector; None for plans compiled in-process.
         self.final_weights: np.ndarray | None = None
         self.supported = not (self.sparse and self.task == "multinomial_logistic")
+        self._cache_sparse_blocks = bool(cache_sparse_blocks)
         if not self.supported:
             return
         self._scale_num = 2.0 * self.eta if self.task == "linear" else self.eta
@@ -117,6 +138,10 @@ class ReplayPlan:
         else:
             self._labels_num = self.labels.astype(float)
 
+        # Logical slot -> physical flat row.  None means identity; a
+        # committed refresh of the multinomial flats installs a gather map
+        # instead of rewriting the (H, q) state arrays (see refresh()).
+        self._slot_map = None
         kind = self.store.compression
         self._kind = {"none": "dense"}.get(kind, kind)
         if self.sparse:
@@ -230,6 +255,10 @@ class ReplayPlan:
         ):
             value = getattr(self, attr, None)
             if value is not None:
+                if self._slot_map is not None:
+                    # Materialize the committed layout: archives always
+                    # store physically compacted flats, never the map.
+                    value = value[self._slot_map]
                 arrays[key] = value
         return arrays
 
@@ -327,8 +356,10 @@ class ReplayPlan:
         plan._compiled_version = store._version
         plan.final_weights = None
         plan.supported = True
+        plan._cache_sparse_blocks = bool(cache_sparse_blocks)
         plan._scale_num = 2.0 * plan.eta if plan.task == "linear" else plan.eta
         plan._kind = meta["kind"]
+        plan._slot_map = None
 
         plan.base_sizes = arrays["base_sizes"]
         plan._record_offsets = arrays["record_offsets"]
@@ -369,13 +400,130 @@ class ReplayPlan:
             plan._lefts = plan._rights = None
         return plan
 
+    # ------------------------------------------------------------- refresh
+    def refresh(
+        self,
+        stats: CompactionStats,
+        features,
+        labels: np.ndarray,
+        recompile_threshold: float = 0.25,
+    ) -> dict:
+        """Re-sync the compiled SoA state after :meth:`ProvenanceStore.compact`.
+
+        ``stats`` is the receipt of the compaction this plan must catch up
+        with, and ``features``/``labels`` are the *reduced* training data
+        (the compacted id space).  When the removal touched at most
+        ``recompile_threshold`` of the iterations the patch is incremental:
+
+        * ``base_sizes`` / ``record_offsets`` shrink by the per-iteration
+          drop counts;
+        * the slot-indexed flats (slopes, folded intercepts, softmax state)
+          lose exactly the dropped occurrence slots (one ``np.delete``);
+        * stacked-moment rows and summary references are re-derived for the
+          affected iterations only — dense/SVD summaries were already
+          patched in place by ``compact``, sparse moments are recomputed
+          from the reduced feature blocks;
+        * the packed occurrence index was rebuilt by ``compact`` and is
+          shared as-is.
+
+        Beyond the threshold (or for every-iteration removals) the whole
+        plan recompiles from the compacted store — same result, paid as one
+        ``_compile`` instead of many row patches.  Returns a receipt dict
+        with ``mode`` (``"refresh"`` | ``"recompile"`` | ``"unsupported"``),
+        the touched-iteration fraction, and wall-clock-free bookkeeping the
+        commit benchmark records.
+        """
+        self.labels = np.asarray(labels)
+        self.features = (
+            features if self.sparse else np.asarray(features, float)
+        )
+        self.final_weights = None
+        if not self.supported:
+            self._compiled_version = self.store._version
+            return {"mode": "unsupported", "fraction": 0.0}
+        fraction = (
+            stats.n_iterations_touched / self.n_iterations
+            if self.n_iterations
+            else 0.0
+        )
+        if fraction > recompile_threshold:
+            self._compile(self._cache_sparse_blocks)
+            self._compiled_version = self.store._version
+            return {"mode": "recompile", "fraction": fraction}
+
+        records = self.store.records
+        # Sizes/offsets: drop counts land on the affected iterations.
+        base_sizes = np.array(self.base_sizes)  # writable (may be a mmap)
+        base_sizes[stats.affected_iterations] -= stats.dropped_per_iteration
+        self.base_sizes = base_sizes
+        self._record_offsets = np.concatenate(([0], np.cumsum(base_sizes)))
+        # Slot-indexed flats lose exactly the dropped occurrence slots.
+        # Binary flats (two (H,) vectors, also sliced contiguously by the
+        # sparse hot loop) are physically compacted; the multinomial
+        # softmax state ((H, q) arrays, gather-only access) instead grows a
+        # logical→physical slot map — dropping D of H rows then costs
+        # O(H) int64 instead of O(H·q) float64, which is what keeps a
+        # refresh cheaper than recompiling when the flats dominate.
+        for attr in ("_slopes_flat", "_iy_flat"):
+            flat = getattr(self, attr, None)
+            if flat is not None:
+                setattr(self, attr, _drop_rows(flat, stats.dropped_slots))
+        if self.task == "multinomial_logistic" and stats.dropped_slots.size:
+            if self._slot_map is None:
+                old_total = int(stats.dropped_slots.size + base_sizes.sum())
+                self._slot_map = _drop_rows(
+                    np.arange(old_total, dtype=np.int64), stats.dropped_slots
+                )
+            else:
+                self._slot_map = _drop_rows(
+                    self._slot_map, stats.dropped_slots
+                )
+        if self.task == "multinomial_logistic":
+            self._labels_num = self.labels.astype(int)
+        else:
+            self._labels_num = self.labels.astype(float)
+        # Per-iteration state: only the affected rows are re-derived.
+        if stats.n_iterations_touched:
+            moments = np.array(self.moments)  # writable (may be a mmap)
+            for t in stats.affected_iterations:
+                record = records[t]
+                if self.sparse:
+                    block = self.features[record.batch]
+                    y_t = self._labels_num[record.batch]
+                    if self.task == "linear":
+                        moments[t] = np.asarray(block.T @ y_t).ravel()
+                    else:
+                        moments[t] = np.asarray(
+                            block.T @ (record.intercepts * y_t)
+                        ).ravel()
+                    if self._blocks is not None:
+                        self._blocks[t] = block
+                else:
+                    moments[t] = np.asarray(
+                        record.moment, dtype=float
+                    ).ravel()
+                    if self._kind == "svd":
+                        self._lefts[t] = record.summary.left
+                        self._rights[t] = record.summary.right
+                    else:
+                        self._summaries[t] = np.asarray(record.summary)
+            self.moments = moments
+        self._compiled_version = self.store._version
+        return {"mode": "refresh", "fraction": fraction}
+
     # ------------------------------------------------------------ queries
     def nbytes(self) -> int:
         """Extra memory the compiled layout holds beyond the store itself."""
         if not self.supported:
             return 0
         total = int(self.moments.nbytes) + self.store.packed_index().nbytes()
-        for name in ("_slopes_flat", "_iy_flat", "_probs_flat", "_wx_flat"):
+        for name in (
+            "_slopes_flat",
+            "_iy_flat",
+            "_probs_flat",
+            "_wx_flat",
+            "_slot_map",
+        ):
             arr = getattr(self, name, None)
             if arr is not None:
                 total += int(arr.nbytes)
@@ -527,6 +675,8 @@ class ReplayPlan:
             hits["slopes"] = self._slopes_flat[slots]
             hits["iy"] = self._iy_flat[slots]
         else:
+            if self._slot_map is not None:
+                slots = self._slot_map[slots]
             hits["probs"] = self._probs_flat[slots]
             hits["wx"] = self._wx_flat[slots]
             hits["y"] = self._labels_num[hit_ids]

@@ -41,7 +41,13 @@ from .provenance_store import (
 )
 from .replay_plan import ReplayPlan
 
-_FORMAT_VERSION = 1
+# Store format 2 (PR 3) adds commit bookkeeping: ``__meta__`` grows an
+# ``n_original_samples`` entry, a ``__deletion_log__`` array records the
+# cumulative committed removals in original id space, and the schedule kind
+# may be ``"materialized"`` (batches reconstructed from the records rather
+# than regenerated from the seed).  Format-1 archives still load.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 _PLAN_FORMAT_VERSION = 1
 
 _FROZEN_FIELDS = (
@@ -115,8 +121,15 @@ def save_store(store: ProvenanceStore, path: str | Path) -> Path:
             str(store.epsilon),
             str(int(store.sparse_mode)),
             str(len(store.records)),
+            # v2: sample count of the original capture run ("none" while
+            # no deletion has ever been committed).
+            "none"
+            if store.n_original_samples is None
+            else str(store.n_original_samples),
         ]
     )
+    if store.deletion_log is not None:
+        arrays["__deletion_log__"] = store.deletion_log
     arrays["__schedule__"] = np.array(
         [
             str(store.schedule.n_samples),
@@ -137,17 +150,23 @@ def load_store(path: str | Path) -> ProvenanceStore:
     with np.load(Path(path), allow_pickle=False) as archive:
         meta = archive["__meta__"]
         version = int(meta[0])
-        if version != _FORMAT_VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported store format version: {version}")
         task = str(meta[1])
         sched_meta = archive["__schedule__"]
-        schedule = BatchSchedule(
-            n_samples=int(sched_meta[0]),
-            batch_size=int(sched_meta[1]),
-            n_iterations=int(sched_meta[2]),
-            seed=int(sched_meta[3]),
-            kind=str(sched_meta[4]),
-        )
+        sched_kind = str(sched_meta[4])
+        if sched_kind == "materialized":
+            # Compacted batches cannot be regenerated from the seed; they
+            # are rebuilt from the loaded records below.
+            schedule = None
+        else:
+            schedule = BatchSchedule(
+                n_samples=int(sched_meta[0]),
+                batch_size=int(sched_meta[1]),
+                n_iterations=int(sched_meta[2]),
+                seed=int(sched_meta[3]),
+                kind=sched_kind,
+            )
         store = ProvenanceStore(
             task=task,
             schedule=schedule,
@@ -188,6 +207,22 @@ def load_store(path: str | Path) -> ProvenanceStore:
                         moment=moment,
                     )
                 )
+        if schedule is None:
+            store.schedule = BatchSchedule(
+                n_samples=store.n_samples,
+                batch_size=int(sched_meta[1]),
+                n_iterations=len(store.records),
+                seed=int(sched_meta[3]),
+                kind="materialized",
+                batches=[record.batch for record in store.records],
+            )
+        if version >= 2:
+            original = str(meta[11])
+            store.n_original_samples = (
+                None if original == "none" else int(original)
+            )
+            if "__deletion_log__" in archive.files:
+                store.deletion_log = archive["__deletion_log__"]
         frozen_meta = [str(v) for v in archive["__frozen_meta__"]]
         if frozen_meta:
             fields = {

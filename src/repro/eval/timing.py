@@ -16,6 +16,7 @@ measures.
 
 from __future__ import annotations
 
+import math
 import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
@@ -61,6 +62,26 @@ class Stopwatch:
 
 
 # ------------------------------------------------------------- latency stats
+def _finite_sorted(samples: Iterable[float]) -> list[float]:
+    """Float-coerce, validate and sort latency samples.
+
+    NaN is rejected up front: Python's ``sorted()`` ordering is undefined
+    in its presence (comparisons all return False), which silently turns
+    p50/p95 into garbage rather than failing.  Infinities are rejected for
+    the same reason — a latency sample of ``inf`` means the measurement is
+    broken, not that the request was slow.
+    """
+    values = [float(s) for s in samples]
+    for value in values:
+        if not math.isfinite(value):
+            raise ValueError(
+                f"latency samples must be finite, got {value!r} "
+                "(NaN breaks sorted-order statistics)"
+            )
+    values.sort()
+    return values
+
+
 def _quantile_of_sorted(values: list[float], q: float) -> float:
     """Linear-interpolated quantile of an already-sorted, non-empty list."""
     position = q * (len(values) - 1)
@@ -74,7 +95,7 @@ def percentile(samples: Iterable[float], q: float) -> float:
     """Linear-interpolated quantile ``q ∈ [0, 1]`` of ``samples``."""
     if not 0.0 <= q <= 1.0:
         raise ValueError("q must lie in [0, 1]")
-    values = sorted(float(s) for s in samples)
+    values = _finite_sorted(samples)
     if not values:
         raise ValueError("percentile of an empty sample set")
     return _quantile_of_sorted(values, q)
@@ -93,7 +114,7 @@ class LatencySummary:
 
     @classmethod
     def from_samples(cls, samples: Iterable[float]) -> "LatencySummary":
-        values = sorted(float(s) for s in samples)
+        values = _finite_sorted(samples)
         if not values:
             raise ValueError("at least one latency sample is required")
         return cls(

@@ -35,6 +35,14 @@ class BatchSchedule:
             self.batches = self._materialize()
 
     def _materialize(self) -> list[np.ndarray]:
+        if self.kind == "materialized":
+            # Compacted stores carry batches that no seeded generator can
+            # reproduce (committed samples were dropped and ids remapped);
+            # such schedules must be constructed with explicit ``batches``.
+            raise ValueError(
+                "a 'materialized' schedule cannot be regenerated from a "
+                "seed; construct it with explicit batches"
+            )
         if self.kind == "gd":
             full = np.arange(self.n_samples)
             return [full for _ in range(self.n_iterations)]

@@ -5,7 +5,10 @@ long-lived serving process.  This package supplies that process:
 
 * :class:`DeletionServer` — ``submit(ids) -> Future``; a worker thread
   coalesces queued requests and answers them through one batched
-  :meth:`~repro.core.api.IncrementalTrainer.remove_many` call per batch;
+  :meth:`~repro.core.api.IncrementalTrainer.remove_many` call per batch.
+  With ``commit_mode=True`` each batch is *applied* in admission order
+  (store compaction + incremental plan refresh) instead of answered as a
+  stateless counterfactual;
 * :class:`AdmissionPolicy` — the latency-budget / max-batch /
   backpressure knobs governing coalescing;
 * :class:`ServedOutcome` — updated weights plus per-request

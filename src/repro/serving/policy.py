@@ -25,11 +25,20 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class AdmissionPolicy:
-    """Batching/backpressure knobs for :class:`~repro.serving.DeletionServer`."""
+    """Batching/backpressure knobs for :class:`~repro.serving.DeletionServer`.
+
+    ``on_empty`` decides what :meth:`~repro.serving.DeletionServer.submit`
+    does with an empty removal set: ``"resolve"`` (default) answers it
+    immediately with a no-op outcome — it never occupies a batch slot or a
+    queue slot — while ``"reject"`` raises ``ValueError`` at submit time.
+    Empty sets must never reach a batch: they used to dilute the admission
+    cap and, in commit mode, would count as a (vacuous) committed request.
+    """
 
     max_batch: int = 16
     max_delay_seconds: float = 0.02
     max_pending: int = 1024
+    on_empty: str = "resolve"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -38,6 +47,8 @@ class AdmissionPolicy:
             raise ValueError("max_delay_seconds must be >= 0")
         if self.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if self.on_empty not in ("resolve", "reject"):
+            raise ValueError("on_empty must be 'resolve' or 'reject'")
 
     def remaining_budget(self, oldest_wait: float) -> float:
         """Seconds the current batch may still wait for more arrivals."""

@@ -14,7 +14,15 @@ Backpressure is a bounded queue: once ``max_pending`` requests wait,
 further submissions raise :class:`BackpressureError` (or block, caller's
 choice) instead of growing memory without bound.  Request validation
 happens at submit time, so a malformed removal set fails its own caller
-and never poisons a batch.
+and never poisons a batch; empty sets resolve inline as no-ops (or are
+rejected, per :class:`~repro.serving.policy.AdmissionPolicy.on_empty`).
+
+By default every answer is a stateless counterfactual against the
+original training set.  ``commit_mode=True`` turns the server into a
+deletion *pipeline*: each batch runs ``remove_many(..., commit=True)``,
+so admitted requests are applied cumulatively in admission order and
+the trainer's store, compiled plan and baseline weights adopt the
+post-batch state (see ``docs/architecture.md``, "The commit path").
 
 Typical use::
 
@@ -37,7 +45,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.provenance_store import normalize_removed_indices
+from ..core.provenance_store import (
+    normalize_removed_indices,
+    remap_surviving_ids,
+)
 from .policy import AdmissionPolicy
 from .stats import ServingStats, StatsRecorder
 
@@ -65,6 +76,9 @@ class ServedOutcome:
     wait_seconds: float
     latency_seconds: float
     batch_size: int
+    # True when the server runs in commit mode and this answer's removals
+    # (plus everything admitted before it) are now folded into the model.
+    committed: bool = False
 
 
 @dataclass
@@ -72,6 +86,13 @@ class _Request:
     indices: np.ndarray
     future: Future
     enqueued_at: float
+    # Commit mode: the store version whose id space the submitted ids are
+    # expressed in — requests are translated forward through every commit
+    # with version_before >= this value at dispatch time.  ``store_version``
+    # advances as the request is remapped; ``admitted_version`` stays fixed
+    # for in-flight accounting (commit-history pruning).
+    store_version: int = -1
+    admitted_version: int = -1
 
 
 class DeletionServer:
@@ -93,6 +114,22 @@ class DeletionServer:
         Start the worker thread immediately.  Benchmarks pass ``False``,
         pre-load the queue, then call :meth:`start` for a deterministic
         single-batch dispatch.
+    commit_mode:
+        Serve *committed* deletions: each dispatched batch runs
+        ``remove_many(..., commit=True)``, so requests are applied
+        cumulatively in admission order (a request's answer excludes its
+        own samples plus everything admitted before it) and the model,
+        store and plan adopt the post-batch state.  Removal ids submitted
+        after a commit are interpreted — and validated — in the
+        *post-commit* id space, which shrinks with every committed batch
+        (``trainer.n_samples`` is the live bound).  Requests still queued
+        when an earlier batch commits are translated forward through that
+        commit automatically: ids it already removed drop out (those
+        samples are gone) and survivors shift down, so an id always
+        denotes the sample the submitter addressed; ``ServedOutcome.\
+removed`` reports the translated set, in the id space its batch executed
+        in.  The trainer must not be queried concurrently from outside
+        the server while commits are in flight.
     """
 
     def __init__(
@@ -101,6 +138,7 @@ class DeletionServer:
         policy: AdmissionPolicy | None = None,
         method: str | None = None,
         autostart: bool = True,
+        commit_mode: bool = False,
     ) -> None:
         trainer._require_fit()
         if method not in (None, "priu", "priu-opt", "priu-seq"):
@@ -110,6 +148,18 @@ class DeletionServer:
         self.trainer = trainer
         self.policy = policy if policy is not None else AdmissionPolicy()
         self.method = method
+        self.commit_mode = bool(commit_mode)
+        # One (version_before, removed union) entry per committed batch,
+        # the union in the id space the batch executed in.  A queued
+        # request tagged with store version v is remapped through every
+        # entry with version_before >= v before dispatch, so an id always
+        # denotes the sample the submitter saw, not whatever later shifted
+        # into that slot.  Entries older than every in-flight request's
+        # admitted version are pruned at dispatch (tracked in
+        # ``_inflight_versions`` — queue order alone is not enough, since a
+        # submitter can block on backpressure and enqueue late).
+        self._commit_history: list[tuple[int, np.ndarray]] = []
+        self._inflight_versions: dict[int, int] = {}
         # Capacity is enforced by the semaphore, not the queue: submitters
         # block on a slot *outside* any lock, the enqueue itself is always
         # non-blocking, and close() can always append its sentinel.  The
@@ -159,8 +209,12 @@ class DeletionServer:
     def __enter__(self) -> "DeletionServer":
         return self.start()
 
-    def __exit__(self, *exc) -> None:
-        self.close(wait=True)
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # On a clean exit, drain the queue and join the worker.  While an
+        # exception is unwinding, don't block on outstanding work (the
+        # futures' owners may be the very frames being torn down): stop
+        # accepting and let the daemon worker finish in the background.
+        self.close(wait=exc_type is None)
 
     # ---------------------------------------------------------- submission
     def submit(
@@ -175,8 +229,22 @@ class DeletionServer:
         immediately.
         """
         removed = normalize_removed_indices(indices)
-        n_samples = self.trainer.store.n_samples
-        if removed.size and (removed[0] < 0 or removed[-1] >= n_samples):
+        # Consistent (version, n_samples) snapshot via the store's commit
+        # seqlock: odd means a compact() is mutating mid-read, and a seq
+        # change across the reads means one completed — retry either way.
+        # The ids are then validated against exactly the id space they are
+        # tagged with, even if the worker commits a batch mid-submit.
+        store = self.trainer.store
+        while True:
+            seq = store._commit_seq
+            if seq % 2 == 0:
+                store_version = store._version
+                n_samples = store.n_samples
+                if store._commit_seq == seq:
+                    break
+        if removed.size == 0:
+            return self._resolve_empty()
+        if removed[0] < 0 or removed[-1] >= n_samples:
             raise ValueError(
                 f"removal ids must lie in [0, {n_samples}); "
                 f"got range [{removed[0]}, {removed[-1]}]"
@@ -184,7 +252,11 @@ class DeletionServer:
         if removed.size >= n_samples:
             raise ValueError("cannot delete every training sample")
         request = _Request(
-            indices=removed, future=Future(), enqueued_at=time.perf_counter()
+            indices=removed,
+            future=Future(),
+            enqueued_at=time.perf_counter(),
+            store_version=store_version,
+            admitted_version=store_version,
         )
         # Backpressure: wait for a slot without holding any lock, so a
         # blocked submitter can never stall close() or other submitters.
@@ -208,9 +280,46 @@ class DeletionServer:
                 )
             with self._state_lock:
                 self._inflight += 1
+                self._inflight_versions[request.admitted_version] = (
+                    self._inflight_versions.get(request.admitted_version, 0)
+                    + 1
+                )
             self._stats.record_submitted()
             self._queue.put_nowait(request)
         return request.future
+
+    def _resolve_empty(self) -> Future:
+        """Answer an empty removal set inline: a no-op that joins no batch.
+
+        An empty set used to pass validation and ride a batch through
+        ``remove_many`` — wasting an admission slot and, in commit mode,
+        committing nothing while still counting as an applied request.
+        Policy ``on_empty="reject"`` turns this into a submit-time error.
+        """
+        if self.policy.on_empty == "reject":
+            raise ValueError(
+                "empty removal set (AdmissionPolicy(on_empty='resolve') "
+                "answers these with a no-op instead)"
+            )
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed DeletionServer")
+            self._stats.record_noop()
+            weights = self.trainer.weights_.copy()
+        future: Future = Future()
+        future.set_result(
+            ServedOutcome(
+                weights=weights,
+                method="noop",
+                removed=np.empty(0, dtype=np.int64),
+                seconds=0.0,
+                wait_seconds=0.0,
+                latency_seconds=0.0,
+                batch_size=0,
+                committed=False,
+            )
+        )
+        return future
 
     def submit_many(self, index_sets, **kwargs) -> list[Future]:
         """Enqueue several removal sets (one future each)."""
@@ -244,11 +353,51 @@ class DeletionServer:
             return self._inflight
 
     # -------------------------------------------------------------- worker
-    def _finish(self, count: int) -> None:
+    def _finish(self, requests: list[_Request]) -> None:
         with self._state_lock:
-            self._inflight -= count
+            self._inflight -= len(requests)
+            for request in requests:
+                version = request.admitted_version
+                remaining = self._inflight_versions.get(version, 0) - 1
+                if remaining > 0:
+                    self._inflight_versions[version] = remaining
+                else:
+                    self._inflight_versions.pop(version, None)
             if self._inflight == 0:
                 self._state_lock.notify_all()
+
+    def _remap_across_commits(self, live: list[_Request]) -> None:
+        """Translate queued requests into the current (post-commit) id space.
+
+        Entries older than every in-flight request's admitted version are
+        pruned first — in-flight, not just this batch, because a submitter
+        blocked on backpressure can hold an old version tag and enqueue
+        behind newer requests.
+        """
+        with self._state_lock:
+            oldest = min(self._inflight_versions, default=None)
+        with self._submit_lock:
+            if oldest is not None:
+                self._commit_history = [
+                    entry
+                    for entry in self._commit_history
+                    if entry[0] >= oldest
+                ]
+            history = list(self._commit_history)
+        current = self.trainer.store._version
+        for request in live:
+            ids = request.indices
+            for version_before, committed in history:
+                if version_before < request.store_version:
+                    continue
+                if committed.size == 0 or ids.size == 0:
+                    continue
+                position = np.searchsorted(committed, ids)
+                position = np.minimum(position, committed.size - 1)
+                already_removed = committed[position] == ids
+                ids = remap_surviving_ids(ids[~already_removed], committed)
+            request.indices = ids
+            request.store_version = current
 
     def _serve_loop(self) -> None:
         while True:
@@ -294,23 +443,47 @@ class DeletionServer:
 
     def _dispatch(self, batch: list[_Request]) -> None:
         # Honor cancellations that happened while the request was queued.
-        live = [r for r in batch if r.future.set_running_or_notify_cancel()]
-        if len(live) < len(batch):
-            self._stats.record_cancelled(len(batch) - len(live))
-            self._finish(len(batch) - len(live))
+        live: list[_Request] = []
+        cancelled: list[_Request] = []
+        for request in batch:
+            if request.future.set_running_or_notify_cancel():
+                live.append(request)
+            else:
+                cancelled.append(request)
+        if cancelled:
+            self._stats.record_cancelled(len(cancelled))
+            self._finish(cancelled)
         if not live:
             return
+        if self.commit_mode:
+            # Earlier batches may have committed (and re-packed the id
+            # space) while these requests sat in the queue.  Translate each
+            # request forward through the commits it missed: ids already
+            # committed drop out (those samples are gone — which is what
+            # the caller asked for), survivors shift down.  Without this, a
+            # queued id would silently denote whatever sample later moved
+            # into its slot.
+            self._remap_across_commits(live)
+        version_before = self.trainer.store._version
         dispatched_at = time.perf_counter()
         try:
             outcomes = self.trainer.remove_many(
-                [r.indices for r in live], method=self.method
+                [r.indices for r in live],
+                method=self.method,
+                commit=self.commit_mode,
             )
         except Exception as exc:  # systemic: fail every request in the batch
             for request in live:
                 request.future.set_exception(exc)
             self._stats.record_failed(len(live))
-            self._finish(len(live))
+            self._finish(live)
             return
+        if self.commit_mode:
+            union = live[0].indices
+            for request in live[1:]:
+                union = np.union1d(union, request.indices)
+            with self._submit_lock:
+                self._commit_history.append((version_before, union))
         answered_at = time.perf_counter()
         service = answered_at - dispatched_at
         waits, services, latencies = [], [], []
@@ -326,6 +499,7 @@ class DeletionServer:
                     wait_seconds=wait,
                     latency_seconds=latency,
                     batch_size=len(live),
+                    committed=self.commit_mode,
                 )
             )
             waits.append(wait)
@@ -335,4 +509,4 @@ class DeletionServer:
             services.append(service)
             latencies.append(latency)
         self._stats.record_batch(waits, services, latencies)
-        self._finish(len(live))
+        self._finish(live)

@@ -76,6 +76,12 @@ class StatsRecorder:
         with self._lock:
             self._rejected += 1
 
+    def record_noop(self) -> None:
+        """An empty submission answered inline (no batch dispatched)."""
+        with self._lock:
+            self._submitted += 1
+            self._answered += 1
+
     def record_batch(
         self,
         waits: list[float],

@@ -1,0 +1,149 @@
+"""Unit tests for removal-set normalization and store compaction internals.
+
+The end-to-end commit contracts live in ``test_commit.py``; this file pins
+the store-level pieces: input validation of
+:func:`normalize_removed_indices` (dtype rejection, no aliasing), the
+survivor remap, and the vectorized drop-and-shift rebuild of the packed
+occurrence index.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import train_with_capture
+from repro.core.provenance_store import (
+    normalize_removed_indices,
+    remap_surviving_ids,
+)
+from repro.datasets import make_regression
+from repro.models import make_schedule, objective_for
+
+
+class TestNormalizeRemovedIndices:
+    def test_float_ndarray_rejected(self):
+        # astype(int64) would silently truncate 3.7 -> 3 and delete the
+        # wrong sample.
+        with pytest.raises(TypeError, match="integer dtype"):
+            normalize_removed_indices(np.array([1.0, 3.7]))
+
+    def test_float_sequence_rejected(self):
+        with pytest.raises(TypeError, match="integers"):
+            normalize_removed_indices([1.5, 2.5])
+
+    def test_float_set_rejected(self):
+        # The set fast path used np.fromiter(..., dtype=int64), which
+        # truncated floats the other branches already rejected.
+        with pytest.raises(TypeError, match="integers"):
+            normalize_removed_indices({3.7, 1.2})
+
+    def test_bool_ndarray_rejected(self):
+        # A boolean mask is a different encoding of a removal set; casting
+        # it to ids {0, 1} would be wrong in a particularly quiet way.
+        with pytest.raises(TypeError, match="integer dtype"):
+            normalize_removed_indices(np.array([True, False, True]))
+
+    def test_empty_inputs_allowed_regardless_of_dtype(self):
+        for empty in (np.empty(0), np.empty(0, dtype=np.int64), (), set()):
+            out = normalize_removed_indices(empty)
+            assert out.size == 0 and out.dtype == np.int64
+
+    def test_sorted_fast_path_never_aliases_the_caller(self):
+        owned = np.array([1, 5, 9], dtype=np.int64)
+        out = normalize_removed_indices(owned, assume_unique=True)
+        assert not np.shares_memory(out, owned)
+        owned[0] = 77  # caller mutates their array afterwards
+        assert out[0] == 1
+
+    def test_unsorted_assume_unique_still_sorts_without_aliasing(self):
+        owned = np.array([9, 1, 5], dtype=np.int64)
+        out = normalize_removed_indices(owned, assume_unique=True)
+        assert np.array_equal(out, [1, 5, 9])
+        assert not np.shares_memory(out, owned)
+
+    def test_int32_accepted_and_widened(self):
+        out = normalize_removed_indices(np.array([4, 2, 2], dtype=np.int32))
+        assert np.array_equal(out, [2, 4])
+        assert out.dtype == np.int64
+
+    def test_generators_sets_ranges(self):
+        assert np.array_equal(
+            normalize_removed_indices(i for i in (3, 1, 3)), [1, 3]
+        )
+        assert np.array_equal(normalize_removed_indices({2, 0}), [0, 2])
+        assert np.array_equal(normalize_removed_indices(range(3)), [0, 1, 2])
+
+
+class TestRemapSurvivingIds:
+    def test_ids_shift_down_past_removals(self):
+        removed = np.array([2, 5], dtype=np.int64)
+        assert np.array_equal(
+            remap_surviving_ids(np.array([0, 3, 6]), removed), [0, 2, 4]
+        )
+
+    def test_empty_removed_is_identity_copy(self):
+        ids = np.array([1, 2, 3], dtype=np.int64)
+        out = remap_surviving_ids(ids, np.empty(0, dtype=np.int64))
+        assert np.array_equal(out, ids)
+        assert not np.shares_memory(out, ids)
+
+
+@pytest.fixture(scope="module")
+def captured():
+    data = make_regression(120, 6, noise=0.05, seed=71)
+    n = data.features.shape[0]  # train split of the 120 generated rows
+    objective = objective_for("linear", 0.1)
+    schedule = make_schedule(n, 15, 40, seed=3)
+    _, store = train_with_capture(
+        objective, data.features, data.labels, schedule, 0.02,
+        compression="none",
+    )
+    return data, store
+
+
+class TestCompactIndexRebuild:
+    def test_packed_index_matches_from_scratch_rebuild(self, captured):
+        data, store = captured
+        removed = np.array([3, 40, 41, 90], dtype=np.int64)
+        stats = store.compact(removed, data.features, data.labels)
+        patched = store.packed_index()
+        # Rebuild from the compacted records and compare row for row.
+        store._packed = None
+        rebuilt = store.packed_index()
+        assert np.array_equal(patched.samples, rebuilt.samples)
+        assert np.array_equal(patched.iterations, rebuilt.iterations)
+        assert np.array_equal(patched.positions, rebuilt.positions)
+        # Stats describe the drop in the old layout.
+        assert stats.n_samples_after == stats.n_samples_before - removed.size
+        assert stats.dropped_occurrences == stats.dropped_slots.size
+        assert stats.dropped_per_iteration.sum() == stats.dropped_occurrences
+        assert store.n_samples == stats.n_samples_after
+        assert np.array_equal(store.deletion_log, removed)
+
+    def test_schedule_is_materialized_and_consistent(self, captured):
+        data, store = captured
+        assert store.schedule.kind == "materialized"
+        for t, record in enumerate(store.records):
+            assert np.array_equal(store.schedule[t], record.batch)
+            assert record.batch.size == 0 or record.batch.max() < store.n_samples
+
+    def test_compact_rejects_out_of_range(self, captured):
+        data, store = captured
+        survivors = store.survivor_original_ids()
+        features, labels = data.features[survivors], data.labels[survivors]
+        with pytest.raises(ValueError, match="removal ids"):
+            store.compact([store.n_samples + 2], features, labels)
+
+    def test_compact_rejects_everything(self, captured):
+        data, store = captured
+        survivors = store.survivor_original_ids()
+        features, labels = data.features[survivors], data.labels[survivors]
+        with pytest.raises(ValueError, match="every training sample"):
+            store.compact(np.arange(store.n_samples), features, labels)
+
+    def test_compact_rejects_mismatched_data(self, captured):
+        data, store = captured
+        # Slicing to the survivors *before* compacting is the natural
+        # mistake — the subtracted contributions would come from the wrong
+        # rows, silently.  It must fail loudly instead.
+        with pytest.raises(ValueError, match="pre-compaction"):
+            store.compact([1], data.features[:-1], data.labels[:-1])

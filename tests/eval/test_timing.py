@@ -70,6 +70,16 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([], 0.5)
 
+    def test_rejects_nan(self):
+        # sorted() ordering is undefined with NaN: without the guard the
+        # sample silently lands wherever the sort left it and p50/p95 lie.
+        with pytest.raises(ValueError, match="finite"):
+            percentile([0.1, float("nan"), 0.3], 0.5)
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValueError, match="finite"):
+            percentile([0.1, float("inf")], 0.95)
+
 
 class TestLatencySummary:
     def test_from_samples(self):
@@ -84,6 +94,14 @@ class TestLatencySummary:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             LatencySummary.from_samples([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            LatencySummary.from_samples([0.2, float("nan")])
+
+    def test_summarize_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            summarize_latencies([float("-inf"), 0.1])
 
     def test_as_dict_roundtrips_fields(self):
         summary = LatencySummary.from_samples([1.0, 2.0])
