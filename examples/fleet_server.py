@@ -1,0 +1,149 @@
+"""Multi-model deletion serving: a registry of checkpoints behind one fleet.
+
+The deployment shape a real GDPR pipeline has: several independently
+trained models, each with its own saved checkpoint, fronted by a single
+:class:`repro.FleetServer`.  Requests name a model and an SLA lane —
+``deadline`` traffic pre-empts batching entirely, ``bulk`` clean-up rides
+the coalescing budget — and a shared bounded worker pool serves
+everything, loading checkpoints lazily and evicting compiled plans LRU
+under a memory cap.
+
+1. *Training processes* — fit three models (two logistic regions, one
+   linear) with provenance capture, persist each (`save_checkpoint`).
+2. *Serving process* — register the checkpoints in a
+   :class:`repro.ModelRegistry` (cheap metadata validation, no loading),
+   stand up a :class:`repro.FleetServer`, and drive mixed-lane traffic.
+
+Run:  python examples/fleet_server.py            # full-size demo
+      python examples/fleet_server.py --smoke    # tiny sizes (CI)
+"""
+
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    AdmissionPolicy,
+    FleetServer,
+    IncrementalTrainer,
+    ModelRegistry,
+)
+from repro.datasets import make_binary_classification, make_regression
+
+
+def train_and_checkpoint(root: Path, smoke: bool):
+    """Three 'regions', trained and checkpointed independently."""
+    n, iters = (600, 50) if smoke else (6000, 300)
+    datasets = {
+        "emea": make_binary_classification(n, 16, separation=1.1, seed=1),
+        "apac": make_binary_classification(
+            int(n * 0.8), 12, separation=1.3, seed=2
+        ),
+        "telemetry": make_regression(int(n * 0.6), 10, noise=0.05, seed=3),
+    }
+    checkpoints = {}
+    for model_id, data in datasets.items():
+        trainer = IncrementalTrainer(
+            task=data.task,
+            learning_rate=0.1 if data.task != "linear" else 0.05,
+            regularization=0.01,
+            batch_size=max(20, data.features.shape[0] // 30),
+            n_iterations=iters,
+            seed=0,
+        )
+        trainer.fit(data.features, data.labels)
+        directory = root / model_id
+        trainer.save_checkpoint(directory)
+        checkpoints[model_id] = (directory, data)
+        print(f"  {model_id:10s} checkpointed -> {directory}")
+    return checkpoints
+
+
+def main(smoke: bool = False) -> None:
+    n_requests = 24 if smoke else 96
+    root = Path(tempfile.mkdtemp(prefix="priu-fleet-"))
+
+    print("training the fleet")
+    checkpoints = train_and_checkpoint(root, smoke)
+
+    # ------------------------------------------------- serving process
+    registry = ModelRegistry(max_resident=2)  # smaller than the fleet!
+    for model_id, (directory, data) in checkpoints.items():
+        metadata = registry.register(
+            model_id,
+            checkpoint=directory,
+            features=data.features,
+            labels=data.labels,
+        )
+        print(
+            f"  registered {model_id:10s} "
+            f"({metadata.task}, n={metadata.n_samples})"
+        )
+
+    policy = AdmissionPolicy(
+        max_batch=8, max_delay_seconds=0.02, max_pending=256
+    )
+    rng = np.random.default_rng(7)
+    model_ids = list(checkpoints)
+    with FleetServer(registry, policy, n_workers=2) as fleet:
+        futures = []
+        for i in range(n_requests):
+            model_id = model_ids[int(rng.integers(len(model_ids)))]
+            n = checkpoints[model_id][1].features.shape[0]
+            ids = np.sort(
+                rng.choice(n, size=max(1, n // 150), replace=False)
+            )
+            # Every sixth request is a GDPR-style deadline request.
+            lane = "deadline" if i % 6 == 0 else "bulk"
+            futures.append(
+                (model_id, lane, fleet.submit(model_id, ids, lane=lane))
+            )
+            if i % 5 == 4:
+                time.sleep(policy.max_delay_seconds / 3)  # bursty arrivals
+        outcomes = [
+            (model_id, lane, f.result(timeout=120))
+            for model_id, lane, f in futures
+        ]
+
+        # ------------------------------------------------------ results
+        print(f"\nanswered {len(outcomes)} requests across {len(model_ids)} models")
+        for model_id in model_ids:
+            stats = fleet.stats(model_id)
+            print(
+                f"  {model_id:10s} answered={stats.answered:3d} "
+                f"batches={stats.batches:3d} "
+                f"mean batch={stats.mean_batch_size:4.1f}"
+            )
+        fleet_stats = fleet.stats()
+        for lane_name in ("deadline", "bulk"):
+            lane = fleet_stats.lane(lane_name)
+            if lane.latency is None:
+                continue
+            print(
+                f"  lane {lane_name:9s} p50={lane.latency.p50 * 1e3:7.2f} ms "
+                f"p99={lane.latency.p99 * 1e3:7.2f} ms "
+                f"({lane.answered} served)"
+            )
+        print(f"\nregistry: {registry.stats()}")
+
+    # Spot-check one answer against direct (unbatched) serving.
+    model_id, _, outcome = outcomes[0]
+    directory, data = checkpoints[model_id]
+    direct = IncrementalTrainer.from_checkpoint(
+        directory, data.features, data.labels
+    ).remove(outcome.removed)
+    print(
+        f"first request ({model_id}): |w_fleet - w_direct| = "
+        f"{np.max(np.abs(outcome.weights - direct.weights)):.2e}"
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    main(parser.parse_args().smoke)

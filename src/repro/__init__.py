@@ -13,7 +13,10 @@ Public entry points
     (checkpoint round-trip via ``save_checkpoint``/``from_checkpoint``).
 :class:`repro.DeletionServer` / :class:`repro.AdmissionPolicy`
     The serving layer: an admission-batched request queue over the
-    compiled replay engine (:mod:`repro.serving`).
+    compiled replay engine (:mod:`repro.serving`), with SLA lanes.
+:class:`repro.FleetServer` / :class:`repro.ModelRegistry`
+    The multi-model tier: many checkpoints behind one shared worker
+    pool, loaded lazily and LRU-evicted under a memory cap.
 :mod:`repro.provenance`
     The provenance-polynomial semiring and annotated-matrix algebra.
 :mod:`repro.models`
@@ -25,14 +28,23 @@ Public entry points
 """
 
 from .core.api import IncrementalTrainer, UpdateOutcome
-from .serving import AdmissionPolicy, DeletionServer
+from .serving import (
+    AdmissionPolicy,
+    DeletionServer,
+    FleetServer,
+    Lane,
+    ModelRegistry,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdmissionPolicy",
     "DeletionServer",
+    "FleetServer",
     "IncrementalTrainer",
+    "Lane",
+    "ModelRegistry",
     "UpdateOutcome",
     "__version__",
 ]

@@ -6,9 +6,10 @@ hyperparameters); :func:`prepare_workload` fits one into a
 :class:`FittedWorkload`; the ``*_rows`` producers
 (:func:`sweep_update_times`, :func:`accuracy_rows`,
 :func:`repeated_deletion_rows`, :func:`batched_deletion_rows`,
-:func:`serving_rows`, :func:`refresh_rows`, :func:`memory_row`)
-generate the rows behind each figure/table and behind
-``BENCH_batched.json`` / ``BENCH_serving.json`` / ``BENCH_refresh.json``.
+:func:`serving_rows`, :func:`fleet_rows`, :func:`refresh_rows`,
+:func:`memory_row`) generate the rows behind each figure/table and behind
+``BENCH_batched.json`` / ``BENCH_serving.json`` / ``BENCH_refresh.json``
+/ ``BENCH_fleet.json``.
 ``python -m repro.bench.run_all`` regenerates everything.
 """
 
@@ -19,6 +20,7 @@ from .runner import (
     available_methods,
     batched_deletion_rows,
     dataset_summary_rows,
+    fleet_rows,
     memory_row,
     prepare_workload,
     refresh_rows,
@@ -37,6 +39,7 @@ __all__ = [
     "available_methods",
     "batched_deletion_rows",
     "dataset_summary_rows",
+    "fleet_rows",
     "get",
     "memory_row",
     "prepare_workload",

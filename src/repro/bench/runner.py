@@ -441,6 +441,110 @@ def serving_rows(
     return rows, last["stats"].as_dict()
 
 
+def fleet_rows(
+    workloads: list[FittedWorkload],
+    n_bulk_per_model: int = 8,
+    n_deadline: int = 6,
+    deletion_rate: float = 0.001,
+    method: str = "priu",
+    seed: int = 0,
+    max_delay_seconds: float = 0.25,
+    n_workers: int = 2,
+) -> tuple[list[dict], dict]:
+    """N models × mixed-lane traffic through one :class:`FleetServer`.
+
+    The SLA acceptance bar for the fleet: with a generous bulk coalescing
+    budget (``max_delay_seconds``), bulk requests wait out their batching
+    delay while ``deadline``-lane requests pre-empt it — so the
+    deadline lane's p99 end-to-end latency must land *below* the bulk
+    lane's p50.  Bulk traffic is spread across every model; deadline
+    traffic targets the first (its queued bulk rides those batches for
+    free — the remaining models prove the coalescing delay is real).
+    Returns ``(rows, stats)`` where ``rows`` has one entry per lane and
+    ``stats`` is the fleet-wide
+    :meth:`~repro.serving.ServingStats.as_dict`.
+    """
+    from ..serving import AdmissionPolicy, FleetServer, ModelRegistry
+
+    registry = ModelRegistry()
+    model_ids = []
+    for workload in workloads:
+        registry.register(workload.config.name, trainer=workload.trainer)
+        model_ids.append(workload.config.name)
+    policy = AdmissionPolicy(
+        max_batch=max(64, n_bulk_per_model + n_deadline),
+        max_delay_seconds=max_delay_seconds,
+    )
+    by_model = {w.config.name: w for w in workloads}
+    outcomes = []
+    with FleetServer(
+        registry, policy, method=method, n_workers=n_workers
+    ) as fleet:
+        futures = []
+        # Deadline traffic first: it dispatches in small immediate batches
+        # (lane delay 0), so its measured tail is queue-jump + service —
+        # not the cost of hauling a coalesced bulk batch along.
+        urgent_subsets = random_subsets(
+            by_model[model_ids[0]].n_samples,
+            n_deadline,
+            deletion_rate,
+            seed=seed + 1000,
+        )
+        futures.extend(
+            (model_ids[0], subset, fleet.submit(model_ids[0], subset, lane="deadline"))
+            for subset in urgent_subsets
+        )
+        for offset, model_id in enumerate(model_ids):
+            subsets = random_subsets(
+                by_model[model_id].n_samples,
+                n_bulk_per_model,
+                deletion_rate,
+                seed=seed + offset,
+            )
+            futures.extend(
+                (model_id, subset, fleet.submit(model_id, subset))
+                for subset in subsets
+            )
+        outcomes = [
+            (model_id, subset, future.result(timeout=120))
+            for model_id, subset, future in futures
+        ]
+        stats = fleet.stats()
+    # Numerics: fleet answers must match direct single-request serving.
+    deviation = max(
+        float(
+            np.max(
+                np.abs(
+                    outcome.weights
+                    - by_model[model_id].trainer.remove(
+                        subset, method=method
+                    ).weights
+                )
+            )
+        )
+        for model_id, subset, outcome in outcomes[:: max(1, len(outcomes) // 6)]
+    )
+    rows = []
+    for lane_name in ("deadline", "bulk"):
+        lane = stats.lane(lane_name)
+        if lane.latency is None:
+            continue
+        rows.append(
+            {
+                "experiment": f"fleet[{len(model_ids)} models]",
+                "method": f"FleetServer {lane_name} lane",
+                "lane": lane_name,
+                "n_requests": lane.answered,
+                "wait_p50": lane.wait.p50,
+                "wait_p99": lane.wait.p99,
+                "latency_p50": lane.latency.p50,
+                "latency_p99": lane.latency.p99,
+                "max_abs_deviation": deviation,
+            }
+        )
+    return rows, stats.as_dict()
+
+
 def memory_row(workload: FittedWorkload) -> MemoryReport:
     """Table 3 row for one configuration."""
     trainer = workload.trainer

@@ -33,13 +33,16 @@ from .priu import PrIUUpdater
 from .priu_opt import PrIUOptLinearUpdater, PrIUOptLogisticUpdater
 from .provenance_store import normalize_removed_indices
 from .replay_plan import ReplayPlan
-from .serialization import load_plan, load_store, save_plan, save_store
+from .serialization import (
+    PLAN_FILENAME,
+    STORE_FILENAME,
+    load_plan,
+    load_store,
+    save_plan,
+    save_store,
+)
 
 TASKS = ("linear", "binary_logistic", "multinomial_logistic")
-
-# Canonical file names inside a checkpoint directory.
-STORE_FILENAME = "store.npz"
-PLAN_FILENAME = "plan.npz"
 
 
 @dataclass
@@ -688,3 +691,14 @@ class IncrementalTrainer:
         """Memory held by the provenance store (Table 3)."""
         self._require_fit()
         return self.store.gigabytes()
+
+    def plan_nbytes(self) -> int:
+        """Bytes held by the compiled replay plan (0 if unsupported).
+
+        This is the serving-resident footprint a
+        :class:`~repro.serving.fleet.ModelRegistry` charges a loaded model
+        against its memory cap — the store and training data are either
+        memory-mapped or owned by the caller.
+        """
+        self._require_fit()
+        return int(self._plan.nbytes()) if self._plan.supported else 0

@@ -26,6 +26,7 @@ do not understand instead of misinterpreting the layout (rules in
 from __future__ import annotations
 
 import zipfile
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -60,6 +61,11 @@ _FROZEN_FIELDS = (
     "eigenvectors",
     "eigenvalues",
 )
+
+# Canonical file names inside a checkpoint directory (written by
+# ``IncrementalTrainer.save_checkpoint``, re-exported from ``core.api``).
+STORE_FILENAME = "store.npz"
+PLAN_FILENAME = "plan.npz"
 
 
 def _pack_summary(arrays: dict, key: str, summary) -> str:
@@ -239,6 +245,88 @@ def load_store(path: str | Path) -> ProvenanceStore:
                 **fields,
             )
     return store
+
+
+# -------------------------------------------------------- checkpoint metadata
+@dataclass(frozen=True)
+class CheckpointMetadata:
+    """The cheap-to-read identity of a saved checkpoint.
+
+    Everything a :class:`~repro.serving.fleet.ModelRegistry` needs to
+    validate a registration and bound removal ids *without* paying for a
+    full :func:`load_store` — task, shapes, the live ``n_samples`` (post
+    commits), and whether a compiled plan archive sits next to the store.
+    Read via :func:`read_checkpoint_metadata`.
+    """
+
+    store_path: Path
+    plan_path: Path | None
+    format_version: int
+    task: str
+    n_samples: int
+    n_features: int
+    n_classes: int
+    n_iterations: int
+    n_original_samples: int | None
+    sparse_mode: bool
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (registry describe / fleet benchmarks)."""
+        return {
+            "store_path": str(self.store_path),
+            "plan_path": None if self.plan_path is None else str(self.plan_path),
+            "format_version": self.format_version,
+            "task": self.task,
+            "n_samples": self.n_samples,
+            "n_features": self.n_features,
+            "n_classes": self.n_classes,
+            "n_iterations": self.n_iterations,
+            "n_original_samples": self.n_original_samples,
+            "sparse_mode": self.sparse_mode,
+        }
+
+
+def read_checkpoint_metadata(path: str | Path) -> CheckpointMetadata:
+    """Read a checkpoint's ``__meta__`` block without loading its arrays.
+
+    ``path`` is a checkpoint directory (containing ``store.npz`` and
+    optionally ``plan.npz``) or a store archive itself — the same
+    addressing :meth:`~repro.core.api.IncrementalTrainer.from_checkpoint`
+    accepts.  Only the small metadata members of the zip are decompressed;
+    the record arrays stay on disk, so this is safe to call for every
+    registered model of a large fleet at startup.
+    """
+    path = Path(path)
+    if path.is_dir():
+        store_path = path / STORE_FILENAME
+        plan_candidate = path / PLAN_FILENAME
+        plan_path = plan_candidate if plan_candidate.exists() else None
+    else:
+        store_path = path
+        plan_path = None
+    if not store_path.exists():
+        raise FileNotFoundError(f"no store archive at {store_path}")
+    with np.load(store_path, allow_pickle=False) as archive:
+        meta = archive["__meta__"]
+        version = int(meta[0])
+        if version not in _SUPPORTED_VERSIONS:
+            raise ValueError(f"unsupported store format version: {version}")
+        n_original: int | None = None
+        if version >= 2:
+            raw = str(meta[11])
+            n_original = None if raw == "none" else int(raw)
+        return CheckpointMetadata(
+            store_path=store_path,
+            plan_path=plan_path,
+            format_version=version,
+            task=str(meta[1]),
+            n_samples=int(meta[4]),
+            n_features=int(meta[5]),
+            n_classes=int(meta[6]),
+            n_iterations=int(meta[10]),
+            n_original_samples=n_original,
+            sparse_mode=bool(int(meta[9])),
+        )
 
 
 # --------------------------------------------------------------- replay plans

@@ -109,6 +109,7 @@ class LatencySummary:
     mean: float
     p50: float
     p95: float
+    p99: float
     min: float
     max: float
 
@@ -122,6 +123,7 @@ class LatencySummary:
             mean=sum(values) / len(values),
             p50=_quantile_of_sorted(values, 0.50),
             p95=_quantile_of_sorted(values, 0.95),
+            p99=_quantile_of_sorted(values, 0.99),
             min=values[0],
             max=values[-1],
         )
@@ -133,6 +135,7 @@ class LatencySummary:
             "mean": self.mean,
             "p50": self.p50,
             "p95": self.p95,
+            "p99": self.p99,
             "min": self.min,
             "max": self.max,
         }

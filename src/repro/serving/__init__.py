@@ -9,27 +9,47 @@ long-lived serving process.  This package supplies that process:
   With ``commit_mode=True`` each batch is *applied* in admission order
   (store compaction + incremental plan refresh) instead of answered as a
   stateless counterfactual;
-* :class:`AdmissionPolicy` — the latency-budget / max-batch /
-  backpressure knobs governing coalescing;
+* :class:`ModelRegistry` / :class:`FleetServer` — the multi-model tier:
+  checkpoints registered by model id, loaded lazily and LRU-evicted
+  under a memory cap, served through per-model lane-aware queues by a
+  shared bounded worker pool (:mod:`repro.serving.fleet`);
+* :class:`AdmissionPolicy` / :class:`Lane` — the latency-budget /
+  max-batch / backpressure knobs governing coalescing, plus the SLA
+  lanes (a zero-delay ``deadline`` lane pre-empts coalescing; ``bulk``
+  traffic rides the batching budget);
 * :class:`ServedOutcome` — updated weights plus per-request
-  wait/service/latency timings;
-* :class:`ServingStats` — lifetime counters and latency distributions
-  (via :mod:`repro.eval.timing`);
-* :class:`BackpressureError` — raised when the bounded queue is full.
+  wait/service/latency timings and batch coordinates;
+* :class:`ServingStats` / :class:`LaneStats` — lifetime counters and
+  latency distributions, fleet-wide, per model and per lane (via
+  :mod:`repro.eval.timing`);
+* :class:`Clock` / :class:`MonotonicClock` — the injectable time source
+  every deadline decision runs on, so tests can drive the whole serving
+  layer with a fake clock and zero real sleeps;
+* :class:`BackpressureError` — raised when a bounded queue is full.
 
 Pair with :meth:`~repro.core.api.IncrementalTrainer.from_checkpoint` to
 stand a server up from a saved store + compiled plan without re-running
-capture (see ``examples/deletion_server.py``).
+capture (see ``examples/deletion_server.py`` and
+``examples/fleet_server.py``).
 """
 
-from .policy import AdmissionPolicy
+from .clock import Clock, MonotonicClock
+from .fleet import FleetServer, ModelRegistry
+from .policy import DEFAULT_LANES, AdmissionPolicy, Lane
 from .server import BackpressureError, DeletionServer, ServedOutcome
-from .stats import ServingStats, StatsRecorder
+from .stats import LaneStats, ServingStats, StatsRecorder
 
 __all__ = [
     "AdmissionPolicy",
     "BackpressureError",
+    "Clock",
+    "DEFAULT_LANES",
     "DeletionServer",
+    "FleetServer",
+    "Lane",
+    "LaneStats",
+    "ModelRegistry",
+    "MonotonicClock",
     "ServedOutcome",
     "ServingStats",
     "StatsRecorder",

@@ -1,0 +1,962 @@
+"""Multi-model serving: a checkpoint registry + a shared-pool fleet server.
+
+A real deletion-serving deployment fronts *many* trained models at once —
+every ``save_checkpoint`` directory is an independently servable unit —
+while GDPR-deadline traffic must overtake bulk clean-up sweeps.  This
+module supplies that tier:
+
+* :class:`ModelRegistry` — names checkpoints by model id, loads them
+  lazily through
+  :meth:`~repro.core.api.IncrementalTrainer.from_checkpoint` (validated
+  up front via the cheap
+  :func:`~repro.core.serialization.read_checkpoint_metadata`), and keeps
+  the *resident set* bounded: least-recently-used models are evicted once
+  the count or compiled-plan byte caps are exceeded.  Models that have
+  committed deletions ("dirty" — their on-disk checkpoint is stale) and
+  models pinned by an in-flight dispatch are never evicted.
+* :class:`FleetServer` — ``submit(model_id, ids, lane=...)`` routes
+  requests to per-model admission queues (same SLA-lane ordering and
+  coalescing budgets as :class:`~repro.serving.DeletionServer`) served by
+  a shared pool of ``n_workers`` threads.  At most one ``remove_many`` is
+  in flight per model (a batched replay already saturates the BLAS
+  threads; two per model would fight for cores, and commit mode requires
+  serialized application anyway), and ready models are picked round-robin
+  so one chatty model cannot starve the rest.  Commit mode and the update
+  method are per-model settings; stats are kept per model *and*
+  fleet-wide, each with per-lane breakdowns.
+
+All deadline math runs on the same injectable
+:class:`~repro.serving.clock.Clock` as the single-model server, so the
+whole fleet can be driven deterministically by the fake-clock test
+harness (``tests/serving/harness.py``).
+
+Typical use::
+
+    registry = ModelRegistry(max_resident=8)
+    registry.register("emea", ckpt_dir_a, features_a, labels_a)
+    registry.register("apac", ckpt_dir_b, features_b, labels_b)
+    with FleetServer(registry, AdmissionPolicy(max_batch=16)) as fleet:
+        urgent = fleet.submit("emea", ids, lane="deadline")
+        routine = fleet.submit("apac", other_ids)          # bulk lane
+        print(urgent.result().latency_seconds)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.api import IncrementalTrainer
+from ..core.provenance_store import normalize_removed_indices
+from ..core.serialization import CheckpointMetadata, read_checkpoint_metadata
+from .clock import MONOTONIC_CLOCK, Clock
+from .policy import AdmissionPolicy
+from .server import (
+    BackpressureError,
+    ServedOutcome,
+    _CommitTracker,
+    _consistent_store_snapshot,
+    _Request,
+    _serve_batch,
+    _validate_removed,
+)
+from .stats import ServingStats, StatsRecorder
+
+
+# ---------------------------------------------------------------- registry
+@dataclass
+class _ModelSpec:
+    """Everything needed to (re)load one registered model."""
+
+    model_id: str
+    checkpoint: object | None  # str | Path; None for live-trainer registrations
+    features: object
+    labels: object
+    metadata: CheckpointMetadata | None
+    load_kwargs: dict = field(default_factory=dict)
+    # Serializes concurrent loads of THIS model while the registry lock
+    # stays free for other models' submits and hits.
+    load_lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+@dataclass
+class _Resident:
+    """One loaded model plus the bookkeeping that governs its eviction."""
+
+    trainer: IncrementalTrainer
+    loaded_version: int  # store version at load; a change means commits
+    evictable: bool  # False for live-trainer registrations (nothing to reload)
+    plan_bytes: int
+
+
+class ModelRegistry:
+    """Loads and evicts servable checkpoints by model id.
+
+    Parameters
+    ----------
+    max_resident:
+        Upper bound on simultaneously loaded models (None = unbounded).
+    max_plan_bytes:
+        Upper bound on the summed compiled-plan footprint
+        (:meth:`~repro.core.api.IncrementalTrainer.plan_nbytes`) of the
+        resident set (None = unbounded).  Both caps are *soft* against
+        pinned, dirty and live-registered models: the registry never
+        evicts a model whose eviction would lose state or break an
+        in-flight dispatch, even if that leaves it over cap.
+
+    A model is **dirty** once its store version moved past the version it
+    was loaded with — i.e. deletions were committed in this process.  Its
+    on-disk checkpoint no longer describes it, so evicting and reloading
+    would silently resurrect the pre-commit model; the registry refuses,
+    and :meth:`save_dirty` (or the caller checkpointing explicitly) is the
+    way to make it evictable again.
+    """
+
+    def __init__(
+        self,
+        max_resident: int | None = None,
+        max_plan_bytes: int | None = None,
+    ) -> None:
+        if max_resident is not None and max_resident < 1:
+            raise ValueError("max_resident must be >= 1 (or None)")
+        if max_plan_bytes is not None and max_plan_bytes < 0:
+            raise ValueError("max_plan_bytes must be >= 0 (or None)")
+        self.max_resident = max_resident
+        self.max_plan_bytes = max_plan_bytes
+        self._lock = threading.RLock()
+        self._specs: dict[str, _ModelSpec] = {}
+        # Insertion order = recency: least-recently-used first.
+        self._resident: "OrderedDict[str, _Resident]" = OrderedDict()
+        self._pins: dict[str, int] = {}
+        # Checkpoint epoch: how many times save_dirty() rewrote each
+        # model's archive.  Commit-queue translation keys on it — a
+        # request validated against an epoch-e checkpoint must not be
+        # replayed through commits that checkpoint already contains.
+        self._epochs: dict[str, int] = {}
+        self._loads = 0
+        self._hits = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------- membership
+    def register(
+        self,
+        model_id: str,
+        checkpoint=None,
+        features=None,
+        labels=None,
+        trainer: IncrementalTrainer | None = None,
+        **load_kwargs,
+    ) -> CheckpointMetadata | None:
+        """Name a servable model.
+
+        Either ``checkpoint`` (a ``save_checkpoint`` directory or store
+        archive — loaded lazily, plus the ``features``/``labels`` that
+        :meth:`~repro.core.api.IncrementalTrainer.from_checkpoint` needs
+        back) or a live fitted ``trainer`` (resident immediately, never
+        evictable: there is nothing to reload it from).  Returns the
+        checkpoint's metadata (None for live registrations) after
+        validating it cheaply — a bad path or corrupt archive fails here,
+        not at first traffic.  ``load_kwargs`` are forwarded to
+        ``from_checkpoint`` (e.g. ``method=``, ``mmap=``).
+        """
+        if (checkpoint is None) == (trainer is None):
+            raise ValueError(
+                "register() needs exactly one of checkpoint= or trainer="
+            )
+        metadata = None
+        if checkpoint is not None:
+            if features is None or labels is None:
+                raise ValueError(
+                    "checkpoint registrations need features= and labels= "
+                    "(training data is never persisted in a checkpoint)"
+                )
+            metadata = read_checkpoint_metadata(checkpoint)
+        else:
+            trainer._require_fit()
+        with self._lock:
+            if model_id in self._specs:
+                raise ValueError(f"model id already registered: {model_id!r}")
+            self._specs[model_id] = _ModelSpec(
+                model_id=model_id,
+                checkpoint=checkpoint,
+                features=features,
+                labels=labels,
+                metadata=metadata,
+                load_kwargs=dict(load_kwargs),
+            )
+            self._epochs[model_id] = 0
+            if trainer is not None:
+                self._resident[model_id] = _Resident(
+                    trainer=trainer,
+                    loaded_version=trainer.store._version,
+                    evictable=False,
+                    plan_bytes=trainer.plan_nbytes(),
+                )
+                self._enforce_caps()
+        return metadata
+
+    def __contains__(self, model_id: str) -> bool:
+        with self._lock:
+            return model_id in self._specs
+
+    @property
+    def model_ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._specs)
+
+    @property
+    def resident_ids(self) -> tuple[str, ...]:
+        """Loaded models, least-recently-used first."""
+        with self._lock:
+            return tuple(self._resident)
+
+    # ------------------------------------------------------------------ load
+    def _spec(self, model_id: str) -> _ModelSpec:
+        try:
+            return self._specs[model_id]
+        except KeyError:
+            raise ValueError(
+                f"unknown model id {model_id!r} "
+                f"(registered: {sorted(self._specs)})"
+            ) from None
+
+    def get(self, model_id: str) -> IncrementalTrainer:
+        """The model's trainer, loading the checkpoint on a capacity miss.
+
+        Touches the LRU order and enforces the caps *after* loading, so
+        the model just requested is never its own eviction victim.  The
+        expensive ``from_checkpoint`` work runs *outside* the registry
+        lock (serialized per model by the spec's load latch), so a slow
+        cold-start never stalls submits or hits on other models — a
+        deadline-lane request to a resident model must not queue behind an
+        unrelated model's load.
+        """
+        with self._lock:
+            spec = self._spec(model_id)
+            entry = self._resident.get(model_id)
+            if entry is not None:
+                self._resident.move_to_end(model_id)
+                self._hits += 1
+                return entry.trainer
+        with spec.load_lock:
+            # Double-check: a concurrent getter may have finished the load
+            # while this thread waited on the latch.
+            with self._lock:
+                entry = self._resident.get(model_id)
+                if entry is not None:
+                    self._resident.move_to_end(model_id)
+                    self._hits += 1
+                    return entry.trainer
+            trainer = IncrementalTrainer.from_checkpoint(
+                spec.checkpoint,
+                spec.features,
+                spec.labels,
+                **spec.load_kwargs,
+            )
+            with self._lock:
+                self._loads += 1
+                self._resident[model_id] = _Resident(
+                    trainer=trainer,
+                    loaded_version=trainer.store._version,
+                    evictable=True,
+                    plan_bytes=trainer.plan_nbytes(),
+                )
+                self._enforce_caps(protect=model_id)
+                return trainer
+
+    def n_samples(self, model_id: str) -> int:
+        """The model's live id-space bound without forcing a load.
+
+        Resident models answer from their (possibly committed) store;
+        non-resident models from checkpoint metadata — exact, because a
+        model that committed in this process is dirty and therefore still
+        resident.
+        """
+        with self._lock:
+            spec = self._spec(model_id)
+            entry = self._resident.get(model_id)
+            if entry is not None:
+                return int(entry.trainer.store.n_samples)
+            return spec.metadata.n_samples
+
+    def resident_trainer(self, model_id: str) -> IncrementalTrainer | None:
+        """The loaded trainer if resident (no load, no LRU touch), else None."""
+        with self._lock:
+            self._spec(model_id)
+            entry = self._resident.get(model_id)
+            return None if entry is None else entry.trainer
+
+    def epoch(self, model_id: str) -> int:
+        """How many times :meth:`save_dirty` rewrote this model's checkpoint."""
+        with self._lock:
+            self._spec(model_id)
+            return self._epochs[model_id]
+
+    def submit_view(
+        self, model_id: str
+    ) -> tuple[IncrementalTrainer | None, int, int | None]:
+        """One consistent ``(resident trainer, epoch, archive n_samples)``.
+
+        What :meth:`FleetServer.submit` needs for validation and
+        commit-translation tagging, read under a single lock hold: the
+        resident trainer (or None), the checkpoint epoch, and — for the
+        non-resident case — the archive's sample count from the same
+        snapshot (None when resident: the caller reads the live count
+        through the store seqlock instead).
+        """
+        with self._lock:
+            spec = self._spec(model_id)
+            entry = self._resident.get(model_id)
+            if entry is not None:
+                return entry.trainer, self._epochs[model_id], None
+            return None, self._epochs[model_id], spec.metadata.n_samples
+
+    @contextmanager
+    def pinned(self, model_id: str):
+        """Context manager: the trainer, protected from eviction while held."""
+        with self._lock:
+            self._pins[model_id] = self._pins.get(model_id, 0) + 1
+        try:
+            yield self.get(model_id)
+        finally:
+            with self._lock:
+                remaining = self._pins.get(model_id, 0) - 1
+                if remaining > 0:
+                    self._pins[model_id] = remaining
+                else:
+                    self._pins.pop(model_id, None)
+                # A pin may have been the only thing holding the resident
+                # set over cap; settle the debt now that it is released.
+                self._enforce_caps()
+
+    # -------------------------------------------------------------- eviction
+    def _is_dirty(self, entry: _Resident) -> bool:
+        return entry.trainer.store._version != entry.loaded_version
+
+    def _evictable(self, model_id: str, entry: _Resident) -> bool:
+        return (
+            entry.evictable
+            and self._pins.get(model_id, 0) == 0
+            and not self._is_dirty(entry)
+        )
+
+    def _over_cap(self) -> bool:
+        if self.max_resident is not None and len(self._resident) > self.max_resident:
+            return True
+        if self.max_plan_bytes is not None:
+            total = sum(e.plan_bytes for e in self._resident.values())
+            if total > self.max_plan_bytes:
+                return True
+        return False
+
+    def _enforce_caps(self, protect: str | None = None) -> None:
+        """Evict LRU-first until under both caps (caller holds the lock).
+
+        ``protect`` names a model that must survive this pass — the one
+        whose load triggered it, so a cap smaller than a single plan
+        degrades to "hold exactly the requested model" instead of
+        thrashing it straight back out.
+        """
+        while self._over_cap():
+            victim = next(
+                (
+                    model_id
+                    for model_id, entry in self._resident.items()
+                    if model_id != protect
+                    and self._evictable(model_id, entry)
+                ),
+                None,
+            )
+            if victim is None:
+                return  # everything left is pinned/dirty/live: soft cap
+            del self._resident[victim]
+            self._evictions += 1
+
+    def evict(self, model_id: str) -> bool:
+        """Explicitly drop one resident model; False if held (pinned/dirty)."""
+        with self._lock:
+            self._spec(model_id)
+            entry = self._resident.get(model_id)
+            if entry is None:
+                return False
+            if not self._evictable(model_id, entry):
+                return False
+            del self._resident[model_id]
+            self._evictions += 1
+            return True
+
+    def dirty_ids(self) -> tuple[str, ...]:
+        """Models whose in-process commits outran their on-disk checkpoint."""
+        with self._lock:
+            return tuple(
+                model_id
+                for model_id, entry in self._resident.items()
+                if self._is_dirty(entry)
+            )
+
+    def save_dirty(self) -> dict[str, dict]:
+        """Re-checkpoint every dirty model in place, making it evictable again.
+
+        Only meaningful for checkpoint-backed registrations; live-trainer
+        models have nowhere to save to and are skipped, as are pinned
+        models (a pin means a dispatch — possibly a commit — is mid-flight
+        on that trainer; saving would snapshot a moving target).  Each
+        write bumps the model's checkpoint *epoch*, fencing the fleet's
+        commit-translation history: requests validated against the new
+        archive are never replayed through commits it already contains.
+        Returns ``{model_id: paths}`` for the checkpoints written.
+
+        The registry lock is held across the checkpoint writes (the
+        epoch/metadata/version updates must be atomic with them), so run
+        this from a maintenance path, not from under live submit traffic.
+        """
+        written: dict[str, dict] = {}
+        with self._lock:
+            for model_id in self.dirty_ids():
+                spec = self._specs[model_id]
+                entry = self._resident[model_id]
+                if spec.checkpoint is None:
+                    continue
+                if self._pins.get(model_id, 0) > 0:
+                    continue
+                target = Path(spec.checkpoint)
+                if not target.is_dir():
+                    target = target.parent
+                written[model_id] = entry.trainer.save_checkpoint(target)
+                spec.metadata = read_checkpoint_metadata(target)
+                entry.loaded_version = entry.trainer.store._version
+                self._epochs[model_id] += 1
+        return written
+
+    # ------------------------------------------------------------- observers
+    def describe(self, model_id: str) -> dict:
+        """One model's registration, residency and dirtiness, as plain data."""
+        with self._lock:
+            spec = self._spec(model_id)
+            entry = self._resident.get(model_id)
+            return {
+                "model_id": model_id,
+                "checkpoint": (
+                    None if spec.checkpoint is None else str(spec.checkpoint)
+                ),
+                "resident": entry is not None,
+                "dirty": entry is not None and self._is_dirty(entry),
+                "pinned": self._pins.get(model_id, 0) > 0,
+                "plan_bytes": None if entry is None else entry.plan_bytes,
+                "metadata": (
+                    None if spec.metadata is None else spec.metadata.as_dict()
+                ),
+            }
+
+    def stats(self) -> dict:
+        """Lifetime load/hit/eviction counters and the resident footprint."""
+        with self._lock:
+            return {
+                "registered": len(self._specs),
+                "resident": len(self._resident),
+                "loads": self._loads,
+                "hits": self._hits,
+                "evictions": self._evictions,
+                "resident_plan_bytes": sum(
+                    entry.plan_bytes for entry in self._resident.values()
+                ),
+                "dirty": len(self.dirty_ids()),
+            }
+
+
+# ------------------------------------------------------------------ fleet
+class _ModelQueue:
+    """One model's admission state inside the fleet (guarded by the
+    fleet's scheduler condition unless noted)."""
+
+    __slots__ = (
+        "model_id", "heap", "busy", "inflight", "slots", "tracker",
+        "stats", "batch_seq", "method", "commit_mode",
+    )
+
+    def __init__(
+        self,
+        model_id: str,
+        max_pending: int,
+        method: str | None,
+        commit_mode: bool,
+    ) -> None:
+        self.model_id = model_id
+        self.heap: list[tuple] = []
+        self.busy = False
+        self.inflight = 0
+        # Backpressure semaphore: acquired outside any lock (blocking
+        # submits must not stall the scheduler), released as requests are
+        # popped into a batch.
+        self.slots = threading.BoundedSemaphore(max_pending)
+        self.tracker = _CommitTracker()
+        self.stats = StatsRecorder()
+        self.batch_seq = itertools.count()
+        self.method = method
+        self.commit_mode = commit_mode
+
+    def earliest_deadline(self) -> float | None:
+        """When the most impatient queued request's lane budget expires."""
+        if not self.heap:
+            return None
+        return min(
+            request.enqueued_at + request.lane_delay
+            for _, _, request in self.heap
+        )
+
+    def pop_batch(self, max_batch: int) -> list[_Request]:
+        """Up to ``max_batch`` requests in (lane priority, submission) order."""
+        batch: list[_Request] = []
+        while self.heap and len(batch) < max_batch:
+            _, _, request = heapq.heappop(self.heap)
+            self.slots.release()
+            batch.append(request)
+        return batch
+
+
+class _TeeStats:
+    """Forward every recording to several :class:`StatsRecorder` sinks.
+
+    Lets one dispatch feed both the per-model recorder and the fleet-wide
+    aggregate without the batch logic knowing about the split.
+    """
+
+    def __init__(self, *sinks: StatsRecorder) -> None:
+        self._sinks = sinks
+
+    def __getattr__(self, name: str):
+        if not name.startswith("record_"):
+            raise AttributeError(name)
+        methods = [getattr(sink, name) for sink in self._sinks]
+
+        def forward(*args, **kwargs) -> None:
+            for method in methods:
+                method(*args, **kwargs)
+
+        return forward
+
+
+class FleetServer:
+    """Route deletion traffic for many models through one bounded pool.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`ModelRegistry` naming the servable models.  Models may
+        be registered before or after the fleet starts; a model's queue is
+        created at its first submission.
+    policy:
+        Shared :class:`~repro.serving.policy.AdmissionPolicy` (coalescing
+        budget, ``max_batch``, per-model ``max_pending``, SLA lanes).
+    method / commit_mode:
+        Fleet-wide defaults, overridable per model via
+        :meth:`configure_model` before that model's first submission.
+    n_workers:
+        Size of the shared dispatch pool.  Each worker serves at most one
+        model at a time and each model has at most one batch in flight, so
+        effective parallelism is ``min(n_workers, busy models)``.
+    clock:
+        Injectable time source shared with the per-model deadline math.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        policy: AdmissionPolicy | None = None,
+        method: str | None = None,
+        n_workers: int = 2,
+        commit_mode: bool = False,
+        clock: Clock | None = None,
+        autostart: bool = True,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if method not in (None, "priu", "priu-opt", "priu-seq"):
+            raise ValueError(
+                "method must be None, 'priu', 'priu-opt' or 'priu-seq'"
+            )
+        self.registry = registry
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.method = method
+        self.commit_mode = bool(commit_mode)
+        self.n_workers = n_workers
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        self._sched = threading.Condition()
+        self._queues: dict[str, _ModelQueue] = {}
+        self._overrides: dict[str, dict] = {}
+        self._rr_order: list[str] = []  # round-robin rotation of model ids
+        self._seq = itertools.count()
+        self._stats = StatsRecorder()  # fleet-wide aggregate
+        self._pending = 0
+        self._closed = False
+        self._started = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"fleet-server-{i}",
+                daemon=True,
+            )
+            for i in range(n_workers)
+        ]
+        if autostart:
+            self.start()
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> "FleetServer":
+        """Start the worker pool (idempotent)."""
+        with self._sched:
+            if not self._started:
+                self._started = True
+                for worker in self._workers:
+                    worker.start()
+        return self
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; drain every queue, then stop the pool."""
+        with self._sched:
+            already_closed = self._closed
+            self._closed = True
+            self._sched.notify_all()
+        if not already_closed:
+            # Ensure queued work drains even if the caller never start()ed.
+            self.start()
+        if wait:
+            for worker in self._workers:
+                if worker.is_alive():
+                    worker.join()
+
+    def __enter__(self) -> "FleetServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Mirror DeletionServer: drain on a clean exit, but never block
+        # while an exception is unwinding past the with-block.
+        self.close(wait=exc_type is None)
+
+    # -------------------------------------------------------- configuration
+    def configure_model(
+        self,
+        model_id: str,
+        method: str | None = None,
+        commit_mode: bool | None = None,
+    ) -> None:
+        """Per-model serving overrides; must precede the model's first submit."""
+        if method not in (None, "priu", "priu-opt", "priu-seq"):
+            raise ValueError(
+                "method must be None, 'priu', 'priu-opt' or 'priu-seq'"
+            )
+        if model_id not in self.registry:
+            raise ValueError(f"unknown model id {model_id!r}")
+        with self._sched:
+            if model_id in self._queues:
+                raise RuntimeError(
+                    f"model {model_id!r} already has traffic; configure it "
+                    "before its first submission"
+                )
+            overrides = self._overrides.setdefault(model_id, {})
+            if method is not None:
+                overrides["method"] = method
+            if commit_mode is not None:
+                overrides["commit_mode"] = bool(commit_mode)
+
+    def _queue_for(self, model_id: str) -> _ModelQueue:
+        """The model's admission queue (caller holds ``_sched``)."""
+        state = self._queues.get(model_id)
+        if state is None:
+            overrides = self._overrides.get(model_id, {})
+            state = _ModelQueue(
+                model_id,
+                max_pending=self.policy.max_pending,
+                method=overrides.get("method", self.method),
+                commit_mode=overrides.get("commit_mode", self.commit_mode),
+            )
+            self._queues[model_id] = state
+            self._rr_order.append(model_id)
+        return state
+
+    # ---------------------------------------------------------- submission
+    def submit(
+        self,
+        model_id: str,
+        indices,
+        lane: str | None = None,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> Future:
+        """Enqueue one removal set for one model; future of :class:`ServedOutcome`.
+
+        Validation is synchronous, against the model's *live* id space
+        when it is resident (consistent under concurrent commits via the
+        store seqlock) and against its checkpoint metadata otherwise —
+        exact either way, because a model with in-process commits is dirty
+        and therefore always resident.  Backpressure is per model:
+        ``block=False`` raises :class:`BackpressureError` when that
+        model's queue is at ``max_pending``.
+        """
+        lane_obj = self.policy.lane(lane)
+        removed = normalize_removed_indices(indices)
+        # Unknown model ids fail here, synchronously, before queueing.
+        trainer, epoch, archive_n = self.registry.submit_view(model_id)
+        if trainer is not None:
+            store_version, n_samples = _consistent_store_snapshot(
+                trainer.store
+            )
+            store_key = (epoch, store_version)
+        else:
+            # Not resident => no uncheckpointed commits exist (dirty
+            # models are never evicted), so the epoch's *archive* is this
+            # request's id space.  Every same-epoch commit necessarily
+            # postdates that archive (commits require residency, and the
+            # archive was written by the load/save that opened the epoch),
+            # so the tag sorts below them all: ``(epoch, -inf)`` — commits
+            # from this epoch and later apply at dispatch, commits already
+            # folded into an earlier epoch's archive never do.
+            store_key = (epoch, -math.inf)
+            n_samples = archive_n
+        if removed.size == 0:
+            return self._resolve_empty(model_id, lane_obj.name)
+        _validate_removed(removed, n_samples)
+        request = _Request(
+            indices=removed,
+            future=Future(),
+            enqueued_at=self._clock.now(),
+            lane=lane_obj.name,
+            lane_delay=self.policy.delay_for(lane_obj.name),
+            lane_priority=lane_obj.priority,
+            store_key=store_key,
+            admitted_key=store_key,
+        )
+        with self._sched:
+            state = self._queue_for(model_id)
+        # Per-model backpressure, waited out without holding the scheduler
+        # lock so a blocked submitter never stalls dispatch or close().
+        if block:
+            got_slot = state.slots.acquire(timeout=timeout)
+        else:
+            got_slot = state.slots.acquire(blocking=False)
+        if not got_slot:
+            _TeeStats(state.stats, self._stats).record_rejected(lane_obj.name)
+            raise BackpressureError(
+                f"model {model_id!r} admission queue is full "
+                f"({self.policy.max_pending} pending)"
+            )
+        with self._sched:
+            if self._closed:
+                state.slots.release()
+                raise RuntimeError("cannot submit to a closed FleetServer")
+            request.seq = next(self._seq)
+            state.tracker.note_submitted(request.admitted_key)
+            _TeeStats(state.stats, self._stats).record_submitted(
+                lane_obj.name
+            )
+            heapq.heappush(state.heap, request.entry())
+            state.inflight += 1
+            self._pending += 1
+            self._sched.notify_all()
+        return request.future
+
+    def _resolve_empty(self, model_id: str, lane: str) -> Future:
+        """Empty removal sets resolve inline, exactly like DeletionServer."""
+        if self.policy.on_empty == "reject":
+            raise ValueError(
+                "empty removal set (AdmissionPolicy(on_empty='resolve') "
+                "answers these with a no-op instead)"
+            )
+        with self._sched:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed FleetServer")
+            state = self._queue_for(model_id)
+        # A no-op must not reshuffle the resident set: answer from the
+        # loaded trainer without an LRU touch when possible, and only pay
+        # the (cached) load for a genuinely cold model.
+        trainer = self.registry.resident_trainer(model_id)
+        if trainer is not None:
+            weights = trainer.weights_.copy()
+        else:
+            with self.registry.pinned(model_id) as loaded:
+                weights = loaded.weights_.copy()
+        _TeeStats(state.stats, self._stats).record_noop(lane)
+        future: Future = Future()
+        future.set_result(
+            ServedOutcome(
+                weights=weights,
+                method="noop",
+                removed=np.empty(0, dtype=np.int64),
+                seconds=0.0,
+                wait_seconds=0.0,
+                latency_seconds=0.0,
+                batch_size=0,
+                committed=False,
+                lane=lane,
+                model_id=model_id,
+            )
+        )
+        return future
+
+    def submit_many(self, model_id: str, index_sets, **kwargs) -> list[Future]:
+        """Enqueue several removal sets for one model (one future each)."""
+        return [
+            self.submit(model_id, indices, **kwargs) for indices in index_sets
+        ]
+
+    def resolve(
+        self, model_id: str, indices, timeout: float | None = None, **kwargs
+    ) -> ServedOutcome:
+        """Blocking convenience: submit one request and wait for its answer."""
+        return self.submit(model_id, indices, **kwargs).result(timeout=timeout)
+
+    # ----------------------------------------------------------- observers
+    def flush(self, timeout: float | None = None) -> bool:
+        """Block until every submitted request has been answered or failed."""
+        with self._sched:
+            if self._pending and not self._started:
+                raise RuntimeError(
+                    "flush() would wait forever: requests are queued but the "
+                    "worker pool was never started (autostart=False)"
+                )
+            return self._sched.wait_for(lambda: self._pending == 0, timeout)
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet answered, across all models."""
+        with self._sched:
+            return self._pending
+
+    def stats(self, model_id: str | None = None) -> ServingStats:
+        """Fleet-wide counters (default) or one model's, lanes included."""
+        if model_id is None:
+            return self._stats.snapshot()
+        with self._sched:
+            state = self._queues.get(model_id)
+        if state is None:
+            if model_id not in self.registry:
+                raise ValueError(f"unknown model id {model_id!r}")
+            return StatsRecorder().snapshot()  # no traffic yet: all zeros
+        return state.stats.snapshot()
+
+    def model_stats(self) -> dict[str, ServingStats]:
+        """Per-model snapshots for every model that has seen traffic."""
+        with self._sched:
+            states = list(self._queues.values())
+        return {state.model_id: state.stats.snapshot() for state in states}
+
+    # -------------------------------------------------------------- workers
+    def _next_job(self) -> tuple[str, list[_Request]] | None:
+        """Block until some model has a dispatchable batch; None = shut down.
+
+        Fairness: models are scanned in round-robin order starting past
+        the last dispatched one, so a model with a permanently full queue
+        cannot starve the others.  A model already mid-dispatch is skipped
+        (one in-flight batch per model) and excluded from the deadline
+        computation — its completion notifies the condition.
+        """
+        with self._sched:
+            while True:
+                now = self._clock.now()
+                next_deadline: float | None = None
+                order = self._rr_order
+                n = len(order)
+                for offset in range(n):
+                    model_id = order[offset]
+                    state = self._queues[model_id]
+                    if state.busy or not state.heap:
+                        continue
+                    # One O(queue) min-scan per model per wake; reused for
+                    # both the readiness check and the sleep computation.
+                    deadline = state.earliest_deadline()
+                    ready = (
+                        self._closed
+                        or len(state.heap) >= self.policy.max_batch
+                        or (deadline is not None and now >= deadline)
+                    )
+                    if ready:
+                        batch = state.pop_batch(self.policy.max_batch)
+                        state.busy = True
+                        # Rotate: this model goes to the back of the scan.
+                        self._rr_order = order[offset + 1:] + order[: offset + 1]
+                        return model_id, batch
+                    if deadline is not None and (
+                        next_deadline is None or deadline < next_deadline
+                    ):
+                        next_deadline = deadline
+                if self._closed and all(
+                    not state.heap for state in self._queues.values()
+                ):
+                    self._sched.notify_all()  # let sibling workers exit too
+                    return None
+                wait = (
+                    None
+                    if next_deadline is None
+                    else max(0.0, next_deadline - now)
+                )
+                self._clock.wait(self._sched, wait)
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            model_id, batch = job
+            try:
+                self._dispatch(model_id, batch)
+            finally:
+                with self._sched:
+                    self._queues[model_id].busy = False
+                    self._sched.notify_all()
+
+    def _finish(self, state: _ModelQueue, requests: list[_Request]) -> None:
+        state.tracker.note_finished(requests)
+        with self._sched:
+            state.inflight -= len(requests)
+            self._pending -= len(requests)
+            self._sched.notify_all()
+
+    def _dispatch(self, model_id: str, batch: list[_Request]) -> None:
+        state = self._queues[model_id]
+        stats = _TeeStats(state.stats, self._stats)
+        live: list[_Request] = []
+        cancelled: list[_Request] = []
+        for request in batch:
+            if request.future.set_running_or_notify_cancel():
+                live.append(request)
+            else:
+                cancelled.append(request)
+        if cancelled:
+            stats.record_cancelled(len(cancelled), [r.lane for r in cancelled])
+            self._finish(state, cancelled)
+        if not live:
+            return
+        try:
+            with self.registry.pinned(model_id) as trainer:
+                # The pin also freezes the checkpoint epoch: save_dirty
+                # skips pinned models, so the key recorded for a commit is
+                # consistent with the id space the batch executed in.
+                _serve_batch(
+                    trainer,
+                    live,
+                    method=state.method,
+                    commit_mode=state.commit_mode,
+                    tracker=state.tracker,
+                    clock=self._clock,
+                    stats=stats,
+                    batch_seq=next(state.batch_seq),
+                    model_id=model_id,
+                    epoch=self.registry.epoch(model_id),
+                )
+        except Exception as exc:
+            # A checkpoint that fails to *load* fails the batch the same
+            # way a failed dispatch does — every future, never a leak.
+            failed = [r for r in live if not r.future.done()]
+            for request in failed:
+                request.future.set_exception(exc)
+            stats.record_failed(len(failed), [r.lane for r in failed])
+        self._finish(state, live)

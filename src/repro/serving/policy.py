@@ -16,11 +16,58 @@ efficiency the way serving systems do:
 With ``max_delay_seconds=0`` the server degenerates to sequential
 single-request service; with a generous delay and a large ``max_batch``
 it approaches the throughput of one ``remove_many(K)`` call.
+
+SLA lanes
+---------
+Not all deletion traffic tolerates coalescing delay equally: a GDPR
+deadline request must go out *now*, while a bulk data-cleaning sweep is
+happy to wait for a full batch.  A policy therefore carries a set of
+:class:`Lane` classes; every submission names one (default
+``default_lane``).  Lanes shape admission in two ways:
+
+* **ordering** — queued requests dispatch in ``(lane.priority,
+  submission order)`` order, so a deadline request never sits behind a
+  full bulk backlog: it is always in the *next* dispatched batch;
+* **budget** — the coalescing delay of a batch is the *minimum* of its
+  members' lane delays.  A lane with ``max_delay_seconds=0`` (the
+  default ``"deadline"`` lane) therefore forces immediate dispatch of
+  whatever batch it joins — later bulk arrivals may still ride along for
+  free, but nobody waits on their account.
+
+Within a lane, admission order is always submission order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Lane:
+    """One SLA class of deletion traffic.
+
+    ``max_delay_seconds=None`` inherits the policy's default coalescing
+    budget; ``0.0`` means "dispatch the batch I join immediately".
+    Lower ``priority`` values dispatch first.
+    """
+
+    name: str
+    max_delay_seconds: float | None = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("lane name must be non-empty")
+        if self.max_delay_seconds is not None and self.max_delay_seconds < 0.0:
+            raise ValueError("lane max_delay_seconds must be >= 0 (or None)")
+
+
+#: The default SLA classes: ``deadline`` pre-empts coalescing entirely
+#: (GDPR-style traffic), ``bulk`` inherits the policy's delay budget.
+DEFAULT_LANES = (
+    Lane("deadline", max_delay_seconds=0.0, priority=0),
+    Lane("bulk", max_delay_seconds=None, priority=10),
+)
 
 
 @dataclass(frozen=True)
@@ -33,12 +80,21 @@ class AdmissionPolicy:
     queue slot — while ``"reject"`` raises ``ValueError`` at submit time.
     Empty sets must never reach a batch: they used to dilute the admission
     cap and, in commit mode, would count as a (vacuous) committed request.
+
+    ``lanes`` / ``default_lane`` configure the SLA classes (module
+    docstring).  The stock policy ships a zero-delay ``"deadline"`` lane
+    and a ``"bulk"`` lane inheriting ``max_delay_seconds``; submissions
+    that don't name a lane ride in ``default_lane``.
     """
 
     max_batch: int = 16
     max_delay_seconds: float = 0.02
     max_pending: int = 1024
     on_empty: str = "resolve"
+    lanes: tuple[Lane, ...] = DEFAULT_LANES
+    default_lane: str = "bulk"
+    # Derived name -> Lane map (not part of the public constructor).
+    _lane_map: dict = field(init=False, repr=False, compare=False, default=None)
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -49,14 +105,64 @@ class AdmissionPolicy:
             raise ValueError("max_pending must be >= 1")
         if self.on_empty not in ("resolve", "reject"):
             raise ValueError("on_empty must be 'resolve' or 'reject'")
+        if not self.lanes:
+            raise ValueError("at least one lane is required")
+        lane_map = {}
+        for lane in self.lanes:
+            if not isinstance(lane, Lane):
+                raise TypeError(f"lanes must be Lane instances, got {lane!r}")
+            if lane.name in lane_map:
+                raise ValueError(f"duplicate lane name: {lane.name!r}")
+            lane_map[lane.name] = lane
+        if self.default_lane not in lane_map:
+            raise ValueError(
+                f"default_lane {self.default_lane!r} is not a configured lane "
+                f"(have: {sorted(lane_map)})"
+            )
+        object.__setattr__(self, "_lane_map", lane_map)
 
-    def remaining_budget(self, oldest_wait: float) -> float:
-        """Seconds the current batch may still wait for more arrivals."""
-        return max(0.0, self.max_delay_seconds - oldest_wait)
+    # ---------------------------------------------------------------- lanes
+    @property
+    def lane_names(self) -> tuple[str, ...]:
+        """Configured lane names, in declaration order."""
+        return tuple(lane.name for lane in self.lanes)
 
-    def should_dispatch(self, n_collected: int, oldest_wait: float) -> bool:
+    def lane(self, name: str | None) -> Lane:
+        """Resolve a lane by name (``None`` -> the default lane)."""
+        if name is None:
+            name = self.default_lane
+        try:
+            return self._lane_map[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown lane {name!r} (have: {sorted(self._lane_map)})"
+            ) from None
+
+    def delay_for(self, name: str | None) -> float:
+        """The coalescing budget of one lane (``None`` delay -> policy default)."""
+        lane = self.lane(name)
+        if lane.max_delay_seconds is None:
+            return self.max_delay_seconds
+        return lane.max_delay_seconds
+
+    # ------------------------------------------------------------- dispatch
+    def remaining_budget(
+        self, oldest_wait: float, delay: float | None = None
+    ) -> float:
+        """Seconds the current batch may still wait for more arrivals.
+
+        ``delay`` is the batch's effective coalescing budget — the minimum
+        of its members' lane delays; ``None`` falls back to the policy
+        default (the single-lane behaviour).
+        """
+        if delay is None:
+            delay = self.max_delay_seconds
+        return max(0.0, delay - oldest_wait)
+
+    def should_dispatch(
+        self, n_collected: int, oldest_wait: float, delay: float | None = None
+    ) -> bool:
         """True once the batch is full or its oldest request is out of budget."""
-        return (
-            n_collected >= self.max_batch
-            or oldest_wait >= self.max_delay_seconds
-        )
+        if delay is None:
+            delay = self.max_delay_seconds
+        return n_collected >= self.max_batch or oldest_wait >= delay

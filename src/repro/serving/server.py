@@ -10,6 +10,12 @@ max-batch-size), dispatches each batch through one ``remove_many`` call,
 and resolves every future with a :class:`ServedOutcome` carrying the
 updated weights plus that request's queueing/service timings.
 
+Requests carry an SLA *lane* (:class:`~repro.serving.policy.Lane`):
+queued requests dispatch in ``(lane priority, submission order)`` order
+and a batch's coalescing budget is the minimum of its members' lane
+delays, so a zero-delay ``deadline`` request is always in the next batch
+out the door and never waits on another lane's coalescing delay.
+
 Backpressure is a bounded queue: once ``max_pending`` requests wait,
 further submissions raise :class:`BackpressureError` (or block, caller's
 choice) instead of growing memory without bound.  Request validation
@@ -24,6 +30,11 @@ so admitted requests are applied cumulatively in admission order and
 the trainer's store, compiled plan and baseline weights adopt the
 post-batch state (see ``docs/architecture.md``, "The commit path").
 
+All deadline math runs on an injectable monotonic
+:class:`~repro.serving.clock.Clock`; tests drive the server with a fake
+clock (``tests/serving/harness.py``) so timing assertions are exact and
+nothing sleeps.  Several servers can share one clock.
+
 Typical use::
 
     with DeletionServer(trainer, AdmissionPolicy(max_batch=32)) as server:
@@ -32,14 +43,17 @@ Typical use::
 
 The server is deliberately single-worker: one batched replay already
 saturates the BLAS threads, so a second concurrent ``remove_many`` would
-fight it for cores rather than add throughput.
+fight it for cores rather than add throughput.  To front *several*
+models with a shared (bounded) pool, see
+:class:`~repro.serving.fleet.FleetServer`.
 """
 
 from __future__ import annotations
 
+import itertools
+import math
 import queue
 import threading
-import time
 from concurrent.futures import Future
 from dataclasses import dataclass
 
@@ -49,6 +63,7 @@ from ..core.provenance_store import (
     normalize_removed_indices,
     remap_surviving_ids,
 )
+from .clock import MONOTONIC_CLOCK, Clock
 from .policy import AdmissionPolicy
 from .stats import ServingStats, StatsRecorder
 
@@ -66,7 +81,10 @@ class ServedOutcome:
     ``seconds`` is the request's amortized share of its batch's
     ``remove_many`` wall-clock (matching
     :class:`~repro.core.api.UpdateOutcome`); ``latency_seconds`` is what
-    the caller actually experienced, enqueue to answer.
+    the caller actually experienced, enqueue to answer.  ``batch_seq`` /
+    ``batch_rank`` locate the request in its server's dispatch history
+    (batch number, position within the batch, both 0-based in admission
+    order) — the stress harness uses them to prove ordering invariants.
     """
 
     weights: np.ndarray
@@ -79,6 +97,10 @@ class ServedOutcome:
     # True when the server runs in commit mode and this answer's removals
     # (plus everything admitted before it) are now folded into the model.
     committed: bool = False
+    lane: str | None = None
+    model_id: str | None = None
+    batch_seq: int = -1
+    batch_rank: int = -1
 
 
 @dataclass
@@ -86,13 +108,201 @@ class _Request:
     indices: np.ndarray
     future: Future
     enqueued_at: float
-    # Commit mode: the store version whose id space the submitted ids are
-    # expressed in — requests are translated forward through every commit
-    # with version_before >= this value at dispatch time.  ``store_version``
-    # advances as the request is remapped; ``admitted_version`` stays fixed
-    # for in-flight accounting (commit-history pruning).
-    store_version: int = -1
-    admitted_version: int = -1
+    lane: str
+    lane_delay: float
+    lane_priority: int
+    seq: int = -1
+    # Commit mode: the id space the submitted ids are expressed in, as a
+    # ``(checkpoint epoch, store version)`` pair ordered lexicographically
+    # — requests are translated forward through every commit recorded at a
+    # key >= this one at dispatch time.  The epoch counts checkpoint
+    # rewrites (``ModelRegistry.save_dirty``): a request validated against
+    # a freshly written checkpoint must *not* be replayed through commits
+    # that checkpoint already contains, even though store version numbers
+    # restart when the model reloads.  Single-model servers never rewrite
+    # a checkpoint mid-flight, so their epoch is always 0 and the pair
+    # degenerates to the plain version comparison.  ``store_key`` advances
+    # as the request is remapped; ``admitted_key`` stays fixed for
+    # in-flight accounting (commit-history pruning).
+    store_key: tuple = (0, -1)
+    admitted_key: tuple = (0, -1)
+
+    def entry(self) -> tuple:
+        """Priority-queue entry: lanes first, submission order within."""
+        return (self.lane_priority, self.seq, self)
+
+
+def _consistent_store_snapshot(store) -> tuple[int, int]:
+    """A consistent ``(version, n_samples)`` pair via the commit seqlock.
+
+    Odd means a ``compact()`` is mutating mid-read, and a seq change
+    across the reads means one completed — retry either way.
+    """
+    while True:
+        seq = store._commit_seq
+        if seq % 2 == 0:
+            version = store._version
+            n_samples = store.n_samples
+            if store._commit_seq == seq:
+                return version, n_samples
+
+
+def _validate_removed(removed: np.ndarray, n_samples: int) -> None:
+    """Submit-time bounds checks (``removed`` is normalized, sorted)."""
+    if removed[0] < 0 or removed[-1] >= n_samples:
+        raise ValueError(
+            f"removal ids must lie in [0, {n_samples}); "
+            f"got range [{removed[0]}, {removed[-1]}]"
+        )
+    if removed.size >= n_samples:
+        raise ValueError("cannot delete every training sample")
+
+
+class _CommitTracker:
+    """Commit-mode id-space bookkeeping for one trainer.
+
+    Keeps one ``(key_before, removed union)`` entry per committed batch —
+    the key a ``(checkpoint epoch, store version)`` pair, the union in
+    the id space the batch executed in.  A queued request tagged with
+    store key k is remapped through every entry with key_before >= k
+    before dispatch, so an id always denotes the sample the submitter
+    saw, not whatever later shifted into that slot.  A request tagged
+    ``(epoch, inf)`` was validated against the checkpoint written at that
+    epoch, which already contains every same-epoch commit — only commits
+    from *later* epochs apply.  Entries older than every in-flight
+    request's admitted key are pruned at dispatch — in-flight, not just
+    this batch, because a submitter can block on backpressure and enqueue
+    late.
+
+    Shared by :class:`DeletionServer` (one instance) and
+    :class:`~repro.serving.fleet.FleetServer` (one per model).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._history: list[tuple[tuple, np.ndarray]] = []
+        self._inflight_keys: dict[tuple, int] = {}
+
+    def note_submitted(self, key: tuple) -> None:
+        with self._lock:
+            self._inflight_keys[key] = self._inflight_keys.get(key, 0) + 1
+
+    def note_finished(self, requests: list[_Request]) -> None:
+        with self._lock:
+            for request in requests:
+                key = request.admitted_key
+                remaining = self._inflight_keys.get(key, 0) - 1
+                if remaining > 0:
+                    self._inflight_keys[key] = remaining
+                else:
+                    self._inflight_keys.pop(key, None)
+
+    def note_committed(self, key_before: tuple, union: np.ndarray) -> None:
+        with self._lock:
+            self._history.append((key_before, union))
+
+    def remap(self, live: list[_Request], current_key: tuple) -> None:
+        """Translate queued requests into the current (post-commit) id space."""
+        with self._lock:
+            oldest = min(self._inflight_keys, default=None)
+            if oldest is not None:
+                self._history = [
+                    entry for entry in self._history if entry[0] >= oldest
+                ]
+            history = list(self._history)
+        for request in live:
+            ids = request.indices
+            for key_before, committed in history:
+                if key_before < request.store_key:
+                    continue
+                if committed.size == 0 or ids.size == 0:
+                    continue
+                position = np.searchsorted(committed, ids)
+                position = np.minimum(position, committed.size - 1)
+                already_removed = committed[position] == ids
+                ids = remap_surviving_ids(ids[~already_removed], committed)
+            request.indices = ids
+            request.store_key = current_key
+
+
+def _serve_batch(
+    trainer,
+    live: list[_Request],
+    *,
+    method: str | None,
+    commit_mode: bool,
+    tracker: _CommitTracker,
+    clock: Clock,
+    stats: StatsRecorder,
+    batch_seq: int,
+    model_id: str | None = None,
+    epoch: int = 0,
+) -> None:
+    """Run one admitted batch through ``remove_many`` and resolve its futures.
+
+    ``live`` holds only requests whose futures are already in the running
+    state (cancellation handled by the caller); every future is resolved
+    exactly once — with a :class:`ServedOutcome` on success, with the
+    dispatch exception on failure.  The caller performs its own in-flight
+    accounting after this returns.  ``epoch`` is the trainer's checkpoint
+    epoch (see :class:`_Request`); single-model servers pass 0.
+    """
+    if commit_mode:
+        # Earlier batches may have committed (and re-packed the id space)
+        # while these requests sat in the queue.  Translate each request
+        # forward through the commits it missed: ids already committed
+        # drop out (those samples are gone — which is what the caller
+        # asked for), survivors shift down.  Without this, a queued id
+        # would silently denote whatever sample later moved into its slot.
+        tracker.remap(live, (epoch, trainer.store._version))
+    key_before = (epoch, trainer.store._version)
+    lanes = [request.lane for request in live]
+    dispatched_at = clock.now()
+    try:
+        outcomes = trainer.remove_many(
+            [r.indices for r in live],
+            method=method,
+            commit=commit_mode,
+        )
+    except Exception as exc:  # systemic: fail every request in the batch
+        for request in live:
+            request.future.set_exception(exc)
+        stats.record_failed(len(live), lanes)
+        return
+    if commit_mode:
+        union = live[0].indices
+        for request in live[1:]:
+            union = np.union1d(union, request.indices)
+        tracker.note_committed(key_before, union)
+    answered_at = clock.now()
+    service = answered_at - dispatched_at
+    waits, services, latencies = [], [], []
+    for rank, (request, outcome) in enumerate(zip(live, outcomes)):
+        wait = dispatched_at - request.enqueued_at
+        latency = answered_at - request.enqueued_at
+        request.future.set_result(
+            ServedOutcome(
+                weights=outcome.weights,
+                method=outcome.method,
+                removed=outcome.removed,
+                seconds=outcome.seconds,
+                wait_seconds=wait,
+                latency_seconds=latency,
+                batch_size=len(live),
+                committed=commit_mode,
+                lane=request.lane,
+                model_id=model_id,
+                batch_seq=batch_seq,
+                batch_rank=rank,
+            )
+        )
+        waits.append(wait)
+        # Stats record the batch's actual dispatch->answer wall-clock
+        # (the same for every member); the per-request *amortized*
+        # share lives on ServedOutcome.seconds.
+        services.append(service)
+        latencies.append(latency)
+    stats.record_batch(waits, services, latencies, lanes)
 
 
 class DeletionServer:
@@ -105,7 +315,7 @@ class DeletionServer:
         :meth:`~repro.core.api.IncrementalTrainer.fit` or
         :meth:`~repro.core.api.IncrementalTrainer.from_checkpoint`).
     policy:
-        Coalescing/backpressure knobs; defaults to
+        Coalescing/backpressure/lane knobs; defaults to
         :class:`~repro.serving.policy.AdmissionPolicy()`.
     method:
         Forwarded to ``remove_many`` (``None`` = the trainer's default,
@@ -130,6 +340,10 @@ class DeletionServer:
 removed`` reports the translated set, in the id space its batch executed
         in.  The trainer must not be queried concurrently from outside
         the server while commits are in flight.
+    clock:
+        The :class:`~repro.serving.clock.Clock` all deadline math and
+        latency measurement runs on.  Defaults to real monotonic time;
+        tests inject a fake.
     """
 
     def __init__(
@@ -139,6 +353,7 @@ removed`` reports the translated set, in the id space its batch executed
         method: str | None = None,
         autostart: bool = True,
         commit_mode: bool = False,
+        clock: Clock | None = None,
     ) -> None:
         trainer._require_fit()
         if method not in (None, "priu", "priu-opt", "priu-seq"):
@@ -149,29 +364,27 @@ removed`` reports the translated set, in the id space its batch executed
         self.policy = policy if policy is not None else AdmissionPolicy()
         self.method = method
         self.commit_mode = bool(commit_mode)
-        # One (version_before, removed union) entry per committed batch,
-        # the union in the id space the batch executed in.  A queued
-        # request tagged with store version v is remapped through every
-        # entry with version_before >= v before dispatch, so an id always
-        # denotes the sample the submitter saw, not whatever later shifted
-        # into that slot.  Entries older than every in-flight request's
-        # admitted version are pruned at dispatch (tracked in
-        # ``_inflight_versions`` — queue order alone is not enough, since a
-        # submitter can block on backpressure and enqueue late).
-        self._commit_history: list[tuple[int, np.ndarray]] = []
-        self._inflight_versions: dict[int, int] = {}
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        self._tracker = _CommitTracker()
+        # Lane-priority admission: entries are (lane priority, submission
+        # seq, request), so queued deadline traffic always pops before
+        # queued bulk traffic while order *within* a lane stays FIFO.  The
+        # shutdown sentinel carries +inf priority — it sorts behind every
+        # request, preserving drain-then-stop semantics.
+        self._queue: queue.PriorityQueue = queue.PriorityQueue()
+        self._seq = itertools.count()
+        self._batch_seq = itertools.count()
         # Capacity is enforced by the semaphore, not the queue: submitters
         # block on a slot *outside* any lock, the enqueue itself is always
         # non-blocking, and close() can always append its sentinel.  The
         # worker releases a slot for every request it takes off the queue.
-        self._queue: queue.Queue = queue.Queue()
         self._slots = threading.BoundedSemaphore(self.policy.max_pending)
         self._stats = StatsRecorder()
         self._state_lock = threading.Condition()
         # Serializes enqueueing against shutdown: every accepted request is
         # enqueued while holding this lock, and close() flips _closed under
-        # it before appending the sentinel — so the sentinel is provably
-        # the last item and no request can slip in behind it and hang.
+        # it before appending the sentinel — so no request can be admitted
+        # after the sentinel and hang undrained.
         self._submit_lock = threading.Lock()
         self._inflight = 0
         self._closed = False
@@ -202,7 +415,7 @@ removed`` reports the translated set, in the id space its batch executed
             return
         # Ensure queued work drains even if the caller never start()ed.
         self.start()
-        self._queue.put(_SHUTDOWN)
+        self._queue.put((math.inf, math.inf, _SHUTDOWN))
         if wait:
             self._worker.join()
 
@@ -218,45 +431,40 @@ removed`` reports the translated set, in the id space its batch executed
 
     # ---------------------------------------------------------- submission
     def submit(
-        self, indices, block: bool = True, timeout: float | None = None
+        self,
+        indices,
+        block: bool = True,
+        timeout: float | None = None,
+        lane: str | None = None,
     ) -> Future:
         """Enqueue one removal set; returns a future of :class:`ServedOutcome`.
 
-        Validation (bounds, not-everything) happens here, synchronously, so
-        a bad request raises in its caller instead of failing a batch.
-        When the queue is at ``max_pending``: ``block=True`` waits (up to
-        ``timeout``), ``block=False`` raises :class:`BackpressureError`
-        immediately.
+        Validation (bounds, not-everything, lane name) happens here,
+        synchronously, so a bad request raises in its caller instead of
+        failing a batch.  ``lane`` names one of the policy's SLA classes
+        (default: ``policy.default_lane``).  When the queue is at
+        ``max_pending``: ``block=True`` waits (up to ``timeout``),
+        ``block=False`` raises :class:`BackpressureError` immediately.
         """
+        lane_obj = self.policy.lane(lane)
         removed = normalize_removed_indices(indices)
-        # Consistent (version, n_samples) snapshot via the store's commit
-        # seqlock: odd means a compact() is mutating mid-read, and a seq
-        # change across the reads means one completed — retry either way.
-        # The ids are then validated against exactly the id space they are
+        # The ids are validated against exactly the id space they are
         # tagged with, even if the worker commits a batch mid-submit.
-        store = self.trainer.store
-        while True:
-            seq = store._commit_seq
-            if seq % 2 == 0:
-                store_version = store._version
-                n_samples = store.n_samples
-                if store._commit_seq == seq:
-                    break
+        store_version, n_samples = _consistent_store_snapshot(
+            self.trainer.store
+        )
         if removed.size == 0:
-            return self._resolve_empty()
-        if removed[0] < 0 or removed[-1] >= n_samples:
-            raise ValueError(
-                f"removal ids must lie in [0, {n_samples}); "
-                f"got range [{removed[0]}, {removed[-1]}]"
-            )
-        if removed.size >= n_samples:
-            raise ValueError("cannot delete every training sample")
+            return self._resolve_empty(lane_obj.name)
+        _validate_removed(removed, n_samples)
         request = _Request(
             indices=removed,
             future=Future(),
-            enqueued_at=time.perf_counter(),
-            store_version=store_version,
-            admitted_version=store_version,
+            enqueued_at=self._clock.now(),
+            lane=lane_obj.name,
+            lane_delay=self.policy.delay_for(lane_obj.name),
+            lane_priority=lane_obj.priority,
+            store_key=(0, store_version),
+            admitted_key=(0, store_version),
         )
         # Backpressure: wait for a slot without holding any lock, so a
         # blocked submitter can never stall close() or other submitters.
@@ -265,12 +473,12 @@ removed`` reports the translated set, in the id space its batch executed
         else:
             got_slot = self._slots.acquire(blocking=False)
         if not got_slot:
-            self._stats.record_rejected()
+            self._stats.record_rejected(lane_obj.name)
             raise BackpressureError(
                 f"admission queue is full ({self.policy.max_pending} pending)"
             )
         # The check-then-enqueue must be atomic w.r.t. close(), else a
-        # request could land behind the shutdown sentinel and never
+        # request could be admitted after the shutdown sentinel and never
         # resolve.  Nothing inside this lock blocks.
         with self._submit_lock:
             if self._closed:
@@ -280,15 +488,13 @@ removed`` reports the translated set, in the id space its batch executed
                 )
             with self._state_lock:
                 self._inflight += 1
-                self._inflight_versions[request.admitted_version] = (
-                    self._inflight_versions.get(request.admitted_version, 0)
-                    + 1
-                )
-            self._stats.record_submitted()
-            self._queue.put_nowait(request)
+            self._tracker.note_submitted(request.admitted_key)
+            self._stats.record_submitted(lane_obj.name)
+            request.seq = next(self._seq)
+            self._queue.put_nowait(request.entry())
         return request.future
 
-    def _resolve_empty(self) -> Future:
+    def _resolve_empty(self, lane: str) -> Future:
         """Answer an empty removal set inline: a no-op that joins no batch.
 
         An empty set used to pass validation and ride a batch through
@@ -304,7 +510,7 @@ removed`` reports the translated set, in the id space its batch executed
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed DeletionServer")
-            self._stats.record_noop()
+            self._stats.record_noop(lane)
             weights = self.trainer.weights_.copy()
         future: Future = Future()
         future.set_result(
@@ -317,6 +523,7 @@ removed`` reports the translated set, in the id space its batch executed
                 latency_seconds=0.0,
                 batch_size=0,
                 committed=False,
+                lane=lane,
             )
         )
         return future
@@ -325,9 +532,9 @@ removed`` reports the translated set, in the id space its batch executed
         """Enqueue several removal sets (one future each)."""
         return [self.submit(indices, **kwargs) for indices in index_sets]
 
-    def resolve(self, indices, timeout: float | None = None) -> ServedOutcome:
+    def resolve(self, indices, timeout: float | None = None, **kwargs) -> ServedOutcome:
         """Blocking convenience: submit one request and wait for its answer."""
-        return self.submit(indices).result(timeout=timeout)
+        return self.submit(indices, **kwargs).result(timeout=timeout)
 
     # ----------------------------------------------------------- observers
     def flush(self, timeout: float | None = None) -> bool:
@@ -354,54 +561,15 @@ removed`` reports the translated set, in the id space its batch executed
 
     # -------------------------------------------------------------- worker
     def _finish(self, requests: list[_Request]) -> None:
+        self._tracker.note_finished(requests)
         with self._state_lock:
             self._inflight -= len(requests)
-            for request in requests:
-                version = request.admitted_version
-                remaining = self._inflight_versions.get(version, 0) - 1
-                if remaining > 0:
-                    self._inflight_versions[version] = remaining
-                else:
-                    self._inflight_versions.pop(version, None)
             if self._inflight == 0:
                 self._state_lock.notify_all()
 
-    def _remap_across_commits(self, live: list[_Request]) -> None:
-        """Translate queued requests into the current (post-commit) id space.
-
-        Entries older than every in-flight request's admitted version are
-        pruned first — in-flight, not just this batch, because a submitter
-        blocked on backpressure can hold an old version tag and enqueue
-        behind newer requests.
-        """
-        with self._state_lock:
-            oldest = min(self._inflight_versions, default=None)
-        with self._submit_lock:
-            if oldest is not None:
-                self._commit_history = [
-                    entry
-                    for entry in self._commit_history
-                    if entry[0] >= oldest
-                ]
-            history = list(self._commit_history)
-        current = self.trainer.store._version
-        for request in live:
-            ids = request.indices
-            for version_before, committed in history:
-                if version_before < request.store_version:
-                    continue
-                if committed.size == 0 or ids.size == 0:
-                    continue
-                position = np.searchsorted(committed, ids)
-                position = np.minimum(position, committed.size - 1)
-                already_removed = committed[position] == ids
-                ids = remap_surviving_ids(ids[~already_removed], committed)
-            request.indices = ids
-            request.store_version = current
-
     def _serve_loop(self) -> None:
         while True:
-            item = self._queue.get()
+            _, _, item = self._queue.get()
             if item is _SHUTDOWN:
                 break
             self._slots.release()
@@ -412,15 +580,25 @@ removed`` reports the translated set, in the id space its batch executed
                 break
 
     def _collect(self, first: _Request) -> tuple[list[_Request], bool]:
-        """Coalesce queued requests behind ``first`` under the policy."""
+        """Coalesce queued requests behind ``first`` under the policy.
+
+        The batch's coalescing budget is the *minimum* of its members'
+        lane delays against its *oldest* member's wait — so a zero-delay
+        (deadline-lane) request forces immediate dispatch of whatever
+        batch it joins, and nobody's latency budget is silently blown by
+        a later, more patient arrival.
+        """
         batch = [first]
+        batch_delay = first.lane_delay
+        oldest_enqueue = first.enqueued_at
         while True:
-            oldest_wait = time.perf_counter() - first.enqueued_at
-            if self.policy.should_dispatch(len(batch), oldest_wait):
+            oldest_wait = self._clock.now() - oldest_enqueue
+            if self.policy.should_dispatch(len(batch), oldest_wait, batch_delay):
                 break
             try:
-                item = self._queue.get(
-                    timeout=self.policy.remaining_budget(oldest_wait)
+                _, _, item = self._clock.get(
+                    self._queue,
+                    self.policy.remaining_budget(oldest_wait, batch_delay),
                 )
             except queue.Empty:
                 break
@@ -428,11 +606,13 @@ removed`` reports the translated set, in the id space its batch executed
                 return batch, True
             self._slots.release()
             batch.append(item)
+            batch_delay = min(batch_delay, item.lane_delay)
+            oldest_enqueue = min(oldest_enqueue, item.enqueued_at)
         # Budget spent (or batch full): still sweep up whatever is already
         # sitting in the queue, up to the cap — free batching, no waiting.
         while len(batch) < self.policy.max_batch:
             try:
-                item = self._queue.get_nowait()
+                _, _, item = self._queue.get_nowait()
             except queue.Empty:
                 break
             if item is _SHUTDOWN:
@@ -451,62 +631,20 @@ removed`` reports the translated set, in the id space its batch executed
             else:
                 cancelled.append(request)
         if cancelled:
-            self._stats.record_cancelled(len(cancelled))
+            self._stats.record_cancelled(
+                len(cancelled), [r.lane for r in cancelled]
+            )
             self._finish(cancelled)
         if not live:
             return
-        if self.commit_mode:
-            # Earlier batches may have committed (and re-packed the id
-            # space) while these requests sat in the queue.  Translate each
-            # request forward through the commits it missed: ids already
-            # committed drop out (those samples are gone — which is what
-            # the caller asked for), survivors shift down.  Without this, a
-            # queued id would silently denote whatever sample later moved
-            # into its slot.
-            self._remap_across_commits(live)
-        version_before = self.trainer.store._version
-        dispatched_at = time.perf_counter()
-        try:
-            outcomes = self.trainer.remove_many(
-                [r.indices for r in live],
-                method=self.method,
-                commit=self.commit_mode,
-            )
-        except Exception as exc:  # systemic: fail every request in the batch
-            for request in live:
-                request.future.set_exception(exc)
-            self._stats.record_failed(len(live))
-            self._finish(live)
-            return
-        if self.commit_mode:
-            union = live[0].indices
-            for request in live[1:]:
-                union = np.union1d(union, request.indices)
-            with self._submit_lock:
-                self._commit_history.append((version_before, union))
-        answered_at = time.perf_counter()
-        service = answered_at - dispatched_at
-        waits, services, latencies = [], [], []
-        for request, outcome in zip(live, outcomes):
-            wait = dispatched_at - request.enqueued_at
-            latency = answered_at - request.enqueued_at
-            request.future.set_result(
-                ServedOutcome(
-                    weights=outcome.weights,
-                    method=outcome.method,
-                    removed=outcome.removed,
-                    seconds=outcome.seconds,
-                    wait_seconds=wait,
-                    latency_seconds=latency,
-                    batch_size=len(live),
-                    committed=self.commit_mode,
-                )
-            )
-            waits.append(wait)
-            # Stats record the batch's actual dispatch->answer wall-clock
-            # (the same for every member); the per-request *amortized*
-            # share lives on ServedOutcome.seconds.
-            services.append(service)
-            latencies.append(latency)
-        self._stats.record_batch(waits, services, latencies)
+        _serve_batch(
+            self.trainer,
+            live,
+            method=self.method,
+            commit_mode=self.commit_mode,
+            tracker=self._tracker,
+            clock=self._clock,
+            stats=self._stats,
+            batch_seq=next(self._batch_seq),
+        )
         self._finish(live)

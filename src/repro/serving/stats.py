@@ -6,14 +6,54 @@ share, and end-to-end latency — which are aggregated through
 :class:`StatsRecorder` is the thread-safe accumulator the server's worker
 and submitter threads write into; :meth:`StatsRecorder.snapshot` freezes a
 consistent :class:`ServingStats` view at any moment.
+
+Counts are *conserved*: every submission ends in exactly one of
+``answered``, ``failed`` or ``cancelled`` (or is still ``pending``), and
+``rejected`` counts submissions that never entered the queue at all
+(backpressure).  The same accounting is kept per SLA lane
+(:class:`LaneStats`), so a ``deadline``-lane p99 can be read off directly.
+Snapshots are isolated: mutating the recorder after
+:meth:`~StatsRecorder.snapshot` never changes an already-taken snapshot.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..eval.timing import LatencySummary, summarize_latencies
+
+
+@dataclass
+class LaneStats:
+    """One SLA lane's share of a server's lifetime counters and timings."""
+
+    submitted: int
+    answered: int
+    failed: int
+    cancelled: int
+    rejected: int
+    wait: LatencySummary | None  # enqueue -> dispatch
+    service: LatencySummary | None  # dispatch -> answer
+    latency: LatencySummary | None  # enqueue -> answer (end to end)
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet answered, failed or cancelled."""
+        return self.submitted - self.answered - self.failed - self.cancelled
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (for BENCH_fleet.json and friends)."""
+        return {
+            "submitted": self.submitted,
+            "answered": self.answered,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+            "wait": None if self.wait is None else self.wait.as_dict(),
+            "service": None if self.service is None else self.service.as_dict(),
+            "latency": None if self.latency is None else self.latency.as_dict(),
+        }
 
 
 @dataclass
@@ -30,11 +70,18 @@ class ServingStats:
     wait: LatencySummary | None  # enqueue -> dispatch
     service: LatencySummary | None  # dispatch -> answer
     latency: LatencySummary | None  # enqueue -> answer (end to end)
+    lanes: dict[str, LaneStats] = field(default_factory=dict)
 
     @property
     def pending(self) -> int:
         """Requests submitted but not yet answered, failed or cancelled."""
         return self.submitted - self.answered - self.failed - self.cancelled
+
+    def lane(self, name: str) -> LaneStats:
+        """One lane's accounting (a zeroed LaneStats if it saw no traffic)."""
+        if name in self.lanes:
+            return self.lanes[name]
+        return LaneStats(0, 0, 0, 0, 0, None, None, None)
 
     def as_dict(self) -> dict:
         """JSON-serializable form (for BENCH_serving.json and friends)."""
@@ -49,11 +96,49 @@ class ServingStats:
             "wait": None if self.wait is None else self.wait.as_dict(),
             "service": None if self.service is None else self.service.as_dict(),
             "latency": None if self.latency is None else self.latency.as_dict(),
+            "lanes": {
+                name: lane.as_dict() for name, lane in sorted(self.lanes.items())
+            },
         }
 
 
+class _LaneAccumulator:
+    """Mutable per-lane tallies inside a recorder (guarded by its lock)."""
+
+    __slots__ = (
+        "submitted", "answered", "failed", "cancelled", "rejected",
+        "waits", "services", "latencies",
+    )
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.answered = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.rejected = 0
+        self.waits: list[float] = []
+        self.services: list[float] = []
+        self.latencies: list[float] = []
+
+    def snapshot(self) -> LaneStats:
+        return LaneStats(
+            submitted=self.submitted,
+            answered=self.answered,
+            failed=self.failed,
+            cancelled=self.cancelled,
+            rejected=self.rejected,
+            wait=summarize_latencies(self.waits),
+            service=summarize_latencies(self.services),
+            latency=summarize_latencies(self.latencies),
+        )
+
+
 class StatsRecorder:
-    """Thread-safe accumulator behind :meth:`DeletionServer.stats`."""
+    """Thread-safe accumulator behind :meth:`DeletionServer.stats`.
+
+    Every ``record_*`` method takes the request's lane name (``None`` for
+    unlaned callers: only the aggregate counters move).
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -67,28 +152,51 @@ class StatsRecorder:
         self._waits: list[float] = []
         self._services: list[float] = []
         self._latencies: list[float] = []
+        self._lanes: dict[str, _LaneAccumulator] = {}
 
-    def record_submitted(self) -> None:
+    def _lane(self, lane: str | None) -> _LaneAccumulator | None:
+        """Resolve the per-lane accumulator (caller holds the lock)."""
+        if lane is None:
+            return None
+        accumulator = self._lanes.get(lane)
+        if accumulator is None:
+            accumulator = self._lanes[lane] = _LaneAccumulator()
+        return accumulator
+
+    def record_submitted(self, lane: str | None = None) -> None:
         with self._lock:
             self._submitted += 1
+            accumulator = self._lane(lane)
+            if accumulator is not None:
+                accumulator.submitted += 1
 
-    def record_rejected(self) -> None:
+    def record_rejected(self, lane: str | None = None) -> None:
         with self._lock:
             self._rejected += 1
+            accumulator = self._lane(lane)
+            if accumulator is not None:
+                accumulator.rejected += 1
 
-    def record_noop(self) -> None:
+    def record_noop(self, lane: str | None = None) -> None:
         """An empty submission answered inline (no batch dispatched)."""
         with self._lock:
             self._submitted += 1
             self._answered += 1
+            accumulator = self._lane(lane)
+            if accumulator is not None:
+                accumulator.submitted += 1
+                accumulator.answered += 1
 
     def record_batch(
         self,
         waits: list[float],
         services: list[float],
         latencies: list[float],
+        lanes: list[str | None] | None = None,
     ) -> None:
         """One dispatched batch's per-request samples (parallel lists)."""
+        if lanes is None:
+            lanes = [None] * len(waits)
         with self._lock:
             self._batches += 1
             self._batch_sizes.append(len(waits))
@@ -96,14 +204,35 @@ class StatsRecorder:
             self._waits.extend(waits)
             self._services.extend(services)
             self._latencies.extend(latencies)
+            for lane, wait, service, latency in zip(
+                lanes, waits, services, latencies
+            ):
+                accumulator = self._lane(lane)
+                if accumulator is not None:
+                    accumulator.answered += 1
+                    accumulator.waits.append(wait)
+                    accumulator.services.append(service)
+                    accumulator.latencies.append(latency)
 
-    def record_failed(self, count: int) -> None:
+    def record_failed(
+        self, count: int, lanes: list[str | None] | None = None
+    ) -> None:
         with self._lock:
             self._failed += count
+            for lane in lanes or ():
+                accumulator = self._lane(lane)
+                if accumulator is not None:
+                    accumulator.failed += 1
 
-    def record_cancelled(self, count: int) -> None:
+    def record_cancelled(
+        self, count: int, lanes: list[str | None] | None = None
+    ) -> None:
         with self._lock:
             self._cancelled += count
+            for lane in lanes or ():
+                accumulator = self._lane(lane)
+                if accumulator is not None:
+                    accumulator.cancelled += 1
 
     def snapshot(self) -> ServingStats:
         with self._lock:
@@ -121,4 +250,8 @@ class StatsRecorder:
                 wait=summarize_latencies(self._waits),
                 service=summarize_latencies(self._services),
                 latency=summarize_latencies(self._latencies),
+                lanes={
+                    name: accumulator.snapshot()
+                    for name, accumulator in self._lanes.items()
+                },
             )

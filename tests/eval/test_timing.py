@@ -89,7 +89,13 @@ class TestLatencySummary:
         assert summary.min == pytest.approx(0.1)
         assert summary.max == pytest.approx(0.4)
         assert summary.p50 == pytest.approx(0.25)
-        assert summary.min <= summary.p50 <= summary.p95 <= summary.max
+        assert (
+            summary.min
+            <= summary.p50
+            <= summary.p95
+            <= summary.p99
+            <= summary.max
+        )
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
@@ -107,7 +113,9 @@ class TestLatencySummary:
         summary = LatencySummary.from_samples([1.0, 2.0])
         payload = summary.as_dict()
         assert payload["count"] == 2
-        assert set(payload) == {"count", "mean", "p50", "p95", "min", "max"}
+        assert set(payload) == {
+            "count", "mean", "p50", "p95", "p99", "min", "max",
+        }
 
     def test_summarize_empty_is_none(self):
         assert summarize_latencies([]) is None

@@ -1,0 +1,404 @@
+"""Deterministic-clock test harness for the serving layer.
+
+Two tools live here, both built on the serving layer's injectable
+:class:`repro.serving.Clock`:
+
+* :class:`FakeClock` — monotonic time that only moves when the test moves
+  it.  In ``auto_advance`` mode (the default) any timed wait consumes its
+  budget *instantly*: a coalescing worker that would sleep 20 ms of
+  wall-clock instead advances fake time by 20 ms and dispatches at once,
+  so whole serving runs finish in microseconds and every latency figure
+  is exact, not ``>=``-fuzzy.  In manual mode (``auto_advance=False``)
+  timed waits genuinely park until the test calls :meth:`advance` — the
+  way to freeze a worker mid-coalesce and inject a deadline-lane request
+  into its open batch.  A real-time safety valve (default 5 s) keeps a
+  forgotten ``advance()`` from hanging the suite.
+
+* :class:`StressDriver` — a seeded random interleaver for
+  :class:`repro.serving.FleetServer`: submits across models and lanes,
+  advances the clock, flushes, cancels, snapshots stats, then closes and
+  checks the serving invariants (every future resolves exactly once;
+  admission order within a lane; committed id-space consistency; stats
+  conservation).  On any violation it raises with the seed and the full
+  operation trace, so a failure replays with
+  ``StressDriver(..., seed=<printed seed>)``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving import BackpressureError, FleetServer
+from repro.serving.clock import Clock
+
+
+class FakeClock(Clock):
+    """A test-controlled monotonic clock (module docstring)."""
+
+    def __init__(
+        self,
+        start: float = 0.0,
+        auto_advance: bool = True,
+        real_timeout: float = 5.0,
+    ) -> None:
+        self._now = float(start)
+        self._auto = bool(auto_advance)
+        self._valve = float(real_timeout)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- control
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new now()."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time to an absolute instant (no-op if already past it)."""
+        with self._lock:
+            self._now = max(self._now, float(timestamp))
+            return self._now
+
+    # ----------------------------------------------------------- Clock API
+    def get(self, q: queue.Queue, timeout: float):
+        deadline = self.now() + timeout
+        if self._auto:
+            try:
+                return q.get_nowait()
+            except queue.Empty:
+                # The budget elapses in zero wall time: whoever was going
+                # to coalesce has nothing more to wait for.
+                self.advance_to(deadline)
+                raise
+        valve_end = time.monotonic() + self._valve
+        while True:
+            try:
+                return q.get_nowait()
+            except queue.Empty:
+                pass
+            if self.now() >= deadline - 1e-12:
+                raise queue.Empty
+            if time.monotonic() >= valve_end:
+                # Safety valve: a test stopped advancing time while a
+                # worker waits.  Pretend the budget elapsed rather than
+                # hanging the suite.
+                self.advance_to(deadline)
+                raise queue.Empty
+            time.sleep(0.0005)
+
+    def wait(self, condition: threading.Condition, timeout: float | None) -> bool:
+        if timeout is None:
+            # Idle (deadline-free) waiting is real even under a fake
+            # clock: it ends on notify, not on the passage of time.
+            return condition.wait(self._valve)
+        if self._auto:
+            self.advance(timeout)
+            # Briefly yield the condition's lock so submitters/notifiers
+            # interleave the way a real timed wait would let them.
+            condition.wait(0.0)
+            return False
+        valve_end = time.monotonic() + self._valve
+        target = self.now() + timeout
+        while self.now() < target:
+            if condition.wait(0.001):
+                return True
+            if time.monotonic() >= valve_end:
+                self.advance_to(target)
+                return False
+        return False
+
+
+# ------------------------------------------------------------------ driver
+@dataclass
+class _Submitted:
+    """One submitted request and everything needed to judge its outcome."""
+
+    op_index: int
+    model_id: str
+    lane: str
+    ids: np.ndarray
+    future: object
+    submit_order: int  # per (model, lane) submission counter
+
+
+@dataclass
+class StressReport:
+    """What a stress run did, for assertions beyond the built-in invariants."""
+
+    seed: int
+    trace: list[str]
+    submitted: list[_Submitted]
+    rejected: int = 0
+    cancelled_by_driver: int = 0
+    flushes: int = 0
+    empty_submits: int = 0
+
+    def served(self) -> list[_Submitted]:
+        return [
+            s
+            for s in self.submitted
+            if not s.future.cancelled() and s.future.exception() is None
+        ]
+
+
+class InvariantViolation(AssertionError):
+    """An invariant failed; the message carries the seed and the op trace."""
+
+
+class StressDriver:
+    """Seeded random interleaving of fleet operations (module docstring).
+
+    Parameters
+    ----------
+    fleet:
+        A started :class:`~repro.serving.FleetServer`.
+    model_ids:
+        Models to spread traffic over (must be registered).
+    commit_models:
+        Subset of ``model_ids`` the fleet serves in commit mode — the
+        driver keeps a conservative live-id bound for them so every
+        generated removal set stays valid no matter how batches land.
+    lanes:
+        Lane names to draw from.
+    seed:
+        The reproduction handle; printed on every violation.
+    clock:
+        The fleet's :class:`FakeClock` (advanced as one of the random
+        operations); pass None when driving a real clock.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetServer,
+        model_ids: list[str],
+        n_samples: dict[str, int],
+        commit_models: set[str] = frozenset(),
+        lanes: tuple[str, ...] = ("bulk", "deadline"),
+        seed: int = 0,
+        clock: FakeClock | None = None,
+        max_ids_per_request: int = 4,
+    ) -> None:
+        self.fleet = fleet
+        self.model_ids = list(model_ids)
+        self.lanes = tuple(lanes)
+        self.seed = seed
+        self.clock = clock
+        self.rng = np.random.default_rng(seed)
+        self.max_ids = max_ids_per_request
+        self.commit_models = set(commit_models)
+        # Conservative per-model live bound: every id ever submitted for a
+        # commit model *may* end up committed, so drawing below
+        # initial_n - total_submitted is always valid in any id space the
+        # request is eventually translated into.
+        self._bound = dict(n_samples)
+        self._initial_n = dict(n_samples)
+        self._order: dict[tuple[str, str], int] = {}
+        self.report = StressReport(seed=seed, trace=[], submitted=[])
+
+    # ------------------------------------------------------------- running
+    def _trace(self, message: str) -> None:
+        self.report.trace.append(f"[op {len(self.report.trace):4d}] {message}")
+
+    def _pick_submit(self, op_index: int) -> None:
+        model_id = self.model_ids[self.rng.integers(len(self.model_ids))]
+        lane = self.lanes[self.rng.integers(len(self.lanes))]
+        bound = self._bound[model_id]
+        if bound <= self.max_ids + 1:
+            self._trace(f"skip submit {model_id}: id space exhausted")
+            return
+        k = int(self.rng.integers(1, self.max_ids + 1))
+        ids = np.sort(
+            self.rng.choice(bound, size=k, replace=False)
+        ).astype(np.int64)
+        try:
+            future = self.fleet.submit(model_id, ids, lane=lane, block=False)
+        except BackpressureError:
+            self.report.rejected += 1
+            self._trace(f"submit {model_id}/{lane} {ids.tolist()} -> REJECTED")
+            return
+        order_key = (model_id, lane)
+        order = self._order.get(order_key, 0)
+        self._order[order_key] = order + 1
+        if model_id in self.commit_models:
+            self._bound[model_id] -= k
+        self.report.submitted.append(
+            _Submitted(
+                op_index=op_index,
+                model_id=model_id,
+                lane=lane,
+                ids=ids,
+                future=future,
+                submit_order=order,
+            )
+        )
+        self._trace(f"submit {model_id}/{lane} {ids.tolist()}")
+
+    def run(self, n_ops: int) -> StressReport:
+        """Execute ``n_ops`` random operations, close the fleet, check."""
+        for op_index in range(n_ops):
+            roll = self.rng.random()
+            if roll < 0.70:
+                self._pick_submit(op_index)
+            elif roll < 0.82 and self.clock is not None:
+                dt = float(self.rng.uniform(0.001, 0.05))
+                self.clock.advance(dt)
+                self._trace(f"advance {dt * 1e3:.1f} ms")
+            elif roll < 0.88:
+                self.fleet.flush(timeout=30)
+                self.report.flushes += 1
+                self._trace("flush")
+            elif roll < 0.93 and self.report.submitted:
+                victim = self.report.submitted[
+                    self.rng.integers(len(self.report.submitted))
+                ]
+                if victim.future.cancel():
+                    self.report.cancelled_by_driver += 1
+                    self._trace(
+                        f"cancel {victim.model_id}/{victim.lane} "
+                        f"(op {victim.op_index}) -> cancelled"
+                    )
+                else:
+                    self._trace(
+                        f"cancel (op {victim.op_index}) -> too late"
+                    )
+            else:
+                model_id = self.model_ids[
+                    self.rng.integers(len(self.model_ids))
+                ]
+                stats = self.fleet.stats(model_id)
+                self._trace(
+                    f"stats {model_id}: submitted={stats.submitted} "
+                    f"answered={stats.answered}"
+                )
+                self._check(
+                    stats.pending >= 0,
+                    f"mid-run negative pending for {model_id}",
+                )
+        self.fleet.close(wait=True)
+        self._trace("close")
+        self.check_invariants()
+        return self.report
+
+    # ---------------------------------------------------------- invariants
+    def _check(self, condition: bool, message: str) -> None:
+        if not condition:
+            raise InvariantViolation(
+                f"{message}\n  seed: {self.seed}\n  trace:\n    "
+                + "\n    ".join(self.report.trace)
+            )
+
+    def check_invariants(self) -> None:
+        """The four serving invariants, post-close (module docstring)."""
+        # I1 — every future resolves exactly once (done + exactly one of
+        # cancelled / exception / result; Future enforces at-most-once,
+        # the harness enforces at-least-once, i.e. nothing leaked).
+        for submitted in self.report.submitted:
+            future = submitted.future
+            self._check(
+                future.done(),
+                f"unresolved future: op {submitted.op_index} "
+                f"{submitted.model_id}/{submitted.lane}",
+            )
+            if not future.cancelled() and future.exception() is None:
+                outcome = future.result()
+                self._check(
+                    outcome.model_id == submitted.model_id
+                    and outcome.lane == submitted.lane,
+                    f"outcome mislabeled: op {submitted.op_index} got "
+                    f"{outcome.model_id}/{outcome.lane}",
+                )
+
+        # I2 — admission order respected within a lane: for each (model,
+        # lane), dispatch coordinates (batch_seq, batch_rank) are strictly
+        # increasing in submission order.
+        by_lane: dict[tuple[str, str], list[_Submitted]] = {}
+        for submitted in self.report.served():
+            by_lane.setdefault(
+                (submitted.model_id, submitted.lane), []
+            ).append(submitted)
+        for (model_id, lane), members in by_lane.items():
+            members.sort(key=lambda s: s.submit_order)
+            coords = [
+                (s.future.result().batch_seq, s.future.result().batch_rank)
+                for s in members
+            ]
+            self._check(
+                coords == sorted(coords) and len(set(coords)) == len(coords),
+                f"admission order violated in {model_id}/{lane}: {coords}",
+            )
+
+        # I3 — stats conserve request counts, per model and fleet-wide,
+        # and the lane split sums back to the aggregate.
+        totals = {"submitted": 0, "answered": 0, "failed": 0, "cancelled": 0}
+        for model_id in self.model_ids:
+            stats = self.fleet.stats(model_id)
+            self._check(
+                stats.pending == 0,
+                f"{model_id}: pending != 0 after close ({stats.pending})",
+            )
+            self._check(
+                stats.submitted
+                == stats.answered + stats.failed + stats.cancelled,
+                f"{model_id}: counts not conserved ({stats.as_dict()})",
+            )
+            lane_sum = {key: 0 for key in totals}
+            for lane_stats in stats.lanes.values():
+                lane_sum["submitted"] += lane_stats.submitted
+                lane_sum["answered"] += lane_stats.answered
+                lane_sum["failed"] += lane_stats.failed
+                lane_sum["cancelled"] += lane_stats.cancelled
+            for key, value in lane_sum.items():
+                self._check(
+                    value == getattr(stats, key),
+                    f"{model_id}: lane {key} sum {value} != "
+                    f"aggregate {getattr(stats, key)}",
+                )
+            for key in totals:
+                totals[key] += getattr(stats, key)
+        fleet_stats = self.fleet.stats()
+        for key, value in totals.items():
+            self._check(
+                value == getattr(fleet_stats, key),
+                f"fleet {key} {getattr(fleet_stats, key)} != "
+                f"model sum {value}",
+            )
+        self._check(
+            fleet_stats.rejected == self.report.rejected,
+            f"fleet rejected {fleet_stats.rejected} != driver-observed "
+            f"{self.report.rejected}",
+        )
+
+        # I4 — committed id-space consistency: each commit model's
+        # deletion log is duplicate-free, in-bounds, and exactly accounts
+        # for the shrink of its id space.
+        for model_id in self.commit_models:
+            trainer = self.fleet.registry.resident_trainer(model_id)
+            if trainer is None:  # no commit ever dispatched -> may be cold
+                continue
+            log = trainer.deletion_log
+            self._check(
+                np.unique(log).size == log.size,
+                f"{model_id}: duplicate original ids in deletion log",
+            )
+            initial = self._initial_n[model_id]
+            self._check(
+                trainer.n_samples == initial - log.size,
+                f"{model_id}: n_samples {trainer.n_samples} != "
+                f"{initial} - {log.size}",
+            )
+            if log.size:
+                self._check(
+                    0 <= int(log.min()) and int(log.max()) < initial,
+                    f"{model_id}: deletion log out of original bounds",
+                )

@@ -1,0 +1,273 @@
+"""Seeded stress + contract tests for the serving fleet (ISSUE 4).
+
+Two layers:
+
+* **Contract** — for every model in a deterministic mixed-traffic run,
+  each request's answer must be *bit-identical* to serving that model's
+  request subsequence (same order, same lanes, same policy) through a
+  dedicated single-model :class:`DeletionServer`; and deadline-lane
+  requests must never wait on another lane's coalescing delay.  Proved
+  under the :class:`harness.FakeClock` — no real sleeps anywhere here.
+
+* **Stress** — :class:`harness.StressDriver` interleaves ≥200 randomized
+  submits / clock advances / flushes / cancels / stats snapshots across
+  3 models × 2 lanes (one model in commit mode) under 5 fixed seeds, then
+  closes and checks the serving invariants.  A violation raises with the
+  seed and the full operation trace, so any failure replays exactly.
+"""
+
+import numpy as np
+import pytest
+
+from harness import FakeClock, StressDriver
+from repro import (
+    AdmissionPolicy,
+    DeletionServer,
+    FleetServer,
+    IncrementalTrainer,
+    ModelRegistry,
+)
+from repro.datasets import make_binary_classification, make_regression
+
+_BINARY = make_binary_classification(400, 10, separation=1.0, seed=21)
+_BINARY_B = make_binary_classification(320, 8, separation=1.2, seed=22)
+_LINEAR = make_regression(360, 6, noise=0.05, seed=23)
+
+
+def fit_model(kind: str) -> IncrementalTrainer:
+    """Deterministic fits: two calls with the same kind are bit-identical."""
+    if kind == "binary":
+        trainer = IncrementalTrainer(
+            "binary_logistic",
+            learning_rate=0.1,
+            regularization=0.01,
+            batch_size=40,
+            n_iterations=50,
+            seed=0,
+            method="priu",
+        )
+        trainer.fit(_BINARY.features, _BINARY.labels)
+    elif kind == "binary-b":
+        trainer = IncrementalTrainer(
+            "binary_logistic",
+            learning_rate=0.08,
+            regularization=0.02,
+            batch_size=32,
+            n_iterations=45,
+            seed=2,
+            method="priu",
+        )
+        trainer.fit(_BINARY_B.features, _BINARY_B.labels)
+    elif kind == "linear":
+        trainer = IncrementalTrainer(
+            "linear",
+            learning_rate=0.05,
+            regularization=0.01,
+            batch_size=36,
+            n_iterations=40,
+            seed=1,
+            method="priu",
+        )
+        trainer.fit(_LINEAR.features, _LINEAR.labels)
+    else:  # pragma: no cover - test bug
+        raise ValueError(kind)
+    return trainer
+
+
+# ----------------------------------------------------------------- contract
+class TestFleetContract:
+    """The ISSUE 4 acceptance bar, deterministic under the fake clock."""
+
+    def test_mixed_traffic_is_bit_identical_to_dedicated_servers(self):
+        kinds = {"m-bin": "binary", "m-lin": "linear", "m-commit": "binary-b"}
+        trainers = {mid: fit_model(kind) for mid, kind in kinds.items()}
+        registry = ModelRegistry()
+        for model_id, trainer in trainers.items():
+            registry.register(model_id, trainer=trainer)
+        policy = AdmissionPolicy(max_batch=4, max_delay_seconds=0.02)
+        clock = FakeClock()
+        fleet = FleetServer(
+            registry,
+            policy,
+            method="priu",
+            n_workers=1,
+            clock=clock,
+            autostart=False,
+        )
+        fleet.configure_model("m-commit", commit_mode=True)
+
+        # Mixed traffic: seeded, spread over models and lanes, all
+        # submitted before start so batch formation is deterministic.
+        rng = np.random.default_rng(17)
+        model_ids = list(kinds)
+        per_model: dict[str, list] = {mid: [] for mid in model_ids}
+        bound = {mid: trainers[mid].n_samples for mid in model_ids}
+        for _ in range(48):
+            model_id = model_ids[rng.integers(len(model_ids))]
+            lane = "deadline" if rng.random() < 0.3 else "bulk"
+            k = int(rng.integers(1, 4))
+            if bound[model_id] <= k + 1:
+                continue
+            ids = np.sort(
+                rng.choice(bound[model_id], size=k, replace=False)
+            ).astype(np.int64)
+            if model_id == "m-commit":
+                bound[model_id] -= k  # conservative post-commit bound
+            future = fleet.submit(model_id, ids, lane=lane)
+            per_model[model_id].append((ids, lane, future))
+        fleet.start()
+        assert fleet.flush(timeout=30)
+        fleet.close()
+
+        for model_id, submissions in per_model.items():
+            assert len(submissions) >= 8  # the traffic really was mixed
+            # Dedicated single-model server fed the same subsequence, in
+            # the same order, under the same policy and its own fake clock.
+            if model_id == "m-commit":
+                reference_trainer = fit_model(kinds[model_id])
+            else:
+                reference_trainer = trainers[model_id]  # stateless: reuse
+            reference = DeletionServer(
+                reference_trainer,
+                policy,
+                method="priu",
+                commit_mode=(model_id == "m-commit"),
+                autostart=False,
+                clock=FakeClock(),
+            )
+            reference_futures = [
+                reference.submit(ids, lane=lane)
+                for ids, lane, _ in submissions
+            ]
+            reference.start()
+            assert reference.flush(timeout=30)
+            reference.close()
+            for (ids, lane, fleet_future), reference_future in zip(
+                submissions, reference_futures
+            ):
+                fleet_outcome = fleet_future.result(timeout=30)
+                reference_outcome = reference_future.result(timeout=30)
+                # Bit-identical, not merely allclose.
+                assert np.array_equal(
+                    fleet_outcome.weights, reference_outcome.weights
+                ), f"{model_id}: served weights diverge for {ids}"
+                assert np.array_equal(
+                    fleet_outcome.removed, reference_outcome.removed
+                )
+                # Deadline-lane requests never wait on another lane's
+                # coalescing delay.
+                if lane == "deadline":
+                    assert fleet_outcome.wait_seconds == 0.0
+        # And the committed model's final state matches its reference.
+        assert np.array_equal(
+            trainers["m-commit"].weights_, reference_trainer.weights_
+        )
+        assert np.array_equal(
+            trainers["m-commit"].deletion_log, reference_trainer.deletion_log
+        )
+
+    def test_deadline_p99_zero_bulk_waits_budget_under_fake_clock(self):
+        """Lane SLAs read straight off the per-lane stats: deadline wait
+        is exactly zero, lone-bulk waits are exactly the budget."""
+        trainer = fit_model("binary")
+        registry = ModelRegistry()
+        registry.register("m", trainer=trainer)
+        clock = FakeClock()
+        policy = AdmissionPolicy(max_batch=16, max_delay_seconds=0.03)
+        fleet = FleetServer(
+            registry, policy, n_workers=1, clock=clock, autostart=False
+        )
+        fleet.submit("m", [1, 2], lane="bulk")
+        fleet.start()
+        assert fleet.flush(timeout=30)  # lone bulk: waits out the budget
+        fleet.submit("m", [3], lane="deadline")
+        assert fleet.flush(timeout=30)  # lone deadline: zero wait
+        fleet.close()
+        lanes = fleet.stats("m").lanes
+        assert lanes["bulk"].wait.p99 == 0.03
+        assert lanes["deadline"].wait.p99 == 0.0
+        assert lanes["deadline"].latency.p99 < lanes["bulk"].latency.p50
+
+
+# ------------------------------------------------------------------- stress
+STRESS_SEEDS = (101, 202, 303, 404, 505)
+
+
+@pytest.mark.parametrize("seed", STRESS_SEEDS)
+def test_stress_randomized_interleaving(seed):
+    """≥200 randomized ops across 3 models × 2 lanes, invariants checked.
+
+    One model runs in commit mode (freshly fitted per seed — commits
+    mutate it); the other two serve stateless counterfactuals and are
+    double-checked against direct ``remove`` calls afterwards.
+    """
+    trainers = {
+        "stress-bin": fit_model("binary"),
+        "stress-lin": fit_model("linear"),
+        "stress-commit": fit_model("binary-b"),
+    }
+    registry = ModelRegistry()
+    for model_id, trainer in trainers.items():
+        registry.register(model_id, trainer=trainer)
+    clock = FakeClock()
+    fleet = FleetServer(
+        registry,
+        AdmissionPolicy(max_batch=4, max_delay_seconds=0.02, max_pending=8),
+        method="priu",
+        n_workers=2,
+        clock=clock,
+        autostart=False,
+    )
+    fleet.configure_model("stress-commit", commit_mode=True)
+    fleet.start()
+    driver = StressDriver(
+        fleet,
+        model_ids=list(trainers),
+        n_samples={mid: t.n_samples for mid, t in trainers.items()},
+        commit_models={"stress-commit"},
+        lanes=("bulk", "deadline"),
+        seed=seed,
+        clock=clock,
+    )
+    report = driver.run(n_ops=220)
+
+    # The run must genuinely exercise the surface the invariants protect.
+    assert len(report.submitted) >= 100
+    touched_models = {s.model_id for s in report.submitted}
+    touched_lanes = {s.lane for s in report.submitted}
+    assert touched_models == set(trainers)
+    assert touched_lanes == {"bulk", "deadline"}
+
+    # Answers of the stateless models match direct single-request serving.
+    for submitted in report.served():
+        if submitted.model_id == "stress-commit":
+            continue
+        outcome = submitted.future.result()
+        expected = trainers[submitted.model_id].remove(
+            submitted.ids, method="priu"
+        )
+        np.testing.assert_allclose(
+            outcome.weights, expected.weights, atol=1e-10, rtol=0.0,
+            err_msg=f"seed {seed}: {submitted.model_id} {submitted.ids}",
+        )
+
+
+def test_stress_violations_carry_seed_and_trace():
+    """The harness's failure report is actionable: seed + full op trace."""
+    trainer = fit_model("binary")
+    registry = ModelRegistry()
+    registry.register("m", trainer=trainer)
+    fleet = FleetServer(registry, autostart=True)
+    driver = StressDriver(
+        fleet,
+        model_ids=["m"],
+        n_samples={"m": trainer.n_samples},
+        seed=42,
+    )
+    driver._trace("synthetic op")
+    with pytest.raises(AssertionError) as excinfo:
+        driver._check(False, "synthetic violation")
+    message = str(excinfo.value)
+    assert "seed: 42" in message
+    assert "synthetic op" in message
+    fleet.close()

@@ -1,8 +1,8 @@
-"""Unit tests for the admission policy (pure logic, no threads)."""
+"""Unit tests for the admission policy and SLA lanes (pure logic, no threads)."""
 
 import pytest
 
-from repro.serving import AdmissionPolicy
+from repro.serving import AdmissionPolicy, Lane
 
 
 class TestValidation:
@@ -49,3 +49,53 @@ class TestDispatchLogic:
         policy = AdmissionPolicy(max_delay_seconds=0.0)
         assert policy.should_dispatch(1, 0.0)
         assert policy.remaining_budget(0.0) == 0.0
+
+    def test_explicit_batch_delay_overrides_the_default(self):
+        policy = AdmissionPolicy(max_batch=100, max_delay_seconds=0.05)
+        # A zero-delay (deadline) member collapses the batch's budget.
+        assert policy.should_dispatch(1, 0.0, delay=0.0)
+        assert policy.remaining_budget(0.01, delay=0.0) == 0.0
+        assert not policy.should_dispatch(1, 0.01, delay=0.5)
+        assert policy.remaining_budget(0.01, delay=0.5) == pytest.approx(0.49)
+
+
+class TestLanes:
+    def test_default_lanes(self):
+        policy = AdmissionPolicy()
+        assert policy.lane_names == ("deadline", "bulk")
+        assert policy.lane(None).name == "bulk"  # default lane
+        assert policy.delay_for("deadline") == 0.0
+        # bulk inherits the policy's coalescing budget.
+        assert policy.delay_for("bulk") == policy.max_delay_seconds
+        assert policy.lane("deadline").priority < policy.lane("bulk").priority
+
+    def test_unknown_lane_raises(self):
+        with pytest.raises(ValueError, match="unknown lane"):
+            AdmissionPolicy().lane("vip")
+
+    def test_duplicate_lane_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate lane"):
+            AdmissionPolicy(lanes=(Lane("a"), Lane("a")))
+
+    def test_default_lane_must_exist(self):
+        with pytest.raises(ValueError, match="default_lane"):
+            AdmissionPolicy(lanes=(Lane("a"),), default_lane="b")
+
+    def test_empty_lanes_rejected(self):
+        with pytest.raises(ValueError, match="at least one lane"):
+            AdmissionPolicy(lanes=())
+
+    def test_lane_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Lane("")
+        with pytest.raises(ValueError, match=">= 0"):
+            Lane("x", max_delay_seconds=-1.0)
+
+    def test_custom_lane_delay_is_used(self):
+        policy = AdmissionPolicy(
+            max_delay_seconds=0.1,
+            lanes=(Lane("slow", max_delay_seconds=0.5),),
+            default_lane="slow",
+        )
+        assert policy.delay_for("slow") == 0.5
+        assert policy.delay_for(None) == 0.5

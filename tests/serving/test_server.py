@@ -4,14 +4,19 @@ A small binary-logistic workload is fitted once per module; every test
 drives the real worker thread and the real batched replay engine — no
 mocks — so these tests double as an integration check of the whole
 capture → compile → serve pipeline.
+
+Timing-sensitive tests run on the :class:`harness.FakeClock`: time moves
+only when the test moves it, so latency/wait assertions are *exact*
+(``==``, not ``>=``-fuzzy) and the suite contains no real sleeps.
 """
 
-import time
+import threading
 
 import numpy as np
 import pytest
 
-from repro import AdmissionPolicy, DeletionServer, IncrementalTrainer
+from harness import FakeClock
+from repro import AdmissionPolicy, DeletionServer, IncrementalTrainer, Lane
 from repro.datasets import make_binary_classification
 from repro.serving import BackpressureError, ServedOutcome
 
@@ -51,12 +56,28 @@ class TestAnswers:
             assert isinstance(outcome, ServedOutcome)
             assert np.array_equal(outcome.removed, removed)
 
-    def test_outcome_timings_are_consistent(self, trainer, removal_sets):
-        with DeletionServer(trainer) as server:
-            outcome = server.resolve(removal_sets[0], timeout=30)
-        assert outcome.wait_seconds >= 0.0
-        assert outcome.latency_seconds >= outcome.wait_seconds
-        assert outcome.batch_size >= 1
+    def test_outcome_timings_are_exact_under_fake_clock(
+        self, trainer, removal_sets
+    ):
+        clock = FakeClock()
+        server = DeletionServer(
+            trainer,
+            AdmissionPolicy(max_batch=16, max_delay_seconds=0.02),
+            autostart=False,
+            clock=clock,
+        )
+        future = server.submit(removal_sets[0])
+        server.start()
+        assert server.flush(timeout=30)
+        server.close()
+        outcome = future.result(timeout=30)
+        # The lone request waits out exactly its coalescing budget; the
+        # dispatch itself consumes zero fake time.
+        assert outcome.wait_seconds == 0.02
+        assert outcome.latency_seconds == 0.02
+        assert outcome.batch_size == 1
+        assert outcome.batch_seq == 0 and outcome.batch_rank == 0
+        assert outcome.lane == "bulk"
 
     def test_empty_removal_set_is_served(self, trainer):
         with DeletionServer(trainer, method="priu") as server:
@@ -99,6 +120,146 @@ class TestCoalescing:
             results = [f.result(timeout=30) for f in futures]
         assert len(results) == len(removal_sets)
 
+    def test_every_member_waits_exactly_the_shared_budget(
+        self, trainer, removal_sets
+    ):
+        """All three preloaded requests dispatch together when the oldest
+        runs out of budget — their waits are identical and exact."""
+        clock = FakeClock()
+        server = DeletionServer(
+            trainer,
+            AdmissionPolicy(max_batch=16, max_delay_seconds=0.02),
+            autostart=False,
+            clock=clock,
+        )
+        futures = [server.submit(s) for s in removal_sets[:3]]
+        server.start()
+        assert server.flush(timeout=30)
+        server.close()
+        outcomes = [f.result(timeout=30) for f in futures]
+        assert [o.wait_seconds for o in outcomes] == [0.02, 0.02, 0.02]
+        assert [o.batch_rank for o in outcomes] == [0, 1, 2]
+        assert {o.batch_seq for o in outcomes} == {0}
+
+    def test_staggered_submissions_wait_from_their_own_enqueue(
+        self, trainer, removal_sets
+    ):
+        """The batch dispatches when the *oldest* member's budget expires;
+        a late joiner's measured wait is exactly the remainder."""
+        clock = FakeClock()
+        server = DeletionServer(
+            trainer,
+            AdmissionPolicy(max_batch=16, max_delay_seconds=0.02),
+            autostart=False,
+            clock=clock,
+        )
+        early = server.submit(removal_sets[0])
+        clock.advance(0.015)
+        late = server.submit(removal_sets[1])
+        server.start()
+        assert server.flush(timeout=30)
+        server.close()
+        assert early.result(timeout=30).wait_seconds == 0.02
+        assert late.result(timeout=30).wait_seconds == pytest.approx(0.005)
+
+
+class TestLanes:
+    def test_deadline_lane_forces_immediate_dispatch(
+        self, trainer, removal_sets
+    ):
+        """A zero-delay lane in the batch preempts everyone's coalescing:
+        the batch it joins leaves immediately (bulk rides along free)."""
+        clock = FakeClock()
+        server = DeletionServer(
+            trainer,
+            AdmissionPolicy(max_batch=16, max_delay_seconds=0.05),
+            autostart=False,
+            clock=clock,
+        )
+        bulk = server.submit(removal_sets[0], lane="bulk")
+        urgent = server.submit(removal_sets[1], lane="deadline")
+        server.start()
+        assert server.flush(timeout=30)
+        server.close()
+        assert urgent.result(timeout=30).wait_seconds == 0.0
+        assert bulk.result(timeout=30).wait_seconds == 0.0  # rode along
+        assert urgent.result().batch_size == 2
+
+    def test_deadline_preempts_an_open_batch_mid_coalesce(
+        self, trainer, removal_sets
+    ):
+        """Manual-clock interleaving: a bulk request is already coalescing
+        (budget 20 ms) when a deadline request arrives 5 ms in — the open
+        batch dispatches at 5 ms, not 20."""
+        clock = FakeClock(auto_advance=False)
+        policy = AdmissionPolicy(max_batch=16, max_delay_seconds=0.02)
+        server = DeletionServer(trainer, policy, clock=clock)
+        bulk = server.submit(removal_sets[0], lane="bulk")
+        clock.advance(0.005)
+        urgent = server.submit(removal_sets[1], lane="deadline")
+        assert server.flush(timeout=30)
+        server.close()
+        assert urgent.result(timeout=30).wait_seconds == 0.0
+        assert bulk.result(timeout=30).wait_seconds == pytest.approx(0.005)
+        assert bulk.result().batch_size == 2
+
+    def test_deadline_never_waits_behind_a_full_bulk_backlog(
+        self, trainer, removal_sets
+    ):
+        """Six bulk requests queue ahead of one deadline request with
+        max_batch=2: lane priority puts the deadline request in the very
+        next dispatched batch, not behind three bulk batches."""
+        clock = FakeClock()
+        server = DeletionServer(
+            trainer,
+            AdmissionPolicy(max_batch=2, max_delay_seconds=0.05),
+            autostart=False,
+            clock=clock,
+        )
+        bulk_futures = [
+            server.submit(s, lane="bulk") for s in removal_sets[:6]
+        ]
+        urgent = server.submit(removal_sets[6], lane="deadline")
+        server.start()
+        assert server.flush(timeout=30)
+        server.close()
+        outcome = urgent.result(timeout=30)
+        assert outcome.batch_seq == 0 and outcome.batch_rank == 0
+        assert outcome.wait_seconds == 0.0
+        # Bulk admission order is preserved among bulk requests.
+        bulk_coords = [
+            (f.result().batch_seq, f.result().batch_rank)
+            for f in bulk_futures
+        ]
+        assert bulk_coords == sorted(bulk_coords)
+
+    def test_unknown_lane_fails_at_submit(self, trainer, removal_sets):
+        with DeletionServer(trainer) as server:
+            with pytest.raises(ValueError, match="unknown lane"):
+                server.submit(removal_sets[0], lane="vip")
+        assert server.stats().submitted == 0
+
+    def test_custom_lanes(self, trainer, removal_sets):
+        policy = AdmissionPolicy(
+            max_delay_seconds=0.03,
+            lanes=(
+                Lane("gold", max_delay_seconds=0.0, priority=0),
+                Lane("silver", max_delay_seconds=None, priority=5),
+            ),
+            default_lane="silver",
+        )
+        clock = FakeClock()
+        server = DeletionServer(
+            trainer, policy, autostart=False, clock=clock
+        )
+        default = server.submit(removal_sets[0])
+        server.start()
+        assert server.flush(timeout=30)
+        server.close()
+        outcome = default.result(timeout=30)
+        assert outcome.lane == "silver"
+        assert outcome.wait_seconds == 0.03  # inherited policy budget
+
 
 class TestBackpressure:
     def test_nonblocking_submit_raises_when_full(self, trainer, removal_sets):
@@ -120,10 +281,8 @@ class TestBackpressure:
             trainer, AdmissionPolicy(max_pending=1), autostart=False
         )
         server.submit(removal_sets[0])
-        start = time.perf_counter()
         with pytest.raises(BackpressureError):
-            server.submit(removal_sets[1], timeout=0.05)
-        assert time.perf_counter() - start >= 0.04
+            server.submit(removal_sets[1], timeout=0.001)
         server.start()
         server.flush(timeout=30)
         server.close()
@@ -189,6 +348,72 @@ class TestValidationAndLifecycle:
         server.close()
 
 
+class TestCloseRaces:
+    """The close()-vs-in-flight-batch audit (ISSUE 4 satellite).
+
+    Contract: a batch dispatched before (or concurrently with) close()
+    always resolves its futures; queued-but-undispatched requests drain;
+    submissions observing the closed flag raise; nothing leaks.
+    """
+
+    def test_close_while_batch_is_in_flight_resolves_every_future(
+        self, trainer, removal_sets, monkeypatch
+    ):
+        dispatch_started = threading.Event()
+        release_dispatch = threading.Event()
+        original = trainer.remove_many
+
+        def gated(index_sets, **kwargs):
+            dispatch_started.set()
+            assert release_dispatch.wait(timeout=10)
+            return original(index_sets, **kwargs)
+
+        monkeypatch.setattr(trainer, "remove_many", gated)
+        server = DeletionServer(
+            trainer, AdmissionPolicy(max_batch=1, max_delay_seconds=0.0)
+        )
+        in_flight = server.submit(removal_sets[0])
+        assert dispatch_started.wait(timeout=10)
+        queued = server.submit(removal_sets[1])  # behind the open batch
+        server.close(wait=False)  # races the in-flight dispatch
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(removal_sets[2])
+        release_dispatch.set()
+        server.close(wait=True)  # idempotent; joins the worker
+        assert in_flight.result(timeout=30).weights is not None
+        assert queued.result(timeout=30).weights is not None
+        stats = server.stats()
+        assert stats.answered == 2
+        assert stats.pending == 0
+
+    def test_concurrent_close_calls_join_cleanly(self, trainer, removal_sets):
+        server = DeletionServer(trainer, autostart=False)
+        futures = [server.submit(s) for s in removal_sets[:3]]
+        closers = [
+            threading.Thread(target=server.close) for _ in range(3)
+        ]
+        for thread in closers:
+            thread.start()
+        for thread in closers:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        assert all(f.done() for f in futures)
+        assert server.stats().answered == 3
+
+    def test_exit_does_not_block_while_unwinding(self, trainer):
+        """``__exit__`` must not join the worker when an exception is
+        propagating — the pending futures' owners are being torn down."""
+        with pytest.raises(RuntimeError, match="boom"):
+            with DeletionServer(trainer, method="priu") as server:
+                server.submit(np.array([1, 2]))
+                raise RuntimeError("boom")
+        # The server stopped accepting work…
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit([3])
+        # …and the queued request still drains in the background.
+        assert server.flush(timeout=30)
+
+
 class TestStats:
     def test_stats_cover_all_requests(self, trainer, removal_sets):
         with DeletionServer(trainer) as server:
@@ -210,11 +435,40 @@ class TestStats:
         assert payload["answered"] == len(removal_sets)
         assert payload["latency"]["count"] == len(removal_sets)
 
+    def test_per_lane_stats_are_split_and_conserved(
+        self, trainer, removal_sets
+    ):
+        clock = FakeClock()
+        server = DeletionServer(
+            trainer,
+            AdmissionPolicy(max_batch=16, max_delay_seconds=0.02),
+            autostart=False,
+            clock=clock,
+        )
+        for s in removal_sets[:3]:
+            server.submit(s, lane="bulk")
+        for s in removal_sets[3:5]:
+            server.submit(s, lane="deadline")
+        server.start()
+        assert server.flush(timeout=30)
+        server.close()
+        stats = server.stats()
+        assert stats.lane("bulk").answered == 3
+        assert stats.lane("deadline").answered == 2
+        assert (
+            stats.lane("bulk").submitted + stats.lane("deadline").submitted
+            == stats.submitted
+        )
+        # Deadline preempted the batch: nobody waited.
+        assert stats.lane("deadline").wait.max == 0.0
+        assert stats.lane("bulk").wait.max == 0.0
+
     def test_fresh_server_has_empty_summaries(self, trainer):
         server = DeletionServer(trainer, autostart=False)
         stats = server.stats()
         assert stats.latency is None
         assert stats.mean_batch_size == 0.0
+        assert stats.lanes == {}
         server.close()
 
     def test_dispatch_failure_fails_the_batch_futures(
