@@ -57,7 +57,11 @@ import numpy as np
 
 from ..core.api import IncrementalTrainer
 from ..core.provenance_store import normalize_removed_indices
-from ..core.serialization import CheckpointMetadata, read_checkpoint_metadata
+from ..core.serialization import (
+    CheckpointMetadata,
+    read_checkpoint_metadata,
+    save_store,
+)
 from .clock import MONOTONIC_CLOCK, Clock
 from .policy import AdmissionPolicy
 from .server import (
@@ -303,22 +307,29 @@ class ModelRegistry:
 
     def submit_view(
         self, model_id: str
-    ) -> tuple[IncrementalTrainer | None, int, int | None]:
-        """One consistent ``(resident trainer, epoch, archive n_samples)``.
+    ) -> tuple[IncrementalTrainer | None, int, int | None, int | None]:
+        """One consistent ``(trainer, epoch, archive n_samples, loaded version)``.
 
         What :meth:`FleetServer.submit` needs for validation and
         commit-translation tagging, read under a single lock hold: the
-        resident trainer (or None), the checkpoint epoch, and — for the
-        non-resident case — the archive's sample count from the same
-        snapshot (None when resident: the caller reads the live count
-        through the store seqlock instead).
+        resident trainer (or None), the checkpoint epoch, the archive's
+        sample count for the non-resident case (None when resident: the
+        caller reads the live count through the store seqlock instead),
+        and — for the resident case — the store version the trainer was
+        loaded or last saved at, so the caller can tell a clean model
+        (id space equals the epoch archive's) from a dirty one.
         """
         with self._lock:
             spec = self._spec(model_id)
             entry = self._resident.get(model_id)
             if entry is not None:
-                return entry.trainer, self._epochs[model_id], None
-            return None, self._epochs[model_id], spec.metadata.n_samples
+                return (
+                    entry.trainer,
+                    self._epochs[model_id],
+                    None,
+                    entry.loaded_version,
+                )
+            return None, self._epochs[model_id], spec.metadata.n_samples, None
 
     @contextmanager
     def pinned(self, model_id: str):
@@ -410,10 +421,16 @@ class ModelRegistry:
         models have nowhere to save to and are skipped, as are pinned
         models (a pin means a dispatch — possibly a commit — is mid-flight
         on that trainer; saving would snapshot a moving target).  Each
-        write bumps the model's checkpoint *epoch*, fencing the fleet's
-        commit-translation history: requests validated against the new
-        archive are never replayed through commits it already contains.
-        Returns ``{model_id: paths}`` for the checkpoints written.
+        write goes back to the *exact* registered path — a directory
+        registration rewrites its ``store.npz``/``plan.npz``, a bare
+        store-archive registration rewrites that one file (the plan is
+        recompiled at the next load, and a now-stale ``plan_path`` load
+        override is dropped) — so a later evict + reload always sees the
+        committed state.  Each write bumps the model's checkpoint
+        *epoch*, fencing the fleet's commit-translation history: requests
+        validated against the new archive are never replayed through
+        commits it already contains.  Returns ``{model_id: paths}`` for
+        the checkpoints written.
 
         The registry lock is held across the checkpoint writes (the
         epoch/metadata/version updates must be atomic with them), so run
@@ -429,9 +446,29 @@ class ModelRegistry:
                 if self._pins.get(model_id, 0) > 0:
                     continue
                 target = Path(spec.checkpoint)
-                if not target.is_dir():
-                    target = target.parent
-                written[model_id] = entry.trainer.save_checkpoint(target)
+                if target.is_dir():
+                    written[model_id] = entry.trainer.save_checkpoint(target)
+                else:
+                    # A bare archive registration: overwrite it in place.
+                    # Writing a directory-style checkpoint next to it
+                    # would leave spec.checkpoint pointing at the stale
+                    # pre-commit file (and collide with sibling
+                    # registrations sharing the parent directory).
+                    written[model_id] = {
+                        "store": save_store(entry.trainer.store, target)
+                    }
+                    if target.suffix != ".npz":
+                        # np.savez_compressed appends ".npz" when the
+                        # registered archive name lacks it; move the
+                        # write back onto the exact registered path so
+                        # the reload below sees the committed state.
+                        target.with_name(target.name + ".npz").replace(
+                            target
+                        )
+                # Any plan_path load override names the *pre-commit*
+                # plan; reloads must use the freshly written plan.npz
+                # (directory registrations) or recompile (bare archives).
+                spec.load_kwargs.pop("plan_path", None)
                 spec.metadata = read_checkpoint_metadata(target)
                 entry.loaded_version = entry.trainer.store._version
                 self._epochs[model_id] += 1
@@ -479,7 +516,7 @@ class _ModelQueue:
     fleet's scheduler condition unless noted)."""
 
     __slots__ = (
-        "model_id", "heap", "busy", "inflight", "slots", "tracker",
+        "model_id", "heap", "busy", "slots", "tracker",
         "stats", "batch_seq", "method", "commit_mode",
     )
 
@@ -493,7 +530,6 @@ class _ModelQueue:
         self.model_id = model_id
         self.heap: list[tuple] = []
         self.busy = False
-        self.inflight = 0
         # Backpressure semaphore: acquired outside any lock (blocking
         # submits must not stall the scheduler), released as requests are
         # popped into a batch.
@@ -705,63 +741,102 @@ class FleetServer:
         lane_obj = self.policy.lane(lane)
         removed = normalize_removed_indices(indices)
         # Unknown model ids fail here, synchronously, before queueing.
-        trainer, epoch, archive_n = self.registry.submit_view(model_id)
-        if trainer is not None:
-            store_version, n_samples = _consistent_store_snapshot(
-                trainer.store
-            )
-            store_key = (epoch, store_version)
-        else:
-            # Not resident => no uncheckpointed commits exist (dirty
-            # models are never evicted), so the epoch's *archive* is this
-            # request's id space.  Every same-epoch commit necessarily
-            # postdates that archive (commits require residency, and the
-            # archive was written by the load/save that opened the epoch),
-            # so the tag sorts below them all: ``(epoch, -inf)`` — commits
-            # from this epoch and later apply at dispatch, commits already
-            # folded into an earlier epoch's archive never do.
-            store_key = (epoch, -math.inf)
-            n_samples = archive_n
+        trainer, epoch, archive_n, loaded_version = self.registry.submit_view(
+            model_id
+        )
         if removed.size == 0:
             return self._resolve_empty(model_id, lane_obj.name)
-        _validate_removed(removed, n_samples)
-        request = _Request(
-            indices=removed,
-            future=Future(),
-            enqueued_at=self._clock.now(),
-            lane=lane_obj.name,
-            lane_delay=self.policy.delay_for(lane_obj.name),
-            lane_priority=lane_obj.priority,
-            store_key=store_key,
-            admitted_key=store_key,
-        )
+
+        def key_for(store_version: int | None) -> tuple:
+            # The id space this request addresses, as a commit-translation
+            # tag.  Not resident, or resident and *clean* => the epoch's
+            # archive is the id space (store version numbers restart when
+            # a checkpoint reloads — load_store rebuilds records via
+            # add() — so a clean model's in-memory version is meaningless
+            # across an evict/reload).  Every same-epoch commit
+            # necessarily postdates that archive (commits require
+            # residency, and the archive was written by the load/save
+            # that opened the epoch), so the tag sorts below them all:
+            # ``(epoch, -inf)`` — commits from this epoch and later apply
+            # at dispatch, commits already folded into an earlier epoch's
+            # archive never do.  Only a *dirty* model tags with its live
+            # version, which is stable: dirty models are never evicted.
+            if store_version is not None and store_version != loaded_version:
+                return (epoch, store_version)
+            return (epoch, -math.inf)
+
         with self._sched:
             state = self._queue_for(model_id)
-        # Per-model backpressure, waited out without holding the scheduler
-        # lock so a blocked submitter never stalls dispatch or close().
-        if block:
-            got_slot = state.slots.acquire(timeout=timeout)
+        # Register the pruning key BEFORE anything can block: concurrent
+        # dispatches prune commit history down to the oldest *registered*
+        # in-flight key, so a submitter parked on the backpressure
+        # semaphore must already be counted or the history it needs can
+        # vanish while it waits.  The request is tagged with a second
+        # snapshot taken after registration — it can only move the tag
+        # forward, never below the registered key, so the retained
+        # history always covers the tag.
+        if trainer is not None:
+            admitted_key = key_for(
+                _consistent_store_snapshot(trainer.store)[0]
+            )
         else:
-            got_slot = state.slots.acquire(blocking=False)
-        if not got_slot:
-            _TeeStats(state.stats, self._stats).record_rejected(lane_obj.name)
-            raise BackpressureError(
-                f"model {model_id!r} admission queue is full "
-                f"({self.policy.max_pending} pending)"
+            admitted_key = (epoch, -math.inf)
+        state.tracker.note_submitted(admitted_key)
+        try:
+            if trainer is not None:
+                store_version, n_samples = _consistent_store_snapshot(
+                    trainer.store
+                )
+                store_key = key_for(store_version)
+            else:
+                store_key = (epoch, -math.inf)
+                n_samples = archive_n
+            _validate_removed(removed, n_samples)
+            request = _Request(
+                indices=removed,
+                future=Future(),
+                enqueued_at=self._clock.now(),
+                lane=lane_obj.name,
+                lane_delay=self.policy.delay_for(lane_obj.name),
+                lane_priority=lane_obj.priority,
+                store_key=store_key,
+                admitted_key=admitted_key,
             )
-        with self._sched:
-            if self._closed:
-                state.slots.release()
-                raise RuntimeError("cannot submit to a closed FleetServer")
-            request.seq = next(self._seq)
-            state.tracker.note_submitted(request.admitted_key)
-            _TeeStats(state.stats, self._stats).record_submitted(
-                lane_obj.name
-            )
-            heapq.heappush(state.heap, request.entry())
-            state.inflight += 1
-            self._pending += 1
-            self._sched.notify_all()
+            # Per-model backpressure, waited out without holding the
+            # scheduler lock so a blocked submitter never stalls
+            # dispatch or close().
+            if block:
+                got_slot = state.slots.acquire(timeout=timeout)
+            else:
+                got_slot = state.slots.acquire(blocking=False)
+            if not got_slot:
+                _TeeStats(state.stats, self._stats).record_rejected(
+                    lane_obj.name
+                )
+                raise BackpressureError(
+                    f"model {model_id!r} admission queue is full "
+                    f"({self.policy.max_pending} pending)"
+                )
+            with self._sched:
+                if self._closed:
+                    state.slots.release()
+                    raise RuntimeError(
+                        "cannot submit to a closed FleetServer"
+                    )
+                request.seq = next(self._seq)
+                _TeeStats(state.stats, self._stats).record_submitted(
+                    lane_obj.name
+                )
+                heapq.heappush(state.heap, request.entry())
+                self._pending += 1
+                self._sched.notify_all()
+        except BaseException:
+            # One unwind point for every pre-enqueue failure — validation,
+            # rejection, closed server, or an interrupt while parked on
+            # the semaphore.  A leaked key would pin commit history (the
+            # min() prune could never pass it) for the server's lifetime.
+            state.tracker.forget(admitted_key)
+            raise
         return request.future
 
     def _resolve_empty(self, model_id: str, lane: str) -> Future:
@@ -916,7 +991,6 @@ class FleetServer:
     def _finish(self, state: _ModelQueue, requests: list[_Request]) -> None:
         state.tracker.note_finished(requests)
         with self._sched:
-            state.inflight -= len(requests)
             self._pending -= len(requests)
             self._sched.notify_all()
 

@@ -167,12 +167,18 @@ class _CommitTracker:
     store key k is remapped through every entry with key_before >= k
     before dispatch, so an id always denotes the sample the submitter
     saw, not whatever later shifted into that slot.  A request tagged
-    ``(epoch, inf)`` was validated against the checkpoint written at that
-    epoch, which already contains every same-epoch commit — only commits
-    from *later* epochs apply.  Entries older than every in-flight
-    request's admitted key are pruned at dispatch — in-flight, not just
-    this batch, because a submitter can block on backpressure and enqueue
-    late.
+    ``(epoch, -inf)`` was validated against the archive that opened that
+    epoch — or against a clean resident model, whose id space equals that
+    archive's.  Every same-epoch commit necessarily postdates the
+    archive (commits require residency, and the archive was written by
+    the load or save that opened the epoch), so the tag sorts below them
+    all and they all apply; commits already folded into an earlier
+    epoch's archive never do.  Only a *dirty* resident model may tag
+    with its in-memory store version: dirty models are unevictable, so
+    that version cannot be reset by a reload while the request waits.
+    Entries older than every in-flight request's admitted key are pruned
+    at dispatch — in-flight, not just this batch, because a submitter
+    can block on backpressure and enqueue late.
 
     Shared by :class:`DeletionServer` (one instance) and
     :class:`~repro.serving.fleet.FleetServer` (one per model).
@@ -187,15 +193,18 @@ class _CommitTracker:
         with self._lock:
             self._inflight_keys[key] = self._inflight_keys.get(key, 0) + 1
 
-    def note_finished(self, requests: list[_Request]) -> None:
+    def forget(self, key: tuple) -> None:
+        """Drop one in-flight registration (a submit that never enqueued)."""
         with self._lock:
-            for request in requests:
-                key = request.admitted_key
-                remaining = self._inflight_keys.get(key, 0) - 1
-                if remaining > 0:
-                    self._inflight_keys[key] = remaining
-                else:
-                    self._inflight_keys.pop(key, None)
+            remaining = self._inflight_keys.get(key, 0) - 1
+            if remaining > 0:
+                self._inflight_keys[key] = remaining
+            else:
+                self._inflight_keys.pop(key, None)
+
+    def note_finished(self, requests: list[_Request]) -> None:
+        for request in requests:
+            self.forget(request.admitted_key)
 
     def note_committed(self, key_before: tuple, union: np.ndarray) -> None:
         with self._lock:
@@ -448,50 +457,69 @@ removed`` reports the translated set, in the id space its batch executed
         """
         lane_obj = self.policy.lane(lane)
         removed = normalize_removed_indices(indices)
-        # The ids are validated against exactly the id space they are
-        # tagged with, even if the worker commits a batch mid-submit.
-        store_version, n_samples = _consistent_store_snapshot(
-            self.trainer.store
-        )
         if removed.size == 0:
             return self._resolve_empty(lane_obj.name)
-        _validate_removed(removed, n_samples)
-        request = _Request(
-            indices=removed,
-            future=Future(),
-            enqueued_at=self._clock.now(),
-            lane=lane_obj.name,
-            lane_delay=self.policy.delay_for(lane_obj.name),
-            lane_priority=lane_obj.priority,
-            store_key=(0, store_version),
-            admitted_key=(0, store_version),
-        )
-        # Backpressure: wait for a slot without holding any lock, so a
-        # blocked submitter can never stall close() or other submitters.
-        if block:
-            got_slot = self._slots.acquire(timeout=timeout)
-        else:
-            got_slot = self._slots.acquire(blocking=False)
-        if not got_slot:
-            self._stats.record_rejected(lane_obj.name)
-            raise BackpressureError(
-                f"admission queue is full ({self.policy.max_pending} pending)"
+        # Register the pruning key BEFORE anything can block: concurrent
+        # dispatches prune commit history down to the oldest *registered*
+        # in-flight key, so a submitter parked on the backpressure
+        # semaphore must already be counted or the history it needs can
+        # vanish while it waits.  The request is tagged with a second
+        # snapshot taken after registration — it can only move the tag
+        # forward, never below the registered key, so the retained
+        # history always covers the tag.
+        admitted_key = (0, _consistent_store_snapshot(self.trainer.store)[0])
+        self._tracker.note_submitted(admitted_key)
+        try:
+            # The ids are validated against exactly the id space they are
+            # tagged with, even if the worker commits a batch mid-submit.
+            store_version, n_samples = _consistent_store_snapshot(
+                self.trainer.store
             )
-        # The check-then-enqueue must be atomic w.r.t. close(), else a
-        # request could be admitted after the shutdown sentinel and never
-        # resolve.  Nothing inside this lock blocks.
-        with self._submit_lock:
-            if self._closed:
-                self._slots.release()
-                raise RuntimeError(
-                    "cannot submit to a closed DeletionServer"
+            _validate_removed(removed, n_samples)
+            request = _Request(
+                indices=removed,
+                future=Future(),
+                enqueued_at=self._clock.now(),
+                lane=lane_obj.name,
+                lane_delay=self.policy.delay_for(lane_obj.name),
+                lane_priority=lane_obj.priority,
+                store_key=(0, store_version),
+                admitted_key=admitted_key,
+            )
+            # Backpressure: wait for a slot without holding any lock, so
+            # a blocked submitter can never stall close() or other
+            # submitters.
+            if block:
+                got_slot = self._slots.acquire(timeout=timeout)
+            else:
+                got_slot = self._slots.acquire(blocking=False)
+            if not got_slot:
+                self._stats.record_rejected(lane_obj.name)
+                raise BackpressureError(
+                    f"admission queue is full "
+                    f"({self.policy.max_pending} pending)"
                 )
-            with self._state_lock:
-                self._inflight += 1
-            self._tracker.note_submitted(request.admitted_key)
-            self._stats.record_submitted(lane_obj.name)
-            request.seq = next(self._seq)
-            self._queue.put_nowait(request.entry())
+            # The check-then-enqueue must be atomic w.r.t. close(), else
+            # a request could be admitted after the shutdown sentinel and
+            # never resolve.  Nothing inside this lock blocks.
+            with self._submit_lock:
+                if self._closed:
+                    self._slots.release()
+                    raise RuntimeError(
+                        "cannot submit to a closed DeletionServer"
+                    )
+                with self._state_lock:
+                    self._inflight += 1
+                self._stats.record_submitted(lane_obj.name)
+                request.seq = next(self._seq)
+                self._queue.put_nowait(request.entry())
+        except BaseException:
+            # One unwind point for every pre-enqueue failure — validation,
+            # rejection, closed server, or an interrupt while parked on
+            # the semaphore.  A leaked key would pin commit history (the
+            # min() prune could never pass it) for the server's lifetime.
+            self._tracker.forget(admitted_key)
+            raise
         return request.future
 
     def _resolve_empty(self, lane: str) -> Future:

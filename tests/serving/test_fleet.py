@@ -6,6 +6,10 @@ tests drive the real worker pool and the real batched engine — no mocks —
 with the :class:`harness.FakeClock` wherever timing matters.
 """
 
+import shutil
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -210,6 +214,73 @@ class TestRegistry:
         assert registry.evict("model-a") is True
         # The refreshed checkpoint reflects the commit.
         assert registry.n_samples("model-a") == trainer.n_samples
+
+    @pytest.mark.parametrize(
+        "archive_name",
+        ["model-a-archive.npz", "model-a.store"],  # the latter: no .npz
+    )
+    def test_save_dirty_rewrites_bare_archive_registration_in_place(
+        self, tmp_path, archive_name
+    ):
+        """A registration whose checkpoint is a bare store archive (not a
+        ``save_checkpoint`` directory) must be re-saved to the *exact*
+        registered path, so an evict + reload sees the committed state
+        (regression: the rewrite landed in ``<parent>/store.npz`` while
+        the spec kept pointing at the stale pre-commit file, silently
+        resurrecting committed-deleted samples on reload; and for an
+        archive name without the ``.npz`` suffix, ``np.savez_compressed``
+        diverted the rewrite to ``<name>.npz`` with the same effect)."""
+        source = tmp_path / "source"
+        fit_binary(_BINARY).save_checkpoint(source)
+        archive = tmp_path / archive_name
+        shutil.copy(source / "store.npz", archive)
+        registry = ModelRegistry()
+        registry.register(
+            "m",
+            checkpoint=archive,
+            features=_BINARY.features,
+            labels=_BINARY.labels,
+        )
+        trainer = registry.get("m")
+        trainer.remove([3, 4], commit=True)
+        assert registry.dirty_ids() == ("m",)
+        written = registry.save_dirty()
+        assert written["m"]["store"] == archive  # the registered path itself
+        assert registry.n_samples("m") == trainer.n_samples
+        assert registry.evict("m")
+        reloaded = registry.get("m")
+        assert reloaded.n_samples == trainer.n_samples
+        assert np.array_equal(np.sort(reloaded.deletion_log), [3, 4])
+        np.testing.assert_allclose(
+            reloaded.weights_, trainer.weights_, atol=1e-10
+        )
+
+    def test_save_dirty_drops_stale_plan_path_override(self, tmp_path):
+        """An explicit ``plan_path=`` load override names the pre-commit
+        plan; after ``save_dirty`` it must be dropped for directory
+        registrations too, or the next evict + reload fails on the
+        plan/store sample-count mismatch, wedging the model."""
+        source = tmp_path / "m"
+        fit_binary(_BINARY).save_checkpoint(source)
+        stale_plan = tmp_path / "stale-plan.npz"
+        shutil.copy(source / "plan.npz", stale_plan)
+        registry = ModelRegistry()
+        registry.register(
+            "m",
+            checkpoint=source,
+            features=_BINARY.features,
+            labels=_BINARY.labels,
+            plan_path=stale_plan,
+        )
+        loaded = registry.get("m")
+        loaded.remove([3, 4], commit=True)
+        assert registry.save_dirty().keys() == {"m"}
+        assert registry.evict("m")
+        reloaded = registry.get("m")  # must not load the stale plan
+        assert reloaded.n_samples == loaded.n_samples
+        np.testing.assert_allclose(
+            reloaded.weights_, loaded.weights_, atol=1e-10
+        )
 
     def test_live_trainer_registration_is_resident_and_unevictable(self):
         trainer = fit_binary()
@@ -538,6 +609,97 @@ class TestFleetCommitMode:
         live = registry.get("m")
         assert np.array_equal(np.sort(live.deletion_log), [0, 1, 2, 4])
         assert live.n_samples == _BINARY.features.shape[0] - 4
+
+    def test_queued_request_remaps_across_evict_reload_within_epoch(
+        self, tmp_path
+    ):
+        """save_dirty -> request queued against the clean resident model
+        -> evict -> reload -> commit: store version numbers restart on
+        reload (``load_store`` rebuilds records via ``add()``), so the
+        queued request's tag must not outrank the post-reload commit's
+        key (regression: the request was tagged with the pre-eviction
+        in-memory version, the commit recorded at the lower reloaded
+        version was skipped by remap, and the wrong sample was silently
+        deleted)."""
+        trainer = fit_binary(_BINARY)
+        checkpoint = tmp_path / "m"
+        trainer.save_checkpoint(checkpoint)
+        registry = ModelRegistry()
+        registry.register(
+            "m",
+            checkpoint=checkpoint,
+            features=_BINARY.features,
+            labels=_BINARY.labels,
+            method="priu",
+        )
+        # Epoch 0: commit originals {0,1,2} directly on the loaded
+        # trainer, then re-checkpoint (epoch 1, clean, still resident).
+        registry.get("m").remove([0, 1, 2], commit=True)
+        assert registry.save_dirty().keys() == {"m"}
+        fleet = FleetServer(
+            registry,
+            AdmissionPolicy(max_batch=1),
+            method="priu",
+            n_workers=1,
+            commit_mode=True,
+            autostart=False,
+        )
+        # Queued against the clean *resident* model, whose in-memory
+        # store version exceeds what a reload will restart it to.
+        parked = fleet.submit("m", [5], lane="bulk")
+        assert registry.evict("m")  # clean: versions reset on reload
+        # Dispatches ahead of the parked request (deadline lane) on the
+        # freshly reloaded trainer, committing new-space id 0.
+        overtake = fleet.submit("m", [0], lane="deadline")
+        fleet.start()
+        assert fleet.flush(timeout=30)
+        fleet.close()
+        assert np.array_equal(overtake.result(timeout=30).removed, [0])
+        # The parked request addressed post-first-commit id 5 (original
+        # 8); the overtaking commit removed one lower id, so it must
+        # execute as 4 — not as the untranslated 5.
+        assert np.array_equal(parked.result(timeout=30).removed, [4])
+        live = registry.get("m")
+        assert np.array_equal(np.sort(live.deletion_log), [0, 1, 2, 3, 8])
+        assert live.n_samples == _BINARY.features.shape[0] - 5
+
+    def test_blocked_submitter_registers_its_key_before_waiting(self):
+        """A submitter parked on the per-model backpressure semaphore must
+        already be counted in the commit tracker's in-flight key set —
+        otherwise a concurrent dispatch can prune commit-history entries
+        the parked request still needs, and its ids later dispatch
+        unremapped."""
+        registry = ModelRegistry()
+        registry.register("m", trainer=fit_binary(_BINARY))
+        fleet = FleetServer(
+            registry,
+            AdmissionPolicy(max_pending=1),
+            commit_mode=True,
+            autostart=False,
+        )
+        fleet.submit("m", [1])
+        thread = threading.Thread(
+            target=lambda: fleet.submit("m", [2], block=True, timeout=30),
+            daemon=True,
+        )
+        thread.start()
+        with fleet._sched:
+            tracker = fleet._queues["m"].tracker
+        def registered() -> int:
+            with tracker._lock:
+                return sum(tracker._inflight_keys.values())
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline and registered() < 2:
+            time.sleep(0.001)
+        # Queued request + parked submitter, both pinned before dispatch.
+        assert registered() == 2
+        fleet.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert fleet.flush(timeout=30)
+        fleet.close()
+        assert fleet.stats("m").answered == 2
+        assert registered() == 0
 
     def test_queued_requests_remap_across_commits(self):
         trainer = fit_binary(_BINARY)

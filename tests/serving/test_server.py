@@ -11,6 +11,7 @@ only when the test moves it, so latency/wait assertions are *exact*
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -286,6 +287,40 @@ class TestBackpressure:
         server.start()
         server.flush(timeout=30)
         server.close()
+
+    def test_blocked_submitter_registers_its_key_before_waiting(
+        self, trainer, removal_sets
+    ):
+        """A submitter parked on the backpressure semaphore must already
+        be counted in the commit tracker's in-flight key set — otherwise
+        a concurrent dispatch can prune commit-history entries the parked
+        request still needs, and its ids later dispatch unremapped."""
+        server = DeletionServer(
+            trainer, AdmissionPolicy(max_pending=1), autostart=False
+        )
+        server.submit(removal_sets[0])
+        thread = threading.Thread(
+            target=lambda: server.submit(
+                removal_sets[1], block=True, timeout=30
+            ),
+            daemon=True,
+        )
+        thread.start()
+        def registered() -> int:
+            with server._tracker._lock:
+                return sum(server._tracker._inflight_keys.values())
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline and registered() < 2:
+            time.sleep(0.001)
+        # Queued request + parked submitter, both pinned before dispatch.
+        assert registered() == 2
+        server.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert server.flush(timeout=30)
+        server.close()
+        assert server.stats().answered == 2
+        assert registered() == 0
 
 
 class TestValidationAndLifecycle:
