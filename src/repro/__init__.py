@@ -28,6 +28,11 @@ Public entry points
 """
 
 from .core.api import IncrementalTrainer, UpdateOutcome
+from .core.maintenance import (
+    MaintenanceCost,
+    MaintenancePolicy,
+    MaintenanceReport,
+)
 from .serving import (
     AdmissionPolicy,
     DeletionServer,
@@ -36,7 +41,7 @@ from .serving import (
     ModelRegistry,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AdmissionPolicy",
@@ -44,6 +49,9 @@ __all__ = [
     "FleetServer",
     "IncrementalTrainer",
     "Lane",
+    "MaintenanceCost",
+    "MaintenancePolicy",
+    "MaintenanceReport",
     "ModelRegistry",
     "UpdateOutcome",
     "__version__",

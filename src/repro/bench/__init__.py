@@ -7,9 +7,10 @@ hyperparameters); :func:`prepare_workload` fits one into a
 (:func:`sweep_update_times`, :func:`accuracy_rows`,
 :func:`repeated_deletion_rows`, :func:`batched_deletion_rows`,
 :func:`serving_rows`, :func:`fleet_rows`, :func:`refresh_rows`,
-:func:`memory_row`) generate the rows behind each figure/table and behind
-``BENCH_batched.json`` / ``BENCH_serving.json`` / ``BENCH_refresh.json``
-/ ``BENCH_fleet.json``.
+:func:`maintenance_rows`, :func:`memory_row`) generate the rows behind
+each figure/table and behind ``BENCH_batched.json`` /
+``BENCH_serving.json`` / ``BENCH_refresh.json`` / ``BENCH_fleet.json`` /
+``BENCH_maintenance.json``.
 ``python -m repro.bench.run_all`` regenerates everything.
 """
 
@@ -21,6 +22,7 @@ from .runner import (
     batched_deletion_rows,
     dataset_summary_rows,
     fleet_rows,
+    maintenance_rows,
     memory_row,
     prepare_workload,
     refresh_rows,
@@ -41,6 +43,7 @@ __all__ = [
     "dataset_summary_rows",
     "fleet_rows",
     "get",
+    "maintenance_rows",
     "memory_row",
     "prepare_workload",
     "refresh_rows",

@@ -13,6 +13,9 @@ The package is layered bottom-up:
   structure-of-arrays layout serving K deletion requests per GEMM pass;
 * :mod:`~repro.core.serialization` — :func:`save_store`/:func:`load_store`
   and :func:`save_plan`/:func:`load_plan`, the versioned on-disk formats;
+* :mod:`~repro.core.maintenance` — the cost accounting / policy / report
+  objects behind :meth:`IncrementalTrainer.maintain`, keeping compiled
+  state asymptotically tight under commit churn;
 * :mod:`~repro.core.api` — :class:`IncrementalTrainer`, the train-once /
   delete-many facade (and its checkpoint path) everything above plugs into.
 
@@ -29,9 +32,15 @@ from .diagnostics import (
 )
 from .serialization import load_plan, load_store, save_plan, save_store
 from .capture import train_with_capture
+from .maintenance import MaintenanceCost, MaintenancePolicy, MaintenanceReport
 from .priu import PrIUUpdater
-from .priu_opt import PrIUOptLinearUpdater, PrIUOptLogisticUpdater
+from .priu_opt import (
+    PrIUOptLinearUpdater,
+    PrIUOptLogisticUpdater,
+    refresh_frozen_eigen,
+)
 from .provenance_store import (
+    CommitReceipt,
     FrozenProvenance,
     LinearRecord,
     LogisticRecord,
@@ -44,7 +53,12 @@ from .provenance_store import (
 from .replay_plan import ReplayPlan, compile_replay_plan
 
 __all__ = [
+    "CommitReceipt",
     "FrozenProvenance",
+    "MaintenanceCost",
+    "MaintenancePolicy",
+    "MaintenanceReport",
+    "refresh_frozen_eigen",
     "PackedOccurrenceIndex",
     "ReplayPlan",
     "compile_replay_plan",

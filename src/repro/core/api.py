@@ -29,8 +29,13 @@ from ..models.closed_form import IncrementalClosedForm
 from ..models.influence import InfluenceFunctionUpdater
 from ..models.sgd import TrainingResult, train, objective_for
 from .capture import train_with_capture
+from .maintenance import MaintenanceCost, MaintenancePolicy, MaintenanceReport
 from .priu import PrIUUpdater
-from .priu_opt import PrIUOptLinearUpdater, PrIUOptLogisticUpdater
+from .priu_opt import (
+    PrIUOptLinearUpdater,
+    PrIUOptLogisticUpdater,
+    refresh_frozen_eigen,
+)
 from .provenance_store import normalize_removed_indices
 from .replay_plan import ReplayPlan
 from .serialization import (
@@ -111,6 +116,8 @@ class IncrementalTrainer:
         opt_feature_limit: int = 2500,
         plan_cache_sparse_blocks: bool = True,
         plan_refresh_threshold: float = 0.25,
+        eigen_correction_limit: int = 0,
+        clock=None,
     ) -> None:
         if task not in TASKS:
             raise ValueError(f"task must be one of {TASKS}")
@@ -138,7 +145,20 @@ class IncrementalTrainer:
         # touches at most this fraction of the iterations, full recompile
         # beyond it.
         self.plan_refresh_threshold = float(plan_refresh_threshold)
+        # Maintenance: deferred PrIU-opt eigen refreshes covering at most
+        # this many removed rows use the incremental eigenvalue correction
+        # instead of a full re-eigendecomposition (0 = always exact).
+        self.eigen_correction_limit = int(eigen_correction_limit)
+        # Timestamp source for commit audit receipts: anything with a
+        # ``now()`` method (e.g. a serving Clock).  None -> wall time.
+        self.clock = clock
         self._fitted = False
+
+    def _now(self) -> float:
+        """Receipt timestamp from the injected clock (wall time default)."""
+        if self.clock is not None:
+            return float(self.clock.now())
+        return time.time()
 
     # -------------------------------------------------------------- fitting
     def fit(self, features, labels: np.ndarray) -> "IncrementalTrainer":
@@ -209,12 +229,17 @@ class IncrementalTrainer:
                     self.n_iterations,
                     self.learning_rate,
                     self.regularization,
+                    eigen_correction_limit=self.eigen_correction_limit,
                 )
             elif self.store.frozen is not None and (
                 self.store.frozen.eigenvectors is not None
             ):
                 self._opt = PrIUOptLogisticUpdater(
-                    self.store, self.features, self.labels, plan=self._plan
+                    self.store,
+                    self.features,
+                    self.labels,
+                    plan=self._plan,
+                    eigen_correction_limit=self.eigen_correction_limit,
                 )
 
     def _resolve_opt(self, dense: bool, n_params: int) -> bool:
@@ -432,6 +457,137 @@ class IncrementalTrainer:
             return np.empty(0, dtype=np.int64)
         return self.store.deletion_log.copy()
 
+    @property
+    def commit_receipts(self) -> tuple:
+        """Audit receipts of every commit, in commit order (GDPR evidence).
+
+        Each :class:`~repro.core.provenance_store.CommitReceipt` records
+        the batch's original-space ids (a slice of :attr:`deletion_log`),
+        the pre-commit store version and sample counts, and a timestamp
+        from the trainer's injected clock.  Receipts persist through
+        checkpoints (store format v3), so the evidence trail survives
+        process restarts.
+        """
+        self._require_fit()
+        return tuple(self.store.commit_receipts)
+
+    # ----------------------------------------------------------- maintenance
+    def maintenance_cost(self, include_bytes: bool = True) -> MaintenanceCost:
+        """Snapshot the reclaimable garbage commits left behind.
+
+        Threads the accounting through every layer that accumulates it:
+        the compiled plan's multinomial slot-map garbage, the store's SVD
+        correction-column widths, and the deferred PrIU-opt eigen
+        refreshes (frozen logistic state and/or the linear updater).
+
+        ``include_bytes=False`` skips the ``O(records)``
+        store/plan byte traversal and reports the counters only — what a
+        per-batch scheduler check (:class:`~repro.serving.fleet.\
+FleetServer` auto-maintenance) needs, since
+        :meth:`~repro.core.maintenance.MaintenancePolicy.due` never reads
+        the byte fields.
+        """
+        self._require_fit()
+        plan = self._plan
+        garbage, physical = (
+            plan.slot_garbage_rows() if plan.supported else (0, 0)
+        )
+        columns = self.store.svd_correction_columns
+        if columns is None:
+            total = worst = widened = 0
+        else:
+            total = int(columns.sum())
+            worst = int(columns.max()) if columns.size else 0
+            widened = int((columns > 0).sum())
+        stale = 0
+        if self._opt is not None and getattr(self._opt, "eigen_stale", False):
+            stale += 1
+        frozen = self.store.frozen
+        if frozen is not None and frozen.eigen_stale and (
+            not isinstance(self._opt, PrIUOptLogisticUpdater)
+        ):
+            # Frozen state can be stale even when no opt updater is built
+            # (e.g. a method="priu" trainer restored from an opt capture).
+            stale += 1
+        return MaintenanceCost(
+            slot_garbage_rows=garbage,
+            slot_physical_rows=physical,
+            svd_correction_columns=total,
+            svd_max_correction_columns=worst,
+            svd_widened_summaries=widened,
+            stale_eigen=stale,
+            plan_nbytes=self.plan_nbytes() if include_bytes else 0,
+            store_nbytes=self.store.nbytes() if include_bytes else 0,
+        )
+
+    def maintain(
+        self, policy: MaintenancePolicy | None = None
+    ) -> MaintenanceReport:
+        """Reclaim the state growth commits leave behind (see
+        :mod:`repro.core.maintenance`).
+
+        Runs whichever maintenance tasks ``policy`` marks due for the
+        current :meth:`maintenance_cost` — the default policy's zero
+        thresholds treat *any* garbage as due, so a bare ``maintain()``
+        reclaims everything:
+
+        * **svd** — ε-re-truncates the summaries commits widened
+          (``policy.svd_epsilon=None`` keeps answers to machine
+          precision) and re-syncs the compiled plan's summary references;
+        * **repack** — folds the multinomial slot map into the plan flats
+          (bit-identical answers, freed bytes in the receipt);
+        * **eigen** — discharges deferred PrIU-opt eigendecompositions
+          (incremental correction below ``policy.eigen_correction_limit``
+          rows, exact recompute otherwise).
+
+        Safe to interleave with queries and commits at any batch
+        boundary; the serving fleet schedules it on idle models behind
+        the lowest-priority ``maintenance`` lane.  Returns a
+        :class:`~repro.core.maintenance.MaintenanceReport` receipt.
+        """
+        self._require_fit()
+        if policy is None:
+            policy = MaintenancePolicy()
+        cost_before = self.maintenance_cost()
+        due = policy.due(cost_before)
+        start = time.perf_counter()
+        svd_receipt = repack_receipt = eigen_receipt = None
+        performed: list[str] = []
+        if "svd" in due:
+            svd_receipt = self.store.retruncate_summaries(
+                epsilon=policy.svd_epsilon
+            )
+            touched = svd_receipt.pop("iterations")
+            self._plan.resync_summaries(touched)
+            performed.append("svd")
+        if "repack" in due and self._plan.supported:
+            repack_receipt = self._plan.repack()
+            performed.append("repack")
+        if "eigen" in due:
+            refreshed: dict[str, str] = {}
+            limit = policy.eigen_correction_limit
+            if self._opt is not None and hasattr(self._opt, "refresh_eigen"):
+                mode = self._opt.refresh_eigen(correction_limit=limit)
+                if mode is not None:
+                    refreshed["opt"] = mode
+            frozen = self.store.frozen
+            if frozen is not None and frozen.eigen_stale:
+                mode = refresh_frozen_eigen(frozen, correction_limit=limit)
+                if mode is not None:
+                    refreshed["frozen"] = mode
+            eigen_receipt = {"refreshed": refreshed}
+            performed.append("eigen")
+        seconds = time.perf_counter() - start
+        return MaintenanceReport(
+            performed=tuple(performed),
+            cost_before=cost_before,
+            cost_after=self.maintenance_cost(),
+            svd=svd_receipt,
+            repack=repack_receipt,
+            eigen=eigen_receipt,
+            seconds=seconds,
+        )
+
     def remove(
         self, indices, method: str | None = None, commit: bool = False
     ) -> UpdateOutcome:
@@ -589,7 +745,9 @@ class IncrementalTrainer:
         if removed.size == 0:
             self.result.weights = weights
             return {"mode": "noop", "fraction": 0.0, "removed": 0}
-        stats = self.store.compact(removed, self.features, self.labels)
+        stats = self.store.compact(
+            removed, self.features, self.labels, timestamp=self._now()
+        )
         survivors = np.delete(
             np.arange(stats.n_samples_before, dtype=np.int64), removed
         )
@@ -608,9 +766,10 @@ class IncrementalTrainer:
             # pre-commit data) instead of recomputing the O(n·m²) gram.
             self._opt.compact(removed, self.features, self.labels)
         else:
-            # Logistic opt state lives in store.frozen, which compact()
-            # already downdated + re-eigendecomposed; rebuilding the
-            # wrapper is cheap.
+            # Logistic opt state lives in store.frozen: compact() already
+            # downdated gram/moment exactly and flagged the eigen state
+            # stale (the first opt update or maintain() discharges it);
+            # rebuilding the wrapper is cheap.
             self._build_opt()
         self._closed_form = None
         self._influence = None

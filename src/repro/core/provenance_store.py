@@ -29,13 +29,13 @@ dict APIs (:meth:`ProvenanceStore.occurrences` /
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Union
 
 import numpy as np
 
-from ..linalg.eigen import eigendecompose
-from ..linalg.svd import TruncatedSummary
+from ..linalg.svd import TruncatedSummary, retruncate_summary
 from ..models.batching import BatchSchedule
 
 Summary = Union[TruncatedSummary, np.ndarray, None]
@@ -238,6 +238,15 @@ class FrozenProvenance:
     frozen ``C*``/``D*`` over the full dataset, and ``eigen`` the offline
     eigendecomposition of ``C*``.  For multinomial the per-sample state is
     ``probabilities``/``wx`` instead.
+
+    Commits downdate ``gram``/``moment`` exactly but defer the ``O(m³)``
+    re-eigendecomposition: ``eigen_stale`` flags the debt and
+    ``pending_rows``/``pending_weights`` accumulate the removed (weighted)
+    rows so the lazy refresh (:func:`~repro.core.priu_opt.\
+refresh_frozen_eigen`) can choose the incremental eigenvalue correction
+    when it is cheaper than a full recompute.  All three persist through
+    checkpoints (store format v3), so a reloaded stale model refreshes on
+    its first PrIU-opt query exactly like the in-process one.
     """
 
     t_s: int
@@ -250,6 +259,9 @@ class FrozenProvenance:
     moment: np.ndarray | None = None
     eigenvectors: np.ndarray | None = None
     eigenvalues: np.ndarray | None = None
+    eigen_stale: bool = False
+    pending_rows: np.ndarray | None = None
+    pending_weights: np.ndarray | None = None
 
     def nbytes(self) -> int:
         total = 0
@@ -262,10 +274,66 @@ class FrozenProvenance:
             self.moment,
             self.eigenvectors,
             self.eigenvalues,
+            self.pending_rows,
+            self.pending_weights,
         ):
             if arr is not None:
                 total += int(arr.nbytes)
         return total
+
+    def defer_eigen(self, rows: np.ndarray, weights: np.ndarray) -> None:
+        """Record removed (weighted) rows whose eigen effect is deferred."""
+        if self.pending_rows is None:
+            self.pending_rows = np.asarray(rows, dtype=float).copy()
+            self.pending_weights = np.asarray(weights, dtype=float).copy()
+        else:
+            self.pending_rows = np.vstack([self.pending_rows, rows])
+            self.pending_weights = np.concatenate(
+                [self.pending_weights, weights]
+            )
+        self.eigen_stale = True
+
+
+@dataclass
+class CommitReceipt:
+    """Audit evidence for one committed deletion batch (GDPR trail).
+
+    ``removed_original_ids`` are the batch's sample ids in *original*
+    capture-run space (the slice ``deletion_log[log_start:log_end]``);
+    ``store_version_before`` pins the id space the batch executed in
+    (historical evidence only — version counters restart when a
+    checkpoint reloads, the receipt ``index`` is the stable ordinal).
+    ``timestamp`` comes from whatever clock the committing trainer was
+    given (:class:`~repro.core.api.IncrementalTrainer` ``clock=``; the
+    serving layer injects its own, so fake-clock tests get deterministic
+    receipts).  Receipts persist in checkpoints (store format v3).
+    """
+
+    index: int
+    removed_original_ids: np.ndarray
+    log_start: int
+    log_end: int
+    store_version_before: int
+    n_samples_before: int
+    n_samples_after: int
+    timestamp: float
+
+    @property
+    def n_removed(self) -> int:
+        return int(self.removed_original_ids.size)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (audit exports, fleet describe)."""
+        return {
+            "index": self.index,
+            "removed_original_ids": self.removed_original_ids.tolist(),
+            "log_start": self.log_start,
+            "log_end": self.log_end,
+            "store_version_before": self.store_version_before,
+            "n_samples_before": self.n_samples_before,
+            "n_samples_after": self.n_samples_after,
+            "timestamp": self.timestamp,
+        }
 
 
 @dataclass
@@ -317,6 +385,13 @@ class ProvenanceStore:
     # slice the original training data down to the current survivors.
     n_original_samples: int | None = None
     deletion_log: np.ndarray | None = None
+    # Audit receipts, one per compact() call, in commit order (v3).
+    commit_receipts: list = field(default_factory=list)
+    # Maintenance accounting: per-record count of exact correction columns
+    # appended to truncated-SVD summaries by compact() and not yet
+    # reclaimed by retruncate_summaries().  None until the first commit
+    # widens a summary; persists through checkpoints (v3).
+    svd_correction_columns: np.ndarray | None = None
 
     _occurrences: dict[int, list[tuple[int, int]]] | None = None
     _packed: PackedOccurrenceIndex | None = None
@@ -435,7 +510,13 @@ class ProvenanceStore:
             np.unique(self.deletion_log),
         )
 
-    def compact(self, removed, features, labels: np.ndarray) -> CompactionStats:
+    def compact(
+        self,
+        removed,
+        features,
+        labels: np.ndarray,
+        timestamp: float | None = None,
+    ) -> CompactionStats:
         """Fold a committed deletion into the store itself.
 
         Unlike a replay — which answers the counterfactual and leaves the
@@ -482,12 +563,19 @@ class ProvenanceStore:
 
         self._commit_seq += 1  # odd: mutation in progress
         try:
-            return self._compact_locked(removed, features, labels, n_before)
+            return self._compact_locked(
+                removed, features, labels, n_before, timestamp
+            )
         finally:
             self._commit_seq += 1  # even again: readers may trust the pair
 
     def _compact_locked(
-        self, removed: np.ndarray, features, labels, n_before: int
+        self,
+        removed: np.ndarray,
+        features,
+        labels,
+        n_before: int,
+        timestamp: float | None,
     ) -> CompactionStats:
         index = self.packed_index()
         removed_map = self.removed_positions(removed)
@@ -500,7 +588,18 @@ class ProvenanceStore:
 
         # ---- per-record state: drop removed rows, patch summaries/moments
         for t, (ids, positions) in removed_map.items():
-            self._compact_record(self.records[t], ids, positions, features, labels)
+            appended = self._compact_record(
+                self.records[t], ids, positions, features, labels
+            )
+            if appended:
+                # Maintenance accounting: exact correction columns widen
+                # the SVD factors until retruncate_summaries() reclaims
+                # them.
+                if self.svd_correction_columns is None:
+                    self.svd_correction_columns = np.zeros(
+                        len(self.records), dtype=np.int64
+                    )
+                self.svd_correction_columns[t] += appended
         # ---- remap every surviving batch id onto the packed space
         if removed.size:
             for record in self.records:
@@ -536,15 +635,32 @@ class ProvenanceStore:
             index.iterations[member], return_counts=True
         )
 
-        # ---- bookkeeping: deletion log, schedule, sizes, version
+        # ---- bookkeeping: deletion log, receipts, schedule, sizes, version
         if self.n_original_samples is None:
             self.n_original_samples = n_before
         survivors = self.survivor_original_ids()
         removed_original = survivors[removed]
+        log_start = 0 if self.deletion_log is None else int(
+            self.deletion_log.size
+        )
         self.deletion_log = (
             removed_original
             if self.deletion_log is None
             else np.concatenate([self.deletion_log, removed_original])
+        )
+        if timestamp is None:
+            timestamp = time.time()
+        self.commit_receipts.append(
+            CommitReceipt(
+                index=len(self.commit_receipts),
+                removed_original_ids=removed_original.copy(),
+                log_start=log_start,
+                log_end=log_start + int(removed.size),
+                store_version_before=self._version,
+                n_samples_before=n_before,
+                n_samples_after=n_before - int(removed.size),
+                timestamp=float(timestamp),
+            )
         )
         self.n_samples = n_before - int(removed.size)
         # The seeded schedule no longer regenerates the compacted batches;
@@ -572,10 +688,17 @@ class ProvenanceStore:
 
     def _compact_record(
         self, record, ids: np.ndarray, positions: np.ndarray, features, labels
-    ) -> None:
-        """Drop ``positions`` from one record, subtracting their contributions."""
+    ) -> int:
+        """Drop ``positions`` from one record, subtracting their contributions.
+
+        Returns the number of exact correction columns appended to a
+        truncated-SVD summary (0 for dense/sparse records) — the
+        maintenance accounting :meth:`retruncate_summaries` later
+        reclaims.
+        """
         mask = np.ones(len(record.batch), dtype=bool)
         mask[positions] = False
+        appended = 0
         rows = None
         if record.summary is not None or (
             isinstance(record, LinearRecord) and record.moment.size
@@ -583,6 +706,8 @@ class ProvenanceStore:
             rows = np.asarray(features[ids], dtype=float)
         if isinstance(record, LinearRecord):
             if rows is not None:
+                if isinstance(record.summary, TruncatedSummary):
+                    appended = rows.shape[0]
                 record.summary = self._shrunk_summary(record.summary, rows, None)
                 if record.moment.size:
                     record.moment = record.moment - rows.T @ labels[ids].astype(
@@ -591,6 +716,8 @@ class ProvenanceStore:
         elif isinstance(record, LogisticRecord):
             slopes_hit = record.slopes[positions]
             if record.summary is not None:
+                if isinstance(record.summary, TruncatedSummary):
+                    appended = rows.shape[0]
                 record.summary = self._shrunk_summary(
                     record.summary, rows, slopes_hit
                 )
@@ -616,12 +743,15 @@ class ProvenanceStore:
             coeff[np.arange(len(ids)), y] += 1.0
             record.moment = record.moment - coeff.T @ rows
             if record.summary is not None:
+                if isinstance(record.summary, TruncatedSummary):
+                    appended = len(ids) * probs_hit.shape[1]
                 record.summary = self._shrunk_multinomial_summary(
                     record.summary, probs_hit, rows
                 )
             record.probabilities = record.probabilities[mask]
             record.wx = record.wx[mask]
         record.batch = record.batch[mask]
+        return appended
 
     @staticmethod
     def _shrunk_summary(
@@ -670,7 +800,16 @@ class ProvenanceStore:
         return summary + contrib
 
     def _compact_frozen(self, removed: np.ndarray, features, labels) -> None:
-        """Compact the PrIU-opt frozen full-dataset state (Sec. 5.4)."""
+        """Compact the PrIU-opt frozen full-dataset state (Sec. 5.4).
+
+        The frozen gram/moment are downdated *exactly*; the offline
+        eigendecomposition is **not** recomputed here — the removed
+        (weighted) rows are recorded via :meth:`FrozenProvenance.\
+defer_eigen` and the debt is discharged lazily by the first PrIU-opt
+        update (or a :meth:`~repro.core.api.IncrementalTrainer.maintain`
+        call), so a commit-heavy serving process that answers through the
+        compiled plan never pays the ``O(m³)`` (or ``O((qm)³)``) factor.
+        """
         frozen = self.frozen
         needs_rows = frozen.gram is not None
         rows = (
@@ -683,6 +822,8 @@ class ProvenanceStore:
                 y = labels[removed].astype(float)
                 frozen.gram = frozen.gram - rows.T @ (rows * slopes_r[:, None])
                 frozen.moment = frozen.moment - rows.T @ (intercepts_r * y)
+                if frozen.eigenvectors is not None:
+                    frozen.defer_eigen(rows, slopes_r)
             frozen.slopes = np.delete(frozen.slopes, removed)
             frozen.intercepts = np.delete(frozen.intercepts, removed)
         elif frozen.probabilities is not None:  # multinomial
@@ -702,12 +843,95 @@ class ProvenanceStore:
                 coeff = lam_u - probs_r
                 coeff[np.arange(removed.size), y] += 1.0
                 frozen.moment = frozen.moment - (coeff.T @ rows).ravel()
+                if frozen.eigenvectors is not None:
+                    # Same Kronecker rank-q expansion the tail state uses:
+                    # ΔC* = Σ_k λ_k kron_k kron_kᵀ with the *negated*
+                    # eigenvalues as subtraction weights.
+                    evals, evecs = np.linalg.eigh(lam)
+                    kron_rows = np.einsum(
+                        "iqk,im->ikqm", evecs, rows
+                    ).reshape(removed.size * q, -1)
+                    frozen.defer_eigen(kron_rows, -evals.reshape(-1))
             frozen.probabilities = np.delete(frozen.probabilities, removed, axis=0)
             frozen.wx = np.delete(frozen.wx, removed, axis=0)
-        if frozen.eigenvectors is not None:
-            eigen = eigendecompose(frozen.gram)
-            frozen.eigenvectors = eigen.eigenvectors
-            frozen.eigenvalues = eigen.eigenvalues
+
+    # ----------------------------------------------------------- maintenance
+    def retruncate_summaries(
+        self, epsilon: float | None = None, min_columns: int = 1
+    ) -> dict:
+        """Reclaim the correction columns commits appended to SVD summaries.
+
+        Every record whose summary accumulated at least ``min_columns``
+        exact correction columns (:attr:`svd_correction_columns`) is
+        re-truncated through :func:`~repro.linalg.svd.retruncate_summary`
+        — ``epsilon=None`` keeps the operator to machine precision (the
+        answer contract survives at atol 1e-10), an explicit ε applies
+        the paper's lossy criterion with the worst error bound surfaced
+        in the receipt.  Bumps the store version (compiled plans must
+        re-sync their summary references via :meth:`~repro.core.\
+replay_plan.ReplayPlan.resync_summaries`); the mutation is wrapped in
+        the commit seqlock so concurrent submit-time readers always see a
+        consistent store.
+
+        Returns a receipt dict: ``summaries`` (how many re-truncated),
+        ``columns_before``/``columns_after`` (total factor widths of the
+        touched summaries), ``max_error_bound`` / ``max_relative_error``
+        (exact-vs-retruncated 2-norm distance, absolute and relative to
+        σ₁), ``max_rank_after``, and ``iterations`` (the touched record
+        indices, for plan re-sync).
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if self.svd_correction_columns is None:
+            return {
+                "summaries": 0,
+                "columns_before": 0,
+                "columns_after": 0,
+                "max_error_bound": 0.0,
+                "max_relative_error": 0.0,
+                "max_rank_after": 0,
+                "iterations": empty,
+            }
+        touched = [
+            int(t)
+            for t in np.flatnonzero(self.svd_correction_columns >= min_columns)
+            if isinstance(self.records[t].summary, TruncatedSummary)
+        ]
+        if not touched:
+            return {
+                "summaries": 0,
+                "columns_before": 0,
+                "columns_after": 0,
+                "max_error_bound": 0.0,
+                "max_relative_error": 0.0,
+                "max_rank_after": 0,
+                "iterations": empty,
+            }
+        columns_before = columns_after = max_rank_after = 0
+        max_bound = max_relative = 0.0
+        self._commit_seq += 1  # odd: mutation in progress
+        try:
+            for t in touched:
+                record = self.records[t]
+                result = retruncate_summary(record.summary, epsilon=epsilon)
+                record.summary = result.summary
+                columns_before += result.rank_before
+                columns_after += result.rank_after
+                max_rank_after = max(max_rank_after, result.rank_after)
+                max_bound = max(max_bound, result.error_bound)
+                max_relative = max(max_relative, result.error_bound_relative)
+            self.svd_correction_columns[touched] = 0
+            self._version += 1
+        finally:
+            self._commit_seq += 1  # even again
+        return {
+            "summaries": len(touched),
+            "columns_before": columns_before,
+            "columns_after": columns_after,
+            "max_error_bound": max_bound,
+            "max_relative_error": max_relative,
+            "max_rank_after": max_rank_after,
+            "iterations": np.asarray(touched, dtype=np.int64),
+        }
 
     # -------------------------------------------------------------- memory
     def nbytes(self) -> int:

@@ -511,6 +511,75 @@ class ReplayPlan:
         self._compiled_version = self.store._version
         return {"mode": "refresh", "fraction": fraction}
 
+    # -------------------------------------------------------- maintenance
+    def slot_garbage_rows(self) -> tuple[int, int]:
+        """``(garbage rows, physical rows)`` held by the multinomial flats.
+
+        A committed refresh drops multinomial occurrence slots *logically*
+        (through :attr:`_slot_map`) while the ``(H, q)`` softmax flats keep
+        their physical size; the difference is reclaimable garbage that
+        :meth:`repack` folds away.  Binary/linear flats are physically
+        compacted on refresh and never carry garbage.
+        """
+        flats = getattr(self, "_probs_flat", None)
+        if not self.supported or flats is None:
+            return 0, 0
+        physical = int(flats.shape[0])
+        if self._slot_map is None:
+            return 0, physical
+        return physical - int(self._slot_map.size), physical
+
+    def repack(self) -> dict:
+        """Fold the logical→physical slot map into the multinomial flats.
+
+        The gather rewrites ``probs``/``wx`` as contiguous live-row arrays
+        and resets the map to identity (``None``), returning the plan to a
+        freshly compiled footprint.  Values are *moved, never changed* —
+        replay answers are bit-identical before and after — so re-packing
+        is safe at any point between dispatches.  Returns a receipt with
+        the rows and bytes reclaimed (all-zero when there was no map).
+        """
+        garbage, physical = self.slot_garbage_rows()
+        if self._slot_map is None:
+            return {"garbage_rows": 0, "physical_rows": physical,
+                    "bytes_freed": 0}
+        before = int(
+            self._probs_flat.nbytes
+            + self._wx_flat.nbytes
+            + self._slot_map.nbytes
+        )
+        self._probs_flat = np.ascontiguousarray(
+            self._probs_flat[self._slot_map]
+        )
+        self._wx_flat = np.ascontiguousarray(self._wx_flat[self._slot_map])
+        self._slot_map = None
+        after = int(self._probs_flat.nbytes + self._wx_flat.nbytes)
+        return {
+            "garbage_rows": garbage,
+            "physical_rows": physical,
+            "bytes_freed": before - after,
+        }
+
+    def resync_summaries(self, iterations=None) -> None:
+        """Re-bind summary references after the store re-truncated them.
+
+        :meth:`~repro.core.provenance_store.ProvenanceStore.\
+retruncate_summaries` replaces record summaries (and bumps the store
+        version); the compiled plan holds per-iteration references into
+        those records, so the touched ones are re-fetched here and the
+        plan's pinned version is advanced.  ``iterations=None`` re-binds
+        every iteration.
+        """
+        if self.supported and not self.sparse and self._kind == "svd":
+            records = self.store.records
+            if iterations is None:
+                iterations = range(self.n_iterations)
+            for t in iterations:
+                summary = records[t].summary
+                self._lefts[t] = summary.left
+                self._rights[t] = summary.right
+        self._compiled_version = self.store._version
+
     # ------------------------------------------------------------ queries
     def nbytes(self) -> int:
         """Extra memory the compiled layout holds beyond the store itself."""

@@ -34,6 +34,7 @@ import numpy as np
 from ..linalg.svd import TruncatedSummary
 from ..models.batching import BatchSchedule
 from .provenance_store import (
+    CommitReceipt,
     FrozenProvenance,
     LinearRecord,
     LogisticRecord,
@@ -46,9 +47,15 @@ from .replay_plan import ReplayPlan
 # ``n_original_samples`` entry, a ``__deletion_log__`` array records the
 # cumulative committed removals in original id space, and the schedule kind
 # may be ``"materialized"`` (batches reconstructed from the records rather
-# than regenerated from the seed).  Format-1 archives still load.
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+# than regenerated from the seed).  Format 3 (PR 5) adds the maintenance
+# and audit state: ``__receipts__`` (per-commit audit receipts, one row per
+# commit, ids recovered from the deletion log), ``__svd_corrections__``
+# (per-record correction-column counters), and the frozen PrIU-opt lazy
+# eigen state (``__frozen_meta__`` grows an ``eigen_stale`` flag and the
+# deferred ``pending_rows``/``pending_weights`` arrays persist alongside
+# the other frozen fields).  Format-1/2 archives still load.
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 _PLAN_FORMAT_VERSION = 1
 
 _FROZEN_FIELDS = (
@@ -60,6 +67,18 @@ _FROZEN_FIELDS = (
     "moment",
     "eigenvectors",
     "eigenvalues",
+    "pending_rows",
+    "pending_weights",
+)
+
+# __receipts__ columns (float64; the ids live in the deletion log slice).
+_RECEIPT_COLUMNS = (
+    "log_start",
+    "log_end",
+    "store_version_before",
+    "n_samples_before",
+    "n_samples_after",
+    "timestamp",
 )
 
 # Canonical file names inside a checkpoint directory (written by
@@ -108,7 +127,11 @@ def save_store(store: ProvenanceStore, path: str | Path) -> Path:
 
     frozen_meta: list = []
     if store.frozen is not None:
-        frozen_meta = [store.frozen.t_s, int(store.frozen.weights_at_ts_available)]
+        frozen_meta = [
+            store.frozen.t_s,
+            int(store.frozen.weights_at_ts_available),
+            int(store.frozen.eigen_stale),
+        ]
         for field in _FROZEN_FIELDS:
             value = getattr(store.frozen, field)
             if value is not None:
@@ -136,6 +159,16 @@ def save_store(store: ProvenanceStore, path: str | Path) -> Path:
     )
     if store.deletion_log is not None:
         arrays["__deletion_log__"] = store.deletion_log
+    if store.commit_receipts:
+        arrays["__receipts__"] = np.array(
+            [
+                [getattr(receipt, column) for column in _RECEIPT_COLUMNS]
+                for receipt in store.commit_receipts
+            ],
+            dtype=float,
+        )
+    if store.svd_correction_columns is not None:
+        arrays["__svd_corrections__"] = store.svd_correction_columns
     arrays["__schedule__"] = np.array(
         [
             str(store.schedule.n_samples),
@@ -229,6 +262,31 @@ def load_store(path: str | Path) -> ProvenanceStore:
             )
             if "__deletion_log__" in archive.files:
                 store.deletion_log = archive["__deletion_log__"]
+        if version >= 3:
+            if "__svd_corrections__" in archive.files:
+                store.svd_correction_columns = archive["__svd_corrections__"]
+            if "__receipts__" in archive.files:
+                for row in archive["__receipts__"]:
+                    fields = dict(zip(_RECEIPT_COLUMNS, row))
+                    log_start = int(fields["log_start"])
+                    log_end = int(fields["log_end"])
+                    store.commit_receipts.append(
+                        CommitReceipt(
+                            index=len(store.commit_receipts),
+                            removed_original_ids=np.asarray(
+                                store.deletion_log[log_start:log_end],
+                                dtype=np.int64,
+                            ),
+                            log_start=log_start,
+                            log_end=log_end,
+                            store_version_before=int(
+                                fields["store_version_before"]
+                            ),
+                            n_samples_before=int(fields["n_samples_before"]),
+                            n_samples_after=int(fields["n_samples_after"]),
+                            timestamp=float(fields["timestamp"]),
+                        )
+                    )
         frozen_meta = [str(v) for v in archive["__frozen_meta__"]]
         if frozen_meta:
             fields = {
@@ -242,6 +300,9 @@ def load_store(path: str | Path) -> ProvenanceStore:
             store.frozen = FrozenProvenance(
                 t_s=int(frozen_meta[0]),
                 weights_at_ts_available=bool(int(frozen_meta[1])),
+                eigen_stale=(
+                    bool(int(frozen_meta[2])) if len(frozen_meta) > 2 else False
+                ),
                 **fields,
             )
     return store

@@ -38,7 +38,9 @@ from .matrix_utils import (
     weighted_gram,
 )
 from .svd import (
+    RetruncationResult,
     TruncatedSummary,
+    retruncate_summary,
     select_rank,
     spectral_mass_ratio,
     truncate_from_samples,
@@ -48,8 +50,10 @@ from .svd import (
 __all__ = [
     "EigenSystem",
     "PiecewiseLinearInterpolator",
+    "RetruncationResult",
     "SIGMOID_SECOND_DERIVATIVE_BOUND",
     "TruncatedSummary",
+    "retruncate_summary",
     "eigendecompose",
     "gd_diagonal_recursion",
     "gd_diagonal_recursion_scheduled",

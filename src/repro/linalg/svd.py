@@ -149,6 +149,86 @@ def truncate_from_samples(
     return TruncatedSummary(left=left, right=basis)
 
 
+@dataclass(frozen=True)
+class RetruncationResult:
+    """Receipt of one :func:`retruncate_summary` call.
+
+    ``error_bound`` is the *exact* 2-norm distance between the widened
+    operator and its re-truncated replacement — the largest singular value
+    dropped (``0.0`` when nothing was dropped), so
+    ``‖A_wide − A_retrunc‖₂ = error_bound ≤ error_bound_relative · ‖A‖₂``.
+    Maintenance surfaces the worst bound across all re-truncated summaries
+    so callers can verify the answer contract they are trading for memory.
+    """
+
+    summary: TruncatedSummary
+    rank_before: int
+    rank_after: int
+    error_bound: float  # ‖dropped tail‖₂ = largest dropped singular value
+    spectral_norm: float  # σ₁ of the widened operator
+
+    @property
+    def error_bound_relative(self) -> float:
+        """``error_bound / σ₁`` (0.0 for a zero operator)."""
+        if self.spectral_norm == 0.0:
+            return 0.0
+        return self.error_bound / self.spectral_norm
+
+
+def retruncate_summary(
+    summary: TruncatedSummary,
+    epsilon: float | None = None,
+    max_rank: int | None = None,
+) -> RetruncationResult:
+    """Re-truncate a widened ``(P, V)`` factor pair without forming ``PVᵀ``.
+
+    Commit compaction appends *exact* rank-Δ correction columns to a
+    truncated-SVD summary (:meth:`~repro.core.provenance_store.\
+ProvenanceStore.compact`), so after many commits the factors are far wider
+    than the operator's numerical rank.  This restores tightness via the
+    thin-QR route: with ``P = Q_p R_p`` and ``V = Q_v R_v``,
+
+        ``P Vᵀ = Q_p (R_p R_vᵀ) Q_vᵀ``
+
+    and the SVD of the small ``r × r`` core re-diagonalizes the operator in
+    ``O(m r² + r³)`` — never the ``O(m³)`` dense SVD.
+
+    ``epsilon=None`` (the default) drops only the *numerically zero* tail
+    (``σ ≤ max(m, r) · eps_float64 · σ₁``): the re-truncated operator equals
+    the widened one to machine precision, so replay answers are preserved
+    at the commit contract's atol.  Passing an explicit ``epsilon`` applies
+    the paper's tail-ratio criterion (:func:`select_rank`) instead —
+    smaller factors, answers perturbed by at most ``error_bound`` per
+    application (surfaced in the result).
+    """
+    left = np.asarray(summary.left, dtype=float)
+    right = np.asarray(summary.right, dtype=float)
+    qp, rp = np.linalg.qr(left)
+    qv, rv = np.linalg.qr(right)
+    core = rp @ rv.T
+    u, s, vt = np.linalg.svd(core)
+    if s[0] == 0.0:
+        rank = 1  # zero operator: keep one (zero) column, drop the rest
+    elif epsilon is None:
+        tol = max(left.shape[0], left.shape[1]) * np.finfo(float).eps * s[0]
+        rank = max(1, int(np.sum(s > tol)))
+    else:
+        rank = select_rank(s, epsilon)
+    if max_rank is not None:
+        rank = min(rank, max_rank)
+    rank = max(1, min(rank, s.size))
+    error_bound = float(s[rank]) if rank < s.size else 0.0
+    new_left = qp @ (u[:, :rank] * s[:rank])
+    new_right = qv @ vt[:rank].T
+    return RetruncationResult(
+        summary=TruncatedSummary(left=new_left, right=new_right),
+        rank_before=int(left.shape[1]),
+        rank_after=rank,
+        error_bound=error_bound,
+        spectral_norm=float(s[0]) if s.size else 0.0,
+    )
+
+
 def spectral_mass_ratio(full: np.ndarray, summary: TruncatedSummary) -> float:
     """``‖PVᵀ‖₂ / ‖A‖₂`` — the quantity Theorems 6/8 lower-bound by 1-ε."""
     denom = np.linalg.norm(full, 2)

@@ -16,7 +16,9 @@ long-lived serving process.  This package supplies that process:
 * :class:`AdmissionPolicy` / :class:`Lane` — the latency-budget /
   max-batch / backpressure knobs governing coalescing, plus the SLA
   lanes (a zero-delay ``deadline`` lane pre-empts coalescing; ``bulk``
-  traffic rides the batching budget);
+  traffic rides the batching budget; a lowest-priority ``maintenance``
+  lane carries background plan maintenance) and the
+  ``max_preemption_ratio`` starvation guard bounding deadline floods;
 * :class:`ServedOutcome` — updated weights plus per-request
   wait/service/latency timings and batch coordinates;
 * :class:`ServingStats` / :class:`LaneStats` — lifetime counters and
@@ -35,7 +37,12 @@ capture (see ``examples/deletion_server.py`` and
 
 from .clock import Clock, MonotonicClock
 from .fleet import FleetServer, ModelRegistry
-from .policy import DEFAULT_LANES, AdmissionPolicy, Lane
+from .policy import (
+    DEFAULT_LANES,
+    MAINTENANCE_PRIORITY,
+    AdmissionPolicy,
+    Lane,
+)
 from .server import BackpressureError, DeletionServer, ServedOutcome
 from .stats import LaneStats, ServingStats, StatsRecorder
 
@@ -44,6 +51,7 @@ __all__ = [
     "BackpressureError",
     "Clock",
     "DEFAULT_LANES",
+    "MAINTENANCE_PRIORITY",
     "DeletionServer",
     "FleetServer",
     "Lane",

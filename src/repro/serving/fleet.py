@@ -56,6 +56,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core.api import IncrementalTrainer
+from ..core.maintenance import MaintenancePolicy
 from ..core.provenance_store import normalize_removed_indices
 from ..core.serialization import (
     CheckpointMetadata,
@@ -63,7 +64,7 @@ from ..core.serialization import (
     save_store,
 )
 from .clock import MONOTONIC_CLOCK, Clock
-from .policy import AdmissionPolicy
+from .policy import AdmissionPolicy, _PreemptionGuard
 from .server import (
     BackpressureError,
     ServedOutcome,
@@ -141,6 +142,9 @@ class ModelRegistry:
         # Insertion order = recency: least-recently-used first.
         self._resident: "OrderedDict[str, _Resident]" = OrderedDict()
         self._pins: dict[str, int] = {}
+        # Admission history: per-model submit_view() count, the hotness
+        # ranking warm_start() pre-loads by.
+        self._admissions: dict[str, int] = {}
         # Checkpoint epoch: how many times save_dirty() rewrote each
         # model's archive.  Commit-queue translation keys on it — a
         # request validated against an epoch-e checkpoint must not be
@@ -321,6 +325,7 @@ class ModelRegistry:
         """
         with self._lock:
             spec = self._spec(model_id)
+            self._admissions[model_id] = self._admissions.get(model_id, 0) + 1
             entry = self._resident.get(model_id)
             if entry is not None:
                 return (
@@ -330,6 +335,75 @@ class ModelRegistry:
                     entry.loaded_version,
                 )
             return None, self._epochs[model_id], spec.metadata.n_samples, None
+
+    def warm_start(
+        self, n: int, hotness: dict[str, int] | None = None
+    ) -> tuple[str, ...]:
+        """Pre-load the hottest ``n`` non-resident models by admission history.
+
+        A freshly (re)started fleet pays each model's ``from_checkpoint``
+        load on its first request; ``warm_start`` pays it up front for the
+        models most likely to be hit, ranked by ``hotness`` (a
+        ``model_id -> count`` map; default: this registry's per-model
+        admission counts, which every :meth:`FleetServer.submit`
+        increments through :meth:`submit_view`).  Only checkpoint-backed,
+        never-admitted-zero models are considered, and warming stops as
+        soon as it would start thrashing the models already serving: at
+        ``max_resident``, once the resident footprint reaches
+        ``max_plan_bytes``, or immediately after a warm load forces any
+        eviction (a model's plan size is unknowable before loading it, so
+        the byte cap can only be detected one load late).  Returns the
+        ids actually loaded, hottest first.
+        """
+        if n < 0:
+            raise ValueError("warm_start(n) needs n >= 0")
+        with self._lock:
+            if hotness is None:
+                hotness = dict(self._admissions)
+            order = {mid: i for i, mid in enumerate(self._specs)}
+            candidates = [
+                model_id
+                for model_id, spec in self._specs.items()
+                if spec.checkpoint is not None
+                and model_id not in self._resident
+                and hotness.get(model_id, 0) > 0
+            ]
+            candidates.sort(key=lambda mid: (-hotness.get(mid, 0), order[mid]))
+        loaded: list[str] = []
+        for model_id in candidates[:n]:
+            with self._lock:
+                if (
+                    self.max_resident is not None
+                    and len(self._resident) >= self.max_resident
+                ):
+                    break
+                if self.max_plan_bytes is not None and (
+                    sum(e.plan_bytes for e in self._resident.values())
+                    >= self.max_plan_bytes
+                ):
+                    break
+                if model_id in self._resident:
+                    continue
+                evictions_before = self._evictions
+            # The expensive load runs outside the registry lock, exactly
+            # like a traffic-driven load (serialized per model).
+            self.get(model_id)
+            loaded.append(model_id)
+            with self._lock:
+                if self._evictions > evictions_before:
+                    break  # the caps are saturated; stop warming
+        return tuple(loaded)
+
+    def note_plan_bytes(self, model_id: str) -> None:
+        """Re-measure a resident model's compiled-plan footprint.
+
+        Maintenance (plan re-pack, SVD re-truncation) shrinks the
+        resident footprint; the eviction caps should see the new number.
+        """
+        with self._lock:
+            entry = self._resident.get(model_id)
+            if entry is not None:
+                entry.plan_bytes = entry.trainer.plan_nbytes()
 
     @contextmanager
     def pinned(self, model_id: str):
@@ -476,11 +550,21 @@ class ModelRegistry:
 
     # ------------------------------------------------------------- observers
     def describe(self, model_id: str) -> dict:
-        """One model's registration, residency and dirtiness, as plain data."""
+        """One model's registration, residency, dirtiness and maintenance
+        debt, as plain data.
+
+        ``maintenance_cost`` is an *advisory snapshot*: it is measured
+        outside the registry lock (the ``O(records)`` traversal must not
+        stall every concurrent submit on one monitoring call) and without
+        synchronizing against an in-flight dispatch on that model, so a
+        commit racing the read can smear the numbers.  ``None`` while the
+        model is not resident — measuring would force a load.
+        """
         with self._lock:
             spec = self._spec(model_id)
             entry = self._resident.get(model_id)
-            return {
+            trainer = None if entry is None else entry.trainer
+            info = {
                 "model_id": model_id,
                 "checkpoint": (
                     None if spec.checkpoint is None else str(spec.checkpoint)
@@ -489,10 +573,15 @@ class ModelRegistry:
                 "dirty": entry is not None and self._is_dirty(entry),
                 "pinned": self._pins.get(model_id, 0) > 0,
                 "plan_bytes": None if entry is None else entry.plan_bytes,
+                "admissions": self._admissions.get(model_id, 0),
                 "metadata": (
                     None if spec.metadata is None else spec.metadata.as_dict()
                 ),
             }
+        info["maintenance_cost"] = (
+            None if trainer is None else trainer.maintenance_cost().as_dict()
+        )
+        return info
 
     def stats(self) -> dict:
         """Lifetime load/hit/eviction counters and the resident footprint."""
@@ -511,6 +600,32 @@ class ModelRegistry:
 
 
 # ------------------------------------------------------------------ fleet
+class _MaintenanceTicket:
+    """One scheduled background ``maintain()`` run for one model.
+
+    Tickets ride the stock lowest-priority ``maintenance`` lane: they
+    live outside the request heap and the scheduler only picks them up
+    when no model has queued deletion traffic at all, so background
+    reclamation never pushes a queued deadline or bulk dispatch back
+    (same-model traffic arriving *mid-run* waits for the run to finish,
+    like behind any in-flight batch).
+    """
+
+    __slots__ = ("future", "enqueued_at", "policy", "auto")
+
+    def __init__(
+        self,
+        future: Future,
+        enqueued_at: float,
+        policy: MaintenancePolicy | None,
+        auto: bool,
+    ) -> None:
+        self.future = future
+        self.enqueued_at = enqueued_at
+        self.policy = policy
+        self.auto = auto
+
+
 class _ModelQueue:
     """One model's admission state inside the fleet (guarded by the
     fleet's scheduler condition unless noted)."""
@@ -518,6 +633,7 @@ class _ModelQueue:
     __slots__ = (
         "model_id", "heap", "busy", "slots", "tracker",
         "stats", "batch_seq", "method", "commit_mode",
+        "guard", "maintenance", "maintenance_runs", "last_maintenance",
     )
 
     def __init__(
@@ -539,6 +655,12 @@ class _ModelQueue:
         self.batch_seq = itertools.count()
         self.method = method
         self.commit_mode = commit_mode
+        # Starvation guard (AdmissionPolicy.max_preemption_ratio) and the
+        # background-maintenance backlog (lowest-priority lane).
+        self.guard = _PreemptionGuard()
+        self.maintenance: list[_MaintenanceTicket] = []
+        self.maintenance_runs = 0
+        self.last_maintenance: dict | None = None
 
     def earliest_deadline(self) -> float | None:
         """When the most impatient queued request's lane budget expires."""
@@ -549,13 +671,53 @@ class _ModelQueue:
             for _, _, request in self.heap
         )
 
-    def pop_batch(self, max_batch: int) -> list[_Request]:
-        """Up to ``max_batch`` requests in (lane priority, submission) order."""
+    def pop_batch(
+        self, max_batch: int, policy: AdmissionPolicy | None = None
+    ) -> list[_Request]:
+        """Up to ``max_batch`` requests in (lane priority, submission) order.
+
+        When ``policy`` carries a ``max_preemption_ratio`` and the guard's
+        debt is due, the oldest queued lower-priority request is *yielded*
+        into the batch ahead of the priority order (it then rides the
+        batch's minimum delay and is served with it) — the deadline-flood
+        starvation guard.
+        """
         batch: list[_Request] = []
+        yielded = False
+        if (
+            policy is not None
+            and self.heap
+            and self.guard.must_yield()
+            # Only a guarded lane's dispatch yields; an unguarded-led one
+            # repays debt in observe_dispatch without stealing.
+            and policy.preemption_ratio_for(self.heap[0][2].lane) is not None
+        ):
+            bound = min(entry[0] for entry in self.heap)
+            lower = [entry for entry in self.heap if entry[0] > bound]
+            if lower:
+                entry = min(lower, key=lambda e: e[1])
+                self.heap.remove(entry)
+                heapq.heapify(self.heap)
+                self.slots.release()
+                batch.append(entry[2])
+                yielded = True
         while self.heap and len(batch) < max_batch:
             _, _, request = heapq.heappop(self.heap)
             self.slots.release()
             batch.append(request)
+        if policy is not None and batch:
+
+            def oldest_lower_seq(bound_priority: int) -> int | None:
+                seqs = [
+                    entry[1]
+                    for entry in self.heap
+                    if entry[0] > bound_priority
+                ]
+                return min(seqs) if seqs else None
+
+            self.guard.observe_dispatch(
+                batch, oldest_lower_seq, policy, yielded
+            )
         return batch
 
 
@@ -602,6 +764,19 @@ class FleetServer:
         effective parallelism is ``min(n_workers, busy models)``.
     clock:
         Injectable time source shared with the per-model deadline math.
+    maintenance:
+        A :class:`~repro.core.maintenance.MaintenancePolicy` enabling
+        background plan maintenance: after every committed batch the
+        model's :meth:`~repro.core.api.IncrementalTrainer.\
+maintenance_cost` is checked against the policy's thresholds and, when
+        due, a ``maintain()`` run is scheduled on the shared pool behind
+        the lowest-priority ``maintenance`` lane — it never *starts*
+        while any model has queued deletion traffic, and at most one
+        runs fleet-wide at a time so the pool keeps workers free.  (A
+        request arriving for the same model mid-run waits for it to
+        finish, exactly as it would behind any in-flight batch; other
+        models are unaffected.)  ``None`` (default) disables
+        auto-scheduling; :meth:`maintain` still works explicitly.
     """
 
     def __init__(
@@ -612,6 +787,7 @@ class FleetServer:
         n_workers: int = 2,
         commit_mode: bool = False,
         clock: Clock | None = None,
+        maintenance: MaintenancePolicy | None = None,
         autostart: bool = True,
     ) -> None:
         if n_workers < 1:
@@ -625,7 +801,11 @@ class FleetServer:
         self.method = method
         self.commit_mode = bool(commit_mode)
         self.n_workers = n_workers
+        self.maintenance = maintenance
         self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        # At most one background maintain() in flight fleet-wide, so the
+        # pool always keeps workers free for deletion traffic.
+        self._maintenance_busy = False
         self._sched = threading.Condition()
         self._queues: dict[str, _ModelQueue] = {}
         self._overrides: dict[str, dict] = {}
@@ -925,8 +1105,16 @@ class FleetServer:
         return {state.model_id: state.stats.snapshot() for state in states}
 
     # -------------------------------------------------------------- workers
-    def _next_job(self) -> tuple[str, list[_Request]] | None:
-        """Block until some model has a dispatchable batch; None = shut down.
+    def _next_job(self) -> tuple[str, str, object] | None:
+        """Block until there is work; ``(kind, model_id, payload)`` or None.
+
+        ``kind`` is ``"batch"`` (payload: the popped request list) or
+        ``"maintain"`` (payload: a :class:`_MaintenanceTicket`).  Requests
+        always win: maintenance is considered only when *no* model has any
+        queued deletion traffic at all — the literal semantics of its
+        lowest-priority lane — and at most one maintenance run is in
+        flight fleet-wide, so the pool keeps workers free for traffic
+        that arrives mid-run.
 
         Fairness: models are scanned in round-robin order starting past
         the last dispatched one, so a model with a permanently full queue
@@ -940,10 +1128,14 @@ class FleetServer:
                 next_deadline: float | None = None
                 order = self._rr_order
                 n = len(order)
+                any_queued = False
                 for offset in range(n):
                     model_id = order[offset]
                     state = self._queues[model_id]
-                    if state.busy or not state.heap:
+                    if not state.heap:
+                        continue
+                    any_queued = True
+                    if state.busy:
                         continue
                     # One O(queue) min-scan per model per wake; reused for
                     # both the readiness check and the sleep computation.
@@ -954,17 +1146,29 @@ class FleetServer:
                         or (deadline is not None and now >= deadline)
                     )
                     if ready:
-                        batch = state.pop_batch(self.policy.max_batch)
+                        batch = state.pop_batch(
+                            self.policy.max_batch, self.policy
+                        )
                         state.busy = True
                         # Rotate: this model goes to the back of the scan.
                         self._rr_order = order[offset + 1:] + order[: offset + 1]
-                        return model_id, batch
+                        return "batch", model_id, batch
                     if deadline is not None and (
                         next_deadline is None or deadline < next_deadline
                     ):
                         next_deadline = deadline
+                if not any_queued and not self._maintenance_busy:
+                    for model_id in order:
+                        state = self._queues[model_id]
+                        if state.busy or not state.maintenance:
+                            continue
+                        ticket = state.maintenance.pop(0)
+                        state.busy = True
+                        self._maintenance_busy = True
+                        return "maintain", model_id, ticket
                 if self._closed and all(
-                    not state.heap for state in self._queues.values()
+                    not state.heap and not state.maintenance
+                    for state in self._queues.values()
                 ):
                     self._sched.notify_all()  # let sibling workers exit too
                     return None
@@ -980,12 +1184,17 @@ class FleetServer:
             job = self._next_job()
             if job is None:
                 return
-            model_id, batch = job
+            kind, model_id, payload = job
             try:
-                self._dispatch(model_id, batch)
+                if kind == "batch":
+                    self._dispatch(model_id, payload)
+                else:
+                    self._dispatch_maintenance(model_id, payload)
             finally:
                 with self._sched:
                     self._queues[model_id].busy = False
+                    if kind == "maintain":
+                        self._maintenance_busy = False
                     self._sched.notify_all()
 
     def _finish(self, state: _ModelQueue, requests: list[_Request]) -> None:
@@ -1014,6 +1223,16 @@ class FleetServer:
                 # The pin also freezes the checkpoint epoch: save_dirty
                 # skips pinned models, so the key recorded for a commit is
                 # consistent with the id space the batch executed in.
+                if state.commit_mode and trainer.clock is None and (
+                    self._clock is not MONOTONIC_CLOCK
+                ):
+                    # An injected clock (fake clock in tests, or a custom
+                    # time source) also stamps the commit audit receipts.
+                    # The stock monotonic clock is deliberately NOT
+                    # injected: perf_counter seconds are process-relative
+                    # and receipts persist across restarts, so production
+                    # receipts keep the trainer's wall-time default.
+                    trainer.clock = self._clock
                 _serve_batch(
                     trainer,
                     live,
@@ -1026,6 +1245,15 @@ class FleetServer:
                     model_id=model_id,
                     epoch=self.registry.epoch(model_id),
                 )
+                if state.commit_mode and self.maintenance is not None:
+                    # Background maintenance: a committed batch may have
+                    # pushed this model past the policy's garbage
+                    # thresholds; schedule a lowest-priority maintain().
+                    # Counters only — due() never reads the byte fields,
+                    # and this runs on the dispatch hot path.
+                    cost = trainer.maintenance_cost(include_bytes=False)
+                    if self.maintenance.due(cost):
+                        self._schedule_maintenance(model_id, auto=True)
         except Exception as exc:
             # A checkpoint that fails to *load* fails the batch the same
             # way a failed dispatch does — every future, never a leak.
@@ -1034,3 +1262,126 @@ class FleetServer:
                 request.future.set_exception(exc)
             stats.record_failed(len(failed), [r.lane for r in failed])
         self._finish(state, live)
+
+    # ---------------------------------------------------------- maintenance
+    def maintain(
+        self, model_id: str, policy: MaintenancePolicy | None = None
+    ) -> Future:
+        """Schedule a background ``maintain()`` for one model.
+
+        Returns a future of the
+        :class:`~repro.core.maintenance.MaintenanceReport`.  The run rides
+        the lowest-priority ``maintenance`` lane: it dispatches only once
+        no model has queued deletion traffic, so queued deadline or bulk
+        requests always go first (same-model traffic arriving mid-run
+        waits like behind any in-flight batch).  ``policy=None`` reclaims
+        everything due under the fleet's configured policy (or, with no
+        fleet policy, all garbage).
+        """
+        if model_id not in self.registry:
+            raise ValueError(f"unknown model id {model_id!r}")
+        return self._schedule_maintenance(model_id, policy=policy, auto=False)
+
+    def _schedule_maintenance(
+        self,
+        model_id: str,
+        policy: MaintenancePolicy | None = None,
+        auto: bool = False,
+    ) -> Future | None:
+        with self._sched:
+            if self._closed:
+                if auto:
+                    return None
+                raise RuntimeError(
+                    "cannot schedule maintenance on a closed FleetServer"
+                )
+            state = self._queue_for(model_id)
+            if auto and state.maintenance:
+                return None  # one pending background ticket is enough
+            ticket = _MaintenanceTicket(
+                future=Future(),
+                enqueued_at=self._clock.now(),
+                policy=policy,
+                auto=auto,
+            )
+            state.maintenance.append(ticket)
+            _TeeStats(state.stats, self._stats).record_submitted("maintenance")
+            self._sched.notify_all()
+        return ticket.future
+
+    def _dispatch_maintenance(
+        self, model_id: str, ticket: _MaintenanceTicket
+    ) -> None:
+        state = self._queues[model_id]
+        stats = _TeeStats(state.stats, self._stats)
+        if not ticket.future.set_running_or_notify_cancel():
+            stats.record_cancelled(1, ["maintenance"])
+            return
+        dispatched_at = self._clock.now()
+        try:
+            with self.registry.pinned(model_id) as trainer:
+                policy = (
+                    ticket.policy
+                    if ticket.policy is not None
+                    else self.maintenance
+                )
+                report = trainer.maintain(policy)
+                # Re-pack / re-truncation shrank the resident footprint;
+                # let the eviction caps see it.
+                self.registry.note_plan_bytes(model_id)
+        except Exception as exc:
+            ticket.future.set_exception(exc)
+            with self._sched:
+                state.last_maintenance = {"error": repr(exc)}
+            stats.record_failed(1, ["maintenance"])
+            return
+        answered_at = self._clock.now()
+        with self._sched:
+            state.maintenance_runs += 1
+            state.last_maintenance = report.as_dict()
+        ticket.future.set_result(report)
+        stats.record_batch(
+            [dispatched_at - ticket.enqueued_at],
+            [answered_at - dispatched_at],
+            [answered_at - ticket.enqueued_at],
+            ["maintenance"],
+        )
+
+    def maintenance_stats(self, model_id: str | None = None) -> dict:
+        """Per-model background-maintenance accounting.
+
+        For one model: ``{"runs", "pending", "last"}`` where ``last`` is
+        the most recent run's
+        :meth:`~repro.core.maintenance.MaintenanceReport.as_dict` (or an
+        ``{"error": ...}`` marker).  With ``model_id=None``: that mapping
+        for every model that has seen traffic or maintenance.  Lane-level
+        timing of maintenance runs lives in the ordinary
+        :meth:`stats` under the ``maintenance`` lane.
+        """
+        def summarize(state: _ModelQueue) -> dict:
+            return {
+                "runs": state.maintenance_runs,
+                "pending": len(state.maintenance),
+                "last": state.last_maintenance,
+            }
+
+        with self._sched:
+            if model_id is not None:
+                state = self._queues.get(model_id)
+                if state is None:
+                    if model_id not in self.registry:
+                        raise ValueError(f"unknown model id {model_id!r}")
+                    return {"runs": 0, "pending": 0, "last": None}
+                return summarize(state)
+            return {
+                mid: summarize(state) for mid, state in self._queues.items()
+            }
+
+    def warm_start(self, n: int) -> tuple[str, ...]:
+        """Pre-load the hottest ``n`` models by admission history.
+
+        Delegates to :meth:`ModelRegistry.warm_start` with the registry's
+        own per-model admission counts (every :meth:`submit` increments
+        them); returns the model ids actually loaded.
+        """
+        return self.registry.warm_start(n)

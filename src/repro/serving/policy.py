@@ -35,6 +35,26 @@ happy to wait for a full batch.  A policy therefore carries a set of
   free, but nobody waits on their account.
 
 Within a lane, admission order is always submission order.
+
+Starvation guard
+----------------
+Priority ordering alone lets a pathological flood of high-priority
+traffic pin lower lanes at their full coalescing budget forever.
+``max_preemption_ratio`` (per :class:`Lane`, with an
+:class:`AdmissionPolicy`-level default) bounds that: among dispatches in
+which a guarded lane's requests overtake older lower-priority traffic,
+at most that fraction may preempt; once the running debt exceeds the
+ratio, the server *yields* — the oldest waiting lower-priority request
+is pulled into the next dispatched batch regardless of lane order (and,
+because a batch's delay is the min of its members', it is served
+immediately with it).  ``None`` (the default) keeps the unlimited
+pre-PR-5 behaviour; ``0.0`` degenerates to "every dispatch carries the
+oldest waiting lower-priority request".
+
+The fleet additionally ships a stock lowest-priority ``maintenance``
+lane: background :meth:`~repro.core.api.IncrementalTrainer.maintain`
+work dispatches under its priority, i.e. only when a model has no
+queued deletion traffic at all (see :mod:`repro.serving.fleet`).
 """
 
 from __future__ import annotations
@@ -48,26 +68,122 @@ class Lane:
 
     ``max_delay_seconds=None`` inherits the policy's default coalescing
     budget; ``0.0`` means "dispatch the batch I join immediately".
-    Lower ``priority`` values dispatch first.
+    Lower ``priority`` values dispatch first.  ``max_preemption_ratio``
+    bounds how often this lane may overtake older lower-priority traffic
+    (module docstring); ``None`` defers to the policy-level default.
     """
 
     name: str
     max_delay_seconds: float | None = None
     priority: int = 0
+    max_preemption_ratio: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("lane name must be non-empty")
         if self.max_delay_seconds is not None and self.max_delay_seconds < 0.0:
             raise ValueError("lane max_delay_seconds must be >= 0 (or None)")
+        if self.max_preemption_ratio is not None and not (
+            0.0 <= self.max_preemption_ratio <= 1.0
+        ):
+            raise ValueError(
+                "lane max_preemption_ratio must be in [0, 1] (or None)"
+            )
 
+
+#: Priority of the stock background-maintenance lane: sorts behind every
+#: plausible traffic lane, so maintenance work dispatches only when a
+#: model's queue is otherwise empty.
+MAINTENANCE_PRIORITY = 1_000_000
 
 #: The default SLA classes: ``deadline`` pre-empts coalescing entirely
-#: (GDPR-style traffic), ``bulk`` inherits the policy's delay budget.
+#: (GDPR-style traffic), ``bulk`` inherits the policy's delay budget, and
+#: ``maintenance`` is the lowest-priority background lane the fleet
+#: schedules :meth:`~repro.core.api.IncrementalTrainer.maintain` work on.
 DEFAULT_LANES = (
     Lane("deadline", max_delay_seconds=0.0, priority=0),
     Lane("bulk", max_delay_seconds=None, priority=10),
+    # Inherits the policy's coalescing budget: a user-submitted request on
+    # this lane must never *shorten* a batch's delay the way the
+    # zero-delay deadline lane does — background traffic rides along, it
+    # does not force dispatch.  (Fleet maintenance tickets live outside
+    # the request heap entirely and ignore the delay.)
+    Lane("maintenance", max_delay_seconds=None, priority=MAINTENANCE_PRIORITY),
 )
+
+
+class _PreemptionGuard:
+    """Debt counter enforcing ``max_preemption_ratio`` (one per queue).
+
+    Every dispatch notes whether a guarded lane overtook older
+    lower-priority traffic: a preemption adds ``1 - ratio`` debt, any
+    other dispatch repays ``ratio`` (floored at zero).  Once the debt
+    reaches 1 the next dispatch must *yield* — include the oldest waiting
+    lower-priority request — which guarantees the starved lane at least a
+    ``1 - ratio`` share of dispatches during a flood.
+    """
+
+    __slots__ = ("_debt", "_repay_ratio")
+
+    def __init__(self) -> None:
+        self._debt = 0.0
+        # Ratio of the last preempting dispatch: debt accrued at ratio r
+        # is repaid at r even by dispatches whose own lead lane carries
+        # no ratio (a bulk-led batch after a deadline flood still proves
+        # lower-priority traffic is flowing again).
+        self._repay_ratio: float | None = None
+
+    def note(self, preempted: bool, ratio: float | None) -> None:
+        if ratio is None:
+            ratio = self._repay_ratio
+            if ratio is None:
+                return
+        elif preempted:
+            self._repay_ratio = ratio
+        if preempted:
+            self._debt += 1.0 - ratio
+        else:
+            self._debt = max(0.0, self._debt - ratio)
+
+    def must_yield(self) -> bool:
+        return self._debt >= 1.0 - 1e-9
+
+    def observe_dispatch(
+        self, batch, oldest_lower_seq, policy, yielded: bool
+    ) -> None:
+        """Account one dispatched batch (shared by both servers).
+
+        ``batch`` holds the dispatched requests (``lane``/``lane_priority``
+        /``seq`` attributes) and ``yielded`` whether this batch already
+        carried a yielded request.  ``oldest_lower_seq`` is a callable
+        ``priority -> seq | None`` returning the smallest submission seq
+        still queued *below* that priority — a callable, not a value,
+        because computing it means scanning the pending queue under its
+        lock: with no ratio configured (the default) it is never invoked
+        and the guard stays genuinely free.  A dispatch preempts when a
+        guarded lane's member overtook an older lower-priority request;
+        the debt update then follows :meth:`note`.
+        """
+        lead = min(batch, key=lambda r: r.lane_priority)
+        ratio = policy.preemption_ratio_for(lead.lane)
+        if ratio is None:
+            # A dispatch led by an unguarded lane serves traffic in plain
+            # priority order: it repays outstanding debt (at the ratio
+            # that accrued it) like any non-preempting dispatch, so a
+            # past flood cannot leave the guard force-yielding forever.
+            self.note(False, None)
+            return
+        preempted = False
+        if not yielded:
+            oldest = oldest_lower_seq(lead.lane_priority)
+            if oldest is not None:
+                newest_lead = max(
+                    r.seq
+                    for r in batch
+                    if r.lane_priority == lead.lane_priority
+                )
+                preempted = oldest < newest_lead
+        self.note(preempted, ratio)
 
 
 @dataclass(frozen=True)
@@ -82,9 +198,14 @@ class AdmissionPolicy:
     cap and, in commit mode, would count as a (vacuous) committed request.
 
     ``lanes`` / ``default_lane`` configure the SLA classes (module
-    docstring).  The stock policy ships a zero-delay ``"deadline"`` lane
-    and a ``"bulk"`` lane inheriting ``max_delay_seconds``; submissions
-    that don't name a lane ride in ``default_lane``.
+    docstring).  The stock policy ships a zero-delay ``"deadline"`` lane,
+    a ``"bulk"`` lane inheriting ``max_delay_seconds``, and the
+    lowest-priority background ``"maintenance"`` lane; submissions that
+    don't name a lane ride in ``default_lane``.
+
+    ``max_preemption_ratio`` is the policy-level starvation-guard default
+    applied to any lane whose own ratio is ``None`` (module docstring);
+    ``None`` disables the guard entirely.
     """
 
     max_batch: int = 16
@@ -93,6 +214,7 @@ class AdmissionPolicy:
     on_empty: str = "resolve"
     lanes: tuple[Lane, ...] = DEFAULT_LANES
     default_lane: str = "bulk"
+    max_preemption_ratio: float | None = None
     # Derived name -> Lane map (not part of the public constructor).
     _lane_map: dict = field(init=False, repr=False, compare=False, default=None)
 
@@ -105,6 +227,12 @@ class AdmissionPolicy:
             raise ValueError("max_pending must be >= 1")
         if self.on_empty not in ("resolve", "reject"):
             raise ValueError("on_empty must be 'resolve' or 'reject'")
+        if self.max_preemption_ratio is not None and not (
+            0.0 <= self.max_preemption_ratio <= 1.0
+        ):
+            raise ValueError(
+                "max_preemption_ratio must be in [0, 1] (or None)"
+            )
         if not self.lanes:
             raise ValueError("at least one lane is required")
         lane_map = {}
@@ -144,6 +272,13 @@ class AdmissionPolicy:
         if lane.max_delay_seconds is None:
             return self.max_delay_seconds
         return lane.max_delay_seconds
+
+    def preemption_ratio_for(self, name: str | None) -> float | None:
+        """One lane's effective starvation-guard ratio (module docstring)."""
+        lane = self.lane(name)
+        if lane.max_preemption_ratio is not None:
+            return lane.max_preemption_ratio
+        return self.max_preemption_ratio
 
     # ------------------------------------------------------------- dispatch
     def remaining_budget(

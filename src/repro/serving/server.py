@@ -50,6 +50,7 @@ models with a shared (bounded) pool, see
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
 import queue
@@ -64,7 +65,7 @@ from ..core.provenance_store import (
     remap_surviving_ids,
 )
 from .clock import MONOTONIC_CLOCK, Clock
-from .policy import AdmissionPolicy
+from .policy import AdmissionPolicy, _PreemptionGuard
 from .stats import ServingStats, StatsRecorder
 
 _SHUTDOWN = object()
@@ -374,6 +375,16 @@ removed`` reports the translated set, in the id space its batch executed
         self.method = method
         self.commit_mode = bool(commit_mode)
         self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        if self.commit_mode and trainer.clock is None and (
+            self._clock is not MONOTONIC_CLOCK
+        ):
+            # An *injected* clock (fake clock in tests, or an operator's
+            # custom time source) also stamps the commit audit receipts,
+            # keeping them deterministic.  The stock monotonic clock is
+            # deliberately NOT injected: perf_counter seconds are
+            # process-relative and receipts persist across restarts, so
+            # production receipts keep the trainer's wall-time default.
+            trainer.clock = self._clock
         self._tracker = _CommitTracker()
         # Lane-priority admission: entries are (lane priority, submission
         # seq, request), so queued deadline traffic always pops before
@@ -388,6 +399,9 @@ removed`` reports the translated set, in the id space its batch executed
         # non-blocking, and close() can always append its sentinel.  The
         # worker releases a slot for every request it takes off the queue.
         self._slots = threading.BoundedSemaphore(self.policy.max_pending)
+        # Deadline-flood starvation guard (AdmissionPolicy
+        # max_preemption_ratio); a no-op while no lane carries a ratio.
+        self._guard = _PreemptionGuard()
         self._stats = StatsRecorder()
         self._state_lock = threading.Condition()
         # Serializes enqueueing against shutdown: every accepted request is
@@ -596,18 +610,66 @@ removed`` reports the translated set, in the id space its batch executed
                 self._state_lock.notify_all()
 
     def _serve_loop(self) -> None:
+        carried: _Request | None = None
         while True:
-            _, _, item = self._queue.get()
-            if item is _SHUTDOWN:
-                break
-            self._slots.release()
-            batch, saw_shutdown = self._collect(item)
+            if carried is not None:
+                item, carried = carried, None
+            else:
+                _, _, item = self._queue.get()
+                if item is _SHUTDOWN:
+                    break
+                self._slots.release()
+            batch, saw_shutdown, yielded, carried = self._collect(item)
             if batch:
+                self._note_preemption(batch, yielded)
                 self._dispatch(batch)
             if saw_shutdown:
                 break
 
-    def _collect(self, first: _Request) -> tuple[list[_Request], bool]:
+    # ------------------------------------------------- starvation guard
+    def _steal_oldest_lower(self, bound_priority: int) -> _Request | None:
+        """Pull the oldest queued request of a lane below ``bound_priority``.
+
+        The guard's *yield* operation: direct surgery on the priority
+        queue's heap (under its own mutex — only this worker thread pops,
+        so removing an entry cannot race another consumer).  Returns None
+        when no lower-priority request waits.
+        """
+        q = self._queue
+        with q.mutex:
+            candidates = [
+                entry
+                for entry in q.queue
+                if entry[2] is not _SHUTDOWN and entry[0] > bound_priority
+            ]
+            if not candidates:
+                return None
+            entry = min(candidates, key=lambda e: e[1])
+            q.queue.remove(entry)
+            heapq.heapify(q.queue)
+        self._slots.release()
+        return entry[2]
+
+    def _oldest_lower_seq(self, bound_priority: int) -> int | None:
+        """Smallest seq still queued below ``bound_priority`` (None if none)."""
+        q = self._queue
+        with q.mutex:
+            seqs = [
+                entry[1]
+                for entry in q.queue
+                if entry[2] is not _SHUTDOWN and entry[0] > bound_priority
+            ]
+        return min(seqs) if seqs else None
+
+    def _note_preemption(self, batch: list[_Request], yielded: bool) -> None:
+        """Update the starvation guard for one dispatched batch."""
+        self._guard.observe_dispatch(
+            batch, self._oldest_lower_seq, self.policy, yielded
+        )
+
+    def _collect(
+        self, first: _Request
+    ) -> tuple[list[_Request], bool, bool, _Request | None]:
         """Coalesce queued requests behind ``first`` under the policy.
 
         The batch's coalescing budget is the *minimum* of its members'
@@ -615,10 +677,34 @@ removed`` reports the translated set, in the id space its batch executed
         (deadline-lane) request forces immediate dispatch of whatever
         batch it joins, and nobody's latency budget is silently blown by
         a later, more patient arrival.
+
+        When the starvation guard's preemption debt is due (and ``first``
+        rides a guarded lane), the oldest waiting lower-priority request
+        is *yielded* into this batch first — it rides the batch's
+        (possibly zero) delay and is served immediately with it.  Returns
+        ``(batch, saw_shutdown, yielded, carried)``; ``carried`` is the
+        popped head the worker must serve next when ``max_batch`` left no
+        room to dispatch it alongside the yielded request.
         """
         batch = [first]
         batch_delay = first.lane_delay
         oldest_enqueue = first.enqueued_at
+        yielded = False
+        if self._guard.must_yield() and (
+            self.policy.preemption_ratio_for(first.lane) is not None
+        ):
+            stolen = self._steal_oldest_lower(first.lane_priority)
+            if stolen is not None:
+                if self.policy.max_batch < 2:
+                    # No room to carry both under the batch cap: the
+                    # yielded request takes this dispatch and the guarded
+                    # head waits for the next one (matching the fleet's
+                    # accounting, never exceeding max_batch).
+                    return [stolen], False, True, first
+                batch.append(stolen)
+                batch_delay = min(batch_delay, stolen.lane_delay)
+                oldest_enqueue = min(oldest_enqueue, stolen.enqueued_at)
+                yielded = True
         while True:
             oldest_wait = self._clock.now() - oldest_enqueue
             if self.policy.should_dispatch(len(batch), oldest_wait, batch_delay):
@@ -631,7 +717,7 @@ removed`` reports the translated set, in the id space its batch executed
             except queue.Empty:
                 break
             if item is _SHUTDOWN:
-                return batch, True
+                return batch, True, yielded, None
             self._slots.release()
             batch.append(item)
             batch_delay = min(batch_delay, item.lane_delay)
@@ -644,10 +730,10 @@ removed`` reports the translated set, in the id space its batch executed
             except queue.Empty:
                 break
             if item is _SHUTDOWN:
-                return batch, True
+                return batch, True, yielded, None
             self._slots.release()
             batch.append(item)
-        return batch, False
+        return batch, False, yielded, None
 
     def _dispatch(self, batch: list[_Request]) -> None:
         # Honor cancellations that happened while the request was queued.

@@ -134,3 +134,81 @@ class TestTruncateFromSamples:
         rows = rng.standard_normal((50, 10)) * scales
         summary = truncate_from_samples(rows, epsilon=0.01)
         assert summary.rank < 6
+
+
+class TestRetruncateSummary:
+    """ε-re-truncation of commit-widened factor pairs (maintenance)."""
+
+    def _widened(self, rng, m=12, base_rank=4, extra=30):
+        """A low-rank summary with exact rank-1 corrections appended —
+        the shape ProvenanceStore.compact leaves behind."""
+        from repro.linalg import retruncate_summary, truncate_summary
+
+        gram_matrix = low_rank_gram(rng, m=m, rank=base_rank)
+        summary = truncate_summary(gram_matrix, epsilon=1e-12, symmetric=True)
+        dense = summary.reconstruct()
+        for _ in range(extra):
+            row = rng.standard_normal(m) * 0.3
+            summary = type(summary)(
+                left=np.hstack([summary.left, -row[:, None]]),
+                right=np.hstack([summary.right, row[:, None]]),
+            )
+            dense = dense - np.outer(row, row)
+        return summary, dense, retruncate_summary
+
+    def test_exact_mode_preserves_operator_to_machine_precision(self, rng):
+        summary, dense, retruncate_summary = self._widened(rng)
+        assert summary.rank > summary.n_features  # genuinely widened
+        result = retruncate_summary(summary)
+        assert result.rank_before == summary.rank
+        # Width capped at the operator dimension (numerical rank bound).
+        assert result.rank_after <= summary.n_features
+        np.testing.assert_allclose(
+            result.summary.reconstruct(), dense, atol=1e-10, rtol=0.0
+        )
+        assert result.error_bound <= 1e-10 * max(1.0, result.spectral_norm)
+        assert result.error_bound_relative < 1e-12
+
+    def test_lossy_epsilon_truncates_harder_with_exact_bound(self, rng):
+        summary, dense, retruncate_summary = self._widened(rng)
+        result = retruncate_summary(summary, epsilon=0.05)
+        exact = retruncate_summary(summary)
+        assert result.rank_after <= exact.rank_after
+        # The reported bound is the exact 2-norm distance to the widened
+        # operator (largest dropped singular value).
+        distance = np.linalg.norm(result.summary.reconstruct() - dense, 2)
+        assert distance <= result.error_bound + 1e-8
+        assert result.error_bound <= 0.05 * result.spectral_norm + 1e-12
+
+    def test_max_rank_cap_applies(self, rng):
+        summary, _, retruncate_summary = self._widened(rng)
+        result = retruncate_summary(summary, max_rank=3)
+        assert result.summary.rank == 3
+
+    def test_zero_operator_keeps_single_zero_column(self, rng):
+        from repro.linalg import TruncatedSummary, retruncate_summary
+
+        summary = TruncatedSummary(
+            left=np.zeros((6, 4)), right=np.zeros((6, 4))
+        )
+        result = retruncate_summary(summary)
+        assert result.summary.rank == 1
+        assert result.error_bound == 0.0
+        assert result.error_bound_relative == 0.0
+        np.testing.assert_array_equal(
+            result.summary.reconstruct(), np.zeros((6, 6))
+        )
+
+    def test_already_tight_summary_is_stable(self, rng):
+        from repro.linalg import retruncate_summary, truncate_summary
+
+        gram_matrix = low_rank_gram(rng, m=10, rank=3)
+        summary = truncate_summary(gram_matrix, epsilon=1e-12, symmetric=True)
+        result = retruncate_summary(summary)
+        assert result.rank_after <= summary.rank
+        np.testing.assert_allclose(
+            result.summary.reconstruct(),
+            summary.reconstruct(),
+            atol=1e-10,
+            rtol=0.0,
+        )

@@ -16,11 +16,12 @@ Two tools live here, both built on the serving layer's injectable
 
 * :class:`StressDriver` — a seeded random interleaver for
   :class:`repro.serving.FleetServer`: submits across models and lanes,
-  advances the clock, flushes, cancels, snapshots stats, then closes and
-  checks the serving invariants (every future resolves exactly once;
-  admission order within a lane; committed id-space consistency; stats
-  conservation).  On any violation it raises with the seed and the full
-  operation trace, so a failure replays with
+  advances the clock, flushes, cancels, schedules background maintenance
+  (``maintain_models``), snapshots stats, then closes and checks the
+  serving invariants (every future — maintenance included — resolves
+  exactly once; admission order within a lane; committed id-space
+  consistency; stats conservation).  On any violation it raises with the
+  seed and the full operation trace, so a failure replays with
   ``StressDriver(..., seed=<printed seed>)``.
 """
 
@@ -143,6 +144,8 @@ class StressReport:
     cancelled_by_driver: int = 0
     flushes: int = 0
     empty_submits: int = 0
+    # Futures returned by fleet.maintain() calls the driver issued.
+    maintenance: list = field(default_factory=list)
 
     def served(self) -> list[_Submitted]:
         return [
@@ -176,6 +179,13 @@ class StressDriver:
     clock:
         The fleet's :class:`FakeClock` (advanced as one of the random
         operations); pass None when driving a real clock.
+    maintain_models:
+        Models the driver may randomly schedule ``fleet.maintain()`` on
+        (typically the commit models — maintenance is what reclaims their
+        commit garbage).  Empty (the default) disables the op.  Seeded
+        traces replay only within one harness version: the op
+        distribution consumes the rng, so reshaping it (as adding this
+        op did) re-deals every later draw for old seeds.
     """
 
     def __init__(
@@ -188,6 +198,7 @@ class StressDriver:
         seed: int = 0,
         clock: FakeClock | None = None,
         max_ids_per_request: int = 4,
+        maintain_models: set[str] = frozenset(),
     ) -> None:
         self.fleet = fleet
         self.model_ids = list(model_ids)
@@ -197,6 +208,7 @@ class StressDriver:
         self.rng = np.random.default_rng(seed)
         self.max_ids = max_ids_per_request
         self.commit_models = set(commit_models)
+        self.maintain_models = sorted(maintain_models)
         # Conservative per-model live bound: every id ever submitted for a
         # commit model *may* end up committed, so drawing below
         # initial_n - total_submitted is always valid in any id space the
@@ -250,10 +262,18 @@ class StressDriver:
             roll = self.rng.random()
             if roll < 0.70:
                 self._pick_submit(op_index)
-            elif roll < 0.82 and self.clock is not None:
+            elif roll < 0.80 and self.clock is not None:
                 dt = float(self.rng.uniform(0.001, 0.05))
                 self.clock.advance(dt)
                 self._trace(f"advance {dt * 1e3:.1f} ms")
+            elif roll < 0.82 and self.maintain_models:
+                model_id = self.maintain_models[
+                    self.rng.integers(len(self.maintain_models))
+                ]
+                self.report.maintenance.append(
+                    (model_id, self.fleet.maintain(model_id))
+                )
+                self._trace(f"maintain {model_id}")
             elif roll < 0.88:
                 self.fleet.flush(timeout=30)
                 self.report.flushes += 1
@@ -299,7 +319,18 @@ class StressDriver:
             )
 
     def check_invariants(self) -> None:
-        """The four serving invariants, post-close (module docstring)."""
+        """The serving invariants, post-close (module docstring)."""
+        # I0 — every maintenance run the driver scheduled resolved with a
+        # report (close() drains the maintenance backlog before exiting).
+        for model_id, future in self.report.maintenance:
+            self._check(
+                future.done(),
+                f"unresolved maintenance future for {model_id}",
+            )
+            self._check(
+                future.exception() is None,
+                f"maintenance failed for {model_id}: {future.exception()!r}",
+            )
         # I1 — every future resolves exactly once (done + exactly one of
         # cancelled / exception / result; Future enforces at-most-once,
         # the harness enforces at-least-once, i.e. nothing leaked).
