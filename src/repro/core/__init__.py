@@ -30,7 +30,14 @@ from .diagnostics import (
     error_report,
     interpolation_delta,
 )
-from .serialization import load_plan, load_store, save_plan, save_store
+from .serialization import (
+    CheckpointCorruptionError,
+    load_plan,
+    load_store,
+    recover_checkpoint,
+    save_plan,
+    save_store,
+)
 from .capture import train_with_capture
 from .maintenance import MaintenanceCost, MaintenancePolicy, MaintenanceReport
 from .priu import PrIUUpdater
@@ -53,7 +60,9 @@ from .provenance_store import (
 from .replay_plan import ReplayPlan, compile_replay_plan
 
 __all__ = [
+    "CheckpointCorruptionError",
     "CommitReceipt",
+    "recover_checkpoint",
     "FrozenProvenance",
     "MaintenanceCost",
     "MaintenancePolicy",

@@ -41,10 +41,13 @@ from .replay_plan import ReplayPlan
 from .serialization import (
     PLAN_FILENAME,
     STORE_FILENAME,
+    commit_checkpoint,
     load_plan,
     load_store,
+    recover_checkpoint,
     save_plan,
     save_store,
+    staged_path,
 )
 
 TASKS = ("linear", "binary_logistic", "multinomial_logistic")
@@ -289,17 +292,32 @@ class IncrementalTrainer:
         *not* saved — PrIU needs the original features/labels to form the
         removed samples' delta corrections, so the caller hands them back
         to :meth:`from_checkpoint`.
+
+        The write is crash-atomic as a *pair*: both archives are staged
+        as ``*.new`` (each itself written temp → fsync → rename) and then
+        flipped into place through a journaled commit
+        (:func:`~repro.core.serialization.commit_checkpoint`).  A crash
+        at any point leaves the complete old checkpoint or the complete
+        new one — never a new store next to an old plan.
         """
         self._require_fit()
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        paths = {"store": save_store(self.store, directory / STORE_FILENAME)}
+        # Settle any earlier interrupted save so its strays cannot be
+        # confused with this one's staging files.
+        recover_checkpoint(directory)
+        members = [STORE_FILENAME]
+        save_store(self.store, staged_path(directory, STORE_FILENAME))
+        paths = {"store": directory / STORE_FILENAME}
         if include_plan and self._plan.supported:
-            paths["plan"] = save_plan(
+            save_plan(
                 self._plan,
-                directory / PLAN_FILENAME,
+                staged_path(directory, PLAN_FILENAME),
                 weights=self.result.weights,
             )
+            members.append(PLAN_FILENAME)
+            paths["plan"] = directory / PLAN_FILENAME
+        commit_checkpoint(directory, members)
         return paths
 
     @classmethod
@@ -334,6 +352,9 @@ class IncrementalTrainer:
         """
         path = Path(path)
         if path.is_dir():
+            # A crash may have interrupted the last save here: roll a
+            # journaled commit forward / sweep pre-commit strays first.
+            recover_checkpoint(path)
             store_path = path / STORE_FILENAME
             if plan_path is None:
                 candidate = path / PLAN_FILENAME

@@ -113,6 +113,9 @@ class ReplayPlan:
         # Set by load_plan() when the archive embeds the fitted model's
         # final parameter vector; None for plans compiled in-process.
         self.final_weights: np.ndarray | None = None
+        # Deferred checksum sweep over memory-mapped members (see
+        # load_plan); runs once, on the first replay.
+        self._integrity_check = None
         self.supported = not (self.sparse and self.task == "multinomial_logistic")
         self._cache_sparse_blocks = bool(cache_sparse_blocks)
         if not self.supported:
@@ -355,6 +358,7 @@ class ReplayPlan:
         plan.n_params = int(meta["n_params"])
         plan._compiled_version = store._version
         plan.final_weights = None
+        plan._integrity_check = None
         plan.supported = True
         plan._cache_sparse_blocks = bool(cache_sparse_blocks)
         plan._scale_num = 2.0 * plan.eta if plan.task == "linear" else plan.eta
@@ -605,6 +609,34 @@ retruncate_summaries` replaces record summaries (and bumps the store
                         total += int(arr.nbytes)
         return total
 
+    def defer_integrity_check(self, check) -> None:
+        """Register a one-shot integrity sweep to run before the first replay.
+
+        ``load_plan`` uses this for memory-mapped members: their checksum
+        verification would defeat the point of mapping if done at load
+        time, so it is deferred to the first :meth:`run` — the moment the
+        bytes are read anyway, and still strictly before any answer
+        derived from them is produced.
+        """
+        self._integrity_check = check
+
+    def verify_integrity(self) -> None:
+        """Run the deferred sweep now (idempotent; no-op if none pending).
+
+        Raises :class:`~repro.core.serialization.\
+CheckpointCorruptionError` on a digest mismatch; the pending check is
+        cleared only on success, so a failed plan keeps failing instead of
+        accidentally serving after a first swallowed error.
+        """
+        check, self._integrity_check = self._integrity_check, None
+        if check is None:
+            return
+        try:
+            check()
+        except BaseException:
+            self._integrity_check = check
+            raise
+
     def run_single(self, removed_indices, **kwargs) -> np.ndarray:
         """One removal set through the compiled plan (1-D result)."""
         return self.run([removed_indices], **kwargs)[:, 0]
@@ -634,6 +666,8 @@ retruncate_summaries` replaces record summaries (and bumps the store
                 "the provenance store changed after this plan was compiled; "
                 "build a fresh ReplayPlan"
             )
+        if self._integrity_check is not None:
+            self.verify_integrity()
         sets = [
             normalize_removed_indices(s, assume_unique=assume_unique)
             for s in removed_sets

@@ -21,11 +21,34 @@ later.  Two artifacts cover the whole serving state:
 Both formats carry an explicit version number; loaders reject versions they
 do not understand instead of misinterpreting the layout (rules in
 ``docs/architecture.md``).
+
+Durability (the failure model lives in ``docs/architecture.md``, "Failure
+model & recovery"):
+
+* Every archive write goes write-temp → flush → fsync → atomic rename, so
+  a crash at any point leaves either the old file or the new one on disk,
+  never a torn mix.
+* Archives embed a per-member content checksum (``__checksums__``).
+  Loaders verify members as they read them — eagerly for everything
+  :func:`load_store` and :func:`read_checkpoint_metadata` touch, *lazily*
+  for the plan members :func:`load_plan` memory-maps (the whole point of
+  mapping is not reading the bytes up front; the check runs on the plan's
+  first replay instead).  A mismatch raises
+  :class:`CheckpointCorruptionError` — bit rot is *detected*, never served.
+* Multi-file checkpoints (``store.npz`` + ``plan.npz``) commit through a
+  sidecar journal (:func:`commit_checkpoint` / :func:`recover_checkpoint`)
+  so the pair flips old→new atomically even across two renames.
+
+All crash points funnel through a module fault hook
+(:func:`set_fault_hook`) so ``repro.testing.faults`` can kill or fail the
+write at every step and tests can prove the old-or-new guarantee.
 """
 
 from __future__ import annotations
 
+import os
 import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -57,6 +80,201 @@ from .replay_plan import ReplayPlan
 _FORMAT_VERSION = 3
 _SUPPORTED_VERSIONS = (1, 2, 3)
 _PLAN_FORMAT_VERSION = 1
+# Archives carrying a ``__checksums__`` member (any version from here on)
+# get their members verified on load; older archives load unchecked, as
+# before.  The member itself is not a format break — readers that predate
+# it ignore double-underscore members they don't know — so the store and
+# plan version numbers are unchanged.
+_CHECKSUMS_MEMBER = "__checksums__"
+
+# Sidecar journal for multi-file checkpoint commits (store.npz + plan.npz
+# flipped old->new atomically): present means "roll the staged *.new files
+# forward", absent means any stray staged file belongs to an interrupted
+# save and is discarded.
+CHECKPOINT_JOURNAL = "checkpoint.journal"
+_STAGED_SUFFIX = ".new"
+
+
+class CheckpointCorruptionError(ValueError):
+    """A checkpoint artifact failed structural or checksum validation.
+
+    Raised instead of silently serving wrong answers when an archive is
+    truncated, bit-rotten, or torn.  Subclasses :class:`ValueError` so
+    pre-existing ``except ValueError`` checkpoint-validation handlers
+    keep working.
+    """
+
+
+# ------------------------------------------------------------- fault hook
+# A single injection point for crash/fault testing: every durability-
+# relevant step below announces itself as ``_fault("<tag>.<step>", path)``.
+# The production hook is None (zero overhead beyond one global read);
+# ``repro.testing.faults.FaultInjector`` installs itself here to kill or
+# fail the write mid-protocol.
+_FAULT_HOOK = None
+
+
+def set_fault_hook(hook):
+    """Install a ``hook(event: str, path: Path)`` callable; returns the
+    previous hook (restore it when done)."""
+    global _FAULT_HOOK
+    previous = _FAULT_HOOK
+    _FAULT_HOOK = hook
+    return previous
+
+
+def _fault(event: str, path) -> None:
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK(event, path)
+
+
+# ---------------------------------------------------------- durable writes
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory's entry table (best effort; no-op off POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _durable_savez(
+    path: Path, arrays: dict, *, compressed: bool, tag: str
+) -> None:
+    """Write an ``.npz`` crash-atomically: temp file → fsync → rename.
+
+    The archive is written through an open file handle (``np.savez``
+    appends ``.npz`` to suffix-less *paths* but honors handles exactly),
+    fsynced, then renamed over ``path`` with ``os.replace`` — atomic on
+    POSIX, so a reader never observes a half-written archive and a crash
+    leaves either the old file or the new one.  The temp file is left
+    behind on a crash by design (it is the *evidence* of an interrupted
+    write); :func:`recover_checkpoint` sweeps it.
+    """
+    temp = path.with_name(path.name + ".tmp")
+    _fault(f"{tag}.begin", path)
+    with open(temp, "wb") as handle:
+        if compressed:
+            np.savez_compressed(handle, **arrays)
+        else:
+            np.savez(handle, **arrays)
+        handle.flush()
+        _fault(f"{tag}.temp-written", temp)
+        os.fsync(handle.fileno())
+    _fault(f"{tag}.temp-synced", temp)
+    os.replace(temp, path)
+    _fault(f"{tag}.renamed", path)
+    _fsync_dir(path.parent)
+
+
+# ---------------------------------------------------------------- checksums
+def _content_digest(array: np.ndarray) -> str:
+    """A dtype/shape-tagged CRC32 of one member's raw bytes.
+
+    Computed over the *logical* content (contiguous buffer + dtype +
+    shape), not the zip member's compressed bytes, so the same digest
+    verifies both a decompressed read (:func:`load_store`) and a
+    memory-mapped view (:func:`load_plan`) — the mmap path bypasses the
+    zip layer's own CRC entirely, which is why this exists.
+    """
+    array = np.asarray(array)
+    tag = f"{array.dtype.str}|{array.shape}".encode()
+    crc = zlib.crc32(tag)
+    crc = zlib.crc32(np.ascontiguousarray(array).tobytes(), crc)
+    return f"{crc:08x}"
+
+
+def _checksums_member(arrays: dict) -> np.ndarray:
+    """``name=digest`` lines for every member, as a string array."""
+    return np.array(
+        sorted(f"{name}={_content_digest(value)}" for name, value in arrays.items())
+    )
+
+
+def _parse_checksums(archive) -> dict[str, str] | None:
+    """The archive's recorded digests, or None for pre-checksum archives."""
+    if _CHECKSUMS_MEMBER not in archive.files:
+        return None
+    table: dict[str, str] = {}
+    for line in archive[_CHECKSUMS_MEMBER]:
+        name, _, digest = str(line).partition("=")
+        table[name] = digest
+    return table
+
+
+def _verify_digest(
+    name: str, value: np.ndarray, checksums: dict[str, str], path: Path
+) -> None:
+    """Check one member against the recorded digest table."""
+    expected = checksums.get(name)
+    if expected is None:
+        raise CheckpointCorruptionError(
+            f"checkpoint member {name!r} of {path} has no recorded checksum"
+        )
+    actual = _content_digest(value)
+    if actual != expected:
+        raise CheckpointCorruptionError(
+            f"checkpoint member {name!r} of {path} is corrupted: "
+            f"content digest {actual} != recorded {expected}"
+        )
+
+
+class _VerifyingArchive:
+    """Wrap an open ``NpzFile``: verify each member's digest on first read.
+
+    Members are checked as the loader pulls them (no double decompression)
+    and :meth:`verify_remaining` sweeps whatever the loader never touched,
+    so a corrupted-but-unused member still fails the load instead of
+    lurking until a later code path needs it.  With no digest table (an
+    old archive) it is a transparent pass-through.
+    """
+
+    def __init__(self, archive, checksums: dict[str, str] | None, path: Path):
+        self._archive = archive
+        self._checksums = checksums
+        self._path = path
+        self._verified: set[str] = set()
+
+    @property
+    def files(self):
+        return self._archive.files
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        value = self._archive[name]
+        if self._checksums is not None and name not in self._verified:
+            self._verified.add(name)
+            _verify_digest(name, value, self._checksums, self._path)
+        return value
+
+    def verify_remaining(self) -> None:
+        if self._checksums is None:
+            return
+        for name in self._checksums:
+            if name in self._verified:
+                continue
+            try:
+                value = self._archive[name]
+            except KeyError:
+                raise CheckpointCorruptionError(
+                    f"checkpoint member {name!r} missing from {self._path}"
+                ) from None
+            self._verified.add(name)
+            _verify_digest(name, value, self._checksums, self._path)
+
+
+_UNREADABLE = (zipfile.BadZipFile, zlib.error, EOFError, OSError)
+
+
+def _unreadable(path: Path, exc: Exception) -> CheckpointCorruptionError:
+    return CheckpointCorruptionError(
+        f"checkpoint archive {path} is unreadable "
+        f"(truncated or torn write?): {exc}"
+    )
 
 _FROZEN_FIELDS = (
     "slopes",
@@ -85,6 +303,95 @@ _RECEIPT_COLUMNS = (
 # ``IncrementalTrainer.save_checkpoint``, re-exported from ``core.api``).
 STORE_FILENAME = "store.npz"
 PLAN_FILENAME = "plan.npz"
+
+
+# ------------------------------------------------------- journaled commits
+def staged_path(directory: str | Path, member: str) -> Path:
+    """Where a member is staged before a journaled commit renames it."""
+    return Path(directory) / (member + _STAGED_SUFFIX)
+
+
+def _replay_journal(directory: Path, members: list[str]) -> None:
+    """Rename every staged member into place, then clear the journal.
+
+    Idempotent: a member whose staged file is already gone was renamed by
+    an earlier (interrupted) replay and is skipped, so crash-during-
+    recovery recovers too.
+    """
+    journal = directory / CHECKPOINT_JOURNAL
+    for member in members:
+        staged = directory / (member + _STAGED_SUFFIX)
+        _fault(f"commit.rename.{member}", staged)
+        if staged.exists():
+            os.replace(staged, directory / member)
+    _fault("commit.clear-journal", journal)
+    journal.unlink(missing_ok=True)
+    _fsync_dir(directory)
+    _fault("commit.done", directory)
+
+
+def commit_checkpoint(directory: str | Path, members: list[str]) -> None:
+    """Atomically flip staged ``<member>.new`` files into place.
+
+    The journal (itself written durably) is the commit point: once it
+    lands, :func:`recover_checkpoint` rolls the staged files forward even
+    if the process dies mid-rename; before it lands, recovery discards
+    them.  Either way a reader sees the complete old checkpoint or the
+    complete new one.
+    """
+    directory = Path(directory)
+    journal = directory / CHECKPOINT_JOURNAL
+    temp = journal.with_name(journal.name + ".tmp")
+    payload = "\n".join(["v1", *members]) + "\n"
+    _fault("journal.begin", journal)
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+        handle.flush()
+        _fault("journal.temp-written", temp)
+        os.fsync(handle.fileno())
+    _fault("journal.temp-synced", temp)
+    os.replace(temp, journal)
+    _fault("journal.renamed", journal)
+    _fsync_dir(directory)
+    _replay_journal(directory, members)
+
+
+def recover_checkpoint(directory: str | Path) -> str | None:
+    """Settle an interrupted checkpoint save in ``directory``.
+
+    With a journal present the staged files are rolled *forward* (the
+    save had committed); without one, stray ``*.tmp``/``*.new`` files are
+    swept (the save never reached its commit point, the old checkpoint
+    stands).  Returns ``"rolled-forward"``, ``"cleaned"`` or None
+    (nothing to do).  Safe to call on every load; errors (read-only
+    media) are swallowed — recovery is an optimization of the next save,
+    never a load-blocker.
+    """
+    directory = Path(directory)
+    action: str | None = None
+    try:
+        if not directory.is_dir():
+            return None
+        journal = directory / CHECKPOINT_JOURNAL
+        committed = journal.exists()
+        if committed:
+            lines = journal.read_text(encoding="utf-8").splitlines()
+            members = [line for line in lines[1:] if line]
+            _replay_journal(directory, members)
+            action = "rolled-forward"
+        for stray in directory.iterdir():
+            # Staged files are discarded only when no commit point was
+            # reached; after a roll-forward any surviving ``.new`` file
+            # belongs to a member the journal never listed, so it stays
+            # for the next save's own recovery pass to judge.
+            if stray.name.endswith(".tmp") or (
+                not committed and stray.name.endswith(_STAGED_SUFFIX)
+            ):
+                stray.unlink(missing_ok=True)
+                action = action or "cleaned"
+    except OSError:
+        return action
+    return action
 
 
 def _pack_summary(arrays: dict, key: str, summary) -> str:
@@ -180,13 +487,35 @@ def save_store(store: ProvenanceStore, path: str | Path) -> Path:
     )
     arrays["__summary_kinds__"] = np.array(summary_kinds)
     arrays["__frozen_meta__"] = np.array([str(v) for v in frozen_meta])
-    np.savez_compressed(path, **arrays)
+    arrays[_CHECKSUMS_MEMBER] = _checksums_member(arrays)
+    _durable_savez(path, arrays, compressed=True, tag="store")
     return path
 
 
 def load_store(path: str | Path) -> ProvenanceStore:
-    """Reload a provenance store saved by :func:`save_store`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
+    """Reload a provenance store saved by :func:`save_store`.
+
+    Every member read is verified against the archive's recorded content
+    digests (when present), and members the layout never touches are
+    swept at the end — a corrupted store raises
+    :class:`CheckpointCorruptionError`, it never loads wrong.
+    """
+    path = Path(path)
+    try:
+        return _load_store_verified(path)
+    except FileNotFoundError:
+        raise
+    except _UNREADABLE as exc:
+        raise _unreadable(path, exc) from exc
+    except KeyError as exc:
+        raise CheckpointCorruptionError(
+            f"checkpoint archive {path} is missing member {exc}"
+        ) from exc
+
+
+def _load_store_verified(path: Path) -> ProvenanceStore:
+    with np.load(path, allow_pickle=False) as npz:
+        archive = _VerifyingArchive(npz, _parse_checksums(npz), path)
         meta = archive["__meta__"]
         version = int(meta[0])
         if version not in _SUPPORTED_VERSIONS:
@@ -305,6 +634,10 @@ def load_store(path: str | Path) -> ProvenanceStore:
                 ),
                 **fields,
             )
+        # Sweep members the layout above never touched (e.g. summary
+        # members of a kind this task doesn't use): corruption anywhere
+        # in the archive fails the load.
+        archive.verify_remaining()
     return store
 
 
@@ -359,6 +692,10 @@ def read_checkpoint_metadata(path: str | Path) -> CheckpointMetadata:
     """
     path = Path(path)
     if path.is_dir():
+        # Settle any interrupted save first: roll a journaled commit
+        # forward, sweep pre-commit strays — so the metadata read below
+        # always describes a complete old-or-new checkpoint.
+        recover_checkpoint(path)
         store_path = path / STORE_FILENAME
         plan_candidate = path / PLAN_FILENAME
         plan_path = plan_candidate if plan_candidate.exists() else None
@@ -367,7 +704,21 @@ def read_checkpoint_metadata(path: str | Path) -> CheckpointMetadata:
         plan_path = None
     if not store_path.exists():
         raise FileNotFoundError(f"no store archive at {store_path}")
-    with np.load(store_path, allow_pickle=False) as archive:
+    try:
+        return _read_metadata_verified(store_path, plan_path)
+    except _UNREADABLE as exc:
+        raise _unreadable(store_path, exc) from exc
+    except KeyError as exc:
+        raise CheckpointCorruptionError(
+            f"checkpoint archive {store_path} is missing member {exc}"
+        ) from exc
+
+
+def _read_metadata_verified(
+    store_path: Path, plan_path: Path | None
+) -> CheckpointMetadata:
+    with np.load(store_path, allow_pickle=False) as npz:
+        archive = _VerifyingArchive(npz, _parse_checksums(npz), store_path)
         meta = archive["__meta__"]
         version = int(meta[0])
         if version not in _SUPPORTED_VERSIONS:
@@ -421,7 +772,8 @@ from_checkpoint` can restore ``weights_`` without replaying anything.
     keys = sorted(meta)
     arrays["__plan_meta_keys__"] = np.array(keys)
     arrays["__plan_meta_values__"] = np.array([meta[k] for k in keys])
-    np.savez(path, **arrays)
+    arrays[_CHECKSUMS_MEMBER] = _checksums_member(arrays)
+    _durable_savez(path, arrays, compressed=False, tag="plan")
     return path
 
 
@@ -506,22 +858,32 @@ def load_plan(
 
     If the archive embeds final model weights they are exposed as
     ``plan.final_weights``.
+
+    Members read into memory here are digest-verified eagerly (when the
+    archive records checksums); memory-mapped members are verified
+    *lazily*, on the plan's first :meth:`~repro.core.replay_plan.\
+ReplayPlan.run` — mapping exists precisely to avoid touching the bytes
+    up front, so the integrity sweep rides the first replay (which reads
+    them all anyway) and raises :class:`CheckpointCorruptionError` before
+    any answer derived from rotten bytes escapes.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        keys = [str(k) for k in archive["__plan_meta_keys__"]]
-        values = [str(v) for v in archive["__plan_meta_values__"]]
-        meta = dict(zip(keys, values))
-        version = int(meta.get("format", "-1"))
-        if version != _PLAN_FORMAT_VERSION:
-            raise ValueError(f"unsupported plan format version: {version}")
-        names = [n for n in archive.files if not n.startswith("__")]
-        mapped = _mmap_npz_arrays(path, names) if mmap else {}
-        arrays = {
-            name: mapped[name] if name in mapped else archive[name]
-            for name in names
-        }
+    try:
+        arrays, meta, checksums, deferred = _read_plan_arrays(path, mmap)
+    except FileNotFoundError:
+        raise
+    except _UNREADABLE as exc:
+        raise _unreadable(path, exc) from exc
+    except KeyError as exc:
+        raise CheckpointCorruptionError(
+            f"checkpoint archive {path} is missing member {exc}"
+        ) from exc
     final_weights = arrays.pop("final_weights", None)
+    deferred.pop("final_weights", None)
+    if final_weights is not None and checksums is not None:
+        # Consumed immediately (weights restore), so verified eagerly
+        # even when mapped.
+        _verify_digest("final_weights", final_weights, checksums, path)
     plan = ReplayPlan.from_compiled_state(
         store,
         features,
@@ -531,4 +893,37 @@ def load_plan(
         cache_sparse_blocks=cache_sparse_blocks,
     )
     plan.final_weights = final_weights
+    if deferred and checksums is not None:
+
+        def verify_mapped(
+            members=deferred, table=checksums, archive_path=path
+        ) -> None:
+            for name, value in members.items():
+                _verify_digest(name, value, table, archive_path)
+
+        plan.defer_integrity_check(verify_mapped)
     return plan
+
+
+def _read_plan_arrays(
+    path: Path, mmap: bool
+) -> tuple[dict, dict, dict[str, str] | None, dict]:
+    """Plan members + meta + digest table + the mapped (lazily verified)
+    subset."""
+    with np.load(path, allow_pickle=False) as npz:
+        checksums = _parse_checksums(npz)
+        archive = _VerifyingArchive(npz, checksums, path)
+        keys = [str(k) for k in archive["__plan_meta_keys__"]]
+        values = [str(v) for v in archive["__plan_meta_values__"]]
+        meta = dict(zip(keys, values))
+        version = int(meta.get("format", "-1"))
+        if version != _PLAN_FORMAT_VERSION:
+            raise ValueError(f"unsupported plan format version: {version}")
+        names = [n for n in npz.files if not n.startswith("__")]
+        mapped = _mmap_npz_arrays(path, names) if mmap else {}
+        arrays = {
+            name: mapped[name] if name in mapped else archive[name]
+            for name in names
+        }
+    deferred = {name: mapped[name] for name in mapped}
+    return arrays, meta, checksums, deferred

@@ -27,7 +27,13 @@ long-lived serving process.  This package supplies that process:
 * :class:`Clock` / :class:`MonotonicClock` — the injectable time source
   every deadline decision runs on, so tests can drive the whole serving
   layer with a fake clock and zero real sleeps;
-* :class:`BackpressureError` — raised when a bounded queue is full.
+* :mod:`~repro.serving.errors` — the typed failure taxonomy:
+  :class:`BackpressureError` (queue full), :class:`WorkerCrashedError`
+  (a worker thread died; queued futures fail instead of wedging),
+  :class:`ModelLoadError` / :class:`ModelQuarantinedError` (the fleet's
+  per-model retry + circuit-breaker state, tuned via
+  :class:`RetryPolicy`) and the re-exported
+  :class:`~repro.core.serialization.CheckpointCorruptionError`.
 
 Pair with :meth:`~repro.core.api.IncrementalTrainer.from_checkpoint` to
 stand a server up from a saved store + compiled plan without re-running
@@ -36,19 +42,28 @@ capture (see ``examples/deletion_server.py`` and
 """
 
 from .clock import Clock, MonotonicClock
-from .fleet import FleetServer, ModelRegistry
+from .errors import (
+    BackpressureError,
+    CheckpointCorruptionError,
+    ModelLoadError,
+    ModelQuarantinedError,
+    ServingError,
+    WorkerCrashedError,
+)
+from .fleet import FleetServer, ModelRegistry, RetryPolicy, SaveOutcome
 from .policy import (
     DEFAULT_LANES,
     MAINTENANCE_PRIORITY,
     AdmissionPolicy,
     Lane,
 )
-from .server import BackpressureError, DeletionServer, ServedOutcome
+from .server import DeletionServer, ServedOutcome
 from .stats import LaneStats, ServingStats, StatsRecorder
 
 __all__ = [
     "AdmissionPolicy",
     "BackpressureError",
+    "CheckpointCorruptionError",
     "Clock",
     "DEFAULT_LANES",
     "MAINTENANCE_PRIORITY",
@@ -56,9 +71,15 @@ __all__ = [
     "FleetServer",
     "Lane",
     "LaneStats",
+    "ModelLoadError",
+    "ModelQuarantinedError",
     "ModelRegistry",
     "MonotonicClock",
+    "RetryPolicy",
+    "SaveOutcome",
     "ServedOutcome",
+    "ServingError",
     "ServingStats",
     "StatsRecorder",
+    "WorkerCrashedError",
 ]

@@ -1,0 +1,73 @@
+"""Typed errors for the serving layer.
+
+Callers distinguish three failure families:
+
+* **Admission** — :class:`BackpressureError`: the request never entered
+  the queue; retry later or submit with ``block=True``.
+* **Infrastructure** — :class:`WorkerCrashedError`: the server's worker
+  thread died; every queued future fails with this and further submits
+  are refused.  The process-wide invariant is that ``flush()`` never
+  wedges: a dead worker fails pending work loudly instead of leaving
+  callers blocked on futures nobody will complete.
+* **Model health** — :class:`ModelLoadError` (a load ultimately failed
+  after the retry budget) and :class:`ModelQuarantinedError` (the model's
+  circuit breaker is open; submits fast-fail until the next half-open
+  probe at ``retry_at``).
+
+:class:`CheckpointCorruptionError` is re-exported from the core so
+serving callers can catch "the bytes on disk are bad" without importing
+the serialization module; it is a *non-transient* load failure — the
+fleet quarantines immediately rather than retrying.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.serialization import CheckpointCorruptionError
+
+__all__ = [
+    "ServingError",
+    "BackpressureError",
+    "WorkerCrashedError",
+    "ModelLoadError",
+    "ModelQuarantinedError",
+    "CheckpointCorruptionError",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class for typed serving-layer failures."""
+
+
+class BackpressureError(ServingError):
+    """The server's admission queue is full; retry later or block."""
+
+
+class WorkerCrashedError(ServingError):
+    """The worker thread died; queued futures fail, submits are refused."""
+
+
+class ModelLoadError(ServingError):
+    """Loading a model's checkpoint failed after exhausting retries."""
+
+    def __init__(self, model_id: str, attempts: int, cause: Optional[BaseException] = None):
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(
+            f"failed to load model {model_id!r} after {attempts} attempt(s){detail}"
+        )
+        self.model_id = model_id
+        self.attempts = attempts
+
+
+class ModelQuarantinedError(ServingError):
+    """The model's circuit breaker is open; submits fast-fail until probed."""
+
+    def __init__(self, model_id: str, failures: int, retry_at: float):
+        super().__init__(
+            f"model {model_id!r} is quarantined after {failures} consecutive "
+            f"load failure(s); next probe at t={retry_at:.3f}"
+        )
+        self.model_id = model_id
+        self.failures = failures
+        self.retry_at = retry_at

@@ -59,14 +59,20 @@ from ..core.api import IncrementalTrainer
 from ..core.maintenance import MaintenancePolicy
 from ..core.provenance_store import normalize_removed_indices
 from ..core.serialization import (
+    CheckpointCorruptionError,
     CheckpointMetadata,
     read_checkpoint_metadata,
     save_store,
 )
 from .clock import MONOTONIC_CLOCK, Clock
+from .errors import (
+    BackpressureError,
+    ModelLoadError,
+    ModelQuarantinedError,
+    WorkerCrashedError,
+)
 from .policy import AdmissionPolicy, _PreemptionGuard
 from .server import (
-    BackpressureError,
     ServedOutcome,
     _CommitTracker,
     _consistent_store_snapshot,
@@ -103,6 +109,112 @@ class _Resident:
     plan_bytes: int
 
 
+def _default_loader(model_id: str, spec: _ModelSpec) -> IncrementalTrainer:
+    """The stock registry loader: ``from_checkpoint`` on the spec's paths."""
+    return IncrementalTrainer.from_checkpoint(
+        spec.checkpoint,
+        spec.features,
+        spec.labels,
+        **spec.load_kwargs,
+    )
+
+
+@dataclass
+class SaveOutcome:
+    """One model's result from :meth:`ModelRegistry.save_dirty`.
+
+    ``ok`` models were re-checkpointed (``paths`` names what was written)
+    and are evictable again.  Failed models keep ``error`` and stay
+    *dirty*: their committed state lives only in memory, the registry
+    keeps them resident (dirty models are never evicted), and they keep
+    serving — degraded to resident-only until a later save succeeds.
+    """
+
+    model_id: str
+    ok: bool
+    paths: dict | None = None
+    error: BaseException | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Load-failure handling knobs for :class:`FleetServer`.
+
+    A *transient* load failure (anything but corruption or a missing
+    checkpoint) is retried up to ``load_attempts`` times within one
+    dispatch, sleeping ``backoff_seconds`` (growing by ``backoff_factor``,
+    capped at ``max_backoff_seconds``) between attempts on the fleet's
+    injectable clock.  A dispatch that exhausts its attempts counts one
+    *consecutive failure* against the model; at ``quarantine_after`` of
+    those the model's circuit breaker opens: submits fast-fail with
+    :class:`~repro.serving.errors.ModelQuarantinedError` until
+    ``probe_interval_seconds`` elapse, when a single half-open probe
+    submission is let through.  Non-transient failures
+    (:class:`~repro.core.serialization.CheckpointCorruptionError`,
+    :class:`FileNotFoundError`) skip the retries and open the breaker
+    immediately — the bytes on disk will not get better by waiting.
+    """
+
+    load_attempts: int = 3
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 1.0
+    quarantine_after: int = 3
+    probe_interval_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.load_attempts < 1:
+            raise ValueError("load_attempts must be >= 1")
+        if self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if self.backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if self.probe_interval_seconds < 0:
+            raise ValueError("probe_interval_seconds must be >= 0")
+
+    def is_transient(self, exc: BaseException) -> bool:
+        return not isinstance(
+            exc, (CheckpointCorruptionError, FileNotFoundError)
+        )
+
+
+class _ModelHealth:
+    """One model's circuit-breaker state (guarded by the fleet's ``_sched``).
+
+    States: ``healthy`` (normal service), ``quarantined`` (breaker open —
+    submits fast-fail until ``probe_at``), ``probing`` (half-open — one
+    trial submission is queued; its dispatch decides the next state).
+    """
+
+    __slots__ = (
+        "state", "consecutive_failures", "probe_at", "last_error",
+        "quarantines", "load_retries",
+    )
+
+    def __init__(self) -> None:
+        self.state = "healthy"
+        self.consecutive_failures = 0
+        self.probe_at: float | None = None
+        self.last_error: str | None = None
+        self.quarantines = 0  # lifetime count of breaker openings
+        self.load_retries = 0  # lifetime count of within-dispatch retries
+
+    def as_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "probe_at": self.probe_at,
+            "last_error": self.last_error,
+            "quarantines": self.quarantines,
+            "load_retries": self.load_retries,
+        }
+
+
 class ModelRegistry:
     """Loads and evicts servable checkpoints by model id.
 
@@ -130,6 +242,7 @@ class ModelRegistry:
         self,
         max_resident: int | None = None,
         max_plan_bytes: int | None = None,
+        loader=None,
     ) -> None:
         if max_resident is not None and max_resident < 1:
             raise ValueError("max_resident must be >= 1 (or None)")
@@ -137,6 +250,9 @@ class ModelRegistry:
             raise ValueError("max_plan_bytes must be >= 0 (or None)")
         self.max_resident = max_resident
         self.max_plan_bytes = max_plan_bytes
+        # Injectable ``(model_id, spec) -> IncrementalTrainer``; the fault
+        # harness substitutes a flaky one to exercise retry/quarantine.
+        self._loader = loader if loader is not None else _default_loader
         self._lock = threading.RLock()
         self._specs: dict[str, _ModelSpec] = {}
         # Insertion order = recency: least-recently-used first.
@@ -264,12 +380,7 @@ class ModelRegistry:
                     self._resident.move_to_end(model_id)
                     self._hits += 1
                     return entry.trainer
-            trainer = IncrementalTrainer.from_checkpoint(
-                spec.checkpoint,
-                spec.features,
-                spec.labels,
-                **spec.load_kwargs,
-            )
+            trainer = self._loader(model_id, spec)
             with self._lock:
                 self._loads += 1
                 self._resident[model_id] = _Resident(
@@ -405,23 +516,36 @@ class ModelRegistry:
             if entry is not None:
                 entry.plan_bytes = entry.trainer.plan_nbytes()
 
+    def pin(self, model_id: str) -> None:
+        """Protect a model from eviction until :meth:`unpin` (recursive).
+
+        Pinning does *not* load: the fleet pins before its (retried) load
+        attempts so the model cannot be evicted between a load finishing
+        and the batch that needed it dispatching.
+        """
+        with self._lock:
+            self._pins[model_id] = self._pins.get(model_id, 0) + 1
+
+    def unpin(self, model_id: str) -> None:
+        """Release one :meth:`pin`; settles any eviction debt it deferred."""
+        with self._lock:
+            remaining = self._pins.get(model_id, 0) - 1
+            if remaining > 0:
+                self._pins[model_id] = remaining
+            else:
+                self._pins.pop(model_id, None)
+            # A pin may have been the only thing holding the resident
+            # set over cap; settle the debt now that it is released.
+            self._enforce_caps()
+
     @contextmanager
     def pinned(self, model_id: str):
         """Context manager: the trainer, protected from eviction while held."""
-        with self._lock:
-            self._pins[model_id] = self._pins.get(model_id, 0) + 1
+        self.pin(model_id)
         try:
             yield self.get(model_id)
         finally:
-            with self._lock:
-                remaining = self._pins.get(model_id, 0) - 1
-                if remaining > 0:
-                    self._pins[model_id] = remaining
-                else:
-                    self._pins.pop(model_id, None)
-                # A pin may have been the only thing holding the resident
-                # set over cap; settle the debt now that it is released.
-                self._enforce_caps()
+            self.unpin(model_id)
 
     # -------------------------------------------------------------- eviction
     def _is_dirty(self, entry: _Resident) -> bool:
@@ -488,7 +612,7 @@ class ModelRegistry:
                 if self._is_dirty(entry)
             )
 
-    def save_dirty(self) -> dict[str, dict]:
+    def save_dirty(self) -> dict[str, SaveOutcome]:
         """Re-checkpoint every dirty model in place, making it evictable again.
 
         Only meaningful for checkpoint-backed registrations; live-trainer
@@ -503,14 +627,22 @@ class ModelRegistry:
         committed state.  Each write bumps the model's checkpoint
         *epoch*, fencing the fleet's commit-translation history: requests
         validated against the new archive are never replayed through
-        commits it already contains.  Returns ``{model_id: paths}`` for
-        the checkpoints written.
+        commits it already contains.
+
+        Saves are independent: one model's write failing does not stop
+        the sweep.  Returns ``{model_id: SaveOutcome}`` for every model
+        attempted; a failed model's epoch, metadata and loaded version
+        are left untouched, so it stays dirty — unevictable, still
+        serving from its resident (committed) state — and the next
+        ``save_dirty`` retries it.  The write itself is crash-atomic
+        (temp + fsync + rename, journaled for directory checkpoints), so
+        a failure never leaves a half-written archive behind.
 
         The registry lock is held across the checkpoint writes (the
         epoch/metadata/version updates must be atomic with them), so run
         this from a maintenance path, not from under live submit traffic.
         """
-        written: dict[str, dict] = {}
+        written: dict[str, SaveOutcome] = {}
         with self._lock:
             for model_id in self.dirty_ids():
                 spec = self._specs[model_id]
@@ -520,32 +652,35 @@ class ModelRegistry:
                 if self._pins.get(model_id, 0) > 0:
                     continue
                 target = Path(spec.checkpoint)
-                if target.is_dir():
-                    written[model_id] = entry.trainer.save_checkpoint(target)
-                else:
-                    # A bare archive registration: overwrite it in place.
-                    # Writing a directory-style checkpoint next to it
-                    # would leave spec.checkpoint pointing at the stale
-                    # pre-commit file (and collide with sibling
-                    # registrations sharing the parent directory).
-                    written[model_id] = {
-                        "store": save_store(entry.trainer.store, target)
-                    }
-                    if target.suffix != ".npz":
-                        # np.savez_compressed appends ".npz" when the
-                        # registered archive name lacks it; move the
-                        # write back onto the exact registered path so
-                        # the reload below sees the committed state.
-                        target.with_name(target.name + ".npz").replace(
-                            target
-                        )
-                # Any plan_path load override names the *pre-commit*
-                # plan; reloads must use the freshly written plan.npz
-                # (directory registrations) or recompile (bare archives).
-                spec.load_kwargs.pop("plan_path", None)
-                spec.metadata = read_checkpoint_metadata(target)
+                try:
+                    if target.is_dir():
+                        paths = entry.trainer.save_checkpoint(target)
+                    else:
+                        # A bare archive registration: overwrite it in
+                        # place.  Writing a directory-style checkpoint
+                        # next to it would leave spec.checkpoint pointing
+                        # at the stale pre-commit file (and collide with
+                        # sibling registrations sharing the parent
+                        # directory).
+                        paths = {
+                            "store": save_store(entry.trainer.store, target)
+                        }
+                    # Any plan_path load override names the *pre-commit*
+                    # plan; reloads must use the freshly written plan.npz
+                    # (directory registrations) or recompile (bare
+                    # archives).
+                    spec.load_kwargs.pop("plan_path", None)
+                    spec.metadata = read_checkpoint_metadata(target)
+                except Exception as exc:
+                    written[model_id] = SaveOutcome(
+                        model_id=model_id, ok=False, error=exc
+                    )
+                    continue
                 entry.loaded_version = entry.trainer.store._version
                 self._epochs[model_id] += 1
+                written[model_id] = SaveOutcome(
+                    model_id=model_id, ok=True, paths=paths
+                )
         return written
 
     # ------------------------------------------------------------- observers
@@ -634,6 +769,7 @@ class _ModelQueue:
         "model_id", "heap", "busy", "slots", "tracker",
         "stats", "batch_seq", "method", "commit_mode",
         "guard", "maintenance", "maintenance_runs", "last_maintenance",
+        "health",
     )
 
     def __init__(
@@ -661,6 +797,7 @@ class _ModelQueue:
         self.maintenance: list[_MaintenanceTicket] = []
         self.maintenance_runs = 0
         self.last_maintenance: dict | None = None
+        self.health = _ModelHealth()
 
     def earliest_deadline(self) -> float | None:
         """When the most impatient queued request's lane budget expires."""
@@ -764,6 +901,14 @@ class FleetServer:
         effective parallelism is ``min(n_workers, busy models)``.
     clock:
         Injectable time source shared with the per-model deadline math.
+    retry:
+        The :class:`RetryPolicy` governing checkpoint-load failures:
+        within-dispatch retries with capped exponential backoff for
+        transient errors, then a per-model circuit breaker — after
+        ``quarantine_after`` consecutive failed dispatches the model is
+        *quarantined* and submits fast-fail with
+        :class:`~repro.serving.errors.ModelQuarantinedError` until a
+        half-open probe succeeds.  Defaults to ``RetryPolicy()``.
     maintenance:
         A :class:`~repro.core.maintenance.MaintenancePolicy` enabling
         background plan maintenance: after every committed batch the
@@ -787,6 +932,7 @@ maintenance_cost` is checked against the policy's thresholds and, when
         n_workers: int = 2,
         commit_mode: bool = False,
         clock: Clock | None = None,
+        retry: "RetryPolicy | None" = None,
         maintenance: MaintenancePolicy | None = None,
         autostart: bool = True,
     ) -> None:
@@ -801,8 +947,14 @@ maintenance_cost` is checked against the policy's thresholds and, when
         self.method = method
         self.commit_mode = bool(commit_mode)
         self.n_workers = n_workers
+        self.retry = retry if retry is not None else RetryPolicy()
         self.maintenance = maintenance
         self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        # Backoff sleeps between load retries run on this private
+        # condition so they ride the injectable clock (a fake clock
+        # advances instantly) without ever holding the scheduler lock.
+        self._backoff_cond = threading.Condition()
+        self._crashed: BaseException | None = None
         # At most one background maintain() in flight fleet-wide, so the
         # pool always keeps workers free for deletion traffic.
         self._maintenance_busy = False
@@ -916,7 +1068,11 @@ maintenance_cost` is checked against the policy's thresholds and, when
         exact either way, because a model with in-process commits is dirty
         and therefore always resident.  Backpressure is per model:
         ``block=False`` raises :class:`BackpressureError` when that
-        model's queue is at ``max_pending``.
+        model's queue is at ``max_pending``.  A quarantined model
+        fast-fails with
+        :class:`~repro.serving.errors.ModelQuarantinedError` — except
+        once per ``retry.probe_interval_seconds``, when one submission is
+        admitted as the breaker's half-open probe.
         """
         lane_obj = self.policy.lane(lane)
         removed = normalize_removed_indices(indices)
@@ -946,7 +1102,15 @@ maintenance_cost` is checked against the policy's thresholds and, when
             return (epoch, -math.inf)
 
         with self._sched:
+            if self._crashed is not None:
+                raise WorkerCrashedError(
+                    "cannot submit: a fleet worker thread died"
+                ) from self._crashed
             state = self._queue_for(model_id)
+            # Circuit breaker: fast-fail while quarantined; once the
+            # probe interval elapses, this submission becomes the
+            # breaker's single half-open probe.
+            probing = self._admit_health(state, lane_obj.name)
         # Register the pruning key BEFORE anything can block: concurrent
         # dispatches prune commit history down to the oldest *registered*
         # in-flight key, so a submitter parked on the backpressure
@@ -1016,6 +1180,14 @@ maintenance_cost` is checked against the policy's thresholds and, when
             # the semaphore.  A leaked key would pin commit history (the
             # min() prune could never pass it) for the server's lifetime.
             state.tracker.forget(admitted_key)
+            if probing:
+                # The half-open probe never enqueued; re-open the breaker
+                # with an immediate probe window so the next submission
+                # gets the trial instead of a wedged "probing" state.
+                with self._sched:
+                    if state.health.state == "probing":
+                        state.health.state = "quarantined"
+                        state.health.probe_at = self._clock.now()
             raise
         return request.future
 
@@ -1027,9 +1199,23 @@ maintenance_cost` is checked against the policy's thresholds and, when
                 "answers these with a no-op instead)"
             )
         with self._sched:
+            if self._crashed is not None:
+                raise WorkerCrashedError(
+                    "cannot submit: a fleet worker thread died"
+                ) from self._crashed
             if self._closed:
                 raise RuntimeError("cannot submit to a closed FleetServer")
             state = self._queue_for(model_id)
+            if state.health.state != "healthy":
+                # Answering needs the trainer's weights, i.e. a load the
+                # breaker says will fail; and a no-op proves nothing as a
+                # probe.  Fast-fail without consuming the probe window.
+                _TeeStats(state.stats, self._stats).record_quarantined(lane)
+                raise ModelQuarantinedError(
+                    model_id,
+                    state.health.consecutive_failures,
+                    state.health.probe_at or self._clock.now(),
+                )
         # A no-op must not reshuffle the resident set: answer from the
         # loaded trainer without an LRU touch when possible, and only pay
         # the (cached) load for a genuinely cold model.
@@ -1103,6 +1289,125 @@ maintenance_cost` is checked against the policy's thresholds and, when
         with self._sched:
             states = list(self._queues.values())
         return {state.model_id: state.stats.snapshot() for state in states}
+
+    def describe(self, model_id: str) -> dict:
+        """:meth:`ModelRegistry.describe` plus this fleet's health view.
+
+        The added ``"health"`` entry is the model's circuit-breaker state
+        (``healthy`` / ``quarantined`` / ``probing``), failure counts and
+        next probe time — all zeros/healthy for a model that has seen no
+        traffic through this fleet.
+        """
+        info = self.registry.describe(model_id)
+        with self._sched:
+            state = self._queues.get(model_id)
+            health = _ModelHealth() if state is None else state.health
+            info["health"] = health.as_dict()
+        return info
+
+    # --------------------------------------------------------- model health
+    def _admit_health(self, state: _ModelQueue, lane: str) -> bool:
+        """Gate one submission on the model's breaker (holding ``_sched``).
+
+        Returns True when this submission was admitted as the breaker's
+        half-open probe; raises
+        :class:`~repro.serving.errors.ModelQuarantinedError` when the
+        breaker is open (or a probe is already in flight).
+        """
+        health = state.health
+        if health.state == "healthy":
+            return False
+        if health.state == "quarantined" and (
+            health.probe_at is not None
+            and self._clock.now() >= health.probe_at
+        ):
+            health.state = "probing"
+            return True
+        _TeeStats(state.stats, self._stats).record_quarantined(lane)
+        raise ModelQuarantinedError(
+            state.model_id,
+            health.consecutive_failures,
+            health.probe_at if health.probe_at is not None else self._clock.now(),
+        )
+
+    def _acquire_trainer(self, model_id: str, state: _ModelQueue):
+        """Load (or hit) the model, retrying transient failures with backoff.
+
+        Runs under the dispatch's registry pin, so a trainer returned
+        here cannot be evicted before the batch it serves.  Exhausting
+        the retry budget — or any non-transient failure — counts one
+        consecutive failure against the model, possibly opening its
+        breaker, and raises
+        :class:`~repro.serving.errors.ModelLoadError` chained to the
+        underlying cause.
+        """
+        policy = self.retry
+        delay = policy.backoff_seconds
+        attempts = 0
+        while True:
+            try:
+                trainer = self.registry.get(model_id)
+            except Exception as exc:
+                attempts += 1
+                if policy.is_transient(exc) and attempts < policy.load_attempts:
+                    with self._sched:
+                        state.health.load_retries += 1
+                    self._backoff(delay)
+                    delay = min(
+                        delay * policy.backoff_factor,
+                        policy.max_backoff_seconds,
+                    )
+                    continue
+                raise self._note_load_failure(state, exc, attempts) from exc
+            self._note_load_success(state)
+            return trainer
+
+    def _backoff(self, delay: float) -> None:
+        if delay <= 0:
+            return
+        with self._backoff_cond:
+            self._clock.wait(self._backoff_cond, delay)
+
+    def _note_load_success(self, state: _ModelQueue) -> None:
+        with self._sched:
+            health = state.health
+            health.state = "healthy"
+            health.consecutive_failures = 0
+            health.probe_at = None
+            health.last_error = None
+
+    def _note_load_failure(
+        self, state: _ModelQueue, exc: BaseException, attempts: int
+    ) -> ModelLoadError:
+        """Account one failed dispatch-level load; open the breaker if due."""
+        with self._sched:
+            health = state.health
+            health.consecutive_failures += 1
+            health.last_error = repr(exc)
+            open_breaker = (
+                not self.retry.is_transient(exc)  # disk won't heal itself
+                or health.state == "probing"  # failed probe: straight back
+                or health.consecutive_failures >= self.retry.quarantine_after
+            )
+            if open_breaker:
+                health.state = "quarantined"
+                health.probe_at = (
+                    self._clock.now() + self.retry.probe_interval_seconds
+                )
+                health.quarantines += 1
+            return ModelLoadError(state.model_id, attempts, exc)
+
+    def _settle_probe(self, state: _ModelQueue) -> None:
+        """The probe batch evaporated (all cancelled): re-open the breaker.
+
+        ``probe_at=now`` keeps the window open so the very next
+        submission becomes the new probe — a cancelled probe proved
+        nothing in either direction.
+        """
+        with self._sched:
+            if state.health.state == "probing":
+                state.health.state = "quarantined"
+                state.health.probe_at = self._clock.now()
 
     # -------------------------------------------------------------- workers
     def _next_job(self) -> tuple[str, str, object] | None:
@@ -1180,27 +1485,91 @@ maintenance_cost` is checked against the policy's thresholds and, when
                 self._clock.wait(self._sched, wait)
 
     def _worker_loop(self) -> None:
-        while True:
-            job = self._next_job()
-            if job is None:
-                return
-            kind, model_id, payload = job
-            try:
-                if kind == "batch":
-                    self._dispatch(model_id, payload)
+        job: tuple[str, str, object] | None = None
+        try:
+            while True:
+                job = self._next_job()
+                if job is None:
+                    return
+                kind, model_id, payload = job
+                try:
+                    if kind == "batch":
+                        self._dispatch(model_id, payload)
+                    else:
+                        self._dispatch_maintenance(model_id, payload)
+                finally:
+                    with self._sched:
+                        self._queues[model_id].busy = False
+                        if kind == "maintain":
+                            self._maintenance_busy = False
+                        self._sched.notify_all()
+                job = None
+        except BaseException as exc:
+            # This worker is dying with work possibly in hand.  Fail
+            # everything unresolved — the job being dispatched and every
+            # queued request fleet-wide — with a typed error; a wedged
+            # flush() or a silently leaked future is strictly worse.
+            self._abort(exc, job)
+
+    def _abort(
+        self, cause: BaseException, job: tuple[str, str, object] | None
+    ) -> None:
+        error = WorkerCrashedError("a fleet worker thread died")
+        error.__cause__ = cause
+        doomed: list[tuple[_ModelQueue, _Request]] = []
+        tickets: list[tuple[_ModelQueue, _MaintenanceTicket]] = []
+        with self._sched:
+            if self._crashed is None:
+                self._crashed = error
+            for state in self._queues.values():
+                while state.heap:
+                    _, _, request = heapq.heappop(state.heap)
+                    state.slots.release()
+                    doomed.append((state, request))
+                for ticket in state.maintenance:
+                    tickets.append((state, ticket))
+                state.maintenance.clear()
+            if job is not None:
+                state = self._queues[job[1]]
+                if job[0] == "batch":
+                    for request in job[2]:
+                        doomed.append((state, request))
                 else:
-                    self._dispatch_maintenance(model_id, payload)
-            finally:
-                with self._sched:
-                    self._queues[model_id].busy = False
-                    if kind == "maintain":
-                        self._maintenance_busy = False
-                    self._sched.notify_all()
+                    tickets.append((state, job[2]))
+            self._pending = 0
+            self._sched.notify_all()
+        for state, request in doomed:
+            future = request.future
+            stats = _TeeStats(state.stats, self._stats)
+            if future.cancelled():
+                stats.record_cancelled(1, [request.lane])
+                state.tracker.note_finished([request])
+                continue
+            if future.done():
+                continue
+            try:
+                future.set_exception(error)
+            except Exception:
+                continue  # lost a cancel race; the caller has an answer
+            stats.record_failed(1, [request.lane])
+            state.tracker.note_finished([request])
+        for state, ticket in tickets:
+            if ticket.future.done():
+                continue
+            try:
+                ticket.future.set_exception(error)
+            except Exception:
+                continue
+            _TeeStats(state.stats, self._stats).record_failed(
+                1, ["maintenance"]
+            )
 
     def _finish(self, state: _ModelQueue, requests: list[_Request]) -> None:
         state.tracker.note_finished(requests)
         with self._sched:
-            self._pending -= len(requests)
+            # max() guards the post-abort window: _abort zeroes the count
+            # while a sibling worker may still be finishing its batch.
+            self._pending = max(0, self._pending - len(requests))
             self._sched.notify_all()
 
     def _dispatch(self, model_id: str, batch: list[_Request]) -> None:
@@ -1216,13 +1585,23 @@ maintenance_cost` is checked against the policy's thresholds and, when
         if cancelled:
             stats.record_cancelled(len(cancelled), [r.lane for r in cancelled])
             self._finish(state, cancelled)
+        # Keep the popped list tracking exactly the still-unsettled
+        # requests, so a worker crash below aborts precisely those.
+        batch[:] = live
         if not live:
+            # If this was the breaker's half-open probe, it just
+            # evaporated without testing anything; re-open the window.
+            self._settle_probe(state)
             return
+        # Pin around the *retried* load, not just the serve: the trainer
+        # must not be evicted between a load attempt succeeding and the
+        # batch running.  (The pin also freezes the checkpoint epoch:
+        # save_dirty skips pinned models, so the key recorded for a
+        # commit is consistent with the id space the batch executed in.)
+        self.registry.pin(model_id)
         try:
-            with self.registry.pinned(model_id) as trainer:
-                # The pin also freezes the checkpoint epoch: save_dirty
-                # skips pinned models, so the key recorded for a commit is
-                # consistent with the id space the batch executed in.
+            try:
+                trainer = self._acquire_trainer(model_id, state)
                 if state.commit_mode and trainer.clock is None and (
                     self._clock is not MONOTONIC_CLOCK
                 ):
@@ -1254,14 +1633,18 @@ maintenance_cost` is checked against the policy's thresholds and, when
                     cost = trainer.maintenance_cost(include_bytes=False)
                     if self.maintenance.due(cost):
                         self._schedule_maintenance(model_id, auto=True)
-        except Exception as exc:
-            # A checkpoint that fails to *load* fails the batch the same
-            # way a failed dispatch does — every future, never a leak.
-            failed = [r for r in live if not r.future.done()]
-            for request in failed:
-                request.future.set_exception(exc)
-            stats.record_failed(len(failed), [r.lane for r in failed])
+            except Exception as exc:
+                # A checkpoint that fails to *load* (after its retry
+                # budget) fails the batch the same way a failed dispatch
+                # does — every future, never a leak.
+                failed = [r for r in live if not r.future.done()]
+                for request in failed:
+                    request.future.set_exception(exc)
+                stats.record_failed(len(failed), [r.lane for r in failed])
+        finally:
+            self.registry.unpin(model_id)
         self._finish(state, live)
+        del batch[:]
 
     # ---------------------------------------------------------- maintenance
     def maintain(

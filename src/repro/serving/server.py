@@ -65,14 +65,11 @@ from ..core.provenance_store import (
     remap_surviving_ids,
 )
 from .clock import MONOTONIC_CLOCK, Clock
+from .errors import BackpressureError, WorkerCrashedError
 from .policy import AdmissionPolicy, _PreemptionGuard
 from .stats import ServingStats, StatsRecorder
 
 _SHUTDOWN = object()
-
-
-class BackpressureError(RuntimeError):
-    """The server's admission queue is full; retry later or block."""
 
 
 @dataclass
@@ -411,6 +408,7 @@ removed`` reports the translated set, in the id space its batch executed
         self._submit_lock = threading.Lock()
         self._inflight = 0
         self._closed = False
+        self._crashed: BaseException | None = None
         self._started = False
         self._worker = threading.Thread(
             target=self._serve_loop, name="deletion-server", daemon=True
@@ -517,6 +515,11 @@ removed`` reports the translated set, in the id space its batch executed
             # a request could be admitted after the shutdown sentinel and
             # never resolve.  Nothing inside this lock blocks.
             with self._submit_lock:
+                if self._crashed is not None:
+                    self._slots.release()
+                    raise WorkerCrashedError(
+                        "cannot submit: the server's worker thread died"
+                    ) from self._crashed
                 if self._closed:
                     self._slots.release()
                     raise RuntimeError(
@@ -550,6 +553,10 @@ removed`` reports the translated set, in the id space its batch executed
                 "answers these with a no-op instead)"
             )
         with self._submit_lock:
+            if self._crashed is not None:
+                raise WorkerCrashedError(
+                    "cannot submit: the server's worker thread died"
+                ) from self._crashed
             if self._closed:
                 raise RuntimeError("cannot submit to a closed DeletionServer")
             self._stats.record_noop(lane)
@@ -605,26 +612,88 @@ removed`` reports the translated set, in the id space its batch executed
     def _finish(self, requests: list[_Request]) -> None:
         self._tracker.note_finished(requests)
         with self._state_lock:
-            self._inflight -= len(requests)
+            # max() guards the post-abort window: _abort zeroes the count
+            # while a dispatch may still be finishing its batch.
+            self._inflight = max(0, self._inflight - len(requests))
             if self._inflight == 0:
                 self._state_lock.notify_all()
 
     def _serve_loop(self) -> None:
         carried: _Request | None = None
-        while True:
-            if carried is not None:
-                item, carried = carried, None
-            else:
-                _, _, item = self._queue.get()
-                if item is _SHUTDOWN:
+        batch: list[_Request] = []
+        try:
+            while True:
+                batch = []
+                if carried is not None:
+                    batch.append(carried)
+                    carried = None
+                else:
+                    _, _, item = self._queue.get()
+                    if item is _SHUTDOWN:
+                        break
+                    self._slots.release()
+                    batch.append(item)
+                saw_shutdown, yielded, carried = self._collect(batch)
+                if batch:
+                    self._note_preemption(batch, yielded)
+                    self._dispatch(batch)
+                if saw_shutdown:
                     break
-                self._slots.release()
-            batch, saw_shutdown, yielded, carried = self._collect(item)
-            if batch:
-                self._note_preemption(batch, yielded)
-                self._dispatch(batch)
-            if saw_shutdown:
+        except BaseException as exc:
+            # The worker is dying with requests possibly in hand (the
+            # batch being coalesced or dispatched, a carried head, and
+            # everything still queued).  Fail them all loudly: a wedged
+            # flush() is strictly worse than a typed error.
+            inflight = list(batch)
+            if carried is not None:
+                inflight.append(carried)
+            self._abort(exc, inflight)
+
+    def _abort(self, cause: BaseException, inflight: list[_Request]) -> None:
+        """Fail every unresolved request after the worker thread dies."""
+        error = WorkerCrashedError("the server's worker thread died")
+        error.__cause__ = cause
+        with self._submit_lock:
+            self._crashed = error
+        doomed = list(inflight)
+        while True:
+            try:
+                _, _, item = self._queue.get_nowait()
+            except queue.Empty:
                 break
+            if item is _SHUTDOWN:
+                continue
+            self._slots.release()
+            doomed.append(item)
+        failed_lanes: list[str | None] = []
+        cancelled_lanes: list[str | None] = []
+        settled: list[_Request] = []
+        for request in doomed:
+            future = request.future
+            if future.cancelled():
+                # Cancelled while queued; nobody will pop it now.
+                cancelled_lanes.append(request.lane)
+                settled.append(request)
+                continue
+            if future.done():
+                continue
+            try:
+                # Works from PENDING and RUNNING alike; a concurrent
+                # cancel() wins the race and is fine — the caller got an
+                # answer either way.
+                future.set_exception(error)
+                failed_lanes.append(request.lane)
+                settled.append(request)
+            except Exception:
+                pass
+        if failed_lanes:
+            self._stats.record_failed(len(failed_lanes), failed_lanes)
+        if cancelled_lanes:
+            self._stats.record_cancelled(len(cancelled_lanes), cancelled_lanes)
+        self._tracker.note_finished(settled)
+        with self._state_lock:
+            self._inflight = 0
+            self._state_lock.notify_all()
 
     # ------------------------------------------------- starvation guard
     def _steal_oldest_lower(self, bound_priority: int) -> _Request | None:
@@ -668,9 +737,9 @@ removed`` reports the translated set, in the id space its batch executed
         )
 
     def _collect(
-        self, first: _Request
-    ) -> tuple[list[_Request], bool, bool, _Request | None]:
-        """Coalesce queued requests behind ``first`` under the policy.
+        self, batch: list[_Request]
+    ) -> tuple[bool, bool, _Request | None]:
+        """Coalesce queued requests behind ``batch[0]`` under the policy.
 
         The batch's coalescing budget is the *minimum* of its members'
         lane delays against its *oldest* member's wait — so a zero-delay
@@ -678,15 +747,19 @@ removed`` reports the translated set, in the id space its batch executed
         batch it joins, and nobody's latency budget is silently blown by
         a later, more patient arrival.
 
-        When the starvation guard's preemption debt is due (and ``first``
+        When the starvation guard's preemption debt is due (and the head
         rides a guarded lane), the oldest waiting lower-priority request
         is *yielded* into this batch first — it rides the batch's
-        (possibly zero) delay and is served immediately with it.  Returns
-        ``(batch, saw_shutdown, yielded, carried)``; ``carried`` is the
-        popped head the worker must serve next when ``max_batch`` left no
-        room to dispatch it alongside the yielded request.
+        (possibly zero) delay and is served immediately with it.
+
+        Grows ``batch`` (the caller's list) *in place*: every request
+        popped off the queue is appended before anything else can fail,
+        so a worker crash mid-coalesce still has the full set in hand to
+        abort.  Returns ``(saw_shutdown, yielded, carried)``; ``carried``
+        is the popped head the worker must serve next when ``max_batch``
+        left no room to dispatch it alongside the yielded request.
         """
-        batch = [first]
+        first = batch[0]
         batch_delay = first.lane_delay
         oldest_enqueue = first.enqueued_at
         yielded = False
@@ -700,7 +773,8 @@ removed`` reports the translated set, in the id space its batch executed
                     # yielded request takes this dispatch and the guarded
                     # head waits for the next one (matching the fleet's
                     # accounting, never exceeding max_batch).
-                    return [stolen], False, True, first
+                    batch[0] = stolen
+                    return False, True, first
                 batch.append(stolen)
                 batch_delay = min(batch_delay, stolen.lane_delay)
                 oldest_enqueue = min(oldest_enqueue, stolen.enqueued_at)
@@ -717,7 +791,7 @@ removed`` reports the translated set, in the id space its batch executed
             except queue.Empty:
                 break
             if item is _SHUTDOWN:
-                return batch, True, yielded, None
+                return True, yielded, None
             self._slots.release()
             batch.append(item)
             batch_delay = min(batch_delay, item.lane_delay)
@@ -730,10 +804,10 @@ removed`` reports the translated set, in the id space its batch executed
             except queue.Empty:
                 break
             if item is _SHUTDOWN:
-                return batch, True, yielded, None
+                return True, yielded, None
             self._slots.release()
             batch.append(item)
-        return batch, False, yielded, None
+        return False, yielded, None
 
     def _dispatch(self, batch: list[_Request]) -> None:
         # Honor cancellations that happened while the request was queued.
@@ -749,6 +823,9 @@ removed`` reports the translated set, in the id space its batch executed
                 len(cancelled), [r.lane for r in cancelled]
             )
             self._finish(cancelled)
+        # Keep the caller's list tracking exactly the still-unsettled
+        # requests, so a crash below aborts precisely those.
+        batch[:] = live
         if not live:
             return
         _serve_batch(
@@ -762,3 +839,4 @@ removed`` reports the translated set, in the id space its batch executed
             batch_seq=next(self._batch_seq),
         )
         self._finish(live)
+        del batch[:]

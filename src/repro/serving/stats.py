@@ -36,6 +36,10 @@ class LaneStats:
     wait: LatencySummary | None  # enqueue -> dispatch
     service: LatencySummary | None  # dispatch -> answer
     latency: LatencySummary | None  # enqueue -> answer (end to end)
+    # Submissions fast-failed because the model's circuit breaker was
+    # open.  Like ``rejected``, these never entered the queue, so they
+    # stay outside the pending conservation identity.
+    quarantined: int = 0
 
     @property
     def pending(self) -> int:
@@ -50,6 +54,7 @@ class LaneStats:
             "failed": self.failed,
             "cancelled": self.cancelled,
             "rejected": self.rejected,
+            "quarantined": self.quarantined,
             "wait": None if self.wait is None else self.wait.as_dict(),
             "service": None if self.service is None else self.service.as_dict(),
             "latency": None if self.latency is None else self.latency.as_dict(),
@@ -71,6 +76,7 @@ class ServingStats:
     service: LatencySummary | None  # dispatch -> answer
     latency: LatencySummary | None  # enqueue -> answer (end to end)
     lanes: dict[str, LaneStats] = field(default_factory=dict)
+    quarantined: int = 0  # fast-failed: circuit breaker open (see LaneStats)
 
     @property
     def pending(self) -> int:
@@ -91,6 +97,7 @@ class ServingStats:
             "failed": self.failed,
             "cancelled": self.cancelled,
             "rejected": self.rejected,
+            "quarantined": self.quarantined,
             "batches": self.batches,
             "mean_batch_size": self.mean_batch_size,
             "wait": None if self.wait is None else self.wait.as_dict(),
@@ -107,7 +114,7 @@ class _LaneAccumulator:
 
     __slots__ = (
         "submitted", "answered", "failed", "cancelled", "rejected",
-        "waits", "services", "latencies",
+        "quarantined", "waits", "services", "latencies",
     )
 
     def __init__(self) -> None:
@@ -116,6 +123,7 @@ class _LaneAccumulator:
         self.failed = 0
         self.cancelled = 0
         self.rejected = 0
+        self.quarantined = 0
         self.waits: list[float] = []
         self.services: list[float] = []
         self.latencies: list[float] = []
@@ -127,6 +135,7 @@ class _LaneAccumulator:
             failed=self.failed,
             cancelled=self.cancelled,
             rejected=self.rejected,
+            quarantined=self.quarantined,
             wait=summarize_latencies(self.waits),
             service=summarize_latencies(self.services),
             latency=summarize_latencies(self.latencies),
@@ -147,6 +156,7 @@ class StatsRecorder:
         self._failed = 0
         self._cancelled = 0
         self._rejected = 0
+        self._quarantined = 0
         self._batches = 0
         self._batch_sizes: list[int] = []
         self._waits: list[float] = []
@@ -176,6 +186,14 @@ class StatsRecorder:
             accumulator = self._lane(lane)
             if accumulator is not None:
                 accumulator.rejected += 1
+
+    def record_quarantined(self, lane: str | None = None) -> None:
+        """A submission fast-failed because the model's breaker was open."""
+        with self._lock:
+            self._quarantined += 1
+            accumulator = self._lane(lane)
+            if accumulator is not None:
+                accumulator.quarantined += 1
 
     def record_noop(self, lane: str | None = None) -> None:
         """An empty submission answered inline (no batch dispatched)."""
@@ -243,6 +261,7 @@ class StatsRecorder:
                 failed=self._failed,
                 cancelled=self._cancelled,
                 rejected=self._rejected,
+                quarantined=self._quarantined,
                 batches=self._batches,
                 mean_batch_size=(
                     sum(sizes) / len(sizes) if sizes else 0.0

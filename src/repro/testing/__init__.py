@@ -1,0 +1,31 @@
+"""Test-support utilities shipped with the library.
+
+Unlike ``tests/`` (which never installs), this package is importable from
+anywhere — CI chaos jobs, downstream users' own suites — and carries the
+fault-injection layer the crash-safety guarantees are proven against:
+
+* :class:`~repro.testing.faults.FaultInjector` — scripted crashes/failures
+  at the durability protocol's instrumented steps
+  (:func:`repro.core.serialization.set_fault_hook`);
+* :func:`~repro.testing.faults.corrupt_npz_member` — targeted bit rot for
+  checksum-detection tests;
+* :class:`~repro.testing.faults.FlakyLoader` — an injectable
+  :class:`~repro.serving.fleet.ModelRegistry` loader that fails on
+  command, driving the fleet's retry/quarantine machinery.
+"""
+
+from .faults import (
+    FaultInjector,
+    FlakyLoader,
+    SimulatedCrash,
+    corrupt_npz_member,
+    record_fault_points,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FlakyLoader",
+    "SimulatedCrash",
+    "corrupt_npz_member",
+    "record_fault_points",
+]

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.serving import BackpressureError, FleetServer
+from repro.serving import BackpressureError, FleetServer, ModelQuarantinedError
 from repro.serving.clock import Clock
 
 
@@ -144,6 +144,10 @@ class StressReport:
     cancelled_by_driver: int = 0
     flushes: int = 0
     empty_submits: int = 0
+    # Chaos accounting: submissions fast-failed by an open circuit
+    # breaker, and injected load faults armed by the driver.
+    quarantined: int = 0
+    load_faults: int = 0
     # Futures returned by fleet.maintain() calls the driver issued.
     maintenance: list = field(default_factory=list)
 
@@ -186,6 +190,19 @@ class StressDriver:
         traces replay only within one harness version: the op
         distribution consumes the rng, so reshaping it (as adding this
         op did) re-deals every later draw for old seeds.
+    flaky / chaos_models:
+        Fault injection: ``flaky`` is the registry's
+        :class:`repro.testing.FlakyLoader` and ``chaos_models`` the
+        models the driver may randomly evict and arm load faults on —
+        either one transient fault (retried transparently) or enough to
+        trip the model's circuit breaker.  Submissions the open breaker
+        fast-fails are tallied in ``report.quarantined`` and checked
+        against fleet stats.  ``chaos_models`` must be disjoint from
+        ``commit_models`` and ``maintain_models``: a commit model is
+        dirty (unevictable, so armed faults could never fire) and a
+        quarantined maintenance target would fail its ticket.  Both
+        default empty (chaos off), leaving old seeds' op distributions
+        untouched.
     """
 
     def __init__(
@@ -199,6 +216,8 @@ class StressDriver:
         clock: FakeClock | None = None,
         max_ids_per_request: int = 4,
         maintain_models: set[str] = frozenset(),
+        flaky=None,
+        chaos_models: set[str] = frozenset(),
     ) -> None:
         self.fleet = fleet
         self.model_ids = list(model_ids)
@@ -209,6 +228,14 @@ class StressDriver:
         self.max_ids = max_ids_per_request
         self.commit_models = set(commit_models)
         self.maintain_models = sorted(maintain_models)
+        self.flaky = flaky
+        self.chaos_models = sorted(chaos_models)
+        if set(chaos_models) & self.commit_models:
+            raise ValueError("chaos_models must be disjoint from commit_models")
+        if set(chaos_models) & set(maintain_models):
+            raise ValueError(
+                "chaos_models must be disjoint from maintain_models"
+            )
         # Conservative per-model live bound: every id ever submitted for a
         # commit model *may* end up committed, so drawing below
         # initial_n - total_submitted is always valid in any id space the
@@ -238,6 +265,12 @@ class StressDriver:
         except BackpressureError:
             self.report.rejected += 1
             self._trace(f"submit {model_id}/{lane} {ids.tolist()} -> REJECTED")
+            return
+        except ModelQuarantinedError:
+            self.report.quarantined += 1
+            self._trace(
+                f"submit {model_id}/{lane} {ids.tolist()} -> QUARANTINED"
+            )
             return
         order_key = (model_id, lane)
         order = self._order.get(order_key, 0)
@@ -292,6 +325,26 @@ class StressDriver:
                     self._trace(
                         f"cancel (op {victim.op_index}) -> too late"
                     )
+            elif (
+                roll < 0.955 and self.chaos_models and self.flaky is not None
+            ):
+                model_id = self.chaos_models[
+                    self.rng.integers(len(self.chaos_models))
+                ]
+                retry = self.fleet.retry
+                if self.rng.random() < 0.5:
+                    n = 1  # one transient fault: retried transparently
+                else:
+                    # Enough for every retried dispatch to fail until the
+                    # breaker opens.
+                    n = retry.load_attempts * retry.quarantine_after
+                evicted = self.fleet.registry.evict(model_id)
+                self.flaky.fail_next(model_id, n)
+                self.report.load_faults += n
+                self._trace(
+                    f"chaos {model_id}: evicted={evicted}, "
+                    f"armed {n} load fault(s)"
+                )
             else:
                 model_id = self.model_ids[
                     self.rng.integers(len(self.model_ids))
@@ -371,7 +424,13 @@ class StressDriver:
 
         # I3 — stats conserve request counts, per model and fleet-wide,
         # and the lane split sums back to the aggregate.
-        totals = {"submitted": 0, "answered": 0, "failed": 0, "cancelled": 0}
+        totals = {
+            "submitted": 0,
+            "answered": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "quarantined": 0,
+        }
         for model_id in self.model_ids:
             stats = self.fleet.stats(model_id)
             self._check(
@@ -389,6 +448,7 @@ class StressDriver:
                 lane_sum["answered"] += lane_stats.answered
                 lane_sum["failed"] += lane_stats.failed
                 lane_sum["cancelled"] += lane_stats.cancelled
+                lane_sum["quarantined"] += lane_stats.quarantined
             for key, value in lane_sum.items():
                 self._check(
                     value == getattr(stats, key),
@@ -408,6 +468,11 @@ class StressDriver:
             fleet_stats.rejected == self.report.rejected,
             f"fleet rejected {fleet_stats.rejected} != driver-observed "
             f"{self.report.rejected}",
+        )
+        self._check(
+            fleet_stats.quarantined == self.report.quarantined,
+            f"fleet quarantined {fleet_stats.quarantined} != "
+            f"driver-observed {self.report.quarantined}",
         )
 
         # I4 — committed id-space consistency: each commit model's

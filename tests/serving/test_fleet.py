@@ -23,7 +23,7 @@ from repro import (
 )
 from repro.core.serialization import read_checkpoint_metadata
 from repro.datasets import make_binary_classification, make_regression
-from repro.serving import BackpressureError
+from repro.serving import BackpressureError, ModelLoadError, RetryPolicy
 
 _BINARY = make_binary_classification(400, 10, separation=1.0, seed=11)
 _BINARY_B = make_binary_classification(300, 8, separation=1.2, seed=12)
@@ -245,7 +245,8 @@ class TestRegistry:
         trainer.remove([3, 4], commit=True)
         assert registry.dirty_ids() == ("m",)
         written = registry.save_dirty()
-        assert written["m"]["store"] == archive  # the registered path itself
+        assert written["m"].ok
+        assert written["m"].paths["store"] == archive  # the registered path
         assert registry.n_samples("m") == trainer.n_samples
         assert registry.evict("m")
         reloaded = registry.get("m")
@@ -440,9 +441,10 @@ class TestFleetServing:
             labels=data.labels[:-5],
         )
         registry.register("healthy", trainer=fit_binary(_BINARY_B, seed=2))
-        with FleetServer(registry, n_workers=1) as fleet:
+        retry = RetryPolicy(load_attempts=1)  # deterministic error: no backoff
+        with FleetServer(registry, n_workers=1, retry=retry) as fleet:
             bad = fleet.submit("broken", [1, 2])
-            with pytest.raises(ValueError, match="captured over"):
+            with pytest.raises(ModelLoadError, match="captured over"):
                 bad.result(timeout=30)
             good = fleet.resolve("healthy", [1, 2], timeout=30)
         assert good.weights is not None

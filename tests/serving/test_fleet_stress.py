@@ -271,3 +271,123 @@ def test_stress_violations_carry_seed_and_trace():
     assert "seed: 42" in message
     assert "synthetic op" in message
     fleet.close()
+
+
+# -------------------------------------------------------------------- chaos
+CHAOS_SEEDS = (11, 23, 37, 41, 53)
+
+
+@pytest.fixture(scope="module")
+def chaos_checkpoint(tmp_path_factory):
+    """A saved checkpoint for the model the chaos ops evict and reload."""
+    directory = tmp_path_factory.mktemp("chaos") / "ckpt"
+    fit_model("binary").save_checkpoint(directory)
+    return directory
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_stress_chaos_load_faults(seed, chaos_checkpoint):
+    """Randomized traffic with injected load faults stays correct.
+
+    One checkpoint-backed model is randomly evicted and armed with load
+    failures — sometimes one transient fault (retried transparently),
+    sometimes enough to trip its circuit breaker.  The invariants must
+    hold throughout (including quarantine accounting), every *answered*
+    request must still match direct serving bit-for-bit, and the faults
+    must never leak onto the healthy models.
+    """
+    from repro.serving import RetryPolicy
+    from repro.testing import FlakyLoader
+
+    flaky = FlakyLoader()
+    registry = ModelRegistry(loader=flaky)
+    registry.register(
+        "chaos-bin",
+        checkpoint=chaos_checkpoint,
+        features=_BINARY.features,
+        labels=_BINARY.labels,
+    )
+    live = {
+        "stress-lin": fit_model("linear"),
+        "stress-commit": fit_model("binary-b"),
+    }
+    for model_id, trainer in live.items():
+        registry.register(model_id, trainer=trainer)
+    clock = FakeClock()
+    retry = RetryPolicy(
+        load_attempts=2,
+        backoff_seconds=0.01,
+        quarantine_after=2,
+        probe_interval_seconds=0.5,
+    )
+    fleet = FleetServer(
+        registry,
+        AdmissionPolicy(max_batch=4, max_delay_seconds=0.02, max_pending=8),
+        method="priu",
+        n_workers=2,
+        clock=clock,
+        retry=retry,
+        autostart=False,
+    )
+    fleet.configure_model("stress-commit", commit_mode=True)
+    fleet.start()
+    driver = StressDriver(
+        fleet,
+        model_ids=["chaos-bin", "stress-lin", "stress-commit"],
+        n_samples={
+            "chaos-bin": _BINARY.features.shape[0],
+            "stress-lin": live["stress-lin"].n_samples,
+            "stress-commit": live["stress-commit"].n_samples,
+        },
+        commit_models={"stress-commit"},
+        lanes=("bulk", "deadline"),
+        seed=seed,
+        clock=clock,
+        flaky=flaky,
+        chaos_models={"chaos-bin"},
+    )
+    report = driver.run(n_ops=260)
+
+    # Chaos actually happened: faults were armed and some fired.
+    assert report.load_faults > 0
+    assert flaky.failures > 0
+    # Healthy models never saw an injected fault.
+    for model_id in live:
+        assert fleet.stats(model_id).failed == 0
+
+    # Every successfully answered request is still bit-exact against
+    # direct serving — reloads, retries and probes change nothing.
+    reference = {
+        "chaos-bin": fit_model("binary"),
+        "stress-lin": live["stress-lin"],
+    }
+    for submitted in report.served():
+        if submitted.model_id == "stress-commit":
+            continue
+        outcome = submitted.future.result()
+        expected = reference[submitted.model_id].remove(
+            submitted.ids, method="priu"
+        )
+        np.testing.assert_allclose(
+            outcome.weights, expected.weights, atol=1e-10, rtol=0.0,
+            err_msg=f"seed {seed}: {submitted.model_id} {submitted.ids}",
+        )
+
+
+def test_chaos_models_must_not_overlap_commit_models():
+    from repro.testing import FlakyLoader
+
+    trainer = fit_model("binary")
+    registry = ModelRegistry()
+    registry.register("m", trainer=trainer)
+    fleet = FleetServer(registry, autostart=False)
+    with pytest.raises(ValueError, match="disjoint"):
+        StressDriver(
+            fleet,
+            model_ids=["m"],
+            n_samples={"m": trainer.n_samples},
+            commit_models={"m"},
+            flaky=FlakyLoader(),
+            chaos_models={"m"},
+        )
+    fleet.close()

@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Seeded chaos suite: randomized fleet traffic under injected faults.
+
+CI entry point for the fault-injection harness.  Each seed drives the
+real :class:`~repro.serving.FleetServer` through a few hundred random
+operations — submits across lanes, commits, cancels, clock advances and
+*chaos ops* (evict a checkpoint-backed model, arm injected load
+failures) — on the test suite's :class:`FakeClock`, so every retry
+backoff and quarantine probe interval elapses in zero wall time.  After
+the run the serving invariants are checked (pending conservation,
+quarantine accounting, per-lane stats) and every successfully answered
+request is compared bit-for-bit against direct single-model serving.
+
+Prints one ``PASS``/``FAIL`` line per seed and exits nonzero if any
+seed fails, carrying the seed and the full operation trace so the
+failure replays exactly::
+
+    python tools/chaos_suite.py             # default seed set
+    python tools/chaos_suite.py --seeds 11,23 --ops 400
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+import traceback
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "tests" / "serving"))
+
+import numpy as np  # noqa: E402
+
+from harness import FakeClock, StressDriver  # noqa: E402
+from repro import (  # noqa: E402
+    AdmissionPolicy,
+    FleetServer,
+    IncrementalTrainer,
+    ModelRegistry,
+)
+from repro.datasets import (  # noqa: E402
+    make_binary_classification,
+    make_regression,
+)
+from repro.serving import RetryPolicy  # noqa: E402
+from repro.testing import FlakyLoader  # noqa: E402
+
+DEFAULT_SEEDS = (11, 23, 37, 41, 53, 61, 79, 97)
+
+_BINARY = make_binary_classification(400, 10, separation=1.0, seed=21)
+_BINARY_B = make_binary_classification(320, 8, separation=1.2, seed=22)
+_LINEAR = make_regression(360, 6, noise=0.05, seed=23)
+
+
+def fit_model(kind):
+    """Deterministic fits: two calls with the same kind are bit-identical."""
+    if kind == "binary":
+        trainer = IncrementalTrainer(
+            "binary_logistic",
+            learning_rate=0.1,
+            regularization=0.01,
+            batch_size=40,
+            n_iterations=50,
+            seed=0,
+            method="priu",
+        )
+        trainer.fit(_BINARY.features, _BINARY.labels)
+    elif kind == "binary-b":
+        trainer = IncrementalTrainer(
+            "binary_logistic",
+            learning_rate=0.08,
+            regularization=0.02,
+            batch_size=32,
+            n_iterations=45,
+            seed=2,
+            method="priu",
+        )
+        trainer.fit(_BINARY_B.features, _BINARY_B.labels)
+    elif kind == "linear":
+        trainer = IncrementalTrainer(
+            "linear",
+            learning_rate=0.05,
+            regularization=0.01,
+            batch_size=36,
+            n_iterations=40,
+            seed=1,
+            method="priu",
+        )
+        trainer.fit(_LINEAR.features, _LINEAR.labels)
+    else:
+        raise ValueError(kind)
+    return trainer
+
+
+def run_seed(seed, n_ops, checkpoint):
+    """One chaos run; returns a short per-seed stats summary string."""
+    flaky = FlakyLoader()
+    registry = ModelRegistry(loader=flaky)
+    registry.register(
+        "chaos-bin",
+        checkpoint=checkpoint,
+        features=_BINARY.features,
+        labels=_BINARY.labels,
+    )
+    live = {
+        "stress-lin": fit_model("linear"),
+        "stress-commit": fit_model("binary-b"),
+    }
+    for model_id, trainer in live.items():
+        registry.register(model_id, trainer=trainer)
+    clock = FakeClock()
+    fleet = FleetServer(
+        registry,
+        AdmissionPolicy(max_batch=4, max_delay_seconds=0.02, max_pending=8),
+        method="priu",
+        n_workers=2,
+        clock=clock,
+        retry=RetryPolicy(
+            load_attempts=2,
+            backoff_seconds=0.01,
+            quarantine_after=2,
+            probe_interval_seconds=0.5,
+        ),
+        autostart=False,
+    )
+    fleet.configure_model("stress-commit", commit_mode=True)
+    fleet.start()
+    driver = StressDriver(
+        fleet,
+        model_ids=["chaos-bin", "stress-lin", "stress-commit"],
+        n_samples={
+            "chaos-bin": _BINARY.features.shape[0],
+            "stress-lin": live["stress-lin"].n_samples,
+            "stress-commit": live["stress-commit"].n_samples,
+        },
+        commit_models={"stress-commit"},
+        lanes=("bulk", "deadline"),
+        seed=seed,
+        clock=clock,
+        flaky=flaky,
+        chaos_models={"chaos-bin"},
+    )
+    report = driver.run(n_ops=n_ops)  # closes the fleet + checks invariants
+
+    if report.load_faults == 0:
+        raise AssertionError(
+            f"seed {seed}: no load faults armed — chaos op never rolled"
+        )
+    for model_id in live:
+        failed = fleet.stats(model_id).failed
+        if failed:
+            raise AssertionError(
+                f"seed {seed}: injected faults leaked onto healthy model "
+                f"{model_id!r} ({failed} failed)"
+            )
+
+    reference = {
+        "chaos-bin": fit_model("binary"),
+        "stress-lin": live["stress-lin"],
+    }
+    checked = 0
+    for submitted in report.served():
+        if submitted.model_id == "stress-commit":
+            continue
+        outcome = submitted.future.result()
+        expected = reference[submitted.model_id].remove(
+            submitted.ids, method="priu"
+        )
+        np.testing.assert_allclose(
+            outcome.weights, expected.weights, atol=1e-10, rtol=0.0,
+            err_msg=f"seed {seed}: {submitted.model_id} {submitted.ids}",
+        )
+        checked += 1
+
+    stats = fleet.stats()
+    return (
+        f"answered={stats.answered} failed={stats.failed} "
+        f"quarantined={stats.quarantined} load_faults={report.load_faults} "
+        f"fired={flaky.failures} verified={checked}"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seeds",
+        default=",".join(str(s) for s in DEFAULT_SEEDS),
+        help="comma-separated seed list (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=260,
+        help="random operations per seed (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    seeds = [int(token) for token in args.seeds.split(",") if token.strip()]
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="chaos-suite-") as scratch:
+        checkpoint = Path(scratch) / "chaos-bin"
+        fit_model("binary").save_checkpoint(checkpoint)
+        for seed in seeds:
+            start = time.perf_counter()
+            try:
+                summary = run_seed(seed, args.ops, checkpoint)
+            except Exception:
+                failures += 1
+                print(f"seed {seed}: FAIL", flush=True)
+                traceback.print_exc()
+            else:
+                elapsed = time.perf_counter() - start
+                print(
+                    f"seed {seed}: PASS ({summary}, {elapsed:.1f}s)",
+                    flush=True,
+                )
+    print(
+        f"chaos suite: {len(seeds) - failures}/{len(seeds)} seeds passed",
+        flush=True,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
