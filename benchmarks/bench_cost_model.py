@@ -1,0 +1,271 @@
+"""Cost-model accountability: every estimate meets its executed actual.
+
+The cost model (PR 7) replaces fixed scheduling constants with
+calibrated predictions — refresh-vs-recompile from the crossing of the
+two fitted cost curves, plan-patch bytes from the packed occurrence
+index, batch early-closing from observed service times.  Predictions
+are only trustworthy if they are *checked*, so this benchmark drives
+estimate→remove→commit rounds across three workload shapes (dense
+binary flats, SVD-compressed summaries, linear moments) and drains each
+:class:`~repro.core.costmodel.CostModel` decision ring into a
+per-decision predicted-vs-actual table.
+
+The acceptance bar (ISSUE 7): the recorded relative error stays within
+0.5 on both the refresh-vs-recompile seconds and the plan-patch bytes.
+Byte and mode predictions are structural (read off the same accounting
+the executed patch reports), so those assertions always run; wall-clock
+predictions are noisy on shared CI runners, so their assertion is
+opt-in via ``REPRO_BENCH_ASSERT_TIMING=1`` like ``bench_fleet.py`` —
+the JSON records the measured error either way.
+
+The initial :class:`~repro.core.costmodel.Calibration` is fitted from
+the repo's recorded ``BENCH_refresh.json`` when present
+(:meth:`Calibration.from_bench`) and refined online by the commit loop
+itself — the same estimate→observe cycle the serving stack runs.
+
+Runable standalone (writes ``BENCH_costmodel.json`` for the perf
+trajectory)::
+
+    PYTHONPATH=src REPRO_BENCH_SCALE=0.02 \
+        python benchmarks/bench_cost_model.py --smoke --out BENCH_costmodel.json
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Calibration, CostModel, IncrementalTrainer
+from repro.bench.reporting import report
+from repro.datasets import make_binary_classification, make_regression
+
+ROOT = Path(__file__).resolve().parents[1]
+ASSERT_TIMING = os.environ.get("REPRO_BENCH_ASSERT_TIMING", "") == "1"
+
+#: The acceptance bar on recorded predicted-vs-actual relative error.
+ERROR_BAR = 0.5
+
+N_WARMUP = 8  # online-calibration commits before measurement starts
+N_ROUNDS = 24  # measured estimate→remove→commit rounds per workload
+SMOKE_WARMUP = 3
+SMOKE_ROUNDS = 6
+
+#: (name, model kind, requested samples, features, batch, iterations, seed).
+#: The SVD row keeps ``batch < n_params`` so summaries are truncated-SVD
+#: factors and every refresh appends correction columns — the width-growth
+#: prediction exercised; the dense/linear rows patch flats and moments.
+WORKLOADS = (
+    ("dense_binary", "binary_logistic", 6000, 12, 64, 50, 5),
+    ("svd_binary", "binary_logistic", 3600, 16, 8, 45, 6),
+    ("linear", "linear", 4800, 10, 48, 40, 7),
+)
+
+_CACHE: dict = {}
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+def _base_calibration() -> Calibration:
+    """Seed calibration from the recorded refresh benchmark when present."""
+    bench = ROOT / "BENCH_refresh.json"
+    if bench.exists():
+        return Calibration.from_bench(bench)
+    return Calibration()
+
+
+def _fit(kind, requested, n_features, batch, iterations, seed):
+    n = max(200, int(round(requested * _scale())))
+    if kind == "linear":
+        data = make_regression(n, n_features, noise=0.05, seed=seed)
+    else:
+        data = make_binary_classification(
+            n, n_features, separation=1.0, seed=seed
+        )
+    trainer = IncrementalTrainer(
+        kind,
+        learning_rate=0.1,
+        regularization=0.01,
+        batch_size=batch,
+        n_iterations=iterations,
+        seed=seed,
+        method="priu",
+        cost_model=CostModel(_base_calibration()),
+    )
+    trainer.fit(data.features, data.labels)
+    return trainer
+
+
+def _removal(rng, n_samples, round_index):
+    """Steady-state removal sizes (a narrow band around n/80).
+
+    The two-parameter timing model prices the *patch work*, which is
+    linear in the touched fraction; at bench scales a fixed per-commit
+    overhead dominates far outside the calibrated band, so the run
+    measures the regime the calibration actually operates in.  The
+    structural predictions (bytes, widths, mode) are exercised across
+    the full small-to-bulk range by ``tests/core/test_cost_model.py``.
+    """
+    size = max(2, n_samples // 80) + round_index % 3
+    size = min(size, max(1, n_samples - 8))
+    return np.sort(rng.choice(n_samples, size=size, replace=False))
+
+
+def _decision_errors(decisions):
+    """Per-decision relative errors against the executed receipt."""
+    byte_errors, timing_errors, agreements = [], [], []
+    for decision in decisions:
+        predicted = decision["predicted"]
+        if predicted is None:
+            continue
+        agreements.append(predicted["mode"] == decision["actual_mode"])
+        actual_bytes = decision["actual_patched_bytes"] or 0
+        byte_errors.append(
+            abs(predicted["plan_patch_bytes"] - actual_bytes)
+            / max(actual_bytes, 1)
+        )
+        predicted_seconds = (
+            predicted["refresh_seconds"]
+            if decision["actual_mode"] == "refresh"
+            else predicted["recompile_seconds"]
+        )
+        actual_seconds = decision["actual_seconds"]
+        if actual_seconds > 0.0:
+            timing_errors.append(
+                abs(predicted_seconds - actual_seconds) / actual_seconds
+            )
+    return byte_errors, timing_errors, agreements
+
+
+def _run(n_warmup=N_WARMUP, n_rounds=N_ROUNDS):
+    key = (n_warmup, n_rounds, _scale())
+    if key in _CACHE:
+        return _CACHE[key]
+    rows, tables = [], {}
+    for name, kind, requested, n_features, batch, iterations, seed in WORKLOADS:
+        trainer = _fit(kind, requested, n_features, batch, iterations, seed)
+        model = trainer.cost_model
+        rng = np.random.default_rng(seed)
+        # Warm-up commits calibrate the timing coefficients online (the
+        # recorded BENCH_refresh rates come from a different scale/host).
+        for i in range(n_warmup):
+            ids = _removal(rng, trainer.n_samples, i)
+            trainer.commit(trainer.remove(ids, method="priu"))
+        n_warm = len(model.decisions())
+        # Maintenance limits come from the model's own measured ratios —
+        # keeping SVD widths bounded also keeps the per-fraction refresh
+        # rate stationary, which is what makes it predictable at all.
+        policy = model.maintenance_policy()
+        for i in range(n_rounds):
+            ids = _removal(rng, trainer.n_samples, i)
+            # estimate → remove → commit: the commit path re-runs the
+            # estimate internally and logs it against the timed receipt.
+            trainer.estimate_removal(ids)
+            trainer.commit(trainer.remove(ids, method="priu"))
+            if policy.due(trainer.maintenance_cost(include_bytes=False)):
+                trainer.maintain(policy)
+        decisions = model.decisions()[n_warm:]
+        byte_errors, timing_errors, agreements = _decision_errors(decisions)
+        modes = [d["actual_mode"] for d in decisions]
+        rows.append(
+            {
+                "workload": name,
+                "n_decisions": len(decisions),
+                "n_refresh": modes.count("refresh"),
+                "n_recompile": modes.count("recompile"),
+                "mode_agreement": (
+                    float(np.mean(agreements)) if agreements else 0.0
+                ),
+                "plan_patch_bytes_rel_error_median": (
+                    float(np.median(byte_errors)) if byte_errors else 0.0
+                ),
+                "refresh_vs_recompile_rel_error_median": (
+                    float(np.median(timing_errors)) if timing_errors else 0.0
+                ),
+                "refresh_threshold_final": model.refresh_threshold(),
+            }
+        )
+        tables[name] = {
+            "calibration": model.calibration.as_dict(),
+            "decisions": decisions,
+        }
+    _CACHE[key] = (rows, tables)
+    return rows, tables
+
+
+def test_estimates_track_executed_commits():
+    rows, _ = _run()
+    report(
+        "cost_model",
+        "Cost model predicted-vs-actual (estimate → remove → commit)",
+        rows,
+    )
+    for row in rows:
+        # Every measured commit logged a prediction, and the executed
+        # refresh-vs-recompile choice is the estimate's own mode — the
+        # commit path decides *from* the estimate, so disagreement means
+        # the two read different state.
+        assert row["n_decisions"] > 0
+        assert row["mode_agreement"] == 1.0
+        # Byte predictions are structural (shared accounting with the
+        # executed patch), so the bar holds on every machine.
+        assert row["plan_patch_bytes_rel_error_median"] <= ERROR_BAR
+        if ASSERT_TIMING:
+            # Wall-clock predictions after online calibration.
+            assert row["refresh_vs_recompile_rel_error_median"] <= ERROR_BAR
+
+
+# --------------------------------------------------------------- standalone
+def main(out_path: str = "BENCH_costmodel.json", smoke: bool = False) -> dict:
+    """Predicted-vs-actual run recording the decision table (CI artifact)."""
+    if smoke:
+        rows, tables = _run(n_warmup=SMOKE_WARMUP, n_rounds=SMOKE_ROUNDS)
+    else:
+        rows, tables = _run()
+    byte_medians = [r["plan_patch_bytes_rel_error_median"] for r in rows]
+    timing_medians = [r["refresh_vs_recompile_rel_error_median"] for r in rows]
+    results = {
+        "scale": _scale(),
+        "smoke": smoke,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "error_bar": ERROR_BAR,
+        "initial_calibration": _base_calibration().as_dict(),
+        "rows": rows,
+        "workloads": tables,
+        "plan_patch_bytes_rel_error": float(max(byte_medians)),
+        "refresh_vs_recompile_rel_error": float(max(timing_medians)),
+        # The acceptance relation, recorded regardless of assertion mode.
+        "within_bar": {
+            "plan_patch_bytes": bool(max(byte_medians) <= ERROR_BAR),
+            "refresh_vs_recompile": bool(max(timing_medians) <= ERROR_BAR),
+        },
+    }
+    with open(out_path, "w") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"wrote {out_path}")
+    for row in rows:
+        print(
+            f"  {row['workload']:13s} decisions={row['n_decisions']:3d} "
+            f"(refresh {row['n_refresh']}, recompile {row['n_recompile']})  "
+            f"bytes err {row['plan_patch_bytes_rel_error_median']:.3f}  "
+            f"timing err {row['refresh_vs_recompile_rel_error_median']:.3f}  "
+            f"threshold {row['refresh_threshold_final']:.3f}"
+        )
+    return results
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_costmodel.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer warm-up and measurement rounds (CI gate)",
+    )
+    args = parser.parse_args()
+    main(args.out, smoke=args.smoke)

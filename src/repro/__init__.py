@@ -17,6 +17,10 @@ Public entry points
 :class:`repro.FleetServer` / :class:`repro.ModelRegistry`
     The multi-model tier: many checkpoints behind one shared worker
     pool, loaded lazily and LRU-evicted under a memory cap.
+:class:`repro.CostModel` / :class:`repro.CostEstimate`
+    The calibrated per-request cost estimator: predicts a removal's
+    footprint from the packed occurrence index and drives
+    refresh-vs-recompile, batch closing and maintenance-aware eviction.
 :mod:`repro.provenance`
     The provenance-polynomial semiring and annotated-matrix algebra.
 :mod:`repro.models`
@@ -28,6 +32,7 @@ Public entry points
 """
 
 from .core.api import IncrementalTrainer, UpdateOutcome
+from .core.costmodel import Calibration, CostEstimate, CostModel
 from .core.maintenance import (
     MaintenanceCost,
     MaintenancePolicy,
@@ -41,10 +46,13 @@ from .serving import (
     ModelRegistry,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AdmissionPolicy",
+    "Calibration",
+    "CostEstimate",
+    "CostModel",
     "DeletionServer",
     "FleetServer",
     "IncrementalTrainer",

@@ -16,6 +16,9 @@ The package is layered bottom-up:
 * :mod:`~repro.core.maintenance` — the cost accounting / policy / report
   objects behind :meth:`IncrementalTrainer.maintain`, keeping compiled
   state asymptotically tight under commit churn;
+* :mod:`~repro.core.costmodel` — :class:`CostEstimate` /
+  :class:`Calibration` / :class:`CostModel`, the calibrated per-request
+  cost estimator scheduling decisions consult before executing;
 * :mod:`~repro.core.api` — :class:`IncrementalTrainer`, the train-once /
   delete-many facade (and its checkpoint path) everything above plugs into.
 
@@ -39,6 +42,7 @@ from .serialization import (
     save_store,
 )
 from .capture import train_with_capture
+from .costmodel import Calibration, CostEstimate, CostModel
 from .maintenance import MaintenanceCost, MaintenancePolicy, MaintenanceReport
 from .priu import PrIUUpdater
 from .priu_opt import (
@@ -60,8 +64,11 @@ from .provenance_store import (
 from .replay_plan import ReplayPlan, compile_replay_plan
 
 __all__ = [
+    "Calibration",
     "CheckpointCorruptionError",
     "CommitReceipt",
+    "CostEstimate",
+    "CostModel",
     "recover_checkpoint",
     "FrozenProvenance",
     "MaintenanceCost",

@@ -29,6 +29,7 @@ from ..models.closed_form import IncrementalClosedForm
 from ..models.influence import InfluenceFunctionUpdater
 from ..models.sgd import TrainingResult, train, objective_for
 from .capture import train_with_capture
+from .costmodel import Calibration, CostEstimate, CostModel
 from .maintenance import MaintenanceCost, MaintenancePolicy, MaintenanceReport
 from .priu import PrIUUpdater
 from .priu_opt import (
@@ -120,6 +121,7 @@ class IncrementalTrainer:
         plan_cache_sparse_blocks: bool = True,
         plan_refresh_threshold: float = 0.25,
         eigen_correction_limit: int = 0,
+        cost_model=None,
         clock=None,
     ) -> None:
         if task not in TASKS:
@@ -152,6 +154,11 @@ class IncrementalTrainer:
         # this many removed rows use the incremental eigenvalue correction
         # instead of a full re-eigendecomposition (0 = always exact).
         self.eigen_correction_limit = int(eigen_correction_limit)
+        # Optional repro.core.costmodel.CostModel.  When attached, commits
+        # pick refresh-vs-recompile from its calibrated crossing point
+        # (plan_refresh_threshold becomes the uncalibrated fallback) and
+        # every commit receipt feeds its online calibration.
+        self.cost_model = cost_model
         # Timestamp source for commit audit receipts: anything with a
         # ``now()`` method (e.g. a serving Clock).  None -> wall time.
         self.clock = clock
@@ -766,6 +773,16 @@ FleetServer` auto-maintenance) needs, since
         if removed.size == 0:
             self.result.weights = weights
             return {"mode": "noop", "fraction": 0.0, "removed": 0}
+        # Cost-model hook: estimate before the store mutates, decide the
+        # refresh-vs-recompile threshold from the calibrated crossing
+        # point, then feed the timed receipt back (predicted-vs-actual).
+        # Refresh and recompile produce identical plan state, so the
+        # threshold source can never change an answer — only its cost.
+        estimate = None
+        threshold = self.plan_refresh_threshold
+        if self.cost_model is not None:
+            estimate = self.cost_model.estimate(self, removed)
+            threshold = self.cost_model.refresh_threshold()
         stats = self.store.compact(
             removed, self.features, self.labels, timestamp=self._now()
         )
@@ -775,12 +792,14 @@ FleetServer` auto-maintenance) needs, since
         self.features = self.features[survivors]
         self.labels = self.labels[survivors]
         self.schedule = self.store.schedule
+        sync_start = time.perf_counter()
         receipt = self._plan.refresh(
             stats,
             self.features,
             self.labels,
-            recompile_threshold=self.plan_refresh_threshold,
+            recompile_threshold=threshold,
         )
+        receipt["plan_sync_seconds"] = time.perf_counter() - sync_start
         self._priu = PrIUUpdater(self.store, self.features, self.labels)
         if isinstance(self._opt, PrIUOptLinearUpdater):
             # Downdate M/N by the removed rows (the updater still holds the
@@ -804,7 +823,32 @@ FleetServer` auto-maintenance) needs, since
             wall_time=0.0,
         )
         receipt["removed"] = int(removed.size)
+        if self.cost_model is not None:
+            self.cost_model.observe_commit(estimate, receipt)
         return receipt
+
+    # -------------------------------------------------------------- costing
+    def estimate_removal(self, indices) -> "CostEstimate":
+        """Predict what removing ``indices`` would cost — without replaying.
+
+        Reads the removal's footprint off the packed occurrence index (two
+        ``searchsorted`` range counts, no replay) and prices it with the
+        attached :class:`~repro.core.costmodel.CostModel`.  With no model
+        attached, a throwaway uncalibrated model whose crossing point is
+        this trainer's ``plan_refresh_threshold`` is used, so the
+        predicted ``mode`` always matches what a commit would actually
+        do.  ``indices`` live in the current (post-commit) id space, like
+        :meth:`remove`.
+        """
+        self._require_fit()
+        model = self.cost_model
+        if model is None:
+            model = CostModel(
+                Calibration(
+                    recompile_seconds=max(self.plan_refresh_threshold, 1e-9)
+                )
+            )
+        return model.estimate(self, indices)
 
     def retrain(self, indices) -> UpdateOutcome:
         """BaseL: retrain from scratch on the same schedule minus ``indices``."""

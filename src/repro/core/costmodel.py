@@ -1,0 +1,445 @@
+"""Cost-model-driven scheduling: estimate, then admit.
+
+Every scheduling decision in the serving stack used to be a fixed
+constant — the coalescing budget, ``plan_refresh_threshold``, the
+:class:`~repro.core.maintenance.MaintenancePolicy` limits, eviction
+order.  The system *measures* everything (``BENCH_refresh`` ratios,
+:class:`~repro.core.maintenance.MaintenanceCost`, per-lane latency), so
+this module closes the loop: a cheap upfront estimate routes each
+request to the cheapest safe execution strategy, and the estimate is
+held accountable by predicted-vs-actual tests and the
+``BENCH_costmodel.json`` CI gate.
+
+The estimator is deliberately *free*: a removal set's footprint is read
+off the packed occurrence index
+(:meth:`~repro.core.provenance_store.PackedOccurrenceIndex.lookup`,
+two ``np.searchsorted`` range counts plus a gather) — no replay, no
+copy.  From those counts a :class:`CostEstimate` predicts
+
+* **touched iterations** (and the fraction of the schedule they cover),
+* **plan-patch bytes** — what an incremental
+  :meth:`~repro.core.replay_plan.ReplayPlan.refresh` would rewrite
+  (mirrored exactly by :meth:`ReplayPlan.predict_patch_bytes`, so
+  predicted-vs-actual comparisons measure the estimate's inputs, not
+  drift between two formulas),
+* **SVD width growth** — correction columns a commit would append to
+  truncated summaries, and
+* **refresh-vs-recompile seconds** via a :class:`Calibration` fitted
+  from recorded ``BENCH_refresh.json`` runs and refreshed online from
+  served-batch timings.
+
+Decision points wired to the model:
+
+* ``commit_mode`` servers pick refresh-vs-recompile from
+  :meth:`CostModel.refresh_threshold` (the fraction where the two
+  calibrated cost curves cross) instead of the fixed
+  ``plan_refresh_threshold``.  Both paths produce identical state, so
+  the choice is answer-preserving *by construction* — only cost moves.
+* :class:`~repro.serving.policy.AdmissionPolicy` closes a coalescing
+  batch early once the remaining budget exceeds the predicted marginal
+  batching saving (:meth:`CostModel.should_close`).  Closing early only
+  re-partitions batches; committed answers depend on admission order
+  alone, so this too never changes an answer.
+* :meth:`CostModel.maintenance_policy` derives
+  :class:`~repro.core.maintenance.MaintenancePolicy` limits from the
+  measured refresh-vs-recompile ratio instead of hand-picked constants.
+* :meth:`~repro.serving.fleet.ModelRegistry.retire` makes eviction
+  maintenance-aware: a high-debt model is reclaimed and checkpointed
+  before it is dropped.
+
+The uncalibrated defaults reproduce the historical constants exactly
+(``Calibration().refresh_threshold() == 0.25`` matches the old fixed
+``plan_refresh_threshold``; an unknown batch time disables early
+closing), so attaching a fresh :class:`CostModel` is behaviourally
+inert until data arrives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .maintenance import MaintenancePolicy
+from .provenance_store import normalize_removed_indices
+
+#: Decisions kept in the per-model predicted-vs-actual log (ring buffer;
+#: the benchmark drains it into ``BENCH_costmodel.json``).
+MAX_DECISIONS = 512
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """What one removal set is predicted to cost, before any replay.
+
+    ``touched_*`` and ``plan_patch_bytes``/``svd_width_growth`` are
+    *structural* predictions read off the packed occurrence index — for
+    a consistent store they are exact, and the test harness keeps them
+    honest against the executed patch.  ``refresh_seconds`` /
+    ``recompile_seconds`` are the *calibrated* (noisy) predictions; the
+    ``mode`` is whichever is predicted cheaper, expressed through the
+    derived threshold so the commit path's choice matches the estimate.
+    """
+
+    n_removed: int
+    touched_iterations: int
+    touched_fraction: float
+    touched_occurrences: int
+    plan_patch_bytes: int
+    svd_width_growth: int
+    refresh_seconds: float
+    recompile_seconds: float
+    mode: str  # "refresh" | "recompile" | "unsupported"
+    threshold: float
+
+    @property
+    def refresh_vs_recompile(self) -> float:
+        """Predicted refresh/recompile cost ratio (< 1 -> refresh wins)."""
+        if self.recompile_seconds <= 0.0:
+            return float("inf") if self.refresh_seconds > 0.0 else 0.0
+        return self.refresh_seconds / self.recompile_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (``ServedOutcome.predicted``, benchmarks)."""
+        return {
+            "n_removed": self.n_removed,
+            "touched_iterations": self.touched_iterations,
+            "touched_fraction": self.touched_fraction,
+            "touched_occurrences": self.touched_occurrences,
+            "plan_patch_bytes": self.plan_patch_bytes,
+            "svd_width_growth": self.svd_width_growth,
+            "refresh_seconds": self.refresh_seconds,
+            "recompile_seconds": self.recompile_seconds,
+            "refresh_vs_recompile": self.refresh_vs_recompile,
+            "mode": self.mode,
+            "threshold": self.threshold,
+        }
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """The fitted coefficients a :class:`CostModel` predicts with.
+
+    The timing model is deliberately two-parameter: an incremental
+    refresh costs ``refresh_seconds_per_fraction * fraction`` (the patch
+    work is linear in the touched share of the schedule) and a recompile
+    costs a flat ``recompile_seconds`` (it always rebuilds everything).
+    Their crossing point is the derived refresh-vs-recompile threshold.
+
+    ``batch_seconds`` is the predicted wall-clock of one dispatched
+    batch (the admission layer's early-closing signal); ``0.0`` means
+    *unknown* and disables early closing rather than degenerating to
+    no coalescing at all.
+
+    The defaults reproduce the pre-cost-model constants: a threshold of
+    ``0.25`` (the historical ``plan_refresh_threshold``) and no early
+    closing, so an uncalibrated model changes nothing.
+    """
+
+    refresh_seconds_per_fraction: float = 1.0
+    recompile_seconds: float = 0.25
+    batch_seconds: float = 0.0
+    source: str = "default"
+    n_observations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.refresh_seconds_per_fraction <= 0.0:
+            raise ValueError("refresh_seconds_per_fraction must be > 0")
+        if self.recompile_seconds <= 0.0:
+            raise ValueError("recompile_seconds must be > 0")
+        if self.batch_seconds < 0.0:
+            raise ValueError("batch_seconds must be >= 0")
+
+    def refresh_threshold(self) -> float:
+        """The touched-iteration fraction where recompiling starts winning.
+
+        The crossing point of the two calibrated cost curves, clipped to
+        ``[0.01, 1.0]`` so a degenerate calibration can neither disable
+        refresh entirely nor force it for every-iteration removals.
+        """
+        crossing = self.recompile_seconds / self.refresh_seconds_per_fraction
+        return float(min(1.0, max(0.01, crossing)))
+
+    @classmethod
+    def from_bench(cls, source) -> "Calibration":
+        """Fit from a recorded ``BENCH_refresh.json`` run (path or dict).
+
+        Each ``commit_costs`` row carries ``plan_sync_seconds``, the
+        touched ``fraction_iterations_touched`` and (for refresh rows)
+        ``speedup_vs_recompile``; the fit is the median per-fraction
+        refresh rate and the median recompile time — robust to the
+        warm-up outliers benchmark runs carry.  Rows that cannot inform
+        a coefficient are skipped; with no usable rows the defaults are
+        kept (and ``n_observations`` says so).
+        """
+        label = "dict"
+        if isinstance(source, (str, Path)):
+            label = str(source)
+            with open(source) as handle:
+                source = json.load(handle)
+        rows = source.get("commit_costs", [])
+        refresh_rates: list[float] = []
+        recompiles: list[float] = []
+        for row in rows:
+            seconds = float(row.get("plan_sync_seconds", 0.0))
+            fraction = float(row.get("fraction_iterations_touched", 0.0))
+            if seconds <= 0.0:
+                continue
+            if row.get("mode") == "refresh":
+                if fraction > 0.0:
+                    refresh_rates.append(seconds / fraction)
+                speedup = float(row.get("speedup_vs_recompile", 0.0))
+                if speedup > 0.0:
+                    recompiles.append(seconds * speedup)
+            elif row.get("mode") == "recompile":
+                recompiles.append(seconds)
+        default = cls()
+        return cls(
+            refresh_seconds_per_fraction=(
+                float(np.median(refresh_rates))
+                if refresh_rates
+                else default.refresh_seconds_per_fraction
+            ),
+            recompile_seconds=(
+                float(np.median(recompiles))
+                if recompiles
+                else default.recompile_seconds
+            ),
+            batch_seconds=default.batch_seconds,
+            source=label,
+            n_observations=len(refresh_rates) + len(recompiles),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "refresh_seconds_per_fraction": self.refresh_seconds_per_fraction,
+            "recompile_seconds": self.recompile_seconds,
+            "batch_seconds": self.batch_seconds,
+            "refresh_threshold": self.refresh_threshold(),
+            "source": self.source,
+            "n_observations": self.n_observations,
+        }
+
+
+class CostModel:
+    """A calibrated estimator plus its online-refresh and decision log.
+
+    Thread-safe: the serving layer calls :meth:`observe_batch` /
+    :meth:`observe_commit` from worker threads while submitters read
+    estimates.  Attach one per trainer (``trainer.cost_model``) and/or
+    to an :class:`~repro.serving.policy.AdmissionPolicy`
+    (``cost_model=``); a model shared across both sees commit *and*
+    batch timings and calibrates faster.
+    """
+
+    def __init__(
+        self, calibration: Calibration | None = None, ewma: float = 0.3
+    ) -> None:
+        if not 0.0 < ewma <= 1.0:
+            raise ValueError("ewma must be in (0, 1]")
+        self._calibration = (
+            calibration if calibration is not None else Calibration()
+        )
+        self._ewma = float(ewma)
+        self._lock = threading.Lock()
+        self._decisions: list[dict] = []
+
+    # ------------------------------------------------------------- reading
+    @property
+    def calibration(self) -> Calibration:
+        with self._lock:
+            return self._calibration
+
+    def refresh_threshold(self) -> float:
+        """Current refresh-vs-recompile crossing fraction (commit path)."""
+        return self.calibration.refresh_threshold()
+
+    def decisions(self) -> list[dict]:
+        """The predicted-vs-actual log, oldest first (bounded ring)."""
+        with self._lock:
+            return list(self._decisions)
+
+    # ---------------------------------------------------------- estimating
+    def estimate(self, trainer, removed) -> CostEstimate:
+        """Predict one removal set's cost from the packed occurrence index.
+
+        ``trainer`` is a fitted
+        :class:`~repro.core.api.IncrementalTrainer`; ``removed`` ids are
+        in its *current* (post-commit) id space.  No replay runs: the
+        footprint is two searchsorted range counts and a gather.
+        """
+        store = trainer.store
+        plan = trainer._plan
+        removed = normalize_removed_indices(removed)
+        index = store.packed_index()
+        _, iterations, _ = index.lookup(removed)
+        occurrences = int(iterations.size)
+        touched = int(np.unique(iterations).size) if occurrences else 0
+        n_iterations = len(store.records)
+        fraction = touched / n_iterations if n_iterations else 0.0
+        calibration = self.calibration
+        threshold = calibration.refresh_threshold()
+        supported = bool(getattr(plan, "supported", False))
+        if not supported:
+            mode = "unsupported"
+            patch_bytes = 0
+        elif fraction > threshold:
+            # A recompile rebuilds every compiled array.
+            mode = "recompile"
+            patch_bytes = plan.nbytes()
+        else:
+            mode = "refresh"
+            patch_bytes = plan.predict_patch_bytes(occurrences, touched)
+        return CostEstimate(
+            n_removed=int(removed.size),
+            touched_iterations=touched,
+            touched_fraction=float(fraction),
+            touched_occurrences=occurrences,
+            plan_patch_bytes=int(patch_bytes),
+            svd_width_growth=(
+                occurrences if store.compression == "svd" else 0
+            ),
+            refresh_seconds=(
+                calibration.refresh_seconds_per_fraction * fraction
+            ),
+            recompile_seconds=calibration.recompile_seconds,
+            mode=mode,
+            threshold=threshold,
+        )
+
+    # ---------------------------------------------------------- admission
+    def predicted_batch_saving(self, n_collected: int) -> float:
+        """Seconds one more straggler could save by riding this batch.
+
+        The most a request saves by coalescing is one batch's predicted
+        service time (the cost of the batch it would otherwise form),
+        amortized over the members already waiting for it — so the
+        marginal value of waiting shrinks as the batch grows.  ``0.0``
+        while the batch time is uncalibrated.
+        """
+        batch_seconds = self.calibration.batch_seconds
+        if batch_seconds <= 0.0 or n_collected < 1:
+            return 0.0
+        return batch_seconds / n_collected
+
+    def should_close(self, n_collected: int, remaining_budget: float) -> bool:
+        """True when waiting out the budget costs more than batching saves.
+
+        The admission layer's early-closing rule: once the remaining
+        coalescing budget exceeds the predicted marginal saving of one
+        more arrival, every queued member pays more latency than a
+        straggler could recoup — dispatch now.  Strictly one-directional
+        (it can only close a batch *earlier* than the lane budget
+        would), so SLA lane semantics are untouched and the decision is
+        answer-preserving.  Always False while uncalibrated.
+        """
+        saving = self.predicted_batch_saving(n_collected)
+        if saving <= 0.0:
+            return False
+        return remaining_budget > saving
+
+    # ------------------------------------------------------------ learning
+    def observe_commit(self, estimate: CostEstimate | None, receipt: dict) -> None:
+        """Online-refresh the commit-path coefficients from one receipt.
+
+        ``receipt`` is the dict :meth:`IncrementalTrainer.commit`
+        returns (``mode``/``fraction`` plus the timed
+        ``plan_sync_seconds`` and the executed ``patched_bytes``).  The
+        matching pre-commit ``estimate`` (may be None for untracked
+        commits) is logged against it in the decision ring.
+        """
+        seconds = float(receipt.get("plan_sync_seconds", 0.0))
+        mode = receipt.get("mode")
+        fraction = float(receipt.get("fraction", 0.0))
+        with self._lock:
+            calibration = self._calibration
+            updates: dict = {}
+            if seconds > 0.0:
+                if mode == "refresh" and fraction > 0.0:
+                    updates["refresh_seconds_per_fraction"] = self._blend(
+                        calibration.refresh_seconds_per_fraction,
+                        seconds / fraction,
+                    )
+                elif mode == "recompile":
+                    updates["recompile_seconds"] = self._blend(
+                        calibration.recompile_seconds, seconds
+                    )
+            if updates:
+                updates["source"] = "online"
+                updates["n_observations"] = calibration.n_observations + 1
+                self._calibration = dataclasses.replace(
+                    calibration, **updates
+                )
+            decision = {
+                "actual_mode": mode,
+                "actual_fraction": fraction,
+                "actual_seconds": seconds,
+                "actual_patched_bytes": receipt.get("patched_bytes"),
+                "predicted": None if estimate is None else estimate.as_dict(),
+            }
+            self._decisions.append(decision)
+            if len(self._decisions) > MAX_DECISIONS:
+                del self._decisions[: -MAX_DECISIONS]
+
+    def observe_batch(self, batch_size: int, seconds: float) -> None:
+        """Online-refresh the batch-time coefficient from one dispatch."""
+        if batch_size < 1 or seconds < 0.0:
+            return
+        with self._lock:
+            calibration = self._calibration
+            previous = calibration.batch_seconds
+            blended = (
+                seconds if previous <= 0.0 else self._blend(previous, seconds)
+            )
+            self._calibration = dataclasses.replace(
+                calibration,
+                batch_seconds=blended,
+                source="online",
+                n_observations=calibration.n_observations + 1,
+            )
+
+    def _blend(self, previous: float, observed: float) -> float:
+        return (1.0 - self._ewma) * previous + self._ewma * observed
+
+    # -------------------------------------------------------- maintenance
+    def maintenance_policy(
+        self, base: MaintenancePolicy | None = None
+    ) -> MaintenancePolicy:
+        """Auto-tune maintenance limits from the measured cost ratios.
+
+        The limits track the refresh-vs-recompile crossing.  A *high*
+        threshold means refresh is cheap relative to recompile, so
+        commits take the incremental path almost always — and every
+        refresh leaves slot garbage and SVD correction columns behind,
+        so reclamation must trigger sooner (tighter limits).  A *low*
+        threshold means commits recompile often, and a recompile rebuilds
+        the plan garbage-free as a side effect — maintenance can tolerate
+        a larger dead fraction between runs.  Both limits are clipped to
+        operational bands so a wild calibration can neither disable
+        maintenance nor make it chase every commit.  ``base`` contributes
+        the knobs the model has no data for (ε mode, eigen correction
+        limit) — the manual overrides the architecture doc lists.
+        """
+        threshold = self.refresh_threshold()
+        fraction_limit = float(min(0.5, max(0.05, 1.0 - threshold)))
+        column_limit = int(round(min(128, max(4, 64 * (1.0 - threshold)))))
+        if base is None:
+            base = MaintenancePolicy()
+        return dataclasses.replace(
+            base,
+            max_slot_garbage_fraction=fraction_limit,
+            max_svd_correction_columns=column_limit,
+        )
+
+    # ----------------------------------------------------------- reporting
+    def report(self) -> dict:
+        """Calibration + decision log, JSON-ready (``BENCH_costmodel``)."""
+        with self._lock:
+            return {
+                "calibration": self._calibration.as_dict(),
+                "decisions": list(self._decisions),
+            }

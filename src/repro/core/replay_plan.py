@@ -435,7 +435,9 @@ class ReplayPlan:
         ``_compile`` instead of many row patches.  Returns a receipt dict
         with ``mode`` (``"refresh"`` | ``"recompile"`` | ``"unsupported"``),
         the touched-iteration fraction, and wall-clock-free bookkeeping the
-        commit benchmark records.
+        commit benchmark and the cost model record — ``patched_bytes`` uses
+        the same accounting as :meth:`predict_patch_bytes` so the two are
+        directly comparable.
         """
         self.labels = np.asarray(labels)
         self.features = (
@@ -444,7 +446,13 @@ class ReplayPlan:
         self.final_weights = None
         if not self.supported:
             self._compiled_version = self.store._version
-            return {"mode": "unsupported", "fraction": 0.0}
+            return {
+                "mode": "unsupported",
+                "fraction": 0.0,
+                "patched_bytes": 0,
+                "dropped_slots": int(stats.dropped_slots.size),
+                "touched_iterations": int(stats.n_iterations_touched),
+            }
         fraction = (
             stats.n_iterations_touched / self.n_iterations
             if self.n_iterations
@@ -453,7 +461,13 @@ class ReplayPlan:
         if fraction > recompile_threshold:
             self._compile(self._cache_sparse_blocks)
             self._compiled_version = self.store._version
-            return {"mode": "recompile", "fraction": fraction}
+            return {
+                "mode": "recompile",
+                "fraction": fraction,
+                "patched_bytes": self.nbytes(),
+                "dropped_slots": int(stats.dropped_slots.size),
+                "touched_iterations": int(stats.n_iterations_touched),
+            }
 
         records = self.store.records
         # Sizes/offsets: drop counts land on the affected iterations.
@@ -513,7 +527,27 @@ class ReplayPlan:
                         self._summaries[t] = np.asarray(record.summary)
             self.moments = moments
         self._compiled_version = self.store._version
-        return {"mode": "refresh", "fraction": fraction}
+        # Executed-patch byte accounting, mirrored by predict_patch_bytes.
+        patched = int(self._record_offsets.nbytes)
+        if stats.dropped_slots.size:
+            for attr in ("_slopes_flat", "_iy_flat"):
+                flat = getattr(self, attr, None)
+                if flat is not None:
+                    patched += int(flat.nbytes)
+            if self.task == "multinomial_logistic":
+                patched += int(self._slot_map.nbytes)
+        patched += (
+            int(stats.n_iterations_touched)
+            * int(self.moments.shape[1])
+            * int(self.moments.itemsize)
+        )
+        return {
+            "mode": "refresh",
+            "fraction": fraction,
+            "patched_bytes": patched,
+            "dropped_slots": int(stats.dropped_slots.size),
+            "touched_iterations": int(stats.n_iterations_touched),
+        }
 
     # -------------------------------------------------------- maintenance
     def slot_garbage_rows(self) -> tuple[int, int]:
@@ -585,6 +619,43 @@ retruncate_summaries` replaces record summaries (and bumps the store
         self._compiled_version = self.store._version
 
     # ------------------------------------------------------------ queries
+    def predict_patch_bytes(
+        self, dropped_occurrences: int, touched_iterations: int
+    ) -> int:
+        """Bytes an incremental :meth:`refresh` of this shape would rewrite.
+
+        The forward model behind :mod:`repro.core.costmodel`: given a
+        removal predicted (from the packed occurrence index) to drop
+        ``dropped_occurrences`` slots across ``touched_iterations``
+        iterations, this mirrors the ``patched_bytes`` accounting the
+        refresh receipt reports — rebuilt offsets, physically compacted
+        binary flats, the rewritten multinomial slot map and the
+        re-derived moment rows.  Keeping both sides on one formula means
+        predicted-vs-actual comparisons measure the *estimate's* inputs
+        (the searchsorted occurrence counts), never drift between two
+        byte formulas.  Returns 0 for unsupported plans (nothing to
+        patch — refresh is a metadata-only no-op there).
+        """
+        if not self.supported:
+            return 0
+        patched = int(self._record_offsets.nbytes)
+        if dropped_occurrences > 0:
+            rows_after = int(self._record_offsets[-1]) - int(
+                dropped_occurrences
+            )
+            for attr in ("_slopes_flat", "_iy_flat"):
+                flat = getattr(self, attr, None)
+                if flat is not None:
+                    patched += rows_after * int(flat.itemsize)
+            if self.task == "multinomial_logistic":
+                patched += rows_after * np.dtype(np.int64).itemsize
+        patched += (
+            int(touched_iterations)
+            * int(self.moments.shape[1])
+            * int(self.moments.itemsize)
+        )
+        return patched
+
     def nbytes(self) -> int:
         """Extra memory the compiled layout holds beyond the store itself."""
         if not self.supported:

@@ -645,43 +645,103 @@ class ModelRegistry:
         written: dict[str, SaveOutcome] = {}
         with self._lock:
             for model_id in self.dirty_ids():
-                spec = self._specs[model_id]
-                entry = self._resident[model_id]
-                if spec.checkpoint is None:
-                    continue
                 if self._pins.get(model_id, 0) > 0:
                     continue
-                target = Path(spec.checkpoint)
-                try:
-                    if target.is_dir():
-                        paths = entry.trainer.save_checkpoint(target)
-                    else:
-                        # A bare archive registration: overwrite it in
-                        # place.  Writing a directory-style checkpoint
-                        # next to it would leave spec.checkpoint pointing
-                        # at the stale pre-commit file (and collide with
-                        # sibling registrations sharing the parent
-                        # directory).
-                        paths = {
-                            "store": save_store(entry.trainer.store, target)
-                        }
-                    # Any plan_path load override names the *pre-commit*
-                    # plan; reloads must use the freshly written plan.npz
-                    # (directory registrations) or recompile (bare
-                    # archives).
-                    spec.load_kwargs.pop("plan_path", None)
-                    spec.metadata = read_checkpoint_metadata(target)
-                except Exception as exc:
-                    written[model_id] = SaveOutcome(
-                        model_id=model_id, ok=False, error=exc
-                    )
-                    continue
-                entry.loaded_version = entry.trainer.store._version
-                self._epochs[model_id] += 1
-                written[model_id] = SaveOutcome(
-                    model_id=model_id, ok=True, paths=paths
-                )
+                outcome = self._save_resident(model_id)
+                if outcome is not None:
+                    written[model_id] = outcome
         return written
+
+    def _save_resident(self, model_id: str) -> SaveOutcome | None:
+        """Re-checkpoint one dirty resident model (caller holds the lock).
+
+        The per-model body of :meth:`save_dirty`, shared with
+        :meth:`retire`; see there for the write semantics.  Returns
+        ``None`` for live-trainer registrations (nowhere to save to).
+        """
+        spec = self._specs[model_id]
+        entry = self._resident[model_id]
+        if spec.checkpoint is None:
+            return None
+        target = Path(spec.checkpoint)
+        try:
+            if target.is_dir():
+                paths = entry.trainer.save_checkpoint(target)
+            else:
+                # A bare archive registration: overwrite it in
+                # place.  Writing a directory-style checkpoint
+                # next to it would leave spec.checkpoint pointing
+                # at the stale pre-commit file (and collide with
+                # sibling registrations sharing the parent
+                # directory).
+                paths = {
+                    "store": save_store(entry.trainer.store, target)
+                }
+            # Any plan_path load override names the *pre-commit*
+            # plan; reloads must use the freshly written plan.npz
+            # (directory registrations) or recompile (bare
+            # archives).
+            spec.load_kwargs.pop("plan_path", None)
+            spec.metadata = read_checkpoint_metadata(target)
+        except Exception as exc:
+            return SaveOutcome(model_id=model_id, ok=False, error=exc)
+        entry.loaded_version = entry.trainer.store._version
+        self._epochs[model_id] += 1
+        return SaveOutcome(model_id=model_id, ok=True, paths=paths)
+
+    def retire(self, model_id: str, policy=None) -> bool:
+        """Maintenance-aware eviction: reclaim debt, checkpoint, then drop.
+
+        Where :meth:`evict` refuses dirty models outright, ``retire``
+        does the work that makes a high-debt model droppable: when
+        ``policy`` (a :class:`~repro.core.maintenance.MaintenancePolicy`
+        or a :class:`~repro.core.costmodel.CostModel`-derived one) marks
+        the model's maintenance debt as due, ``maintain()`` reclaims it
+        first — so the checkpoint written is the compact post-reclamation
+        state, not a garbage-carrying snapshot that the next load pays
+        for — then any dirty state is saved back to the registered
+        checkpoint (the :meth:`save_dirty` protocol: epoch bump, stale
+        ``plan_path`` override dropped) and the model is evicted.
+
+        Returns ``False`` without touching anything droppable for models
+        that are not resident, pinned, registered non-evictable (live
+        trainers), dirty-with-nowhere-to-save, or whose checkpoint write
+        fails (the model stays resident and dirty; retry later).  Like
+        ``save_dirty``, call from a maintenance path — the reclamation
+        runs on the live trainer, so no dispatch may be in flight on
+        this model (the fleet's chaos harness flushes first).
+        """
+        with self._lock:
+            spec = self._spec(model_id)
+            entry = self._resident.get(model_id)
+            if entry is None:
+                return False
+            if self._pins.get(model_id, 0) > 0 or not entry.evictable:
+                return False
+            if self._is_dirty(entry) and spec.checkpoint is None:
+                return False
+            trainer = entry.trainer
+        # Reclamation runs outside the registry lock (O(records) work
+        # must not stall concurrent submits on other models); residency
+        # is re-checked below in case the caps raced an eviction.
+        if policy is not None:
+            cost = trainer.maintenance_cost(include_bytes=False)
+            if policy.due(cost):
+                trainer.maintain(policy)
+                self.note_plan_bytes(model_id)
+        with self._lock:
+            entry = self._resident.get(model_id)
+            if entry is None or entry.trainer is not trainer:
+                return False
+            if self._pins.get(model_id, 0) > 0:
+                return False
+            if self._is_dirty(entry):
+                outcome = self._save_resident(model_id)
+                if outcome is None or not outcome.ok:
+                    return False
+            del self._resident[model_id]
+            self._evictions += 1
+            return True
 
     # ------------------------------------------------------------- observers
     def describe(self, model_id: str) -> dict:
@@ -807,6 +867,24 @@ class _ModelQueue:
             request.enqueued_at + request.lane_delay
             for _, _, request in self.heap
         )
+
+    def cost_ready(self, policy: AdmissionPolicy, now: float) -> bool:
+        """Cost-aware early close for this queue (``policy.cost_model`` set).
+
+        Routes the queued batch through ``policy.should_dispatch`` with
+        the oldest member's wait and the batch's minimum lane delay —
+        the same inputs the single-model server's collect loop feeds it
+        — so the cost model's early-close rule applies fleet-side too.
+        Strictly one-directional (the fixed budget and full-batch checks
+        already dispatched above), and needs no extra wake-up timer: the
+        remaining budget only shrinks as time passes, so a queue that is
+        not cost-ready at ``now`` stays not-ready until its deadline.
+        """
+        if not self.heap:
+            return False
+        enqueued = min(r.enqueued_at for _, _, r in self.heap)
+        delay = min(r.lane_delay for _, _, r in self.heap)
+        return policy.should_dispatch(len(self.heap), now - enqueued, delay)
 
     def pop_batch(
         self, max_batch: int, policy: AdmissionPolicy | None = None
@@ -1449,6 +1527,10 @@ maintenance_cost` is checked against the policy's thresholds and, when
                         self._closed
                         or len(state.heap) >= self.policy.max_batch
                         or (deadline is not None and now >= deadline)
+                        or (
+                            self.policy.cost_model is not None
+                            and state.cost_ready(self.policy, now)
+                        )
                     )
                     if ready:
                         batch = state.pop_batch(

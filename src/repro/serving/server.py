@@ -99,6 +99,11 @@ class ServedOutcome:
     model_id: str | None = None
     batch_seq: int = -1
     batch_rank: int = -1
+    # The pre-dispatch CostEstimate of the whole batch's removal union
+    # (``CostEstimate.as_dict()``), when the serving trainer carries a
+    # cost model; every member of a batch shares one estimate.  None on
+    # servers without a cost model.
+    predicted: dict | None = None
 
 
 @dataclass
@@ -264,6 +269,21 @@ def _serve_batch(
         tracker.remap(live, (epoch, trainer.store._version))
     key_before = (epoch, trainer.store._version)
     lanes = [request.lane for request in live]
+    # Cost-model hook: estimate the batch union's footprint before the
+    # replay runs (searchsorted counts — no extra replay), attach it to
+    # every member's outcome, and feed the measured service time back
+    # into the online calibration afterwards.
+    cost_model = getattr(trainer, "cost_model", None)
+    union = None
+    if commit_mode or cost_model is not None:
+        union = live[0].indices
+        for request in live[1:]:
+            union = np.union1d(union, request.indices)
+    predicted = (
+        cost_model.estimate(trainer, union).as_dict()
+        if cost_model is not None
+        else None
+    )
     dispatched_at = clock.now()
     try:
         outcomes = trainer.remove_many(
@@ -277,12 +297,11 @@ def _serve_batch(
         stats.record_failed(len(live), lanes)
         return
     if commit_mode:
-        union = live[0].indices
-        for request in live[1:]:
-            union = np.union1d(union, request.indices)
         tracker.note_committed(key_before, union)
     answered_at = clock.now()
     service = answered_at - dispatched_at
+    if cost_model is not None:
+        cost_model.observe_batch(len(live), service)
     waits, services, latencies = [], [], []
     for rank, (request, outcome) in enumerate(zip(live, outcomes)):
         wait = dispatched_at - request.enqueued_at
@@ -301,6 +320,7 @@ def _serve_batch(
                 model_id=model_id,
                 batch_seq=batch_seq,
                 batch_rank=rank,
+                predicted=predicted,
             )
         )
         waits.append(wait)

@@ -1,0 +1,476 @@
+"""Cost model: predicted-vs-actual accuracy and answer preservation (ISSUE 7).
+
+The acceptance property: the estimator's *structural* predictions —
+touched iterations, dropped occurrence slots, plan-patch bytes, SVD
+width growth — match the executed commit receipt exactly for refresh
+commits (they are read off the same packed occurrence index the compact
+resolves against) and within a 0.5 relative band for recompiles, across
+all 3 tasks × dense/SVD/sparse.  Around that sit unit tests for the
+`Calibration` fit (recorded BENCH_refresh runs + online EWMA refresh),
+the derived refresh-vs-recompile threshold, the admission early-closing
+rule, the auto-tuned `MaintenancePolicy`, and the proof obligation that
+makes the whole thing safe to wire into scheduling: cost-driven
+threshold choices never change a committed answer (atol 1e-10 vs the
+fixed-threshold reference).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import Calibration, CostEstimate, CostModel, IncrementalTrainer
+from repro.core.costmodel import MAX_DECISIONS
+from repro.core.maintenance import MaintenancePolicy
+from repro.datasets import (
+    make_binary_classification,
+    make_multiclass_classification,
+    make_regression,
+    make_sparse_binary_classification,
+)
+
+ATOL = 1e-10
+
+_DATASETS = {
+    "linear": make_regression(300, 8, noise=0.05, seed=71),
+    "binary_logistic": make_binary_classification(300, 10, separation=1.0, seed=72),
+    "multinomial_logistic": make_multiclass_classification(
+        330, 12, n_classes=3, seed=73
+    ),
+}
+_SPARSE = make_sparse_binary_classification(400, 120, density=0.05, seed=74)
+
+# 3 tasks × dense/SVD/sparse (sparse multinomial replays unsupported —
+# covered separately as the "unsupported" estimate case).
+CONFIGS = [
+    ("linear", "dense", dict(batch_size=40)),
+    ("linear", "svd", dict(batch_size=6)),
+    ("linear", "sparse", dict(batch_size=40)),
+    ("binary_logistic", "dense", dict(batch_size=40)),
+    ("binary_logistic", "svd", dict(batch_size=8)),
+    ("binary_logistic", "sparse", dict(batch_size=40)),
+    ("multinomial_logistic", "dense", dict(batch_size=40)),
+    ("multinomial_logistic", "svd", dict(batch_size=8)),
+]
+
+
+def _fit(task, rep, overrides=None, **extra):
+    data = _SPARSE if rep == "sparse" else _DATASETS[task]
+    kwargs = dict(
+        learning_rate=0.05,
+        regularization=0.01,
+        batch_size=40,
+        n_iterations=80,
+        seed=0,
+        method="priu",
+        n_classes=3 if task == "multinomial_logistic" else None,
+    )
+    kwargs.update(overrides or {})
+    kwargs.update(extra)
+    trainer = IncrementalTrainer(task, **kwargs)
+    trainer.fit(data.features, data.labels)
+    return trainer
+
+
+def _rel_err(predicted, actual):
+    if actual == 0:
+        return abs(predicted)
+    return abs(predicted - actual) / abs(actual)
+
+
+# ---------------------------------------------------- structural accuracy
+class TestEstimateAccuracy:
+    @pytest.mark.parametrize(
+        "task,rep,overrides", CONFIGS, ids=[f"{t}-{r}" for t, r, _ in CONFIGS]
+    )
+    def test_refresh_predictions_exact(self, task, rep, overrides):
+        """Small removals: the estimate matches the refresh receipt exactly."""
+        cm = CostModel()
+        trainer = _fit(task, rep, overrides, cost_model=cm)
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            ids = np.sort(rng.choice(trainer.n_samples, size=2, replace=False))
+            estimate = trainer.estimate_removal(ids)
+            receipt = trainer.commit(trainer.remove(ids, method="priu"))
+            if estimate.mode == "recompile":
+                continue  # dense SVD configs can touch > threshold; below
+            assert estimate.mode == receipt["mode"]
+            assert estimate.touched_iterations == receipt["touched_iterations"]
+            assert estimate.touched_occurrences == receipt["dropped_slots"]
+            assert estimate.touched_fraction == pytest.approx(
+                receipt["fraction"], abs=1e-12
+            )
+            assert estimate.plan_patch_bytes == receipt["patched_bytes"]
+
+    @pytest.mark.parametrize(
+        "task,rep,overrides", CONFIGS, ids=[f"{t}-{r}" for t, r, _ in CONFIGS]
+    )
+    def test_recompile_predictions_within_band(self, task, rep, overrides):
+        """Large removals recompile; bytes predicted within 0.5 relative."""
+        cm = CostModel()
+        trainer = _fit(task, rep, overrides, cost_model=cm)
+        rng = np.random.default_rng(6)
+        ids = np.sort(
+            rng.choice(trainer.n_samples, size=trainer.n_samples // 3,
+                       replace=False)
+        )
+        estimate = trainer.estimate_removal(ids)
+        receipt = trainer.commit(trainer.remove(ids, method="priu"))
+        assert estimate.mode == receipt["mode"] == "recompile"
+        assert estimate.touched_iterations == receipt["touched_iterations"]
+        assert estimate.touched_occurrences == receipt["dropped_slots"]
+        # The prediction prices the pre-commit plan; the executed
+        # recompile is the post-compaction one — off by the dropped rows.
+        assert _rel_err(estimate.plan_patch_bytes, receipt["patched_bytes"]) <= 0.5
+
+    def test_svd_width_growth_matches_correction_columns(self):
+        cm = CostModel()
+        trainer = _fit("binary_logistic", "svd", dict(batch_size=8),
+                       cost_model=cm)
+        assert trainer.store.compression == "svd"
+        rng = np.random.default_rng(7)
+        ids = np.sort(rng.choice(trainer.n_samples, size=3, replace=False))
+        before = trainer.maintenance_cost(
+            include_bytes=False
+        ).svd_correction_columns
+        estimate = trainer.estimate_removal(ids)
+        trainer.remove(ids, method="priu", commit=True)
+        after = trainer.maintenance_cost(
+            include_bytes=False
+        ).svd_correction_columns
+        assert estimate.svd_width_growth == after - before > 0
+
+    def test_dense_uncompressed_predicts_zero_svd_growth(self):
+        trainer = _fit("linear", "dense", cost_model=CostModel())
+        assert trainer.store.compression == "none"
+        assert trainer.estimate_removal([3]).svd_width_growth == 0
+
+    def test_unsupported_plan_estimates_zero_patch(self):
+        """Sparse multinomial has no compiled replay: nothing to patch."""
+        trainer = _fit("multinomial_logistic", "sparse", dict(batch_size=40),
+                       cost_model=CostModel())
+        estimate = trainer.estimate_removal([5, 9])
+        assert estimate.mode == "unsupported"
+        assert estimate.plan_patch_bytes == 0
+        # No replay path exists to produce an outcome, so drive the
+        # commit machinery directly: the receipt must agree.
+        receipt = trainer._apply_commit(
+            np.array([5, 9]), trainer.result.weights
+        )
+        assert receipt["mode"] == "unsupported"
+        assert receipt["patched_bytes"] == 0
+
+    def test_estimate_is_free_of_side_effects(self):
+        trainer = _fit("binary_logistic", "dense", cost_model=CostModel())
+        version = trainer.store._version
+        weights = trainer.result.weights.copy()
+        for _ in range(5):
+            trainer.estimate_removal([1, 2, 3, 4])
+        assert trainer.store._version == version
+        np.testing.assert_array_equal(trainer.result.weights, weights)
+
+    def test_estimate_monotone_in_request_size(self):
+        trainer = _fit("binary_logistic", "dense", cost_model=CostModel())
+        small = trainer.estimate_removal([3, 17])
+        large = trainer.estimate_removal([3, 17, 45, 101, 200])
+        assert large.touched_occurrences >= small.touched_occurrences
+        assert large.touched_iterations >= small.touched_iterations
+        assert large.n_removed > small.n_removed
+
+    def test_estimate_removal_without_model_uses_trainer_threshold(self):
+        """The predicted mode must match what a commit would actually do."""
+        trainer = _fit("binary_logistic", "dense",
+                       dict(plan_refresh_threshold=1e-6))
+        assert trainer.cost_model is None
+        estimate = trainer.estimate_removal([3])
+        assert estimate.mode == "recompile"  # any touch beats 1e-6
+        receipt = trainer.commit(trainer.remove([3], method="priu"))
+        assert receipt["mode"] == "recompile"
+
+    def test_estimate_requires_fit(self):
+        trainer = IncrementalTrainer(
+            "linear", learning_rate=0.05, regularization=0.01,
+            batch_size=10, n_iterations=10,
+        )
+        with pytest.raises(RuntimeError):
+            trainer.estimate_removal([0])
+
+
+# ------------------------------------------------------------- calibration
+class TestCalibration:
+    def test_defaults_reproduce_fixed_threshold(self):
+        assert Calibration().refresh_threshold() == pytest.approx(0.25)
+
+    def test_threshold_is_cost_curve_crossing(self):
+        cal = Calibration(
+            refresh_seconds_per_fraction=2.0, recompile_seconds=1.0
+        )
+        assert cal.refresh_threshold() == pytest.approx(0.5)
+
+    def test_threshold_clipped_to_unit_band(self):
+        low = Calibration(
+            refresh_seconds_per_fraction=1000.0, recompile_seconds=0.001
+        )
+        high = Calibration(
+            refresh_seconds_per_fraction=0.001, recompile_seconds=1000.0
+        )
+        assert low.refresh_threshold() == pytest.approx(0.01)
+        assert high.refresh_threshold() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Calibration(refresh_seconds_per_fraction=0.0)
+        with pytest.raises(ValueError):
+            Calibration(recompile_seconds=-1.0)
+        with pytest.raises(ValueError):
+            Calibration(batch_seconds=-0.1)
+
+    def test_from_bench_dict_fits_medians(self):
+        rows = [
+            {"mode": "refresh", "plan_sync_seconds": 0.2,
+             "fraction_iterations_touched": 0.1,
+             "speedup_vs_recompile": 5.0},
+            {"mode": "refresh", "plan_sync_seconds": 0.4,
+             "fraction_iterations_touched": 0.1,
+             "speedup_vs_recompile": 2.0},
+            {"mode": "recompile", "plan_sync_seconds": 0.9,
+             "fraction_iterations_touched": 0.8},
+        ]
+        cal = Calibration.from_bench({"commit_costs": rows})
+        # refresh rates: [2.0, 4.0] -> median 3.0
+        assert cal.refresh_seconds_per_fraction == pytest.approx(3.0)
+        # recompile estimates: [1.0, 0.8, 0.9] -> median 0.9
+        assert cal.recompile_seconds == pytest.approx(0.9)
+        assert cal.n_observations == 5
+        assert cal.source == "dict"
+
+    def test_from_bench_empty_keeps_defaults(self):
+        cal = Calibration.from_bench({"commit_costs": []})
+        default = Calibration()
+        assert cal.refresh_seconds_per_fraction == (
+            default.refresh_seconds_per_fraction
+        )
+        assert cal.recompile_seconds == default.recompile_seconds
+        assert cal.n_observations == 0
+
+    def test_from_bench_recorded_run(self, tmp_path):
+        """The repo's recorded BENCH_refresh.json (when present) fits."""
+        recorded = Path(__file__).resolve().parents[2] / "BENCH_refresh.json"
+        if not recorded.exists():
+            payload = {"commit_costs": [
+                {"mode": "refresh", "plan_sync_seconds": 0.01,
+                 "fraction_iterations_touched": 0.05,
+                 "speedup_vs_recompile": 3.0},
+            ]}
+            recorded = tmp_path / "BENCH_refresh.json"
+            recorded.write_text(json.dumps(payload))
+        cal = Calibration.from_bench(recorded)
+        assert cal.refresh_seconds_per_fraction > 0.0
+        assert cal.recompile_seconds > 0.0
+        assert cal.source == str(recorded)
+        assert 0.01 <= cal.refresh_threshold() <= 1.0
+
+
+# --------------------------------------------------------- online learning
+class TestOnlineCalibration:
+    def test_observe_refresh_updates_rate(self):
+        cm = CostModel(ewma=0.5)
+        before = cm.calibration.refresh_seconds_per_fraction
+        cm.observe_commit(None, {
+            "mode": "refresh", "fraction": 0.1, "plan_sync_seconds": 0.2,
+        })
+        after = cm.calibration.refresh_seconds_per_fraction
+        assert after == pytest.approx(0.5 * before + 0.5 * 2.0)
+        assert cm.calibration.source == "online"
+
+    def test_observe_recompile_updates_flat_cost(self):
+        cm = CostModel(ewma=0.5)
+        before = cm.calibration.recompile_seconds
+        cm.observe_commit(None, {
+            "mode": "recompile", "fraction": 0.9, "plan_sync_seconds": 0.5,
+        })
+        assert cm.calibration.recompile_seconds == pytest.approx(
+            0.5 * before + 0.5 * 0.5
+        )
+
+    def test_observe_batch_seeds_then_blends(self):
+        cm = CostModel(ewma=0.5)
+        cm.observe_batch(4, 0.2)
+        assert cm.calibration.batch_seconds == pytest.approx(0.2)
+        cm.observe_batch(4, 0.4)
+        assert cm.calibration.batch_seconds == pytest.approx(0.3)
+
+    def test_observe_batch_ignores_nonsense(self):
+        cm = CostModel()
+        cm.observe_batch(0, 1.0)
+        cm.observe_batch(4, -1.0)
+        assert cm.calibration.batch_seconds == 0.0
+
+    def test_untimed_receipt_only_logs(self):
+        cm = CostModel()
+        before = cm.calibration
+        cm.observe_commit(None, {"mode": "refresh", "fraction": 0.1})
+        assert cm.calibration == before
+        assert len(cm.decisions()) == 1
+
+    def test_decision_ring_is_bounded(self):
+        cm = CostModel()
+        for i in range(MAX_DECISIONS + 10):
+            cm.observe_commit(None, {"mode": "refresh", "fraction": 0.1,
+                                     "plan_sync_seconds": 0.01, "tag": i})
+        log = cm.decisions()
+        assert len(log) == MAX_DECISIONS
+
+    def test_commit_feeds_decision_log_with_prediction(self):
+        cm = CostModel()
+        trainer = _fit("binary_logistic", "dense", cost_model=cm)
+        trainer.remove([3, 17], method="priu", commit=True)
+        (decision,) = cm.decisions()
+        assert decision["predicted"] is not None
+        assert decision["predicted"]["mode"] == decision["actual_mode"]
+        assert decision["actual_seconds"] > 0.0
+
+    def test_invalid_ewma_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(ewma=0.0)
+        with pytest.raises(ValueError):
+            CostModel(ewma=1.5)
+
+
+# ----------------------------------------------------- admission economics
+class TestEarlyClosing:
+    def test_uncalibrated_never_closes_early(self):
+        cm = CostModel()
+        assert not cm.should_close(1, 10.0)
+        assert not cm.should_close(100, 10.0)
+
+    def test_saving_shrinks_as_batch_grows(self):
+        cm = CostModel(Calibration(batch_seconds=0.8))
+        savings = [cm.predicted_batch_saving(n) for n in (1, 2, 4, 8)]
+        assert savings == sorted(savings, reverse=True)
+        assert savings[0] == pytest.approx(0.8)
+
+    def test_closes_once_budget_exceeds_saving(self):
+        cm = CostModel(Calibration(batch_seconds=0.1))
+        assert cm.should_close(2, 0.06)  # saving 0.05 < remaining 0.06
+        assert not cm.should_close(2, 0.04)
+
+    def test_report_shape(self):
+        cm = CostModel()
+        report = cm.report()
+        assert set(report) == {"calibration", "decisions"}
+        assert report["calibration"]["refresh_threshold"] == pytest.approx(0.25)
+
+
+# ------------------------------------------------------ answer preservation
+class TestAnswerPreservation:
+    @pytest.mark.parametrize("task", list(_DATASETS))
+    def test_threshold_source_never_changes_answers(self, task):
+        """Fixed threshold vs two extreme calibrations: identical commits."""
+        rng = np.random.default_rng(11)
+        plans = [
+            ("fixed", None),
+            # Always-refresh and always-recompile calibrations: the two
+            # extremes of any threshold the model could ever derive.
+            ("refresh", CostModel(Calibration(
+                refresh_seconds_per_fraction=0.001, recompile_seconds=10.0))),
+            ("recompile", CostModel(Calibration(
+                refresh_seconds_per_fraction=1000.0,
+                recompile_seconds=0.001))),
+        ]
+        trainers = {
+            name: _fit(task, "dense", cost_model=model)
+            for name, model in plans
+        }
+        sequences = [
+            np.sort(rng.choice(300, size=size, replace=False))
+            for size in (2, 3, 1, 4)
+        ]
+        for ids in sequences:
+            ids = ids[ids < trainers["fixed"].n_samples]
+            receipts = {
+                name: trainer.commit(trainer.remove(ids, method="priu"))
+                for name, trainer in trainers.items()
+            }
+            reference = trainers["fixed"].result.weights
+            for name, trainer in trainers.items():
+                np.testing.assert_allclose(
+                    trainer.result.weights, reference, atol=ATOL,
+                    err_msg=f"{name} diverged",
+                )
+            # The calibrations really did choose differently.
+        assert receipts["refresh"]["mode"] in ("refresh", "unsupported")
+        assert receipts["recompile"]["mode"] in ("recompile", "unsupported")
+
+    def test_post_commit_queries_match(self):
+        ref = _fit("binary_logistic", "dense")
+        cost = _fit("binary_logistic", "dense", cost_model=CostModel(
+            Calibration(refresh_seconds_per_fraction=1000.0,
+                        recompile_seconds=0.001)))
+        for ids in ([4, 9], [1, 2, 3]):
+            ref.remove(ids, method="priu", commit=True)
+            cost.remove(ids, method="priu", commit=True)
+        probe = [0, 5, 10]
+        np.testing.assert_allclose(
+            ref.remove(probe, method="priu").weights,
+            cost.remove(probe, method="priu").weights,
+            atol=ATOL,
+        )
+
+
+# --------------------------------------------------- maintenance auto-tune
+class TestMaintenanceAutoTune:
+    def test_limits_within_operational_bands(self):
+        for cal in (
+            Calibration(),
+            Calibration(refresh_seconds_per_fraction=1000.0,
+                        recompile_seconds=0.001),
+            Calibration(refresh_seconds_per_fraction=0.001,
+                        recompile_seconds=1000.0),
+        ):
+            policy = CostModel(cal).maintenance_policy()
+            assert 0.05 <= policy.max_slot_garbage_fraction <= 0.5
+            assert 4 <= policy.max_svd_correction_columns <= 128
+
+    def test_cheap_refresh_tightens_limits(self):
+        """High threshold (refresh always wins) -> garbage accrues every
+        commit -> reclamation must trigger sooner."""
+        refresh_wins = CostModel(Calibration(
+            refresh_seconds_per_fraction=0.001, recompile_seconds=1000.0,
+        )).maintenance_policy()
+        recompile_wins = CostModel(Calibration(
+            refresh_seconds_per_fraction=1000.0, recompile_seconds=0.001,
+        )).maintenance_policy()
+        assert (refresh_wins.max_slot_garbage_fraction
+                < recompile_wins.max_slot_garbage_fraction)
+        assert (refresh_wins.max_svd_correction_columns
+                < recompile_wins.max_svd_correction_columns)
+
+    def test_base_contributes_manual_overrides(self):
+        base = MaintenancePolicy(
+            svd_epsilon=0.123, eigen_correction_limit=7,
+            refresh_stale_eigen=False,
+        )
+        policy = CostModel().maintenance_policy(base)
+        assert policy.svd_epsilon == 0.123
+        assert policy.eigen_correction_limit == 7
+        assert policy.refresh_stale_eigen is False
+
+    def test_auto_tuned_policy_drives_maintain(self):
+        # Refresh-always calibration: every commit leaves slot garbage
+        # behind and the auto-tuned limits are at their tightest.
+        cm = CostModel(Calibration(
+            refresh_seconds_per_fraction=0.001, recompile_seconds=1000.0,
+        ))
+        trainer = _fit("multinomial_logistic", "svd", dict(batch_size=8),
+                       cost_model=cm)
+        rng = np.random.default_rng(13)
+        policy = cm.maintenance_policy()
+        while not policy.due(trainer.maintenance_cost(include_bytes=False)):
+            ids = np.sort(rng.choice(trainer.n_samples, size=2, replace=False))
+            trainer.remove(ids, method="priu", commit=True)
+        report = trainer.maintain(policy)
+        cost = trainer.maintenance_cost(include_bytes=False)
+        assert not policy.due(cost)  # whatever was due got reclaimed
+        assert report is not None

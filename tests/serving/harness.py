@@ -17,11 +17,13 @@ Two tools live here, both built on the serving layer's injectable
 * :class:`StressDriver` — a seeded random interleaver for
   :class:`repro.serving.FleetServer`: submits across models and lanes,
   advances the clock, flushes, cancels, schedules background maintenance
-  (``maintain_models``), snapshots stats, then closes and checks the
-  serving invariants (every future — maintenance included — resolves
+  (``maintain_models``), probes cost estimates and maintenance-aware
+  eviction (``cost_models``), snapshots stats, then closes and checks
+  the serving invariants (every future — maintenance included — resolves
   exactly once; admission order within a lane; committed id-space
-  consistency; stats conservation).  On any violation it raises with the
-  seed and the full operation trace, so a failure replays with
+  consistency; stats conservation; cost-estimate coverage and
+  monotonicity).  On any violation it raises with the seed and the full
+  operation trace, so a failure replays with
   ``StressDriver(..., seed=<printed seed>)``.
 """
 
@@ -148,6 +150,10 @@ class StressReport:
     # breaker, and injected load faults armed by the driver.
     quarantined: int = 0
     load_faults: int = 0
+    # Cost-model accounting: estimates the driver requested and
+    # maintenance-aware retirements it performed.
+    cost_estimates: int = 0
+    retired: int = 0
     # Futures returned by fleet.maintain() calls the driver issued.
     maintenance: list = field(default_factory=list)
 
@@ -203,6 +209,24 @@ class StressDriver:
         quarantined maintenance target would fail its ticket.  Both
         default empty (chaos off), leaving old seeds' op distributions
         untouched.
+    cost_models:
+        Models whose trainers carry a
+        :class:`~repro.core.costmodel.CostModel` (the test setup's job —
+        attach it at registration or in the loader).  Enables the
+        ``cost`` op: the driver flushes the fleet (estimates read live
+        plan state, so in-flight dispatches must land first), asks the
+        resident trainer for a subset and a superset estimate, checks
+        the footprint predictions are monotone in request size, and may
+        then exercise maintenance-aware eviction
+        (``registry.retire(...)``).  Post-close, invariant I5 requires
+        every served batch on these models to carry the pre-dispatch
+        estimate (``ServedOutcome.predicted``).  May overlap
+        ``commit_models`` (the flush quiesces the id space) and
+        ``chaos_models`` (retire + armed load faults = cost-driven
+        eviction under fault injection); keep it disjoint from
+        ``maintain_models`` so a background maintenance ticket never
+        mutates the plan mid-estimate.  Empty (the default) disables
+        the op, leaving old seeds' op distributions untouched.
     """
 
     def __init__(
@@ -218,6 +242,7 @@ class StressDriver:
         maintain_models: set[str] = frozenset(),
         flaky=None,
         chaos_models: set[str] = frozenset(),
+        cost_models: set[str] = frozenset(),
     ) -> None:
         self.fleet = fleet
         self.model_ids = list(model_ids)
@@ -235,6 +260,11 @@ class StressDriver:
         if set(chaos_models) & set(maintain_models):
             raise ValueError(
                 "chaos_models must be disjoint from maintain_models"
+            )
+        self.cost_models = sorted(cost_models)
+        if set(cost_models) & set(maintain_models):
+            raise ValueError(
+                "cost_models must be disjoint from maintain_models"
             )
         # Conservative per-model live bound: every id ever submitted for a
         # commit model *may* end up committed, so drawing below
@@ -289,6 +319,57 @@ class StressDriver:
         )
         self._trace(f"submit {model_id}/{lane} {ids.tolist()}")
 
+    def _cost_op(self) -> None:
+        """Estimate a subset/superset pair; maybe retire the model.
+
+        The flush quiesces the fleet first: estimates read live plan
+        state (the packed occurrence index) and ``retire`` checkpoints
+        the live trainer, so no dispatch may be in flight on the model.
+        """
+        model_id = self.cost_models[self.rng.integers(len(self.cost_models))]
+        self.fleet.flush(timeout=30)
+        trainer = self.fleet.registry.resident_trainer(model_id)
+        if trainer is None or getattr(trainer, "cost_model", None) is None:
+            self._trace(f"cost {model_id}: not resident, skipped")
+            return
+        bound = self._bound[model_id]
+        if bound > self.max_ids + 2:
+            k = int(self.rng.integers(1, self.max_ids + 1))
+            superset = np.sort(
+                self.rng.choice(bound, size=k + 1, replace=False)
+            ).astype(np.int64)
+            small = trainer.estimate_removal(superset[:k])
+            large = trainer.estimate_removal(superset)
+            self.report.cost_estimates += 2
+            # I5a — footprint estimates are monotone in request size: a
+            # superset can only touch at least as much of the schedule.
+            # (Patch *bytes* are deliberately not monotone: dropping more
+            # occurrence rows shrinks the surviving flats.)
+            for attr in (
+                "n_removed",
+                "touched_occurrences",
+                "touched_iterations",
+                "touched_fraction",
+                "svd_width_growth",
+                "refresh_seconds",
+            ):
+                self._check(
+                    getattr(large, attr) >= getattr(small, attr),
+                    f"cost estimate not monotone for {model_id}: "
+                    f"{attr} {getattr(large, attr)} < {getattr(small, attr)} "
+                    f"(superset {superset.tolist()})",
+                )
+            self._trace(
+                f"cost {model_id}: {superset[:k].tolist()} vs "
+                f"{superset.tolist()} monotone"
+            )
+        if self.rng.random() < 0.5:
+            policy = trainer.cost_model.maintenance_policy()
+            retired = self.fleet.registry.retire(model_id, policy=policy)
+            if retired:
+                self.report.retired += 1
+            self._trace(f"cost {model_id}: retire -> {retired}")
+
     def run(self, n_ops: int) -> StressReport:
         """Execute ``n_ops`` random operations, close the fleet, check."""
         for op_index in range(n_ops):
@@ -325,6 +406,8 @@ class StressDriver:
                     self._trace(
                         f"cancel (op {victim.op_index}) -> too late"
                     )
+            elif roll < 0.945 and self.cost_models:
+                self._cost_op()
             elif (
                 roll < 0.955 and self.chaos_models and self.flaky is not None
             ):
@@ -474,6 +557,26 @@ class StressDriver:
             f"fleet quarantined {fleet_stats.quarantined} != "
             f"driver-observed {self.report.quarantined}",
         )
+
+        # I5 — cost-model coverage: every served batch on a cost model
+        # carries the pre-dispatch estimate, and it is well-formed.
+        cost_set = set(self.cost_models)
+        for submitted in self.report.served():
+            if submitted.model_id not in cost_set:
+                continue
+            predicted = submitted.future.result().predicted
+            self._check(
+                predicted is not None,
+                f"served batch without a cost estimate: op "
+                f"{submitted.op_index} {submitted.model_id}/{submitted.lane}",
+            )
+            self._check(
+                predicted["mode"] in ("refresh", "recompile", "unsupported")
+                and predicted["n_removed"] >= 0
+                and predicted["plan_patch_bytes"] >= 0,
+                f"malformed cost estimate on op {submitted.op_index}: "
+                f"{predicted}",
+            )
 
         # I4 — committed id-space consistency: each commit model's
         # deletion log is duplicate-free, in-bounds, and exactly accounts

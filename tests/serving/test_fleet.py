@@ -300,6 +300,69 @@ class TestRegistry:
         assert registry.describe("model-a")["resident"] is True
 
 
+class TestWarmStartRanking:
+    """warm_start's hottest-N ordering, and its interplay with retire."""
+
+    def test_hottest_first_with_ties_broken_by_registration_order(
+        self, checkpoints
+    ):
+        registry = registry_with(
+            checkpoints, ["model-a", "model-b", "model-c"]
+        )
+        hotness = {"model-a": 2, "model-b": 2, "model-c": 5}
+        loaded = registry.warm_start(3, hotness=hotness)
+        # model-c is hottest; the a/b tie resolves to registration order,
+        # so repeated restarts warm the same models in the same order.
+        assert loaded == ("model-c", "model-a", "model-b")
+        assert registry.resident_ids == ("model-c", "model-a", "model-b")
+
+    def test_tie_order_is_independent_of_hotness_dict_order(
+        self, checkpoints
+    ):
+        results = []
+        for mapping in (
+            {"model-b": 3, "model-a": 3},
+            {"model-a": 3, "model-b": 3},
+        ):
+            registry = registry_with(checkpoints, ["model-a", "model-b"])
+            results.append(registry.warm_start(2, hotness=dict(mapping)))
+        assert results[0] == results[1] == ("model-a", "model-b")
+
+    def test_retired_model_warms_back_first_by_admission_history(
+        self, checkpoints
+    ):
+        """Maintenance-aware eviction and warm_start compose: retire drops
+        the hottest model, but its admission history (counted by every
+        fleet submit) keeps it first in line to be pre-loaded again."""
+        from repro import CostModel
+
+        registry = registry_with(checkpoints, ["model-a", "model-b"])
+        fleet = FleetServer(
+            registry,
+            AdmissionPolicy(max_batch=4, max_delay_seconds=0.01),
+            method="priu",
+            n_workers=1,
+            clock=FakeClock(),
+            autostart=True,
+        )
+        for _ in range(3):
+            fleet.submit("model-a", [1, 2]).result(timeout=30)
+        fleet.submit("model-b", [3]).result(timeout=30)
+        assert fleet.flush(timeout=30)
+        evictions_before = registry.stats()["evictions"]
+        assert (
+            registry.retire("model-a", policy=CostModel().maintenance_policy())
+            is True
+        )
+        fleet.close()
+        assert registry.resident_trainer("model-a") is None
+        assert registry.stats()["evictions"] == evictions_before + 1
+        # Only the retired model is a candidate (model-b is resident), and
+        # its recorded hotness ranks it for reload.
+        assert registry.warm_start(2) == ("model-a",)
+        assert registry.resident_trainer("model-a") is not None
+
+
 @pytest.fixture
 def live_fleet():
     """Three live models behind a fleet (non-commit), plus direct handles."""

@@ -35,6 +35,7 @@ import numpy as np  # noqa: E402
 from harness import FakeClock, StressDriver  # noqa: E402
 from repro import (  # noqa: E402
     AdmissionPolicy,
+    CostModel,
     FleetServer,
     IncrementalTrainer,
     ModelRegistry,
@@ -47,6 +48,10 @@ from repro.serving import RetryPolicy  # noqa: E402
 from repro.testing import FlakyLoader  # noqa: E402
 
 DEFAULT_SEEDS = (11, 23, 37, 41, 53, 61, 79, 97)
+# Seeds that additionally run the cost-model op mix: the chaos model gets
+# a CostModel attached, the driver rolls `cost` ops, and the op's retire
+# branch exercises cost-driven eviction while load faults are armed.
+COST_SEEDS = (127, 139)
 
 _BINARY = make_binary_classification(400, 10, separation=1.0, seed=21)
 _BINARY_B = make_binary_classification(320, 8, separation=1.2, seed=22)
@@ -93,15 +98,17 @@ def fit_model(kind):
     return trainer
 
 
-def run_seed(seed, n_ops, checkpoint):
+def run_seed(seed, n_ops, checkpoint, cost=False):
     """One chaos run; returns a short per-seed stats summary string."""
     flaky = FlakyLoader()
     registry = ModelRegistry(loader=flaky)
+    extra = {"cost_model": CostModel()} if cost else {}
     registry.register(
         "chaos-bin",
         checkpoint=checkpoint,
         features=_BINARY.features,
         labels=_BINARY.labels,
+        **extra,
     )
     live = {
         "stress-lin": fit_model("linear"),
@@ -140,12 +147,21 @@ def run_seed(seed, n_ops, checkpoint):
         clock=clock,
         flaky=flaky,
         chaos_models={"chaos-bin"},
+        cost_models={"chaos-bin"} if cost else (),
     )
     report = driver.run(n_ops=n_ops)  # closes the fleet + checks invariants
 
     if report.load_faults == 0:
         raise AssertionError(
             f"seed {seed}: no load faults armed — chaos op never rolled"
+        )
+    if cost and report.cost_estimates == 0:
+        raise AssertionError(
+            f"seed {seed}: cost op never produced an estimate"
+        )
+    if cost and report.retired == 0:
+        raise AssertionError(
+            f"seed {seed}: cost-driven retire never fired"
         )
     for model_id in live:
         failed = fleet.stats(model_id).failed
@@ -174,19 +190,26 @@ def run_seed(seed, n_ops, checkpoint):
         checked += 1
 
     stats = fleet.stats()
-    return (
+    summary = (
         f"answered={stats.answered} failed={stats.failed} "
         f"quarantined={stats.quarantined} load_faults={report.load_faults} "
         f"fired={flaky.failures} verified={checked}"
     )
+    if cost:
+        summary += (
+            f" cost_estimates={report.cost_estimates}"
+            f" retired={report.retired}"
+        )
+    return summary
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--seeds",
-        default=",".join(str(s) for s in DEFAULT_SEEDS),
-        help="comma-separated seed list (default: %(default)s)",
+        default=",".join(str(s) for s in DEFAULT_SEEDS + COST_SEEDS),
+        help="comma-separated seed list (default: %(default)s); seeds in "
+        f"{COST_SEEDS} also roll cost-model ops",
     )
     parser.add_argument(
         "--ops",
@@ -204,7 +227,9 @@ def main(argv=None):
         for seed in seeds:
             start = time.perf_counter()
             try:
-                summary = run_seed(seed, args.ops, checkpoint)
+                summary = run_seed(
+                    seed, args.ops, checkpoint, cost=seed in COST_SEEDS
+                )
             except Exception:
                 failures += 1
                 print(f"seed {seed}: FAIL", flush=True)
