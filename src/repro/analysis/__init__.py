@@ -1,0 +1,38 @@
+"""``reprolint``: project-invariant static analysis.
+
+An AST-based lint pass encoding the invariants the serving stack's
+correctness arguments depend on — run as a CI gate over ``src/`` and
+``tests/`` via ``python -m repro.analysis`` (or ``tools/lint.py``):
+
+==== ======================================================================
+Rule Invariant
+==== ======================================================================
+R001 clock discipline — no wall clocks/sleeps in library code outside
+     ``serving/clock.py`` and documented waivers
+R002 lock discipline — attributes declared ``# guarded-by: <lock>`` (or
+     via the ``GuardedBy`` descriptor) are only touched under that lock
+R003 fault-point coverage — every ``_fault(...)`` seam in
+     ``core/serialization.py`` is pinned by a crash-sweep test literal
+R004 error taxonomy — serving code raises typed ``serving/errors.py``
+     exceptions, never bare ``RuntimeError``
+R005 deterministic tests — no real sleeps/wall clocks in tier-1 tests
+==== ======================================================================
+
+The runtime complement (instrumented locks, lock-order cycle detection,
+debug-mode guarded-state asserts) lives in :mod:`repro.testing.races`.
+"""
+
+from .engine import Module, Report, Violation, load_module, run_rules
+from .faultpoints import discover_fault_points
+from .rules import MODULE_RULES, PROJECT_RULES
+
+__all__ = [
+    "MODULE_RULES",
+    "Module",
+    "PROJECT_RULES",
+    "Report",
+    "Violation",
+    "discover_fault_points",
+    "load_module",
+    "run_rules",
+]

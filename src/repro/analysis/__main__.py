@@ -1,0 +1,80 @@
+"""``python -m repro.analysis`` — run the project lint pass.
+
+Scans ``src/`` and ``tests/`` (or explicit paths) with the rule catalog
+in :mod:`repro.analysis.rules`, prints ``path:line: RULE message`` per
+violation, and exits nonzero if any survive the waiver pragmas.  CI
+uploads the ``--json`` report as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import iter_python_files, load_module, run_rules
+from .rules import MODULE_RULES, PROJECT_RULES
+
+
+def _detect_root() -> Path:
+    cwd = Path.cwd()
+    if (cwd / "src" / "repro").is_dir():
+        return cwd
+    return Path(__file__).resolve().parents[3]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: src/ and tests/)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root for relative paths and reporting",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the full report as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    root = (args.root or _detect_root()).resolve()
+    scan = [
+        path if path.is_absolute() else root / path
+        for path in map(Path, args.paths or ["src", "tests"])
+    ]
+
+    modules = []
+    for source in iter_python_files(scan):
+        try:
+            modules.append(load_module(source, root))
+        except SyntaxError as error:
+            print(f"{source}: failed to parse: {error}", file=sys.stderr)
+            return 2
+
+    report = run_rules(modules, MODULE_RULES, PROJECT_RULES)
+
+    for violation in report.violations:
+        print(violation.render())
+    print(
+        f"reprolint: {len(report.violations)} violation(s), "
+        f"{len(report.waived)} waived, {report.files} file(s) checked"
+    )
+    if args.json is not None:
+        args.json.write_text(report.to_json() + "\n", encoding="utf-8")
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,219 @@
+"""Core machinery for the project lint pass (``reprolint``).
+
+The engine parses every Python file in scope once (AST + comment map via
+``tokenize``), hands the parsed modules to the registered rules, and
+applies waiver pragmas to the raw findings.  Rules come in two shapes:
+
+* **module rules** see one :class:`Module` at a time (R001, R002, R004,
+  R005);
+* **project rules** see the whole module set at once — R003 must match
+  fault-point seams in ``core/serialization.py`` against string literals
+  anywhere under ``tests/``.
+
+Waiver policy: a violation is suppressed by a pragma **on the flagged
+line** (or a pragma comment alone on the line directly above)::
+
+    timestamp = time.time()  # reprolint: allow[R001] receipt fallback for
+                             # clock-less standalone trainers
+
+The rationale text after the rule tag is mandatory — a bare waiver is
+itself reported (rule R000) so the whitelist stays documented.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+WAIVER_RE = re.compile(r"#\s*reprolint:\s*allow\[(R\d{3})\](?:\s+(\S.*))?")
+
+
+@dataclass
+class Violation:
+    """One rule finding, anchored to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass
+class Waived:
+    violation: Violation
+    rationale: str
+
+
+class Module:
+    """A parsed source file: AST, per-line comments, and its lint role."""
+
+    def __init__(self, path: Path, rel: str, text: str, role: str):
+        self.path = path
+        self.rel = rel.replace("\\", "/")
+        self.text = text
+        self.lines = text.splitlines()
+        self.role = role  # "src" or "tests"
+        self.tree = ast.parse(text, filename=str(path))
+        self.comments: Dict[int, str] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string
+        except tokenize.TokenError:  # pragma: no cover - parse already ok
+            pass
+
+    def comment_on(self, line: int) -> str:
+        return self.comments.get(line, "")
+
+    def waivers(self) -> Tuple[Dict[Tuple[str, int], str], List[Violation]]:
+        """Map ``(rule, line) -> rationale`` plus malformed-waiver findings.
+
+        A pragma that is the whole line extends to the next code line, so
+        long statements can carry their waiver on the line above.
+        """
+        waived: Dict[Tuple[str, int], str] = {}
+        malformed: List[Violation] = []
+        for line, comment in self.comments.items():
+            match = WAIVER_RE.search(comment)
+            if not match:
+                continue
+            rule, rationale = match.group(1), (match.group(2) or "").strip()
+            if not rationale:
+                malformed.append(
+                    Violation(
+                        "R000",
+                        self.rel,
+                        line,
+                        f"waiver for {rule} has no rationale — explain why "
+                        "the exemption is safe",
+                    )
+                )
+                continue
+            waived[(rule, line)] = rationale
+            if self.lines[line - 1].strip().startswith("#"):
+                target = self._next_code_line(line)
+                if target is not None:
+                    waived[(rule, target)] = rationale
+        return waived, malformed
+
+    def _next_code_line(self, line: int) -> Optional[int]:
+        for number in range(line + 1, len(self.lines) + 1):
+            stripped = self.lines[number - 1].strip()
+            if stripped and not stripped.startswith("#"):
+                return number
+        return None
+
+
+ModuleRule = Callable[[Module], List[Violation]]
+ProjectRule = Callable[[List[Module]], List[Violation]]
+
+
+@dataclass
+class Report:
+    violations: List[Violation] = field(default_factory=list)
+    waived: List[Waived] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files": self.files,
+            "violations": [
+                {
+                    "rule": v.rule,
+                    "path": v.path,
+                    "line": v.line,
+                    "message": v.message,
+                }
+                for v in self.violations
+            ],
+            "waived": [
+                {
+                    "rule": w.violation.rule,
+                    "path": w.violation.path,
+                    "line": w.violation.line,
+                    "message": w.violation.message,
+                    "rationale": w.rationale,
+                }
+                for w in self.waived
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def load_module(path: Path, root: Path) -> Module:
+    try:
+        rel = str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        rel = str(path)
+    role = "tests" if "tests" in Path(rel).parts else "src"
+    text = path.read_text(encoding="utf-8")
+    return Module(path, rel, text, role)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" in candidate.parts:
+                    continue
+                yield candidate
+
+
+def run_rules(
+    modules: List[Module],
+    module_rules: Dict[str, ModuleRule],
+    project_rules: Dict[str, ProjectRule],
+) -> Report:
+    """Run every rule, then fold waivers into the findings."""
+    report = Report(files=len(modules))
+    raw: List[Tuple[Module, Violation]] = []
+    waivers: Dict[str, Dict[Tuple[str, int], str]] = {}
+
+    for module in modules:
+        waived_map, malformed = module.waivers()
+        waivers[module.rel] = waived_map
+        report.violations.extend(malformed)
+        for rule in module_rules.values():
+            for violation in rule(module):
+                raw.append((module, violation))
+
+    for rule in project_rules.values():
+        for violation in rule(modules):
+            module = next(
+                (m for m in modules if m.rel == violation.path), None
+            )
+            if module is not None:
+                raw.append((module, violation))
+            else:
+                report.violations.append(violation)
+
+    for module, violation in raw:
+        rationale = waivers.get(module.rel, {}).get(
+            (violation.rule, violation.line)
+        )
+        if rationale is not None:
+            report.waived.append(Waived(violation, rationale))
+        else:
+            report.violations.append(violation)
+
+    report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return report

@@ -1,0 +1,153 @@
+"""Static discovery of the durability protocol's fault-point seams.
+
+``core/serialization.py`` threads every crash-atomic step through the
+``_fault(event, path)`` hook.  This module recovers the full seam-name
+set from the *source* — no execution — so rule R003 and the drift
+regression test can compare it against what
+:func:`repro.testing.faults.record_fault_points` observes at runtime.
+
+Event names come in three shapes:
+
+* plain literals (``"commit.done"``) — taken verbatim;
+* f-strings over the enclosing function's ``tag`` parameter
+  (``f"{tag}.renamed"``) — expanded with every constant ``tag=`` value
+  found at the function's call sites (``"store"``, ``"plan"``);
+* f-strings over data-dependent values (``f"commit.rename.{member}"``) —
+  reduced to ``fnmatch`` wildcards (``"commit.rename.*"``).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+FAULT_HOOK_NAMES = frozenset({"_fault", "_fault_point"})
+
+
+def default_serialization_path() -> Path:
+    """``core/serialization.py`` located relative to this package."""
+    return Path(__file__).resolve().parent.parent / "core" / "serialization.py"
+
+
+def discover_fault_points(path: Optional[Path] = None) -> Set[str]:
+    """Seam-name patterns statically discovered in ``serialization.py``."""
+    source_path = Path(path) if path is not None else (
+        default_serialization_path()
+    )
+    tree = ast.parse(source_path.read_text(encoding="utf-8"))
+    return {pattern for pattern, _line in discover_in_tree(tree)}
+
+
+def discover_in_tree(tree: ast.AST) -> List[Tuple[str, int]]:
+    """``(pattern, line)`` for every ``_fault(...)`` seam in ``tree``."""
+    tag_values = _tag_values_by_function(tree)
+    seams: List[Tuple[str, int]] = []
+    for function, call in _fault_calls(tree):
+        if not call.args:
+            continue
+        template = _event_template(call.args[0])
+        if template is None:
+            seams.append(("*", call.lineno))
+            continue
+        seams.extend(
+            (pattern, call.lineno)
+            for pattern in _expand(template, function, tag_values)
+        )
+    return seams
+
+
+def _fault_calls(
+    tree: ast.AST,
+) -> List[Tuple[Optional[ast.FunctionDef], ast.Call]]:
+    """Every fault-hook call, paired with its enclosing function."""
+    found: List[Tuple[Optional[ast.FunctionDef], ast.Call]] = []
+
+    def walk(node: ast.AST, function: Optional[ast.FunctionDef]) -> None:
+        for child in ast.iter_child_nodes(node):
+            enclosing = function
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                enclosing = child
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Name)
+                and child.func.id in FAULT_HOOK_NAMES
+            ):
+                found.append((function, child))
+            walk(child, enclosing)
+
+    walk(tree, None)
+    return found
+
+
+def _event_template(node: ast.expr) -> Optional[List[Tuple[str, str]]]:
+    """Normalize the event argument to ``[(kind, value), ...]`` parts.
+
+    ``kind`` is ``"text"`` for literal fragments or ``"name"`` for an
+    interpolated simple name; returns ``None`` for arguments the
+    analyzer cannot decompose (a computed expression).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [("text", node.value)]
+    if isinstance(node, ast.JoinedStr):
+        parts: List[Tuple[str, str]] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                parts.append(("text", value.value))
+            elif isinstance(value, ast.FormattedValue) and isinstance(
+                value.value, ast.Name
+            ):
+                parts.append(("name", value.value.id))
+            else:
+                parts.append(("name", "?"))
+        return parts
+    return None
+
+
+def _expand(
+    template: List[Tuple[str, str]],
+    function: Optional[ast.FunctionDef],
+    tag_values: Dict[str, Set[str]],
+) -> Set[str]:
+    """Resolve a template's interpolations to concrete names or ``*``."""
+    expansions: Set[str] = {""}
+    parameters: Set[str] = set()
+    if function is not None:
+        arguments = function.args
+        for arg in (
+            *getattr(arguments, "posonlyargs", ()),
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ):
+            parameters.add(arg.arg)
+    values = tag_values.get(function.name, set()) if function else set()
+    for kind, value in template:
+        if kind == "text":
+            choices = {value}
+        elif value == "tag" and value in parameters and values:
+            choices = values
+        else:
+            choices = {"*"}
+        expansions = {
+            prefix + choice for prefix in expansions for choice in choices
+        }
+    return expansions
+
+
+def _tag_values_by_function(tree: ast.AST) -> Dict[str, Set[str]]:
+    """Constant ``tag=`` arguments at each function's call sites."""
+    values: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not isinstance(node.func, ast.Name):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "tag" and isinstance(keyword.value, ast.Constant):
+                if isinstance(keyword.value.value, str):
+                    values.setdefault(node.func.id, set()).add(
+                        keyword.value.value
+                    )
+    return values

@@ -165,10 +165,21 @@ class IncrementalTrainer:
         self._fitted = False
 
     def _now(self) -> float:
-        """Receipt timestamp from the injected clock (wall time default)."""
+        """Receipt timestamp from the injected clock (wall time default).
+
+        Commit-mode servers always inject their serving clock at
+        construction, so served traffic stamps receipts through
+        ``Clock.timestamp()`` (epoch-meaningful on the real clock,
+        deterministic on fakes; ``now()`` is the fallback for bare
+        ``now()``-only clock objects).  The wall-clock branch below only
+        serves *standalone* trainers — no serving layer, no clock to
+        inject — and core deliberately does not import serving to
+        default one.
+        """
         if self.clock is not None:
-            return float(self.clock.now())
-        return time.time()
+            stamp = getattr(self.clock, "timestamp", self.clock.now)
+            return float(stamp())
+        return time.time()  # reprolint: allow[R001] receipt stamping for clock-less standalone trainers; commit-mode servers always inject their Clock
 
     # -------------------------------------------------------------- fitting
     def fit(self, features, labels: np.ndarray) -> "IncrementalTrainer":

@@ -241,12 +241,12 @@ class CostModel:
     ) -> None:
         if not 0.0 < ewma <= 1.0:
             raise ValueError("ewma must be in (0, 1]")
-        self._calibration = (
+        self._calibration = (  # guarded-by: _lock
             calibration if calibration is not None else Calibration()
         )
         self._ewma = float(ewma)
         self._lock = threading.Lock()
-        self._decisions: list[dict] = []
+        self._decisions: list[dict] = []  # guarded-by: _lock
 
     # ------------------------------------------------------------- reading
     @property

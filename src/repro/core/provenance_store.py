@@ -649,7 +649,11 @@ class ProvenanceStore:
             else np.concatenate([self.deletion_log, removed_original])
         )
         if timestamp is None:
-            timestamp = time.time()
+            # Served commits never land here: IncrementalTrainer.remove
+            # always passes timestamp=self._now(), which prefers the
+            # injected serving Clock.  This fallback stamps direct
+            # store-level compact() calls only.
+            timestamp = time.time()  # reprolint: allow[R001] direct store-level compact() without a trainer; served commits always pass timestamp=
         self.commit_receipts.append(
             CommitReceipt(
                 index=len(self.commit_receipts),

@@ -47,6 +47,8 @@ from .errors import (
     CheckpointCorruptionError,
     ModelLoadError,
     ModelQuarantinedError,
+    ServerClosedError,
+    ServerStateError,
     ServingError,
     WorkerCrashedError,
 )
@@ -73,6 +75,8 @@ __all__ = [
     "LaneStats",
     "ModelLoadError",
     "ModelQuarantinedError",
+    "ServerClosedError",
+    "ServerStateError",
     "ModelRegistry",
     "MonotonicClock",
     "RetryPolicy",

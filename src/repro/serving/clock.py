@@ -54,12 +54,26 @@ class Clock:
         """
         raise NotImplementedError
 
+    def timestamp(self) -> float:
+        """An *epoch-meaningful* stamp for audit receipts.
+
+        Unlike :meth:`now` this is allowed to mean something outside the
+        process (commit receipts are compared across runs).  The default
+        reuses :meth:`now` so fake clocks stay deterministic; the real
+        clock answers with wall time.  This method is the sanctioned
+        wall-clock seam — everything else routes through ``now()``.
+        """
+        return self.now()
+
 
 class MonotonicClock(Clock):
     """Real wall time: ``time.perf_counter`` + genuinely blocking waits."""
 
     def now(self) -> float:
         return time.perf_counter()
+
+    def timestamp(self) -> float:
+        return time.time()
 
     def get(self, q: queue.Queue, timeout: float):
         return q.get(timeout=timeout)

@@ -29,6 +29,8 @@ from ..core.serialization import CheckpointCorruptionError
 __all__ = [
     "ServingError",
     "BackpressureError",
+    "ServerClosedError",
+    "ServerStateError",
     "WorkerCrashedError",
     "ModelLoadError",
     "ModelQuarantinedError",
@@ -42,6 +44,15 @@ class ServingError(RuntimeError):
 
 class BackpressureError(ServingError):
     """The server's admission queue is full; retry later or block."""
+
+
+class ServerClosedError(ServingError):
+    """The server was closed; no further submits are accepted."""
+
+
+class ServerStateError(ServingError):
+    """A lifecycle-order violation: e.g. flush/configure on a server in
+    the wrong state (never started, already carrying traffic)."""
 
 
 class WorkerCrashedError(ServingError):

@@ -69,6 +69,8 @@ from .errors import (
     BackpressureError,
     ModelLoadError,
     ModelQuarantinedError,
+    ServerClosedError,
+    ServerStateError,
     WorkerCrashedError,
 )
 from .policy import AdmissionPolicy, _PreemptionGuard
@@ -254,21 +256,23 @@ class ModelRegistry:
         # harness substitutes a flaky one to exercise retry/quarantine.
         self._loader = loader if loader is not None else _default_loader
         self._lock = threading.RLock()
-        self._specs: dict[str, _ModelSpec] = {}
+        self._specs: dict[str, _ModelSpec] = {}  # guarded-by: _lock
         # Insertion order = recency: least-recently-used first.
-        self._resident: "OrderedDict[str, _Resident]" = OrderedDict()
-        self._pins: dict[str, int] = {}
+        self._resident: "OrderedDict[str, _Resident]" = (  # guarded-by: _lock
+            OrderedDict()
+        )
+        self._pins: dict[str, int] = {}  # guarded-by: _lock
         # Admission history: per-model submit_view() count, the hotness
         # ranking warm_start() pre-loads by.
-        self._admissions: dict[str, int] = {}
+        self._admissions: dict[str, int] = {}  # guarded-by: _lock
         # Checkpoint epoch: how many times save_dirty() rewrote each
         # model's archive.  Commit-queue translation keys on it — a
         # request validated against an epoch-e checkpoint must not be
         # replayed through commits that checkpoint already contains.
-        self._epochs: dict[str, int] = {}
-        self._loads = 0
-        self._hits = 0
-        self._evictions = 0
+        self._epochs: dict[str, int] = {}  # guarded-by: _lock
+        self._loads = 0  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------- membership
     def register(
@@ -344,7 +348,7 @@ class ModelRegistry:
             return tuple(self._resident)
 
     # ------------------------------------------------------------------ load
-    def _spec(self, model_id: str) -> _ModelSpec:
+    def _spec(self, model_id: str) -> _ModelSpec:  # caller-holds: _lock
         try:
             return self._specs[model_id]
         except KeyError:
@@ -551,6 +555,7 @@ class ModelRegistry:
     def _is_dirty(self, entry: _Resident) -> bool:
         return entry.trainer.store._version != entry.loaded_version
 
+    # caller-holds: _lock
     def _evictable(self, model_id: str, entry: _Resident) -> bool:
         return (
             entry.evictable
@@ -558,6 +563,7 @@ class ModelRegistry:
             and not self._is_dirty(entry)
         )
 
+    # caller-holds: _lock
     def _over_cap(self) -> bool:
         if self.max_resident is not None and len(self._resident) > self.max_resident:
             return True
@@ -567,6 +573,7 @@ class ModelRegistry:
                 return True
         return False
 
+    # caller-holds: _lock
     def _enforce_caps(self, protect: str | None = None) -> None:
         """Evict LRU-first until under both caps (caller holds the lock).
 
@@ -652,6 +659,7 @@ class ModelRegistry:
                     written[model_id] = outcome
         return written
 
+    # caller-holds: _lock
     def _save_resident(self, model_id: str) -> SaveOutcome | None:
         """Re-checkpoint one dirty resident model (caller holds the lock).
 
@@ -1032,19 +1040,20 @@ maintenance_cost` is checked against the policy's thresholds and, when
         # condition so they ride the injectable clock (a fake clock
         # advances instantly) without ever holding the scheduler lock.
         self._backoff_cond = threading.Condition()
-        self._crashed: BaseException | None = None
+        self._crashed: BaseException | None = None  # guarded-by: _sched
         # At most one background maintain() in flight fleet-wide, so the
         # pool always keeps workers free for deletion traffic.
-        self._maintenance_busy = False
+        self._maintenance_busy = False  # guarded-by: _sched
         self._sched = threading.Condition()
-        self._queues: dict[str, _ModelQueue] = {}
-        self._overrides: dict[str, dict] = {}
-        self._rr_order: list[str] = []  # round-robin rotation of model ids
+        self._queues: dict[str, _ModelQueue] = {}  # guarded-by: _sched
+        self._overrides: dict[str, dict] = {}  # guarded-by: _sched
+        # Round-robin rotation of model ids.
+        self._rr_order: list[str] = []  # guarded-by: _sched
         self._seq = itertools.count()
         self._stats = StatsRecorder()  # fleet-wide aggregate
-        self._pending = 0
-        self._closed = False
-        self._started = False
+        self._pending = 0  # guarded-by: _sched
+        self._closed = False  # guarded-by: _sched
+        self._started = False  # guarded-by: _sched
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -1104,7 +1113,7 @@ maintenance_cost` is checked against the policy's thresholds and, when
             raise ValueError(f"unknown model id {model_id!r}")
         with self._sched:
             if model_id in self._queues:
-                raise RuntimeError(
+                raise ServerStateError(
                     f"model {model_id!r} already has traffic; configure it "
                     "before its first submission"
                 )
@@ -1114,6 +1123,7 @@ maintenance_cost` is checked against the policy's thresholds and, when
             if commit_mode is not None:
                 overrides["commit_mode"] = bool(commit_mode)
 
+    # caller-holds: _sched
     def _queue_for(self, model_id: str) -> _ModelQueue:
         """The model's admission queue (caller holds ``_sched``)."""
         state = self._queues.get(model_id)
@@ -1242,7 +1252,7 @@ maintenance_cost` is checked against the policy's thresholds and, when
             with self._sched:
                 if self._closed:
                     state.slots.release()
-                    raise RuntimeError(
+                    raise ServerClosedError(
                         "cannot submit to a closed FleetServer"
                     )
                 request.seq = next(self._seq)
@@ -1282,7 +1292,9 @@ maintenance_cost` is checked against the policy's thresholds and, when
                     "cannot submit: a fleet worker thread died"
                 ) from self._crashed
             if self._closed:
-                raise RuntimeError("cannot submit to a closed FleetServer")
+                raise ServerClosedError(
+                    "cannot submit to a closed FleetServer"
+                )
             state = self._queue_for(model_id)
             if state.health.state != "healthy":
                 # Answering needs the trainer's weights, i.e. a load the
@@ -1338,7 +1350,7 @@ maintenance_cost` is checked against the policy's thresholds and, when
         """Block until every submitted request has been answered or failed."""
         with self._sched:
             if self._pending and not self._started:
-                raise RuntimeError(
+                raise ServerStateError(
                     "flush() would wait forever: requests are queued but the "
                     "worker pool was never started (autostart=False)"
                 )
@@ -1655,7 +1667,8 @@ maintenance_cost` is checked against the policy's thresholds and, when
             self._sched.notify_all()
 
     def _dispatch(self, model_id: str, batch: list[_Request]) -> None:
-        state = self._queues[model_id]
+        with self._sched:
+            state = self._queues[model_id]
         stats = _TeeStats(state.stats, self._stats)
         live: list[_Request] = []
         cancelled: list[_Request] = []
@@ -1684,15 +1697,14 @@ maintenance_cost` is checked against the policy's thresholds and, when
         try:
             try:
                 trainer = self._acquire_trainer(model_id, state)
-                if state.commit_mode and trainer.clock is None and (
-                    self._clock is not MONOTONIC_CLOCK
-                ):
-                    # An injected clock (fake clock in tests, or a custom
-                    # time source) also stamps the commit audit receipts.
-                    # The stock monotonic clock is deliberately NOT
-                    # injected: perf_counter seconds are process-relative
-                    # and receipts persist across restarts, so production
-                    # receipts keep the trainer's wall-time default.
+                if state.commit_mode and trainer.clock is None:
+                    # The serving clock also stamps the commit audit
+                    # receipts: an injected clock (fake clock in tests,
+                    # or a custom time source) keeps them deterministic,
+                    # and the stock monotonic clock answers receipt
+                    # stamps through Clock.timestamp() — wall time,
+                    # since receipts persist across restarts and
+                    # perf_counter seconds are process-relative.
                     trainer.clock = self._clock
                 _serve_batch(
                     trainer,
@@ -1757,7 +1769,7 @@ maintenance_cost` is checked against the policy's thresholds and, when
             if self._closed:
                 if auto:
                     return None
-                raise RuntimeError(
+                raise ServerClosedError(
                     "cannot schedule maintenance on a closed FleetServer"
                 )
             state = self._queue_for(model_id)
@@ -1777,7 +1789,8 @@ maintenance_cost` is checked against the policy's thresholds and, when
     def _dispatch_maintenance(
         self, model_id: str, ticket: _MaintenanceTicket
     ) -> None:
-        state = self._queues[model_id]
+        with self._sched:
+            state = self._queues[model_id]
         stats = _TeeStats(state.stats, self._stats)
         if not ticket.future.set_running_or_notify_cancel():
             stats.record_cancelled(1, ["maintenance"])

@@ -64,8 +64,14 @@ from ..core.provenance_store import (
     normalize_removed_indices,
     remap_surviving_ids,
 )
+from ..testing.races import GuardedBy
 from .clock import MONOTONIC_CLOCK, Clock
-from .errors import BackpressureError, WorkerCrashedError
+from .errors import (
+    BackpressureError,
+    ServerClosedError,
+    ServerStateError,
+    WorkerCrashedError,
+)
 from .policy import AdmissionPolicy, _PreemptionGuard
 from .stats import ServingStats, StatsRecorder
 
@@ -186,6 +192,12 @@ class _CommitTracker:
     Shared by :class:`DeletionServer` (one instance) and
     :class:`~repro.serving.fleet.FleetServer` (one per model).
     """
+
+    # Declared via the descriptor (rather than `# guarded-by:` comments)
+    # so debug mode (REPRO_DEBUG_GUARDS=1) also asserts the lock is held
+    # on every access at runtime.
+    _history = GuardedBy("_lock")
+    _inflight_keys = GuardedBy("_lock")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -392,15 +404,14 @@ removed`` reports the translated set, in the id space its batch executed
         self.method = method
         self.commit_mode = bool(commit_mode)
         self._clock = clock if clock is not None else MONOTONIC_CLOCK
-        if self.commit_mode and trainer.clock is None and (
-            self._clock is not MONOTONIC_CLOCK
-        ):
-            # An *injected* clock (fake clock in tests, or an operator's
-            # custom time source) also stamps the commit audit receipts,
-            # keeping them deterministic.  The stock monotonic clock is
-            # deliberately NOT injected: perf_counter seconds are
-            # process-relative and receipts persist across restarts, so
-            # production receipts keep the trainer's wall-time default.
+        if self.commit_mode and trainer.clock is None:
+            # The serving clock also stamps the commit audit receipts:
+            # an injected clock (fake clock in tests, or an operator's
+            # custom time source) keeps them deterministic, and the
+            # stock monotonic clock answers receipt stamps through
+            # Clock.timestamp() — wall time, since receipts persist
+            # across restarts and perf_counter seconds are
+            # process-relative.
             trainer.clock = self._clock
         self._tracker = _CommitTracker()
         # Lane-priority admission: entries are (lane priority, submission
@@ -426,10 +437,10 @@ removed`` reports the translated set, in the id space its batch executed
         # it before appending the sentinel — so no request can be admitted
         # after the sentinel and hang undrained.
         self._submit_lock = threading.Lock()
-        self._inflight = 0
-        self._closed = False
-        self._crashed: BaseException | None = None
-        self._started = False
+        self._inflight = 0  # guarded-by: _state_lock
+        self._closed = False  # guarded-by: _submit_lock
+        self._crashed: BaseException | None = None  # guarded-by: _submit_lock
+        self._started = False  # guarded-by: _state_lock
         self._worker = threading.Thread(
             target=self._serve_loop, name="deletion-server", daemon=True
         )
@@ -542,7 +553,7 @@ removed`` reports the translated set, in the id space its batch executed
                     ) from self._crashed
                 if self._closed:
                     self._slots.release()
-                    raise RuntimeError(
+                    raise ServerClosedError(
                         "cannot submit to a closed DeletionServer"
                     )
                 with self._state_lock:
@@ -578,7 +589,9 @@ removed`` reports the translated set, in the id space its batch executed
                     "cannot submit: the server's worker thread died"
                 ) from self._crashed
             if self._closed:
-                raise RuntimeError("cannot submit to a closed DeletionServer")
+                raise ServerClosedError(
+                    "cannot submit to a closed DeletionServer"
+                )
             self._stats.record_noop(lane)
             weights = self.trainer.weights_.copy()
         future: Future = Future()
@@ -610,7 +623,7 @@ removed`` reports the translated set, in the id space its batch executed
         """Block until every submitted request has been answered or failed."""
         with self._state_lock:
             if self._inflight and not self._started:
-                raise RuntimeError(
+                raise ServerStateError(
                     "flush() would wait forever: requests are queued but the "
                     "worker was never started (autostart=False)"
                 )

@@ -151,20 +151,20 @@ class StatsRecorder:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._submitted = 0
-        self._answered = 0
-        self._failed = 0
-        self._cancelled = 0
-        self._rejected = 0
-        self._quarantined = 0
-        self._batches = 0
-        self._batch_sizes: list[int] = []
-        self._waits: list[float] = []
-        self._services: list[float] = []
-        self._latencies: list[float] = []
-        self._lanes: dict[str, _LaneAccumulator] = {}
+        self._submitted = 0  # guarded-by: _lock
+        self._answered = 0  # guarded-by: _lock
+        self._failed = 0  # guarded-by: _lock
+        self._cancelled = 0  # guarded-by: _lock
+        self._rejected = 0  # guarded-by: _lock
+        self._quarantined = 0  # guarded-by: _lock
+        self._batches = 0  # guarded-by: _lock
+        self._batch_sizes: list[int] = []  # guarded-by: _lock
+        self._waits: list[float] = []  # guarded-by: _lock
+        self._services: list[float] = []  # guarded-by: _lock
+        self._latencies: list[float] = []  # guarded-by: _lock
+        self._lanes: dict[str, _LaneAccumulator] = {}  # guarded-by: _lock
 
-    def _lane(self, lane: str | None) -> _LaneAccumulator | None:
+    def _lane(self, lane: str | None) -> _LaneAccumulator | None:  # caller-holds: _lock
         """Resolve the per-lane accumulator (caller holds the lock)."""
         if lane is None:
             return None

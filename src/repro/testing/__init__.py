@@ -11,7 +11,12 @@ fault-injection layer the crash-safety guarantees are proven against:
   checksum-detection tests;
 * :class:`~repro.testing.faults.FlakyLoader` — an injectable
   :class:`~repro.serving.fleet.ModelRegistry` loader that fails on
-  command, driving the fleet's retry/quarantine machinery.
+  command, driving the fleet's retry/quarantine machinery;
+* :mod:`~repro.testing.races` — instrumented locks with
+  acquisition-order cycle detection (:class:`LockMonitor`,
+  :class:`InstrumentedLock`) and the :class:`GuardedBy` descriptor whose
+  debug mode asserts guarded serving state is only touched under its
+  lock.
 """
 
 from .faults import (
@@ -21,11 +26,29 @@ from .faults import (
     corrupt_npz_member,
     record_fault_points,
 )
+from .races import (
+    GuardedBy,
+    InstrumentedLock,
+    LockDisciplineError,
+    LockMonitor,
+    LockOrderError,
+    assert_owned,
+    debug_guards,
+    set_debug,
+)
 
 __all__ = [
     "FaultInjector",
     "FlakyLoader",
+    "GuardedBy",
+    "InstrumentedLock",
+    "LockDisciplineError",
+    "LockMonitor",
+    "LockOrderError",
     "SimulatedCrash",
+    "assert_owned",
     "corrupt_npz_member",
+    "debug_guards",
     "record_fault_points",
+    "set_debug",
 ]

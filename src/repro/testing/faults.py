@@ -175,12 +175,12 @@ class FlakyLoader:
 
     def __init__(self, exc_factory: Optional[Callable[[str], BaseException]] = None):
         self._lock = threading.Lock()
-        self._armed: dict[str, int] = {}
+        self._armed: dict[str, int] = {}  # guarded-by: _lock
         self._exc_factory = exc_factory or (
             lambda model_id: OSError(f"injected load failure for {model_id!r}")
         )
-        self.loads = 0
-        self.failures = 0
+        self.loads = 0  # guarded-by: _lock
+        self.failures = 0  # guarded-by: _lock
 
     def fail_next(self, model_id: str, n: int = 1) -> None:
         with self._lock:

@@ -1,0 +1,547 @@
+"""Runtime race detection: instrumented locks and guarded-state asserts.
+
+Static lock discipline (``repro.analysis`` rule R002) proves that
+annotated attributes are only *lexically* touched inside ``with
+self._lock`` blocks.  This module supplies the runtime half:
+
+* :class:`InstrumentedLock` — a drop-in wrapper around
+  :class:`threading.Lock`/:class:`threading.RLock` that tracks the owning
+  thread and reports every *acquire-while-holding* pair to a
+  :class:`LockMonitor`;
+* :class:`LockMonitor` — accumulates the acquisition-order graph across
+  threads and detects cycles, i.e. lock-order inversions that can
+  deadlock under an unlucky interleaving even if the test run itself
+  never hung.  ``capture()`` monkeypatches ``threading.Lock``/``RLock``
+  during construction of the system under test so library code needs no
+  edits to run instrumented;
+* :class:`GuardedBy` — a descriptor form of the ``# guarded-by: _lock``
+  annotation.  In debug mode (``REPRO_DEBUG_GUARDS=1`` or
+  :func:`set_debug`) every access after the constructing write asserts
+  the named lock is held; in production it is a plain attribute.
+
+The detector is *post-hoc* in the lockdep style: it flags hazardous
+orderings observed over a whole run rather than only actual deadlocks,
+so a single seeded chaos run surfaces inversions that would need a
+precise two-thread interleaving to hang for real.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import traceback
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "GuardedBy",
+    "InstrumentedLock",
+    "LockDisciplineError",
+    "LockMonitor",
+    "LockOrderError",
+    "assert_owned",
+    "debug_guards",
+    "set_debug",
+]
+
+# Real factories, captured before any ``LockMonitor.capture`` patches the
+# ``threading`` module, so instrumented wrappers never nest recursively.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+_THIS_FILE = os.path.abspath(__file__)
+
+
+class LockDisciplineError(AssertionError):
+    """A guarded attribute was touched without its lock, or a lock was
+    released by a thread that does not own it."""
+
+
+class LockOrderError(AssertionError):
+    """The acquisition-order graph contains a cycle (deadlock hazard)."""
+
+
+# ---------------------------------------------------------------------------
+# Debug-mode switch for GuardedBy checks
+
+
+class _DebugState:
+    __slots__ = ("enabled",)
+
+
+_DEBUG = _DebugState()
+_DEBUG.enabled = os.environ.get("REPRO_DEBUG_GUARDS", "") not in ("", "0")
+
+
+def set_debug(enabled: bool) -> bool:
+    """Toggle :class:`GuardedBy` ownership checks; returns previous state."""
+    previous = _DEBUG.enabled
+    _DEBUG.enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def debug_guards(enabled: bool = True):
+    """Context manager enabling guarded-state checks for its extent."""
+    previous = set_debug(enabled)
+    try:
+        yield
+    finally:
+        set_debug(previous)
+
+
+def _lock_is_owned(lock: object) -> bool:
+    """Best-effort 'does the current thread hold ``lock``' probe.
+
+    InstrumentedLock and RLock/Condition know their owner; a plain
+    ``threading.Lock`` carries none, so ``locked()`` is the closest
+    available approximation (held by *someone*).
+    """
+    if isinstance(lock, InstrumentedLock):
+        return lock.owned()
+    is_owned = getattr(lock, "_is_owned", None)
+    if callable(is_owned):
+        return bool(is_owned())
+    locked = getattr(lock, "locked", None)
+    if callable(locked):
+        return bool(locked())
+    return False
+
+
+def assert_owned(lock: object, name: str = "lock") -> None:
+    """Raise :class:`LockDisciplineError` unless ``lock`` is held."""
+    if not _lock_is_owned(lock):
+        raise LockDisciplineError(f"{name} is not held by the current thread")
+
+
+class GuardedBy:
+    """Descriptor marking an attribute as guarded by a sibling lock.
+
+    ``_history = GuardedBy("_lock")`` declares that ``self._history`` may
+    only be accessed while ``self._lock`` is held.  The static analyzer
+    (rule R002) reads the declaration lexically; at runtime the check is
+    active only in debug mode.  The *first* write is exempt so plain
+    ``self._history = []`` construction in ``__init__`` works unguarded.
+    """
+
+    def __init__(self, lock_name: str):
+        self.lock_name = lock_name
+        self.public_name = "<unbound>"
+        self.slot = "<unbound>"
+
+    def __set_name__(self, owner, name):
+        self.public_name = name
+        self.slot = "_guarded__" + name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        if _DEBUG.enabled and self.slot in obj.__dict__:
+            self._check(obj, "read")
+        try:
+            return obj.__dict__[self.slot]
+        except KeyError:
+            raise AttributeError(
+                f"{type(obj).__name__!r} object has no attribute "
+                f"{self.public_name!r}"
+            ) from None
+
+    def __set__(self, obj, value):
+        if _DEBUG.enabled and self.slot in obj.__dict__:
+            self._check(obj, "write")
+        obj.__dict__[self.slot] = value
+
+    def _check(self, obj, action: str) -> None:
+        lock = getattr(obj, self.lock_name, None)
+        if lock is None:
+            return
+        if not _lock_is_owned(lock):
+            raise LockDisciplineError(
+                f"{type(obj).__name__}.{self.public_name} {action} without "
+                f"holding {self.lock_name}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Instrumented locks and the acquisition-order monitor
+
+
+class _Edge:
+    """One observed ordering ``a`` held → ``b`` acquired."""
+
+    __slots__ = ("count", "thread", "stack")
+
+    def __init__(self, thread: str, stack: str):
+        self.count = 0
+        self.thread = thread
+        self.stack = stack
+
+
+def _acquisition_site() -> str:
+    """Trimmed stack of the acquire call, for first-edge provenance."""
+    frames = traceback.extract_stack(limit=14)
+    kept = [
+        frame
+        for frame in frames
+        if os.path.abspath(frame.filename) != _THIS_FILE
+    ]
+    return "".join(traceback.format_list(kept[-6:]))
+
+
+class InstrumentedLock:
+    """Lock/RLock wrapper with owner tracking and order reporting.
+
+    Duck-types the pieces :class:`threading.Condition` uses
+    (``acquire``/``release``/``_is_owned``/``_release_save``/
+    ``_acquire_restore``) so ``Condition(InstrumentedLock(...))`` — and
+    the default ``Condition()`` under :meth:`LockMonitor.capture`, whose
+    patched ``threading.RLock`` returns a reentrant wrapper — keeps full
+    wait/notify semantics while every hand-off stays visible to the
+    monitor.
+    """
+
+    def __init__(
+        self,
+        name: str = "lock",
+        monitor: Optional["LockMonitor"] = None,
+        *,
+        reentrant: bool = False,
+    ):
+        self.name = name
+        self._monitor = monitor if monitor is not None else DEFAULT_MONITOR
+        self._reentrant = reentrant
+        self._inner = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        self._owner: Optional[int] = None
+        self._depth = 0
+        self._monitor._register(self)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = f"owner={self._owner}" if self._owner else "unlocked"
+        return f"<InstrumentedLock {self.name!r} {state}>"
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        me = threading.get_ident()
+        if self._reentrant and self._owner == me:
+            got = self._inner.acquire(blocking, timeout)
+            if got:
+                self._depth += 1
+            return got
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._owner = me
+            self._depth = 1
+            self._monitor._acquired(self)
+        return got
+
+    def release(self) -> None:
+        me = threading.get_ident()
+        if self._owner != me:
+            error = LockDisciplineError(
+                f"{self.name} released by thread {me} but owned by "
+                f"{self._owner}"
+            )
+            self._monitor._discipline(error)
+            raise error
+        self._depth -= 1
+        if self._depth == 0:
+            self._owner = None
+            self._monitor._released(self)
+        self._inner.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb):
+        self.release()
+
+    def locked(self) -> bool:
+        return self._owner is not None
+
+    def owned(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def assert_owned(self) -> None:
+        if not self.owned():
+            raise LockDisciplineError(
+                f"{self.name} is not held by the current thread"
+            )
+
+    # -- Condition interoperation ------------------------------------------
+
+    def _is_owned(self) -> bool:
+        return self.owned()
+
+    def _release_save(self):
+        """Fully release (even reentrant depth) for ``Condition.wait``."""
+        depth = self._depth
+        self._depth = 0
+        self._owner = None
+        self._monitor._released(self)
+        if self._reentrant:
+            inner_state = self._inner._release_save()
+        else:
+            inner_state = None
+            self._inner.release()
+        return depth, inner_state
+
+    def _acquire_restore(self, saved) -> None:
+        depth, inner_state = saved
+        if self._reentrant:
+            self._inner._acquire_restore(inner_state)
+        else:
+            self._inner.acquire()
+        self._owner = threading.get_ident()
+        self._depth = depth
+        self._monitor._acquired(self)
+
+
+class LockMonitor:
+    """Accumulates lock acquisition order across threads; finds cycles.
+
+    An edge ``A -> B`` is recorded whenever a thread acquires ``B`` while
+    holding ``A``.  Any cycle in the resulting graph is a lock-order
+    inversion: two threads following different edges of the cycle can
+    each block on a lock the other holds.
+    """
+
+    def __init__(self):
+        self._mu = _REAL_LOCK()
+        self._tls = threading.local()
+        self._locks: List[InstrumentedLock] = []
+        self._edges: Dict[Tuple[int, int], _Edge] = {}
+        self._by_id: Dict[int, InstrumentedLock] = {}
+        self.discipline_errors: List[LockDisciplineError] = []
+
+    # -- wiring used by InstrumentedLock -----------------------------------
+
+    def _stack(self) -> List[InstrumentedLock]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = self._tls.held = []
+        return held
+
+    def _register(self, lock: InstrumentedLock) -> None:
+        with self._mu:
+            self._locks.append(lock)
+            self._by_id[id(lock)] = lock
+
+    def _acquired(self, lock: InstrumentedLock) -> None:
+        held = self._stack()
+        if held:
+            thread = threading.current_thread().name
+            with self._mu:
+                for prior in held:
+                    if prior is lock:
+                        continue
+                    key = (id(prior), id(lock))
+                    edge = self._edges.get(key)
+                    if edge is None:
+                        edge = _Edge(thread, _acquisition_site())
+                        self._edges[key] = edge
+                    edge.count += 1
+        held.append(lock)
+
+    def _released(self, lock: InstrumentedLock) -> None:
+        held = self._stack()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] is lock:
+                del held[index]
+                return
+
+    def _discipline(self, error: LockDisciplineError) -> None:
+        with self._mu:
+            self.discipline_errors.append(error)
+
+    # -- construction-time instrumentation ---------------------------------
+
+    @contextmanager
+    def capture(self, match: Optional[Callable[[str], bool]] = None):
+        """Patch ``threading.Lock``/``RLock`` so locks *constructed* inside
+        this context by matching source files are instrumented.
+
+        ``match`` filters on the constructing frame's filename; the
+        default instruments only library code (paths containing a
+        ``repro`` package directory), so stdlib machinery (queues,
+        futures, semaphores built inside ``threading``) keeps real locks
+        unless the object holding them was built by library code.
+        Instrumented locks stay instrumented after the context exits —
+        only *construction* is patched, so a server built under
+        ``capture()`` then exercised afterwards keeps reporting.
+        """
+        if match is None:
+            match = _default_match
+
+        def make(reentrant: bool):
+            def factory():
+                site = _construction_site()
+                if site is None or not match(site[0]):
+                    return _REAL_RLOCK() if reentrant else _REAL_LOCK()
+                filename, lineno = site
+                name = f"{os.path.basename(filename)}:{lineno}"
+                return InstrumentedLock(
+                    name, monitor=self, reentrant=reentrant
+                )
+
+            return factory
+
+        patched_lock, patched_rlock = make(False), make(True)
+        previous_lock, previous_rlock = threading.Lock, threading.RLock
+        threading.Lock = patched_lock
+        threading.RLock = patched_rlock
+        try:
+            yield self
+        finally:
+            if threading.Lock is patched_lock:
+                threading.Lock = previous_lock
+            if threading.RLock is patched_rlock:
+                threading.RLock = previous_rlock
+
+    def label(self, obj: object, prefix: str) -> None:
+        """Rename ``obj``'s instrumented locks to ``prefix.attr`` so graph
+        reports read like code (``FleetServer._sched`` instead of
+        ``fleet.py:1039``)."""
+        for attr, value in vars(obj).items():
+            target = value
+            if isinstance(value, threading.Condition):
+                target = value._lock
+            if isinstance(target, InstrumentedLock):
+                target.name = f"{prefix}.{attr}"
+
+    # -- results -----------------------------------------------------------
+
+    def edges(self) -> List[Tuple[str, str, int]]:
+        with self._mu:
+            return [
+                (self._by_id[a].name, self._by_id[b].name, edge.count)
+                for (a, b), edge in self._edges.items()
+            ]
+
+    def cycles(self) -> List[List[str]]:
+        """Cycles in the order graph, each as a list of lock names."""
+        with self._mu:
+            adjacency: Dict[int, List[int]] = {}
+            for a, b in self._edges:
+                adjacency.setdefault(a, []).append(b)
+                adjacency.setdefault(b, [])
+            names = {node: self._by_id[node].name for node in adjacency}
+        return [
+            [names[node] for node in component]
+            for component in _strongly_connected(adjacency)
+            if len(component) > 1
+        ]
+
+    def report(self) -> dict:
+        return {
+            "locks": [lock.name for lock in self._locks],
+            "edges": [
+                {"from": a, "to": b, "count": count}
+                for a, b, count in self.edges()
+            ],
+            "cycles": self.cycles(),
+            "discipline_errors": [
+                str(error) for error in self.discipline_errors
+            ],
+        }
+
+    def assert_clean(self) -> None:
+        """Raise :class:`LockOrderError` on any recorded hazard."""
+        cycles = self.cycles()
+        if cycles or self.discipline_errors:
+            lines = ["lock hazards detected:"]
+            for cycle in cycles:
+                lines.append(
+                    "  order inversion: " + " -> ".join(cycle + cycle[:1])
+                )
+                lines.extend(self._cycle_provenance(cycle))
+            for error in self.discipline_errors:
+                lines.append(f"  discipline: {error}")
+            raise LockOrderError("\n".join(lines))
+
+    def _cycle_provenance(self, cycle: List[str]) -> List[str]:
+        member = set(cycle)
+        lines = []
+        with self._mu:
+            for (a, b), edge in self._edges.items():
+                name_a = self._by_id[a].name
+                name_b = self._by_id[b].name
+                if name_a in member and name_b in member:
+                    lines.append(
+                        f"    {name_a} -> {name_b} "
+                        f"(x{edge.count}, thread {edge.thread}) first at:"
+                    )
+                    lines.extend(
+                        "      " + text
+                        for text in edge.stack.rstrip().splitlines()
+                    )
+        return lines
+
+
+DEFAULT_MONITOR = LockMonitor()
+
+
+def _default_match(filename: str) -> bool:
+    normalized = filename.replace(os.sep, "/")
+    return "/repro/" in normalized
+
+
+def _construction_site() -> Optional[Tuple[str, int]]:
+    """First frame below the patched factory that is user code."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = os.path.abspath(frame.f_code.co_filename)
+        base = os.path.basename(filename)
+        if filename != _THIS_FILE and base != "threading.py":
+            return filename, frame.f_lineno
+        frame = frame.f_back
+    return None
+
+
+def _strongly_connected(adjacency: Dict[int, List[int]]) -> List[List[int]]:
+    """Iterative Tarjan SCC over an adjacency-list graph."""
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Dict[int, bool] = {}
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = [0]
+
+    for root in adjacency:
+        if root in index_of:
+            continue
+        work = [(root, iter(adjacency[root]))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index_of:
+                    index_of[successor] = lowlink[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack[successor] = True
+                    work.append((successor, iter(adjacency[successor])))
+                    advanced = True
+                    break
+                if on_stack.get(successor):
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components

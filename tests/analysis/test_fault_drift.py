@@ -1,0 +1,88 @@
+"""Drift regression: static fault-point discovery vs the live protocol.
+
+Three views of the durability protocol's fault seams must agree:
+
+* the **golden set** below — the reviewed, human-readable contract;
+* the **static set** — ``repro.analysis.faultpoints.discover_fault_points``
+  reading ``core/serialization.py``'s AST;
+* the **dynamic set** — event names actually emitted through the fault
+  hook by a full ``save_checkpoint`` (via ``record_fault_points``).
+
+If someone adds a ``_fault(...)`` seam without teaching the enumeration
+(or vice versa), exactly one of these comparisons breaks and names the
+missing seam.  This is also the test that satisfies reprolint rule R003:
+every golden pattern appears here as a literal.
+"""
+
+from fnmatch import fnmatchcase
+
+import pytest
+
+from repro.analysis import discover_fault_points
+from repro.core import IncrementalTrainer
+from repro.datasets import make_regression
+from repro.testing import record_fault_points
+
+# The reviewed seam contract.  ``commit.rename.*`` is parameterized by
+# archive member name; everything else is a concrete event.
+GOLDEN = frozenset(
+    {
+        "commit.clear-journal",
+        "commit.done",
+        "commit.rename.*",
+        "journal.begin",
+        "journal.renamed",
+        "journal.temp-synced",
+        "journal.temp-written",
+        "plan.begin",
+        "plan.renamed",
+        "plan.temp-synced",
+        "plan.temp-written",
+        "store.begin",
+        "store.renamed",
+        "store.temp-synced",
+        "store.temp-written",
+    }
+)
+
+
+def test_static_discovery_matches_golden_set():
+    assert discover_fault_points() == GOLDEN
+
+
+@pytest.fixture(scope="module")
+def checkpoint_events(tmp_path_factory):
+    """Event names emitted by one full checkpoint save."""
+    data = make_regression(120, 5, noise=0.05, seed=77)
+    trainer = IncrementalTrainer(
+        "linear",
+        learning_rate=0.05,
+        regularization=0.01,
+        batch_size=30,
+        n_iterations=12,
+        seed=0,
+        method="priu",
+    )
+    trainer.fit(data.features, data.labels)
+    directory = tmp_path_factory.mktemp("drift") / "ckpt"
+    return record_fault_points(lambda: trainer.save_checkpoint(directory))
+
+
+def test_every_emitted_event_is_statically_discovered(checkpoint_events):
+    static = discover_fault_points()
+    unknown = [
+        event
+        for event in checkpoint_events
+        if not any(fnmatchcase(event, pattern) for pattern in static)
+    ]
+    assert not unknown, f"events with no discovered seam: {unknown}"
+
+
+def test_every_discovered_seam_fires_during_a_full_save(checkpoint_events):
+    emitted = set(checkpoint_events)
+    silent = [
+        pattern
+        for pattern in discover_fault_points()
+        if not any(fnmatchcase(event, pattern) for event in emitted)
+    ]
+    assert not silent, f"discovered seams never exercised: {silent}"

@@ -1,0 +1,27 @@
+"""The repository itself must pass its own lint gate.
+
+CI runs ``tools/lint.py`` as a separate job, but keeping this inside
+tier-1 means a violation fails the ordinary test run too — nobody needs
+to remember to run the linter before pushing.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repository_is_lint_clean(capsys, tmp_path):
+    report_path = tmp_path / "report.json"
+    exit_code = main(["--root", str(ROOT), "--json", str(report_path)])
+    output = capsys.readouterr().out
+    assert exit_code == 0, f"reprolint found violations:\n{output}"
+
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    assert report["violations"] == []
+    # Waivers carry their rationale into the artifact so reviewers can
+    # audit every exemption from the JSON report alone.
+    assert all(entry["rationale"] for entry in report["waived"])
+    assert report["files"] > 100  # the scan actually covered the tree

@@ -84,6 +84,7 @@ class FakeClock(Clock):
                 # to coalesce has nothing more to wait for.
                 self.advance_to(deadline)
                 raise
+        # reprolint: allow[R005] wall-clock safety valve so a stuck test fails instead of hanging the suite
         valve_end = time.monotonic() + self._valve
         while True:
             try:
@@ -92,12 +93,14 @@ class FakeClock(Clock):
                 pass
             if self.now() >= deadline - 1e-12:
                 raise queue.Empty
+            # reprolint: allow[R005] wall-clock safety valve so a stuck test fails instead of hanging the suite
             if time.monotonic() >= valve_end:
                 # Safety valve: a test stopped advancing time while a
                 # worker waits.  Pretend the budget elapsed rather than
                 # hanging the suite.
                 self.advance_to(deadline)
                 raise queue.Empty
+            # reprolint: allow[R005] bounded scheduler yield inside the harness poll loop, not a timing dependency
             time.sleep(0.0005)
 
     def wait(self, condition: threading.Condition, timeout: float | None) -> bool:
@@ -111,11 +114,13 @@ class FakeClock(Clock):
             # interleave the way a real timed wait would let them.
             condition.wait(0.0)
             return False
+        # reprolint: allow[R005] wall-clock safety valve so a stuck test fails instead of hanging the suite
         valve_end = time.monotonic() + self._valve
         target = self.now() + timeout
         while self.now() < target:
             if condition.wait(0.001):
                 return True
+            # reprolint: allow[R005] wall-clock safety valve so a stuck test fails instead of hanging the suite
             if time.monotonic() >= valve_end:
                 self.advance_to(target)
                 return False
@@ -227,6 +232,13 @@ class StressDriver:
         ``maintain_models`` so a background maintenance ticket never
         mutates the plan mid-estimate.  Empty (the default) disables
         the op, leaving old seeds' op distributions untouched.
+    monitor:
+        Optional :class:`repro.testing.races.LockMonitor`.  The caller
+        builds the fleet under ``monitor.capture()`` (so its locks are
+        instrumented) and the driver adds invariant I6: the run must
+        record no lock-order cycles and no lock-discipline errors.
+        Purely observational — the op distribution and seeded traces are
+        unchanged.
     """
 
     def __init__(
@@ -243,6 +255,7 @@ class StressDriver:
         flaky=None,
         chaos_models: set[str] = frozenset(),
         cost_models: set[str] = frozenset(),
+        monitor=None,
     ) -> None:
         self.fleet = fleet
         self.model_ids = list(model_ids)
@@ -273,6 +286,11 @@ class StressDriver:
         self._bound = dict(n_samples)
         self._initial_n = dict(n_samples)
         self._order: dict[tuple[str, str], int] = {}
+        # Optional repro.testing.races.LockMonitor: the fleet under test
+        # was built under monitor.capture(), and invariant I6 requires
+        # the run to finish with no lock-order cycles or discipline
+        # errors recorded.
+        self.monitor = monitor
         self.report = StressReport(seed=seed, trace=[], submitted=[])
 
     # ------------------------------------------------------------- running
@@ -601,3 +619,15 @@ class StressDriver:
                     0 <= int(log.min()) and int(log.max()) < initial,
                     f"{model_id}: deletion log out of original bounds",
                 )
+
+        # I6 — under lock instrumentation, the whole run recorded no
+        # acquisition-order cycle and no discipline error: a cycle is a
+        # deadlock hazard even if this interleaving never hung.
+        if self.monitor is not None:
+            cycles = self.monitor.cycles()
+            self._check(
+                not cycles and not self.monitor.discipline_errors,
+                "lock hazards recorded: "
+                f"cycles={cycles} discipline="
+                f"{[str(e) for e in self.monitor.discipline_errors]}",
+            )

@@ -309,8 +309,11 @@ class TestBackpressure:
         def registered() -> int:
             with server._tracker._lock:
                 return sum(server._tracker._inflight_keys.values())
+        # reprolint: allow[R005] bounded spin waiting for background threads to park; no scheduling depends on the value
         deadline = time.monotonic() + 5
+        # reprolint: allow[R005] bounded spin waiting for background threads to park; no scheduling depends on the value
         while time.monotonic() < deadline and registered() < 2:
+            # reprolint: allow[R005] bounded spin waiting for background threads to park; no scheduling depends on the value
             time.sleep(0.001)
         # Queued request + parked submitter, both pinned before dispatch.
         assert registered() == 2

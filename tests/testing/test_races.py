@@ -1,0 +1,260 @@
+"""Self-tests for the runtime race detector (``repro.testing.races``).
+
+The detector is itself test infrastructure, so these tests follow the
+same convention as the reprolint rule tests: every check must *fire* on
+a planted hazard and stay *silent* on the conforming twin.  The planted
+hazards are deterministic — a lock-order inversion only needs both edge
+directions to be observed, not an actual two-thread collision.
+"""
+
+import importlib.util
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.testing import (
+    GuardedBy,
+    InstrumentedLock,
+    LockDisciplineError,
+    LockMonitor,
+    LockOrderError,
+    assert_owned,
+    debug_guards,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+# ---------------------------------------------------------------------------
+# Lock-order inversion detection
+
+
+def test_planted_abba_inversion_is_reported():
+    monitor = LockMonitor()
+    a = InstrumentedLock("a", monitor)
+    b = InstrumentedLock("b", monitor)
+    # Both orderings observed over the run = deadlock hazard, even though
+    # a single thread can never actually deadlock on it.
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    (cycle,) = monitor.cycles()
+    assert set(cycle) == {"a", "b"}
+    with pytest.raises(LockOrderError) as excinfo:
+        monitor.assert_clean()
+    message = str(excinfo.value)
+    assert "order inversion" in message
+    # Provenance: the report names the file that first took each edge.
+    assert "test_races.py" in message
+
+
+def test_consistent_ordering_stays_silent():
+    monitor = LockMonitor()
+    a = InstrumentedLock("a", monitor)
+    b = InstrumentedLock("b", monitor)
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert monitor.cycles() == []
+    monitor.assert_clean()
+    assert [(x, y) for x, y, _count in monitor.edges()] == [("a", "b")]
+
+
+def test_three_lock_cycle_without_any_two_lock_cycle():
+    monitor = LockMonitor()
+    locks = {name: InstrumentedLock(name, monitor) for name in "abc"}
+    for first, second in (("a", "b"), ("b", "c"), ("c", "a")):
+        with locks[first]:
+            with locks[second]:
+                pass
+    (cycle,) = monitor.cycles()
+    assert set(cycle) == {"a", "b", "c"}
+
+
+def test_release_by_non_owner_is_a_discipline_error():
+    monitor = LockMonitor()
+    lock = InstrumentedLock("handoff", monitor)
+    worker = threading.Thread(target=lock.acquire)
+    worker.start()
+    worker.join()
+    with pytest.raises(LockDisciplineError):
+        lock.release()
+    assert len(monitor.discipline_errors) == 1
+    with pytest.raises(LockOrderError):
+        monitor.assert_clean()
+
+
+def test_reentrant_lock_does_not_self_edge():
+    monitor = LockMonitor()
+    lock = InstrumentedLock("r", monitor, reentrant=True)
+    with lock:
+        with lock:
+            assert lock.owned()
+    assert monitor.edges() == []
+    monitor.assert_clean()
+
+
+# ---------------------------------------------------------------------------
+# Guarded state
+
+
+class _Box:
+    value = GuardedBy("_lock")
+
+    def __init__(self):
+        self._lock = InstrumentedLock("_Box._lock", LockMonitor())
+        self.value = 0  # first write: construction, exempt
+
+
+def test_guardedby_allows_locked_access_and_flags_unlocked():
+    box = _Box()
+    with debug_guards():
+        with box._lock:
+            box.value = 1
+            assert box.value == 1
+        with pytest.raises(LockDisciplineError):
+            box.value = 2
+        with pytest.raises(LockDisciplineError):
+            _ = box.value
+
+
+def test_guardedby_is_inert_outside_debug_mode():
+    box = _Box()
+    box.value = 5
+    assert box.value == 5
+
+
+def test_assert_owned_helper():
+    monitor = LockMonitor()
+    lock = InstrumentedLock("x", monitor)
+    with pytest.raises(LockDisciplineError):
+        assert_owned(lock, "x")
+    with lock:
+        assert_owned(lock, "x")
+
+
+# ---------------------------------------------------------------------------
+# Construction-time capture
+
+
+def test_capture_instruments_library_locks_but_not_test_locks():
+    from repro.testing.faults import FlakyLoader
+
+    monitor = LockMonitor()
+    with monitor.capture():
+        loader = FlakyLoader()  # constructed in src/repro/ -> instrumented
+        local = threading.Lock()  # constructed here -> real lock
+    assert isinstance(loader._lock, InstrumentedLock)
+    assert not isinstance(local, InstrumentedLock)
+    # Patch is reverted on exit.
+    assert not isinstance(threading.Lock(), InstrumentedLock)
+
+    monitor.label(loader, "FlakyLoader")
+    assert "FlakyLoader._lock" in monitor.report()["locks"]
+
+    # The instrumented lock keeps reporting after the capture window.
+    loader.fail_next("m", 1)
+    assert loader.pending("m") == 1
+
+
+def test_condition_on_instrumented_lock_keeps_wait_notify():
+    monitor = LockMonitor()
+    condition = threading.Condition(
+        InstrumentedLock("cv", monitor, reentrant=True)
+    )
+    ready = []
+
+    def waiter():
+        with condition:
+            while not ready:
+                condition.wait(timeout=5.0)
+
+    worker = threading.Thread(target=waiter)
+    worker.start()
+    with condition:
+        ready.append(True)
+        condition.notify_all()
+    worker.join(timeout=5.0)
+    assert not worker.is_alive()
+    monitor.assert_clean()
+
+
+# ---------------------------------------------------------------------------
+# End to end: one chaos seed under full instrumentation
+
+
+def _load_chaos_suite():
+    spec = importlib.util.spec_from_file_location(
+        "chaos_suite", ROOT / "tools" / "chaos_suite.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_chaos_seed_passes_under_lock_instrumentation(tmp_path):
+    """The real serving stack runs a seeded chaos trace with every lock
+    instrumented and GuardedBy asserts live — and records no inversion,
+    no discipline error (StressDriver invariant I6)."""
+    chaos = _load_chaos_suite()
+    checkpoint = tmp_path / "chaos-bin"
+    chaos.fit_model("binary").save_checkpoint(checkpoint)
+    summary = chaos.run_seed(61, 140, checkpoint, instrument=True)
+    assert "locks=" in summary and "order_edges=" in summary
+    # Instrumentation saw real lock traffic, not an empty graph.
+    assert int(summary.split("locks=")[1].split()[0]) > 0
+
+
+def test_stress_driver_invariant_i6_fires_on_recorded_hazard():
+    """A monitor that saw an inversion fails the post-run invariant
+    check, even though every serving-side invariant (I0-I5) is clean."""
+    sys.path.insert(0, str(ROOT / "tests" / "serving"))
+    try:
+        from harness import InvariantViolation, StressDriver
+    finally:
+        sys.path.pop(0)
+    from types import SimpleNamespace
+
+    monitor = LockMonitor()
+    a = InstrumentedLock("a", monitor)
+    b = InstrumentedLock("b", monitor)
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+
+    # A driver over an idle fleet: every I0-I5 collection is empty, so
+    # the only thing that can fail is I6's hazard check.
+    driver = StressDriver.__new__(StressDriver)
+    driver.monitor = monitor
+    driver.seed = 0
+    driver.model_ids = []
+    driver.cost_models = []
+    driver.commit_models = set()
+    driver._initial_n = {}
+    driver.report = SimpleNamespace(
+        maintenance=[],
+        submitted=[],
+        served=lambda: [],
+        trace=[],
+        rejected=0,
+        quarantined=0,
+    )
+    idle = SimpleNamespace(
+        submitted=0, answered=0, failed=0, cancelled=0, quarantined=0,
+        rejected=0,
+    )
+    driver.fleet = SimpleNamespace(stats=lambda model_id=None: idle)
+    with pytest.raises(InvariantViolation, match="lock hazards"):
+        driver.check_invariants()
+
+    driver.monitor = None  # uninstrumented runs skip I6 entirely
+    driver.check_invariants()

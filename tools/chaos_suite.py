@@ -33,6 +33,7 @@ sys.path.insert(0, str(ROOT / "tests" / "serving"))
 import numpy as np  # noqa: E402
 
 from harness import FakeClock, StressDriver  # noqa: E402
+from repro.testing.races import LockMonitor, debug_guards  # noqa: E402
 from repro import (  # noqa: E402
     AdmissionPolicy,
     CostModel,
@@ -98,8 +99,26 @@ def fit_model(kind):
     return trainer
 
 
-def run_seed(seed, n_ops, checkpoint, cost=False):
-    """One chaos run; returns a short per-seed stats summary string."""
+def run_seed(seed, n_ops, checkpoint, cost=False, instrument=False):
+    """One chaos run; returns a short per-seed stats summary string.
+
+    With ``instrument=True`` the whole run executes under the race
+    detector: every lock the serving stack constructs is wrapped in an
+    :class:`~repro.testing.races.InstrumentedLock` (acquisition-order
+    cycle detection, invariant I6) and ``GuardedBy`` debug asserts are
+    live, at unchanged op distribution — seeded traces replay exactly.
+    """
+    if instrument:
+        monitor = LockMonitor()
+        with monitor.capture(), debug_guards():
+            summary = _run_seed(seed, n_ops, checkpoint, cost, monitor)
+        locks = len(monitor.report()["locks"])
+        edges = len(monitor.edges())
+        return f"{summary} locks={locks} order_edges={edges}"
+    return _run_seed(seed, n_ops, checkpoint, cost, None)
+
+
+def _run_seed(seed, n_ops, checkpoint, cost, monitor):
     flaky = FlakyLoader()
     registry = ModelRegistry(loader=flaky)
     extra = {"cost_model": CostModel()} if cost else {}
@@ -132,6 +151,9 @@ def run_seed(seed, n_ops, checkpoint, cost=False):
         autostart=False,
     )
     fleet.configure_model("stress-commit", commit_mode=True)
+    if monitor is not None:
+        monitor.label(registry, "ModelRegistry")
+        monitor.label(fleet, "FleetServer")
     fleet.start()
     driver = StressDriver(
         fleet,
@@ -148,6 +170,7 @@ def run_seed(seed, n_ops, checkpoint, cost=False):
         flaky=flaky,
         chaos_models={"chaos-bin"},
         cost_models={"chaos-bin"} if cost else (),
+        monitor=monitor,
     )
     report = driver.run(n_ops=n_ops)  # closes the fleet + checks invariants
 
@@ -217,6 +240,13 @@ def main(argv=None):
         default=260,
         help="random operations per seed (default: %(default)s)",
     )
+    parser.add_argument(
+        "--instrument",
+        action="store_true",
+        help="run every seed under the lock race detector "
+        "(repro.testing.races): instrumented locks, acquisition-order "
+        "cycle detection, GuardedBy debug asserts",
+    )
     args = parser.parse_args(argv)
     seeds = [int(token) for token in args.seeds.split(",") if token.strip()]
 
@@ -228,7 +258,11 @@ def main(argv=None):
             start = time.perf_counter()
             try:
                 summary = run_seed(
-                    seed, args.ops, checkpoint, cost=seed in COST_SEEDS
+                    seed,
+                    args.ops,
+                    checkpoint,
+                    cost=seed in COST_SEEDS,
+                    instrument=args.instrument,
                 )
             except Exception:
                 failures += 1

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Run the project lint pass (``repro.analysis``) from a checkout.
+
+Thin wrapper so CI and developers don't need ``PYTHONPATH`` set::
+
+    python tools/lint.py                  # scan src/ + tests/
+    python tools/lint.py --json report.json
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(["--root", str(ROOT), *sys.argv[1:]]))
