@@ -17,6 +17,10 @@ Public entry points
 :class:`repro.FleetServer` / :class:`repro.ModelRegistry`
     The multi-model tier: many checkpoints behind one shared worker
     pool, loaded lazily and LRU-evicted under a memory cap.
+:class:`repro.ShardRouter`
+    The cross-process tier: model ids consistent-hashed across N shard
+    worker processes (each a fleet of its own), sharing one read-only
+    plan mapping, with shard-granularity failover and mergeable stats.
 :class:`repro.CostModel` / :class:`repro.CostEstimate`
     The calibrated per-request cost estimator: predicts a removal's
     footprint from the packed occurrence index and drives
@@ -44,9 +48,10 @@ from .serving import (
     FleetServer,
     Lane,
     ModelRegistry,
+    ShardRouter,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AdmissionPolicy",
@@ -61,6 +66,7 @@ __all__ = [
     "MaintenancePolicy",
     "MaintenanceReport",
     "ModelRegistry",
+    "ShardRouter",
     "UpdateOutcome",
     "__version__",
 ]

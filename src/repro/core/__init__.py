@@ -35,6 +35,7 @@ from .diagnostics import (
 )
 from .serialization import (
     CheckpointCorruptionError,
+    PlanCache,
     load_plan,
     load_store,
     recover_checkpoint,
@@ -76,6 +77,7 @@ __all__ = [
     "MaintenanceReport",
     "refresh_frozen_eigen",
     "PackedOccurrenceIndex",
+    "PlanCache",
     "ReplayPlan",
     "compile_replay_plan",
     "normalize_removed_indices",

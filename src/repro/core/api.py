@@ -348,6 +348,7 @@ class IncrementalTrainer:
         method: str = "auto",
         mmap: bool = True,
         plan_cache_sparse_blocks: bool = True,
+        plan_cache=None,
         **overrides,
     ) -> "IncrementalTrainer":
         """Rebuild a serving-ready trainer from a checkpoint — no recapture.
@@ -367,6 +368,11 @@ class IncrementalTrainer:
         archive does not embed final weights, ``weights_`` is recovered by
         replaying the empty removal set — the provenance recursion with
         ``R = ∅`` reproduces the captured training trajectory exactly.
+
+        ``plan_cache`` (a :class:`~repro.core.serialization.PlanCache`)
+        makes repeated loads of the same plan epoch share one read-only
+        mapping — the shard-worker path, where every reload and warm
+        standby must cost zero extra resident plan bytes.
         """
         path = Path(path)
         if path.is_dir():
@@ -399,11 +405,19 @@ class IncrementalTrainer:
             plan_cache_sparse_blocks=plan_cache_sparse_blocks,
             **overrides,
         )
-        trainer._restore(store, features, labels, plan_path, mmap)
+        trainer._restore(
+            store, features, labels, plan_path, mmap, plan_cache=plan_cache
+        )
         return trainer
 
     def _restore(
-        self, store, features, labels: np.ndarray, plan_path, mmap: bool
+        self,
+        store,
+        features,
+        labels: np.ndarray,
+        plan_path,
+        mmap: bool,
+        plan_cache=None,
     ) -> None:
         """Attach checkpointed state; mirrors everything :meth:`fit` sets."""
         labels = np.asarray(labels)
@@ -445,6 +459,7 @@ class IncrementalTrainer:
                 labels,
                 mmap=mmap,
                 cache_sparse_blocks=self.plan_cache_sparse_blocks,
+                plan_cache=plan_cache,
             )
         else:
             self._plan = ReplayPlan(

@@ -175,24 +175,44 @@ class Calibration:
         warm-up outliers benchmark runs carry.  Rows that cannot inform
         a coefficient are skipped; with no usable rows the defaults are
         kept (and ``n_observations`` says so).
+
+        This can never fail: a missing file, an empty or truncated JSON
+        body, or a payload without a usable ``commit_costs`` table all
+        fall back to the inert uncalibrated defaults (threshold 0.25, no
+        early closing) with a ``source`` label recording why — a fresh
+        deployment attaches its cost model *before* its first benchmark
+        run exists, and "no calibration yet" must not take serving down.
         """
         label = "dict"
         if isinstance(source, (str, Path)):
             label = str(source)
-            with open(source) as handle:
-                source = json.load(handle)
+            try:
+                with open(source) as handle:
+                    source = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                return cls(source=f"{label} (unreadable: {exc}; defaults)")
+        if not isinstance(source, dict):
+            return cls(source=f"{label} (not a mapping; defaults)")
         rows = source.get("commit_costs", [])
+        if not isinstance(rows, list):
+            rows = []
+        rows = [row for row in rows if isinstance(row, dict)]
         refresh_rates: list[float] = []
         recompiles: list[float] = []
         for row in rows:
-            seconds = float(row.get("plan_sync_seconds", 0.0))
-            fraction = float(row.get("fraction_iterations_touched", 0.0))
+            try:
+                seconds = float(row.get("plan_sync_seconds", 0.0))
+                fraction = float(row.get("fraction_iterations_touched", 0.0))
+                speedup = float(row.get("speedup_vs_recompile", 0.0))
+            except (TypeError, ValueError):
+                # A partial row (interrupted benchmark write) informs
+                # nothing; skip it rather than fail the attach.
+                continue
             if seconds <= 0.0:
                 continue
             if row.get("mode") == "refresh":
                 if fraction > 0.0:
                     refresh_rates.append(seconds / fraction)
-                speedup = float(row.get("speedup_vs_recompile", 0.0))
                 if speedup > 0.0:
                     recompiles.append(seconds * speedup)
             elif row.get("mode") == "recompile":

@@ -46,7 +46,9 @@ write at every step and tests can prove the old-or-new guarantee.
 
 from __future__ import annotations
 
+import ast
 import os
+import threading
 import zipfile
 import zlib
 from dataclasses import dataclass
@@ -129,6 +131,19 @@ def _fault(event: str, path) -> None:
 
 
 # ---------------------------------------------------------- durable writes
+def _temp_beside(path: Path) -> Path:
+    """The temp-file path for a durable write of ``path``.
+
+    The temp file must live in the *destination* directory, never in
+    ``$TMPDIR``: ``os.replace`` only commits atomically within one
+    filesystem, and a cross-device rename raises ``EXDEV`` outright.
+    Every durable write in this module (and any new write path added to
+    the project) goes through this helper so the invariant holds
+    regardless of where the environment points its scratch space.
+    """
+    return path.with_name(path.name + ".tmp")
+
+
 def _fsync_dir(directory: Path) -> None:
     """Flush a directory's entry table (best effort; no-op off POSIX)."""
     try:
@@ -156,7 +171,7 @@ def _durable_savez(
     behind on a crash by design (it is the *evidence* of an interrupted
     write); :func:`recover_checkpoint` sweeps it.
     """
-    temp = path.with_name(path.name + ".tmp")
+    temp = _temp_beside(path)
     _fault(f"{tag}.begin", path)
     with open(temp, "wb") as handle:
         if compressed:
@@ -341,7 +356,7 @@ def commit_checkpoint(directory: str | Path, members: list[str]) -> None:
     """
     directory = Path(directory)
     journal = directory / CHECKPOINT_JOURNAL
-    temp = journal.with_name(journal.name + ".tmp")
+    temp = _temp_beside(journal)
     payload = "\n".join(["v1", *members]) + "\n"
     _fault("journal.begin", journal)
     with open(temp, "w", encoding="utf-8") as handle:
@@ -777,6 +792,50 @@ from_checkpoint` can restore ``weights_`` without replaying anything.
     return path
 
 
+_NPY_MAGIC = b"\x93NUMPY"
+
+
+def _parse_npy_header(handle):
+    """Parse a ``.npy`` header at the handle's position, any format version.
+
+    ``np.save`` writes format 1.0 by default but *silently* upgrades to
+    2.0 when the header dict exceeds 65535 bytes (huge structured dtypes)
+    and to 3.0 when a field name needs utf-8 — so an offset parser that
+    assumes the v1 layout computes a data offset that is short by exactly
+    two bytes and maps garbage.  The header-length field is ``uint16`` in
+    v1 and ``uint32`` in v2/v3; the dict itself is latin-1 text before
+    v3, utf-8 from v3 on.  Returns ``(shape, fortran_order, dtype)`` with
+    the handle left at the first data byte, or ``None`` for anything that
+    is not a well-formed ``.npy`` header of a known major version.
+    """
+    magic = handle.read(8)
+    if len(magic) != 8 or magic[:6] != _NPY_MAGIC:
+        return None
+    major = magic[6]
+    if major == 1:
+        length_width = 2
+    elif major in (2, 3):
+        length_width = 4
+    else:
+        return None
+    raw_length = handle.read(length_width)
+    if len(raw_length) != length_width:
+        return None
+    header_length = int.from_bytes(raw_length, "little")
+    header = handle.read(header_length)
+    if len(header) != header_length:
+        return None
+    try:
+        text = header.decode("utf-8" if major >= 3 else "latin1")
+        fields = ast.literal_eval(text.strip())
+        shape = tuple(int(n) for n in fields["shape"])
+        fortran = bool(fields["fortran_order"])
+        dtype = np.lib.format.descr_to_dtype(fields["descr"])
+    except (ValueError, SyntaxError, KeyError, TypeError):
+        return None
+    return shape, fortran, dtype
+
+
 def _mmap_member(handle, path: Path, info: zipfile.ZipInfo) -> np.ndarray | None:
     """Memory-map one stored zip member's ``.npy`` payload, or None."""
     handle.seek(info.header_offset)
@@ -786,13 +845,10 @@ def _mmap_member(handle, path: Path, info: zipfile.ZipInfo) -> np.ndarray | None
     name_length = int.from_bytes(local_header[26:28], "little")
     extra_length = int.from_bytes(local_header[28:30], "little")
     handle.seek(info.header_offset + 30 + name_length + extra_length)
-    version = np.lib.format.read_magic(handle)
-    if version == (1, 0):
-        shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
-    elif version == (2, 0):
-        shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
-    else:
+    parsed = _parse_npy_header(handle)
+    if parsed is None:
         return None
+    shape, fortran, dtype = parsed
     if dtype.hasobject or 0 in shape:
         return None
     return np.memmap(
@@ -838,6 +894,101 @@ def _mmap_npz_arrays(path: Path, names: list[str]) -> dict[str, np.ndarray]:
     return mapped
 
 
+def _all_member_names(path: Path) -> list[str]:
+    """Every array member of an ``.npz`` (zip central directory only)."""
+    with zipfile.ZipFile(path) as archive:
+        return [
+            name[: -len(".npy")]
+            for name in archive.namelist()
+            if name.endswith(".npy")
+        ]
+
+
+class PlanCache:
+    """Process-local registry of read-only plan mappings, keyed by
+    (checkpoint path, epoch).
+
+    ``np.memmap(mode="r")`` maps the archive ``MAP_SHARED``/read-only on
+    POSIX, so every process that maps the same plan file shares the same
+    physical page-cache pages — N shard workers cost ~zero resident bytes
+    beyond the first.  What the OS does *not* deduplicate is redundant
+    mapping work inside one process: a fleet re-loading a model after
+    eviction, or a warm standby pre-opening every plan it might inherit,
+    would otherwise re-parse the zip directory and re-map every member.
+    This cache hands out the one canonical mapping per plan epoch.
+
+    The *epoch* is the archive's identity fingerprint (inode, size,
+    mtime-ns): durable writes replace the file atomically, so a new plan
+    version is a new inode and old epochs are dropped eagerly — a cached
+    mapping can never alias a superseded plan.  Instances are
+    thread-safe; they are per-process by construction (mappings don't
+    pickle), each shard worker builds its own.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # {path: (epoch, {member: np.memmap})}  guarded-by: _lock
+        self._mapped: dict[str, tuple[tuple, dict[str, np.ndarray]]] = {}
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+
+    @staticmethod
+    def epoch(path: str | Path) -> tuple:
+        """The archive's current identity fingerprint."""
+        stat = os.stat(path)
+        return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+
+    def mappings(self, path: str | Path) -> dict[str, np.ndarray]:
+        """The canonical member→mapping dict for the plan's current epoch.
+
+        Maps every mappable member once per (path, epoch); members that
+        cannot be mapped (compressed, zero-size, exotic headers) are
+        absent and callers fall back to a copying read.  The returned
+        dict is shared — treat it as read-only.
+        """
+        path = Path(path).resolve()
+        key = str(path)
+        epoch = self.epoch(path)
+        with self._lock:
+            entry = self._mapped.get(key)
+            if entry is not None and entry[0] == epoch:
+                self.hits += 1
+                return entry[1]
+        # Map outside the lock (zip parsing does file I/O); last writer
+        # wins on a race, both mappings view identical bytes.
+        mapped = _mmap_npz_arrays(path, _all_member_names(path))
+        with self._lock:
+            entry = self._mapped.get(key)
+            if entry is not None and entry[0] == epoch:
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+            self._mapped[key] = (epoch, mapped)
+        return mapped
+
+    def warm(self, path: str | Path, prefault: bool = False) -> int:
+        """Pre-map a plan (a standby's startup step); returns bytes mapped.
+
+        With ``prefault=True`` every mapped byte is touched once so the
+        page-cache is populated *before* the standby is promoted — the
+        first request after failover then faults nothing in.
+        """
+        total = 0
+        for member in self.mappings(path).values():
+            total += member.nbytes
+            if prefault and member.size:
+                # Touch every mapped byte once (the copy is transient;
+                # the point is the page-cache residency it leaves behind).
+                member.tobytes()
+        return total
+
+    def drop(self, path: str | Path) -> None:
+        """Forget a plan's mappings (the file is being retired)."""
+        key = str(Path(path).resolve())
+        with self._lock:
+            self._mapped.pop(key, None)
+
+
 def load_plan(
     path: str | Path,
     store: ProvenanceStore,
@@ -845,6 +996,7 @@ def load_plan(
     labels: np.ndarray,
     mmap: bool = True,
     cache_sparse_blocks: bool = True,
+    plan_cache: PlanCache | None = None,
 ) -> ReplayPlan:
     """Reload a compiled plan saved by :func:`save_plan`.
 
@@ -866,10 +1018,18 @@ ReplayPlan.run` — mapping exists precisely to avoid touching the bytes
     up front, so the integrity sweep rides the first replay (which reads
     them all anyway) and raises :class:`CheckpointCorruptionError` before
     any answer derived from rotten bytes escapes.
+
+    Passing a :class:`PlanCache` makes the mapping *shared*: repeated
+    loads of the same plan epoch (re-registration after eviction, warm
+    standbys, every model a shard worker hosts from one checkpoint tree)
+    reuse the one canonical read-only mapping instead of re-parsing the
+    archive.
     """
     path = Path(path)
     try:
-        arrays, meta, checksums, deferred = _read_plan_arrays(path, mmap)
+        arrays, meta, checksums, deferred = _read_plan_arrays(
+            path, mmap, plan_cache
+        )
     except FileNotFoundError:
         raise
     except _UNREADABLE as exc:
@@ -906,7 +1066,7 @@ ReplayPlan.run` — mapping exists precisely to avoid touching the bytes
 
 
 def _read_plan_arrays(
-    path: Path, mmap: bool
+    path: Path, mmap: bool, plan_cache: PlanCache | None = None
 ) -> tuple[dict, dict, dict[str, str] | None, dict]:
     """Plan members + meta + digest table + the mapped (lazily verified)
     subset."""
@@ -920,7 +1080,13 @@ def _read_plan_arrays(
         if version != _PLAN_FORMAT_VERSION:
             raise ValueError(f"unsupported plan format version: {version}")
         names = [n for n in npz.files if not n.startswith("__")]
-        mapped = _mmap_npz_arrays(path, names) if mmap else {}
+        if not mmap:
+            mapped = {}
+        elif plan_cache is not None:
+            cached = plan_cache.mappings(path)
+            mapped = {name: cached[name] for name in names if name in cached}
+        else:
+            mapped = _mmap_npz_arrays(path, names)
         arrays = {
             name: mapped[name] if name in mapped else archive[name]
             for name in names

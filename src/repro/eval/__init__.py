@@ -8,7 +8,7 @@ distributions), and :func:`memory_report` (Table 3 accounting).
 """
 
 from .comparison import ModelComparison, compare_updated_models, format_table
-from .memory import MemoryReport, data_bytes, memory_report
+from .memory import MemoryReport, data_bytes, memory_report, pss_bytes, rss_bytes
 from .metrics import (
     MagnitudeChange,
     accuracy,
@@ -43,6 +43,8 @@ __all__ = [
     "magnitude_change",
     "measure",
     "memory_report",
+    "pss_bytes",
+    "rss_bytes",
     "mse",
     "percentile",
     "sign_flips",

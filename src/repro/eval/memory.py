@@ -10,7 +10,10 @@ for large parameter counts"), and those are preserved.
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -40,6 +43,58 @@ class MemoryReport:
 def data_bytes(features, labels: np.ndarray) -> int:
     """Bytes of the training data itself (held by every method)."""
     return nbytes_of(features) + int(np.asarray(labels).nbytes)
+
+
+def rss_bytes(pid: int | None = None) -> int | None:
+    """A process's resident set size in bytes, or None if unmeasurable.
+
+    The probe behind ``benchmarks/bench_router.py``'s zero-copy claim:
+    shard workers that memory-map the same read-only plan share physical
+    pages, so the *marginal* RSS of each extra worker should be process
+    overhead only, not another copy of the plan.  Reads
+    ``/proc/<pid>/statm`` (Linux; resident pages × page size) and falls
+    back to ``resource.getrusage`` for the current process elsewhere.
+    """
+    if pid is None:
+        pid = os.getpid()
+    try:
+        fields = Path(f"/proc/{pid}/statm").read_text().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        pass
+    if pid == os.getpid():
+        try:
+            import resource
+
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            # ru_maxrss is KiB on Linux, bytes on macOS.
+            scale = 1 if sys.platform == "darwin" else 1024
+            return int(usage.ru_maxrss) * scale
+        except (ImportError, OSError, ValueError):
+            pass
+    return None
+
+
+def pss_bytes(pid: int | None = None) -> int | None:
+    """A process's proportional set size in bytes, or None if unmeasurable.
+
+    RSS double-counts shared pages: a read-only plan mapped by four shard
+    workers shows up in all four RSS numbers even though only one
+    physical copy exists.  PSS charges each shared page ``1/n`` to each
+    of its ``n`` mappers, so the *sum* of PSS across a worker fleet is
+    the fleet's true physical footprint — the quantity the router
+    benchmark's "extra processes are ~free" assertion is about.  Linux
+    only (``/proc/<pid>/smaps_rollup``).
+    """
+    if pid is None:
+        pid = os.getpid()
+    try:
+        for line in Path(f"/proc/{pid}/smaps_rollup").read_text().splitlines():
+            if line.startswith("Pss:"):
+                return int(line.split()[1]) * 1024
+    except (OSError, IndexError, ValueError):
+        pass
+    return None
 
 
 def memory_report(

@@ -13,6 +13,14 @@ long-lived serving process.  This package supplies that process:
   checkpoints registered by model id, loaded lazily and LRU-evicted
   under a memory cap, served through per-model lane-aware queues by a
   shared bounded worker pool (:mod:`repro.serving.fleet`);
+* :class:`ShardRouter` — the cross-process tier: model ids consistent-
+  hashed across N shard worker processes (each running its own fleet
+  over a shard-local registry, all sharing one read-only plan mapping
+  via :class:`~repro.core.serialization.PlanCache`), with shard-
+  granularity retry/failover (:class:`ShardUnavailableError`), an
+  optional warm standby, and cross-shard stats merged from raw-sample
+  :class:`StatsFrame`\\ s — percentiles are computed over the pooled
+  requests, never averaged (:mod:`repro.serving.router`);
 * :class:`AdmissionPolicy` / :class:`Lane` — the latency-budget /
   max-batch / backpressure knobs governing coalescing, plus the SLA
   lanes (a zero-delay ``deadline`` lane pre-empts coalescing; ``bulk``
@@ -50,6 +58,7 @@ from .errors import (
     ServerClosedError,
     ServerStateError,
     ServingError,
+    ShardUnavailableError,
     WorkerCrashedError,
 )
 from .fleet import FleetServer, ModelRegistry, RetryPolicy, SaveOutcome
@@ -59,8 +68,15 @@ from .policy import (
     AdmissionPolicy,
     Lane,
 )
+from .router import ShardRouter
 from .server import DeletionServer, ServedOutcome
-from .stats import LaneStats, ServingStats, StatsRecorder
+from .stats import (
+    LaneFrame,
+    LaneStats,
+    ServingStats,
+    StatsFrame,
+    StatsRecorder,
+)
 
 __all__ = [
     "AdmissionPolicy",
@@ -72,6 +88,7 @@ __all__ = [
     "DeletionServer",
     "FleetServer",
     "Lane",
+    "LaneFrame",
     "LaneStats",
     "ModelLoadError",
     "ModelQuarantinedError",
@@ -84,6 +101,9 @@ __all__ = [
     "ServedOutcome",
     "ServingError",
     "ServingStats",
+    "ShardRouter",
+    "ShardUnavailableError",
+    "StatsFrame",
     "StatsRecorder",
     "WorkerCrashedError",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "WorkerCrashedError",
     "ModelLoadError",
     "ModelQuarantinedError",
+    "ShardUnavailableError",
     "CheckpointCorruptionError",
 ]
 
@@ -70,6 +71,12 @@ class ModelLoadError(ServingError):
         self.model_id = model_id
         self.attempts = attempts
 
+    def __reduce__(self):
+        # Rebuild from the structured fields (the default exception
+        # reduce replays ``args``, which is the formatted message) so the
+        # router can ship instances across process pipes.
+        return (type(self), (self.model_id, self.attempts))
+
 
 class ModelQuarantinedError(ServingError):
     """The model's circuit breaker is open; submits fast-fail until probed."""
@@ -82,3 +89,27 @@ class ModelQuarantinedError(ServingError):
         self.model_id = model_id
         self.failures = failures
         self.retry_at = retry_at
+
+    def __reduce__(self):
+        return (type(self), (self.model_id, self.failures, self.retry_at))
+
+
+class ShardUnavailableError(ServingError):
+    """A shard worker process is down (crashed, killed, or restarting).
+
+    The cross-process analogue of :class:`WorkerCrashedError`, scoped to
+    one shard of a :class:`~repro.serving.router.ShardRouter`: in-flight
+    requests homed on the dead shard fail with this error, other shards
+    are untouched, and subsequent submits for the dead shard's models
+    either fail over to the next live shard on the hash ring or fast-fail
+    here while the shard's breaker is open.  Picklable (pipes carry it
+    back to callers in other processes).
+    """
+
+    def __init__(self, shard: str, reason: str = "shard process is down"):
+        super().__init__(f"shard {shard!r} unavailable: {reason}")
+        self.shard = shard
+        self.reason = reason
+
+    def __reduce__(self):
+        return (type(self), (self.shard, self.reason))

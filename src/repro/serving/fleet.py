@@ -82,7 +82,7 @@ from .server import (
     _serve_batch,
     _validate_removed,
 )
-from .stats import ServingStats, StatsRecorder
+from .stats import ServingStats, StatsFrame, StatsRecorder
 
 
 # ---------------------------------------------------------------- registry
@@ -1373,6 +1373,17 @@ maintenance_cost` is checked against the policy's thresholds and, when
                 raise ValueError(f"unknown model id {model_id!r}")
             return StatsRecorder().snapshot()  # no traffic yet: all zeros
         return state.stats.snapshot()
+
+    def stats_frame(self) -> "StatsFrame":
+        """The fleet-wide raw accounting as a mergeable, picklable frame.
+
+        This is what a shard worker exports over its pipe: the router
+        merges every shard's frame (:meth:`StatsFrame.merge`) and
+        summarizes the pooled samples, so cross-shard percentiles are
+        computed over the union of requests — never by averaging
+        per-shard percentiles.
+        """
+        return self._stats.frame()
 
     def model_stats(self) -> dict[str, ServingStats]:
         """Per-model snapshots for every model that has seen traffic."""

@@ -1,0 +1,631 @@
+"""Cross-process sharded serving: consistent-hash routing over shard fleets.
+
+One process's BLAS pool is the throughput ceiling of a single
+:class:`~repro.serving.FleetServer`.  The compiled
+:class:`~repro.core.replay_plan.ReplayPlan` is read-only at serving time
+and memory-mapped straight out of its archive, so the natural scale-out
+is *processes*: N shard workers each run their own fleet over a
+shard-local registry, all mapping the same plan bytes (``MAP_SHARED``
+read-only — one physical copy fleet-wide), and a front-end routes each
+model id to its home shard.
+
+:class:`ShardRouter` is that front-end:
+
+* **placement** — model ids are consistent-hashed (md5 ring with virtual
+  nodes) across shard *slots*, so adding or losing a shard re-homes only
+  ``~1/N`` of the models and two routers with the same slot count agree
+  on placement without coordination;
+* **framing** — requests travel a duplex pipe per shard
+  (:mod:`repro.serving.shard_worker` documents the protocol); replies
+  resolve :class:`concurrent.futures.Future`\\ s by request id, out of
+  order;
+* **failover** — a dead shard fails *only its own* in-flight futures
+  (typed :class:`~repro.serving.errors.ShardUnavailableError`); later
+  submits walk the ring past the dead slot to the next live shard, which
+  lazily re-registers the re-homed models.  The PR-6
+  :class:`~repro.serving.RetryPolicy` machinery is reused at shard
+  granularity: ``quarantine_after`` consecutive deaths open the slot's
+  breaker, ``probe_interval_seconds`` paces half-open restart probes,
+  and (with ``auto_restart=True``) earlier deaths restart immediately;
+* **warm standby** — an optional spare worker outside the ring pre-maps
+  every registered plan through its own
+  :class:`~repro.core.serialization.PlanCache`; when a slot dies the
+  standby is *promoted* into it, inheriting hot mappings instead of
+  cold-starting;
+* **stats** — shard fleets export raw-sample
+  :class:`~repro.serving.stats.StatsFrame`\\ s which the router merges
+  *before* summarizing, so a fleet-wide p99 is the true order statistic
+  of the pooled requests, never an average of per-shard percentiles.
+
+The router serves stateless counterfactual traffic only (no
+``commit_mode``): answers depend on nothing but the checkpoint epoch, so
+re-homing a model across shards can never change its answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import threading
+from bisect import bisect_right
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.serialization import read_checkpoint_metadata
+from .clock import MONOTONIC_CLOCK, Clock
+from .errors import ServerClosedError, ShardUnavailableError
+from .fleet import RetryPolicy
+from .policy import AdmissionPolicy
+from .shard_worker import shard_main
+from .stats import ServingStats, StatsFrame
+
+__all__ = ["ShardRouter", "hash_ring"]
+
+_RING_REPLICAS = 64
+
+
+def hash_ring(slots: list[str], replicas: int = _RING_REPLICAS):
+    """The sorted (point, slot) ring for consistent hashing.
+
+    md5 keeps placement stable across processes and Python versions
+    (``hash()`` is salted per process); ``replicas`` virtual nodes per
+    slot smooth the load split to within a few percent.
+    """
+    points = []
+    for slot in slots:
+        for replica in range(replicas):
+            digest = hashlib.md5(f"{slot}#{replica}".encode()).digest()
+            points.append((int.from_bytes(digest[:8], "big"), slot))
+    points.sort()
+    return points
+
+
+def _ring_walk(ring, model_id: str):
+    """Slots in preference order for ``model_id`` (home first)."""
+    point = int.from_bytes(
+        hashlib.md5(model_id.encode()).digest()[:8], "big"
+    )
+    start = bisect_right(ring, (point, ""))
+    seen: list[str] = []
+    for index in range(len(ring)):
+        slot = ring[(start + index) % len(ring)][1]
+        if slot not in seen:
+            seen.append(slot)
+    return seen
+
+
+@dataclass
+class _Registration:
+    """Everything a shard needs to host one model."""
+
+    model_id: str
+    checkpoint: str
+    features: object
+    labels: object
+    load_kwargs: dict
+    plan_path: str | None
+
+
+@dataclass
+class _Slot:
+    """One ring position and the worker process currently behind it."""
+
+    name: str
+    process: object = None
+    conn: object = None
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    alive: bool = False
+    registered: set = field(default_factory=set)  # guarded-by: router _lock
+    inflight: set = field(default_factory=set)  # guarded-by: router _lock
+    # Shard-granularity circuit breaker (the PR-6 RetryPolicy semantics):
+    failures: int = 0  # guarded-by: router _lock
+    retry_at: float | None = None  # guarded-by: router _lock
+
+
+class ShardRouter:
+    """Consistent-hash front-end over N shard worker processes.
+
+    Parameters
+    ----------
+    n_shards:
+        Ring slot count.  Each slot runs one worker process hosting a
+        shard-local :class:`~repro.serving.FleetServer`.
+    policy / method / n_workers / retry:
+        Forwarded to every shard's fleet (``retry`` also supplies the
+        *shard*-granularity breaker thresholds: ``quarantine_after``
+        deaths open a slot's breaker, ``probe_interval_seconds`` paces
+        restart probes).
+    auto_restart:
+        Restart a dead shard immediately while its breaker is closed
+        (manual :meth:`restart_shard` always works).
+    standby:
+        Keep one warm spare worker outside the ring, pre-mapping every
+        registered plan; a dying slot promotes it instead of cold-
+        starting a replacement.
+    prefault_plans:
+        Ask workers to touch every mapped plan byte at registration so
+        first requests fault nothing in.
+    mp_context:
+        A ``multiprocessing`` context or start-method name.  Defaults to
+        ``fork`` where available (cheap spawns; the plan mapping is
+        re-established per process either way).
+    clock:
+        Injectable time source for breaker deadlines (tests drive it).
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        policy: AdmissionPolicy | None = None,
+        method: str | None = "priu",
+        n_workers: int = 1,
+        retry: RetryPolicy | None = None,
+        auto_restart: bool = False,
+        standby: bool = False,
+        prefault_plans: bool = False,
+        max_resident: int | None = None,
+        max_plan_bytes: int | None = None,
+        mp_context=None,
+        clock: Clock | None = None,
+        _shard_options: dict | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.auto_restart = bool(auto_restart)
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else None
+        self._mp = (
+            multiprocessing.get_context(mp_context)
+            if isinstance(mp_context, (str, type(None)))
+            else mp_context
+        )
+        self._options = {
+            "policy": policy,
+            "method": method,
+            "n_workers": n_workers,
+            "retry": retry,
+            "max_resident": max_resident,
+            "max_plan_bytes": max_plan_bytes,
+            "prefault_plans": prefault_plans,
+        }
+        self._options.update(_shard_options or {})
+        self._prefault = bool(prefault_plans)
+        self._lock = threading.RLock()
+        self._req_ids = itertools.count(1)
+        self._pending: dict[int, Future] = {}  # guarded-by: _lock
+        self._registrations: dict[str, _Registration] = {}  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self._slots = [_Slot(name=f"shard-{i}") for i in range(n_shards)]
+        self._ring = hash_ring([slot.name for slot in self._slots])
+        self._by_name = {slot.name: slot for slot in self._slots}
+        self._standby: _Slot | None = (
+            _Slot(name="standby") if standby else None
+        )
+        for slot in self._slots:
+            self._spawn(slot)
+        if self._standby is not None:
+            self._spawn(self._standby)
+
+    # ------------------------------------------------------------ lifecycle
+    def _spawn(self, slot: _Slot) -> None:
+        """Start (or replace) the worker process behind ``slot``."""
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=shard_main,
+            args=(child_conn, slot.name, self._options),
+            name=f"repro-{slot.name}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        with self._lock:
+            slot.process = process
+            slot.conn = parent_conn
+            slot.alive = True
+            slot.registered = set()
+        receiver = threading.Thread(
+            target=self._receive_loop,
+            args=(slot, parent_conn),
+            name=f"router-recv-{slot.name}",
+            daemon=True,
+        )
+        receiver.start()
+
+    def close(self, wait: bool = True) -> None:
+        """Shut every worker down; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            slots = list(self._slots)
+            if self._standby is not None:
+                slots.append(self._standby)
+        for slot in slots:
+            if slot.alive and slot.conn is not None:
+                try:
+                    self._post(slot, ("shutdown", next(self._req_ids)))
+                except (OSError, ValueError, BrokenPipeError, AttributeError):
+                    pass
+        for slot in slots:
+            process = slot.process
+            if process is None:
+                continue
+            process.join(timeout=10 if wait else 0.1)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- plumbing
+    def _post(self, slot: _Slot, message: tuple) -> None:
+        """Frame one message onto a slot's pipe (never under ``_lock``:
+        a full pipe blocks until the worker drains, and the worker can
+        only drain if our receiver thread — which needs the lock — keeps
+        consuming replies)."""
+        with slot.send_lock:
+            slot.conn.send(message)
+
+    def _call(self, slot: _Slot, kind: str, *payload) -> Future:
+        """Post a request expecting exactly one correlated reply."""
+        req_id = next(self._req_ids)
+        future: Future = Future()
+        with self._lock:
+            if not slot.alive or slot.conn is None:
+                raise ShardUnavailableError(slot.name)
+            conn = slot.conn
+            self._pending[req_id] = future
+            slot.inflight.add(req_id)
+        try:
+            with slot.send_lock:
+                conn.send((kind, req_id, *payload))
+        except (OSError, ValueError, BrokenPipeError):
+            with self._lock:
+                self._pending.pop(req_id, None)
+                slot.inflight.discard(req_id)
+            self._conn_down(slot, conn)
+            raise ShardUnavailableError(slot.name, "pipe write failed")
+        return future
+
+    def _receive_loop(self, slot: _Slot, conn) -> None:
+        """Drain one worker connection until EOF; resolve futures by id."""
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "hello":
+                continue
+            req_id, payload = message[1], message[2]
+            with self._lock:
+                future = self._pending.pop(req_id, None)
+                owner = self._owner_of(conn)
+                if owner is not None:
+                    owner.inflight.discard(req_id)
+                    if kind == "ok":
+                        # A served reply is the breaker's health
+                        # evidence (a crash-looping shard that only ever
+                        # says hello keeps its failure streak and
+                        # quarantines).
+                        owner.failures = 0
+                        owner.retry_at = None
+            if future is None:
+                continue
+            if kind == "ok":
+                future.set_result(payload)
+            else:
+                future.set_exception(payload)
+        self._conn_down(slot, conn)
+
+    def _owner_of(self, conn) -> _Slot | None:  # caller-holds: _lock
+        if conn is None:
+            return None
+        for slot in self._slots:
+            if slot.conn is conn:
+                return slot
+        if self._standby is not None and self._standby.conn is conn:
+            return self._standby
+        return None
+
+    # ------------------------------------------------------------- failover
+    def _conn_down(self, slot: _Slot, conn) -> None:
+        """One worker connection died; fail its futures, maybe recover.
+
+        Idempotent per connection generation: the first caller (receiver
+        EOF, failed send, or an explicit restart) nulls ``owner.conn``,
+        so later callers for the same dead pipe find no owner and
+        return.  Promotion means ``slot`` and the connection's *owner*
+        can differ — resolution always goes through :meth:`_owner_of`.
+        """
+        with self._lock:
+            owner = self._owner_of(conn)
+            if owner is None:
+                return  # a stale generation; the slot already moved on
+            owner.alive = False
+            owner.conn = None
+            owner.registered = set()
+            failed = [
+                self._pending.pop(req_id)
+                for req_id in sorted(owner.inflight)
+                if req_id in self._pending
+            ]
+            owner.inflight = set()
+            closing = self._closed
+            if not closing:
+                owner.failures += 1
+                if owner.failures >= self.retry.quarantine_after:
+                    owner.retry_at = (
+                        self._clock.now() + self.retry.probe_interval_seconds
+                    )
+        error = ShardUnavailableError(owner.name, "shard process died")
+        for future in failed:
+            future.set_exception(error)
+        if closing or owner is self._standby:
+            return
+        if self._promote_standby(owner):
+            return
+        if self.auto_restart and owner.failures < self.retry.quarantine_after:
+            self._spawn(owner)
+
+    def _promote_standby(self, slot: _Slot) -> bool:
+        """Move the warm standby's process into a dead slot."""
+        with self._lock:
+            standby = self._standby
+            if standby is None or not standby.alive:
+                return False
+            self._standby = None
+            slot.process = standby.process
+            slot.conn = standby.conn
+            slot.send_lock = standby.send_lock
+            slot.alive = True
+            slot.registered = set()
+            slot.failures = 0
+            slot.retry_at = None
+        return True
+
+    def restart_shard(self, name: str) -> None:
+        """Respawn one slot's worker (re-homed models re-register lazily)."""
+        slot = self._by_name.get(name)
+        if slot is None:
+            raise ValueError(f"unknown shard {name!r}")
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("router is closed")
+            old_conn = slot.conn
+        old = slot.process
+        if old is not None and old.is_alive():
+            old.kill()
+            old.join(timeout=5)
+        # Settle the dead generation synchronously (the receiver's EOF
+        # path races us; _conn_down is idempotent per connection) — it
+        # may itself recover the slot via promotion or auto-restart.
+        self._conn_down(slot, old_conn)
+        with self._lock:
+            slot.failures = 0
+            slot.retry_at = None
+            needs_spawn = not slot.alive
+        if needs_spawn:
+            self._spawn(slot)
+
+    def kill_shard(self, name: str) -> None:
+        """Hard-kill one slot's worker (SIGKILL) — the chaos-suite fault."""
+        slot = self._by_name.get(name)
+        if slot is None:
+            raise ValueError(f"unknown shard {name!r}")
+        process = slot.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=5)
+
+    # -------------------------------------------------------------- routing
+    def shard_for(self, model_id: str) -> str:
+        """The slot currently answering for ``model_id`` (live walk)."""
+        return self._route(model_id).name
+
+    def _route(self, model_id: str) -> _Slot:
+        now = self._clock.now()
+        probe: _Slot | None = None
+        with self._lock:
+            for name in _ring_walk(self._ring, model_id):
+                slot = self._by_name[name]
+                if slot.alive:
+                    return slot
+                if (
+                    slot.retry_at is not None
+                    and slot.retry_at <= now
+                    and probe is None
+                ):
+                    probe = slot
+        if probe is not None and self.auto_restart:
+            # Half-open probe: one restart attempt per probe interval.
+            with self._lock:
+                probe.retry_at = now + self.retry.probe_interval_seconds
+            self._spawn(probe)
+            return probe
+        raise ShardUnavailableError(
+            "all", f"no live shard for model {model_id!r}"
+        )
+
+    # ---------------------------------------------------------- public API
+    def register(
+        self,
+        model_id: str,
+        checkpoint,
+        features,
+        labels,
+        **load_kwargs,
+    ):
+        """Name a servable checkpoint; returns its metadata.
+
+        Validation (path exists, archive readable) happens here in the
+        router, synchronously; the actual load happens lazily on the
+        model's home shard at first traffic.  Live-trainer registrations
+        are not supported — a trainer cannot cross a process boundary —
+        and neither is ``commit_mode`` (stateless counterfactual answers
+        are what make shard re-homing safe).
+        """
+        if "commit_mode" in load_kwargs:
+            raise ValueError(
+                "ShardRouter serves stateless counterfactuals only; "
+                "commit_mode is not supported across shards"
+            )
+        metadata = read_checkpoint_metadata(checkpoint)
+        registration = _Registration(
+            model_id=model_id,
+            checkpoint=str(checkpoint),
+            features=features,
+            labels=labels,
+            load_kwargs=dict(load_kwargs),
+            plan_path=(
+                None if metadata.plan_path is None else str(metadata.plan_path)
+            ),
+        )
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("router is closed")
+            if model_id in self._registrations:
+                raise ValueError(f"model id already registered: {model_id!r}")
+            self._registrations[model_id] = registration
+            standby = self._standby
+        if standby is not None and registration.plan_path is not None:
+            # The warm spare pre-maps every plan it might inherit.
+            try:
+                self._call(
+                    standby, "warm", registration.plan_path, self._prefault
+                )
+            except ShardUnavailableError:
+                pass
+        return metadata
+
+    def model_ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._registrations))
+
+    def submit(self, model_id: str, indices, lane: str | None = None) -> Future:
+        """Route one removal set to its home shard; future of
+        :class:`~repro.serving.ServedOutcome`.
+
+        Unknown model ids fail synchronously.  Everything else resolves
+        through the returned future: the shard fleet's own typed errors
+        pass through verbatim, and a shard dying with this request in
+        flight fails it with
+        :class:`~repro.serving.errors.ShardUnavailableError` (only that
+        shard's futures — survivors elsewhere are untouched).
+        """
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("router is closed")
+            registration = self._registrations.get(model_id)
+        if registration is None:
+            raise ValueError(f"unknown model id {model_id!r}")
+        indices = np.asarray(indices, dtype=np.int64)
+        slot = self._route(model_id)
+        with self._lock:
+            needs_register = model_id not in slot.registered
+            if needs_register:
+                slot.registered.add(model_id)
+        if needs_register:
+            # Fire-and-track: pipe FIFO ordering lands the registration
+            # before the submit; a failed registration surfaces on the
+            # submit future (unknown model on that shard).
+            try:
+                self._call(
+                    slot,
+                    "register",
+                    registration.model_id,
+                    registration.checkpoint,
+                    registration.features,
+                    registration.labels,
+                    registration.load_kwargs,
+                )
+            except ShardUnavailableError:
+                with self._lock:
+                    slot.registered.discard(model_id)
+                raise
+        return self._call(slot, "submit", model_id, indices, lane)
+
+    def submit_many(self, model_id: str, index_sets, **kwargs) -> list[Future]:
+        return [self.submit(model_id, ids, **kwargs) for ids in index_sets]
+
+    def flush(self, timeout: float | None = 60.0) -> bool:
+        """Wait until every live shard has drained its queues."""
+        with self._lock:
+            slots = [slot for slot in self._slots if slot.alive]
+        futures = []
+        for slot in slots:
+            try:
+                futures.append(self._call(slot, "flush", timeout))
+            except ShardUnavailableError:
+                continue
+        done = True
+        for future in futures:
+            try:
+                done = bool(future.result(timeout=timeout)) and done
+            except Exception:
+                done = False
+        return done
+
+    def stats_frame(self, timeout: float = 30.0) -> StatsFrame:
+        """The merged raw accounting of every live shard."""
+        with self._lock:
+            slots = [slot for slot in self._slots if slot.alive]
+        futures = []
+        for slot in slots:
+            try:
+                futures.append(self._call(slot, "stats"))
+            except ShardUnavailableError:
+                continue
+        frames = []
+        for future in futures:
+            try:
+                frames.append(future.result(timeout=timeout))
+            except Exception:
+                continue
+        return StatsFrame.merged(frames)
+
+    def stats(self, timeout: float = 30.0) -> ServingStats:
+        """Fleet-wide counters/percentiles over the *pooled* samples."""
+        return self.stats_frame(timeout=timeout).summarize()
+
+    def describe(self) -> dict:
+        """Placement and health of every slot (plus the standby)."""
+        now = self._clock.now()
+        with self._lock:
+            slots = {
+                slot.name: {
+                    "alive": slot.alive,
+                    "pid": None if slot.process is None else slot.process.pid,
+                    "models": sorted(slot.registered),
+                    "failures": slot.failures,
+                    "quarantined": (
+                        slot.retry_at is not None and now < slot.retry_at
+                    ),
+                }
+                for slot in self._slots
+            }
+            placement = {
+                model_id: None for model_id in sorted(self._registrations)
+            }
+            standby = self._standby
+        for model_id in placement:
+            try:
+                placement[model_id] = self.shard_for(model_id)
+            except ShardUnavailableError:
+                placement[model_id] = None
+        return {
+            "shards": slots,
+            "placement": placement,
+            "standby": None if standby is None else standby.name,
+        }

@@ -109,6 +109,123 @@ class ServingStats:
         }
 
 
+@dataclass
+class LaneFrame:
+    """One lane's mergeable raw state (see :class:`StatsFrame`)."""
+
+    submitted: int = 0
+    answered: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    quarantined: int = 0
+    waits: list[float] = field(default_factory=list)
+    services: list[float] = field(default_factory=list)
+    latencies: list[float] = field(default_factory=list)
+
+    def merge(self, other: "LaneFrame") -> None:
+        """Fold ``other`` into this frame in place."""
+        self.submitted += other.submitted
+        self.answered += other.answered
+        self.failed += other.failed
+        self.cancelled += other.cancelled
+        self.rejected += other.rejected
+        self.quarantined += other.quarantined
+        self.waits.extend(other.waits)
+        self.services.extend(other.services)
+        self.latencies.extend(other.latencies)
+
+    def summarize(self) -> LaneStats:
+        return LaneStats(
+            submitted=self.submitted,
+            answered=self.answered,
+            failed=self.failed,
+            cancelled=self.cancelled,
+            rejected=self.rejected,
+            quarantined=self.quarantined,
+            wait=summarize_latencies(self.waits),
+            service=summarize_latencies(self.services),
+            latency=summarize_latencies(self.latencies),
+        )
+
+
+@dataclass
+class StatsFrame:
+    """A mergeable, picklable carrier of one recorder's *raw* samples.
+
+    Cross-process aggregation is where percentile statistics quietly go
+    wrong: a p99 is an order statistic, and averaging (or even max-ing)
+    per-shard p99s produces a number that is not the p99 of anything.
+    A frame therefore carries the raw per-request samples plus the
+    additive counters; :meth:`merge` concatenates samples and sums
+    counts, and only :meth:`summarize` — called once, on the fully
+    merged frame — computes order statistics, so a fleet-wide p99 is the
+    true 99th percentile of the pooled requests.  Frames are plain data
+    (lists and ints), so shard workers pickle them over their pipes.
+    """
+
+    submitted: int = 0
+    answered: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    quarantined: int = 0
+    batches: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+    waits: list[float] = field(default_factory=list)
+    services: list[float] = field(default_factory=list)
+    latencies: list[float] = field(default_factory=list)
+    lanes: dict[str, LaneFrame] = field(default_factory=dict)
+
+    def merge(self, other: "StatsFrame") -> "StatsFrame":
+        """Fold ``other`` into this frame in place; returns ``self``."""
+        self.submitted += other.submitted
+        self.answered += other.answered
+        self.failed += other.failed
+        self.cancelled += other.cancelled
+        self.rejected += other.rejected
+        self.quarantined += other.quarantined
+        self.batches += other.batches
+        self.batch_sizes.extend(other.batch_sizes)
+        self.waits.extend(other.waits)
+        self.services.extend(other.services)
+        self.latencies.extend(other.latencies)
+        for name, lane in other.lanes.items():
+            mine = self.lanes.get(name)
+            if mine is None:
+                mine = self.lanes[name] = LaneFrame()
+            mine.merge(lane)
+        return self
+
+    @classmethod
+    def merged(cls, frames) -> "StatsFrame":
+        """A fresh frame holding the union of ``frames``."""
+        total = cls()
+        for frame in frames:
+            total.merge(frame)
+        return total
+
+    def summarize(self) -> ServingStats:
+        """Order statistics over the pooled samples (merge first)."""
+        sizes = self.batch_sizes
+        return ServingStats(
+            submitted=self.submitted,
+            answered=self.answered,
+            failed=self.failed,
+            cancelled=self.cancelled,
+            rejected=self.rejected,
+            quarantined=self.quarantined,
+            batches=self.batches,
+            mean_batch_size=(sum(sizes) / len(sizes) if sizes else 0.0),
+            wait=summarize_latencies(self.waits),
+            service=summarize_latencies(self.services),
+            latency=summarize_latencies(self.latencies),
+            lanes={
+                name: lane.summarize() for name, lane in self.lanes.items()
+            },
+        )
+
+
 class _LaneAccumulator:
     """Mutable per-lane tallies inside a recorder (guarded by its lock)."""
 
@@ -251,6 +368,42 @@ class StatsRecorder:
                 accumulator = self._lane(lane)
                 if accumulator is not None:
                     accumulator.cancelled += 1
+
+    def frame(self) -> StatsFrame:
+        """A consistent copy of the raw state, ready to merge or pickle.
+
+        This is how a shard worker exports its share of the fleet's
+        accounting: the router merges every shard's frame and summarizes
+        the union, never shard-local percentiles.
+        """
+        with self._lock:
+            return StatsFrame(
+                submitted=self._submitted,
+                answered=self._answered,
+                failed=self._failed,
+                cancelled=self._cancelled,
+                rejected=self._rejected,
+                quarantined=self._quarantined,
+                batches=self._batches,
+                batch_sizes=list(self._batch_sizes),
+                waits=list(self._waits),
+                services=list(self._services),
+                latencies=list(self._latencies),
+                lanes={
+                    name: LaneFrame(
+                        submitted=lane.submitted,
+                        answered=lane.answered,
+                        failed=lane.failed,
+                        cancelled=lane.cancelled,
+                        rejected=lane.rejected,
+                        quarantined=lane.quarantined,
+                        waits=list(lane.waits),
+                        services=list(lane.services),
+                        latencies=list(lane.latencies),
+                    )
+                    for name, lane in self._lanes.items()
+                },
+            )
 
     def snapshot(self) -> ServingStats:
         with self._lock:

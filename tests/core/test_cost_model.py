@@ -254,6 +254,63 @@ class TestCalibration:
         assert cal.recompile_seconds == default.recompile_seconds
         assert cal.n_observations == 0
 
+    def test_from_bench_missing_file_falls_back(self, tmp_path):
+        """A fresh deployment has no benchmark run yet; attaching its
+        cost model must not take serving down."""
+        cal = Calibration.from_bench(tmp_path / "BENCH_refresh.json")
+        default = Calibration()
+        assert cal.refresh_seconds_per_fraction == (
+            default.refresh_seconds_per_fraction
+        )
+        assert cal.recompile_seconds == default.recompile_seconds
+        assert cal.n_observations == 0
+        assert cal.refresh_threshold() == default.refresh_threshold()
+        assert "unreadable" in cal.source
+        assert str(tmp_path) in cal.source
+
+    def test_from_bench_empty_file_falls_back(self, tmp_path):
+        empty = tmp_path / "BENCH_refresh.json"
+        empty.write_text("")
+        cal = Calibration.from_bench(empty)
+        assert cal.n_observations == 0
+        assert "unreadable" in cal.source
+
+    def test_from_bench_truncated_json_falls_back(self, tmp_path):
+        torn = tmp_path / "BENCH_refresh.json"
+        torn.write_text('{"commit_costs": [{"mode": "ref')
+        cal = Calibration.from_bench(torn)
+        assert cal.n_observations == 0
+        assert "unreadable" in cal.source
+
+    def test_from_bench_non_mapping_falls_back(self, tmp_path):
+        listy = tmp_path / "BENCH_refresh.json"
+        listy.write_text("[1, 2, 3]")
+        cal = Calibration.from_bench(listy)
+        assert cal.n_observations == 0
+        assert "not a mapping" in cal.source
+        assert Calibration.from_bench(None).n_observations == 0
+
+    def test_from_bench_malformed_rows_are_skipped(self):
+        rows = [
+            "not a row",
+            {"mode": "refresh"},  # no timings at all
+            {"mode": "refresh", "plan_sync_seconds": "fast",
+             "fraction_iterations_touched": 0.1},  # unparseable float
+            {"mode": "refresh", "plan_sync_seconds": 0.3,
+             "fraction_iterations_touched": 0.1},  # usable
+            {"mode": "recompile", "plan_sync_seconds": 0.9,
+             "fraction_iterations_touched": 0.8},  # usable
+            None,
+        ]
+        cal = Calibration.from_bench({"commit_costs": rows})
+        assert cal.refresh_seconds_per_fraction == pytest.approx(3.0)
+        assert cal.recompile_seconds == pytest.approx(0.9)
+        assert cal.n_observations == 2
+
+    def test_from_bench_non_list_table_falls_back(self):
+        cal = Calibration.from_bench({"commit_costs": {"oops": 1}})
+        assert cal.n_observations == 0
+
     def test_from_bench_recorded_run(self, tmp_path):
         """The repo's recorded BENCH_refresh.json (when present) fits."""
         recorded = Path(__file__).resolve().parents[2] / "BENCH_refresh.json"

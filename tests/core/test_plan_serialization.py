@@ -6,9 +6,11 @@ original's, and a *fresh process* loading store + plan must answer removal
 queries identically to the in-process path.
 """
 
+import io
 import os
 import subprocess
 import sys
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -16,11 +18,18 @@ import pytest
 
 from repro.core import (
     IncrementalTrainer,
+    PlanCache,
     ReplayPlan,
     load_plan,
     load_store,
     save_plan,
     save_store,
+)
+from repro.core.serialization import (
+    _mmap_npz_arrays,
+    _parse_npy_header,
+    _temp_beside,
+    set_fault_hook,
 )
 from repro.datasets import (
     make_binary_classification,
@@ -307,3 +316,199 @@ class TestCrossProcess:
         assert completed.returncode == 0, completed.stderr
         answer = np.load(answer_path)
         assert np.allclose(answer, expected, rtol=0, atol=1e-12)
+
+
+# --------------------------------------------------------------------------
+# .npy format versions: np.save silently upgrades 1.0 -> 2.0 (header dict
+# over 65535 bytes) and -> 3.0 (utf-8 field names).  The byte-offset mmap
+# loader must parse all three layouts (the v1 header-length field is
+# uint16, v2/v3 is uint32) or it maps data two bytes short of where it is.
+class TestNpyFormatVersions:
+    def _archive(self, tmp_path, members):
+        """A ZIP_STORED archive with explicit .npy format versions."""
+        path = tmp_path / "versions.npz"
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
+            for name, (array, version) in members.items():
+                buffer = io.BytesIO()
+                np.lib.format.write_array(buffer, array, version=version)
+                archive.writestr(name + ".npy", buffer.getvalue())
+        return path
+
+    def test_parse_header_every_major_version(self, tmp_path):
+        array = np.arange(12, dtype=np.float64).reshape(3, 4)
+        for version in ((1, 0), (2, 0), (3, 0)):
+            buffer = io.BytesIO()
+            np.lib.format.write_array(buffer, array, version=version)
+            buffer.seek(0)
+            parsed = _parse_npy_header(buffer)
+            assert parsed is not None, version
+            shape, fortran, dtype = parsed
+            assert shape == (3, 4)
+            assert not fortran
+            assert dtype == np.float64
+            # The handle sits at the first data byte: reading from here
+            # reproduces the array, whatever the header layout was.
+            data = np.frombuffer(
+                buffer.read(array.nbytes), dtype=dtype
+            ).reshape(shape)
+            assert np.array_equal(data, array)
+
+    def test_parse_header_rejects_unknown_major(self):
+        buffer = io.BytesIO()
+        np.lib.format.write_array(buffer, np.arange(3), version=(1, 0))
+        raw = bytearray(buffer.getvalue())
+        raw[6] = 9  # fake major version
+        assert _parse_npy_header(io.BytesIO(bytes(raw))) is None
+
+    def test_mmap_members_of_every_version(self, tmp_path):
+        members = {
+            "v1": (np.arange(20, dtype=np.int64).reshape(4, 5), (1, 0)),
+            "v2": (np.linspace(0, 1, 30).reshape(5, 6), (2, 0)),
+            "v3": (np.arange(8, dtype=np.float32), (3, 0)),
+            "v2_fortran": (
+                np.asfortranarray(np.arange(12, dtype=np.float64).reshape(3, 4)),
+                (2, 0),
+            ),
+        }
+        path = self._archive(tmp_path, members)
+        mapped = _mmap_npz_arrays(path, list(members))
+        assert sorted(mapped) == sorted(members)
+        for name, (array, _) in members.items():
+            assert isinstance(mapped[name], np.memmap), name
+            assert mapped[name].dtype == array.dtype, name
+            assert np.array_equal(mapped[name], array), name
+        assert np.isfortran(mapped["v2_fortran"])
+
+    def test_forced_v2_plan_serves_bit_identically(self, tmp_path):
+        """Regression: a plan archive whose members carry 2.0 headers
+        (as np.save emits for huge structured dtypes) must still be
+        memory-mapped at the right offset and answer identically."""
+        data = make_binary_classification(260, 8, seed=13)
+        trainer = fit_trainer("binary_logistic", data, learning_rate=0.1)
+        store_path = save_store(trainer.store, tmp_path / "store.npz")
+        plan_path = save_plan(
+            trainer._plan, tmp_path / "plan.npz", weights=trainer.weights_
+        )
+        # Rewrite every member with a forced 2.0 header, same content.
+        with np.load(plan_path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        rewritten = tmp_path / "plan_v2.npz"
+        with zipfile.ZipFile(rewritten, "w", zipfile.ZIP_STORED) as archive:
+            for name, array in arrays.items():
+                buffer = io.BytesIO()
+                np.lib.format.write_array(buffer, array, version=(2, 0))
+                archive.writestr(name + ".npy", buffer.getvalue())
+
+        store = load_store(store_path)
+        reloaded = load_plan(
+            rewritten, store, trainer.features, trainer.labels, mmap=True
+        )
+        assert isinstance(reloaded.moments, np.memmap)
+        assert_state_bit_identical(trainer._plan, reloaded)
+        removed = np.array([3, 17, 42], dtype=np.int64)
+        expected = trainer._plan.run_single(removed)
+        assert np.array_equal(reloaded.run_single(removed), expected)
+
+
+# --------------------------------------------------------------------------
+# Durable-write staging: the temp file must be created in the destination
+# directory — os.replace is only atomic within one filesystem, and a temp
+# staged in $TMPDIR dies with EXDEV the moment /tmp is a different mount.
+class TestDurableTempPlacement:
+    def test_temp_beside_destination(self):
+        path = Path("/some/volume/checkpoints/plan.npz")
+        temp = _temp_beside(path)
+        assert temp.parent == path.parent
+        assert temp.name.startswith(path.name)
+
+    def test_store_write_stages_in_destination_dir(
+        self, tmp_path, monkeypatch
+    ):
+        scratch = tmp_path / "other-filesystem-scratch"
+        scratch.mkdir()
+        monkeypatch.setenv("TMPDIR", str(scratch))
+        destination = tmp_path / "nested" / "store.npz"
+        destination.parent.mkdir()
+        staged = []
+
+        def observe(event, path):
+            if event.endswith("temp-written"):
+                staged.append((Path(path), Path(path).exists()))
+
+        previous = set_fault_hook(observe)
+        try:
+            data = make_regression(60, 4, seed=7)
+            trainer = fit_trainer("linear", data, n_iterations=10)
+            save_store(trainer.store, destination)
+        finally:
+            set_fault_hook(previous)
+        assert staged, "durable write never announced its temp file"
+        for temp, existed in staged:
+            assert temp.parent == destination.parent
+            assert existed
+        assert destination.exists()
+        assert not list(scratch.iterdir())  # $TMPDIR never touched
+
+
+# --------------------------------------------------------------------------
+# PlanCache: one canonical read-only mapping per (path, epoch).
+class TestPlanCache:
+    @pytest.fixture
+    def plan_on_disk(self, tmp_path):
+        data = make_binary_classification(260, 8, seed=13)
+        trainer = fit_trainer("binary_logistic", data, learning_rate=0.1)
+        trainer.save_checkpoint(tmp_path)
+        return trainer, tmp_path
+
+    def test_mappings_are_shared_per_epoch(self, plan_on_disk):
+        trainer, directory = plan_on_disk
+        cache = PlanCache()
+        first = cache.mappings(directory / "plan.npz")
+        second = cache.mappings(directory / "plan.npz")
+        assert first is second
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert any(isinstance(m, np.memmap) for m in first.values())
+
+    def test_rewrite_is_a_new_epoch(self, plan_on_disk):
+        trainer, directory = plan_on_disk
+        plan_path = directory / "plan.npz"
+        cache = PlanCache()
+        before = cache.mappings(plan_path)
+        old_epoch = PlanCache.epoch(plan_path)
+        save_plan(trainer._plan, plan_path, weights=trainer.weights_)
+        assert PlanCache.epoch(plan_path) != old_epoch  # atomic replace
+        after = cache.mappings(plan_path)
+        assert after is not before
+        assert cache.misses == 2
+
+    def test_warm_and_drop(self, plan_on_disk):
+        _, directory = plan_on_disk
+        plan_path = directory / "plan.npz"
+        cache = PlanCache()
+        mapped_bytes = cache.warm(plan_path, prefault=True)
+        assert mapped_bytes > 0
+        assert cache.misses == 1
+        cache.drop(plan_path)
+        cache.mappings(plan_path)
+        assert cache.misses == 2
+
+    def test_loads_through_one_cache_share_mappings(self, plan_on_disk):
+        trainer, directory = plan_on_disk
+        data_features, data_labels = trainer.features, trainer.labels
+        cache = PlanCache()
+        first = IncrementalTrainer.from_checkpoint(
+            directory, data_features, data_labels, plan_cache=cache
+        )
+        second = IncrementalTrainer.from_checkpoint(
+            directory, data_features, data_labels, plan_cache=cache
+        )
+        assert cache.misses == 1
+        assert cache.hits >= 1
+        # Both trainers read the very same mapping objects.
+        assert first._plan.moments is second._plan.moments
+        removed = np.array([5, 9], dtype=np.int64)
+        assert np.array_equal(
+            first.remove(removed, method="priu").weights,
+            second.remove(removed, method="priu").weights,
+        )

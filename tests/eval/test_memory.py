@@ -1,11 +1,13 @@
 """Unit tests for memory accounting (Table 3)."""
 
 import numpy as np
+import pytest
 import scipy.sparse as sp
 
 from repro.core import train_with_capture
 from repro.datasets import make_regression
 from repro.eval import data_bytes, memory_report
+from repro.eval.memory import pss_bytes, rss_bytes
 from repro.models import make_schedule, objective_for
 
 
@@ -47,3 +49,32 @@ class TestMemoryReport:
             "t", data.features, data.labels, store, opt_state_bytes=1000
         )
         assert report.priu_opt == report.priu + 1000
+
+
+class TestProcessProbes:
+    """rss_bytes / pss_bytes — the probes behind bench_router's
+    resident-bytes-per-extra-process assertion."""
+
+    def test_rss_of_self_is_plausible(self):
+        rss = rss_bytes()
+        assert rss is not None
+        assert 1 << 20 < rss < 1 << 40  # between 1 MiB and 1 TiB
+
+    def test_rss_accepts_explicit_pid(self):
+        import os
+
+        assert rss_bytes(os.getpid()) == pytest.approx(rss_bytes(), rel=0.5)
+
+    def test_rss_of_missing_pid_is_none(self):
+        assert rss_bytes(2 ** 22 + 12345) is None
+
+    def test_pss_is_linux_smaps_or_none(self):
+        pss = pss_bytes()
+        if pss is None:  # non-Linux or smaps_rollup unavailable
+            return
+        rss = rss_bytes()
+        assert 0 < pss <= rss * 1.05  # PSS never exceeds RSS (tolerance
+        # covers pages mapped between the two reads)
+
+    def test_pss_of_missing_pid_is_none(self):
+        assert pss_bytes(2 ** 22 + 12345) is None

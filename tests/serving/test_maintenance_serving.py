@@ -225,21 +225,38 @@ class TestMaintenanceContract:
                 batch.append(ids.astype(np.int64))
             rounds.append(batch)
 
+        # Bit-identity holds within a batch-size class, so both sides
+        # must coalesce identically.  Round one queues everything before
+        # start() — both workers deterministically take max_batch-sized
+        # batches off identical queues.  Later rounds race a *running*
+        # worker, where batch composition is scheduler timing; resolving
+        # each request before submitting the next pins both sides to
+        # singleton batches instead.
         fleet_outcomes, reference_outcomes = [], []
         started = False
         for batch in rounds:
-            fleet_futures = [fleet.submit("m", ids) for ids in batch]
-            reference_futures = [reference.submit(ids) for ids in batch]
             if not started:
+                fleet_futures = [fleet.submit("m", ids) for ids in batch]
+                reference_futures = [reference.submit(ids) for ids in batch]
                 fleet.start()
                 reference.start()
                 started = True
-            assert fleet.flush(timeout=30)
-            assert reference.flush(timeout=30)
-            fleet_outcomes += [f.result(timeout=30) for f in fleet_futures]
-            reference_outcomes += [
-                f.result(timeout=30) for f in reference_futures
-            ]
+                assert fleet.flush(timeout=30)
+                assert reference.flush(timeout=30)
+                fleet_outcomes += [
+                    f.result(timeout=30) for f in fleet_futures
+                ]
+                reference_outcomes += [
+                    f.result(timeout=30) for f in reference_futures
+                ]
+            else:
+                for ids in batch:
+                    fleet_outcomes.append(
+                        fleet.submit("m", ids).result(timeout=30)
+                    )
+                    reference_outcomes.append(
+                        reference.submit(ids).result(timeout=30)
+                    )
             # Maintain between rounds — the reference never does.
             fleet.maintain("m").result(timeout=30)
         fleet.close()

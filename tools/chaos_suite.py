@@ -45,7 +45,8 @@ from repro.datasets import (  # noqa: E402
     make_binary_classification,
     make_regression,
 )
-from repro.serving import RetryPolicy  # noqa: E402
+from repro.serving import RetryPolicy, ShardUnavailableError  # noqa: E402
+from repro import ShardRouter  # noqa: E402
 from repro.testing import FlakyLoader  # noqa: E402
 
 DEFAULT_SEEDS = (11, 23, 37, 41, 53, 61, 79, 97)
@@ -53,6 +54,14 @@ DEFAULT_SEEDS = (11, 23, 37, 41, 53, 61, 79, 97)
 # a CostModel attached, the driver rolls `cost` ops, and the op's retire
 # branch exercises cost-driven eviction while load faults are armed.
 COST_SEEDS = (127, 139)
+# Seeds that chaos the cross-process tier instead: random traffic over a
+# real ShardRouter while shards are SIGKILLed and restarted mid-batch.
+# Every answered request must match direct serving; every failed one
+# must carry the typed ShardUnavailableError (a kill's blast radius is
+# its own shard's in-flight futures, nothing else).  These run real
+# subprocesses, so the fake clock and the lock instrumentation (both
+# in-process tools) do not apply.
+ROUTER_SEEDS = (151, 163)
 
 _BINARY = make_binary_classification(400, 10, separation=1.0, seed=21)
 _BINARY_B = make_binary_classification(320, 8, separation=1.2, seed=22)
@@ -226,13 +235,123 @@ def _run_seed(seed, n_ops, checkpoint, cost, monitor):
     return summary
 
 
+def run_router_seed(seed, n_ops, checkpoint):
+    """One shard-kill chaos run over the cross-process router.
+
+    The op mix: mostly submits across three models and both lanes, with
+    SIGKILLs of a random shard and restarts sprinkled in.  No settling
+    between ops — kills land while batches are in flight.  Afterwards
+    every future must have resolved: answered requests match direct
+    single-model serving (the re-homed survivors prove failover serves
+    the same bits), failures carry ShardUnavailableError and nothing
+    else, and the two tallies account for every submission.
+    """
+    rng = np.random.default_rng(seed)
+    n_samples = _BINARY.features.shape[0]
+    models = [f"chaos-shard-{i}" for i in range(3)]
+    shard_names = ("shard-0", "shard-1")
+    trace = []
+    submitted = []
+    kills = restarts = unavailable_at_submit = 0
+    with ShardRouter(
+        n_shards=len(shard_names),
+        policy=AdmissionPolicy(max_batch=4, max_delay_seconds=0.005),
+        method="priu",
+    ) as router:
+        for model_id in models:
+            router.register(
+                model_id, checkpoint, _BINARY.features, _BINARY.labels
+            )
+        drained = 0
+        for op in range(n_ops):
+            roll = rng.random()
+            if roll < 0.72:
+                model_id = models[rng.integers(len(models))]
+                k = int(rng.integers(1, 4))
+                ids = np.sort(
+                    rng.choice(n_samples, size=k, replace=False)
+                ).astype(np.int64)
+                lane = "deadline" if rng.random() < 0.25 else "bulk"
+                try:
+                    future = router.submit(model_id, ids, lane=lane)
+                except ShardUnavailableError:
+                    unavailable_at_submit += 1
+                    trace.append(f"[{op}] submit {model_id} -> unavailable")
+                    continue
+                submitted.append((op, model_id, ids, future))
+                trace.append(f"[{op}] submit {model_id}/{lane} {ids.tolist()}")
+            elif roll < 0.88:
+                # Drain: wait out the oldest unresolved future, so the
+                # run interleaves served batches with kills instead of
+                # killing faster than anything can load.  Outcomes are
+                # verified wholesale after the loop.
+                pending = [
+                    entry for entry in submitted if not entry[3].done()
+                ]
+                if pending:
+                    try:
+                        pending[0][3].result(timeout=120)
+                    except Exception:
+                        pass
+                    drained += 1
+                    trace.append(f"[{op}] drain op {pending[0][0]}")
+            elif roll < 0.93:
+                victim = shard_names[rng.integers(len(shard_names))]
+                router.kill_shard(victim)
+                kills += 1
+                trace.append(f"[{op}] kill {victim}")
+            else:
+                name = shard_names[rng.integers(len(shard_names))]
+                router.restart_shard(name)
+                restarts += 1
+                trace.append(f"[{op}] restart {name}")
+
+        reference = fit_model("binary")
+        answered = shard_failed = 0
+        for op, model_id, ids, future in submitted:
+            try:
+                outcome = future.result(timeout=120)
+            except ShardUnavailableError:
+                shard_failed += 1
+                continue
+            except Exception as exc:
+                raise AssertionError(
+                    f"seed {seed}: op {op} failed with untyped "
+                    f"{type(exc).__name__}: {exc}\n  trace:\n    "
+                    + "\n    ".join(trace)
+                )
+            expected = reference.remove(ids, method="priu")
+            np.testing.assert_allclose(
+                outcome.weights, expected.weights, atol=1e-10, rtol=0.0,
+                err_msg=f"seed {seed}: op {op} {model_id} {ids.tolist()}",
+            )
+            answered += 1
+    if kills == 0 or answered == 0:
+        raise AssertionError(
+            f"seed {seed}: degenerate run (kills={kills} answered={answered})"
+        )
+    if answered + shard_failed != len(submitted):
+        raise AssertionError(
+            f"seed {seed}: futures unaccounted for "
+            f"({answered} + {shard_failed} != {len(submitted)})"
+        )
+    return (
+        f"answered={answered} shard_failed={shard_failed} "
+        f"unavailable_at_submit={unavailable_at_submit} "
+        f"kills={kills} restarts={restarts}"
+    )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--seeds",
-        default=",".join(str(s) for s in DEFAULT_SEEDS + COST_SEEDS),
+        default=",".join(
+            str(s) for s in DEFAULT_SEEDS + COST_SEEDS + ROUTER_SEEDS
+        ),
         help="comma-separated seed list (default: %(default)s); seeds in "
-        f"{COST_SEEDS} also roll cost-model ops",
+        f"{COST_SEEDS} also roll cost-model ops and seeds in "
+        f"{ROUTER_SEEDS} chaos the cross-process ShardRouter instead",
     )
     parser.add_argument(
         "--ops",
@@ -257,13 +376,16 @@ def main(argv=None):
         for seed in seeds:
             start = time.perf_counter()
             try:
-                summary = run_seed(
-                    seed,
-                    args.ops,
-                    checkpoint,
-                    cost=seed in COST_SEEDS,
-                    instrument=args.instrument,
-                )
+                if seed in ROUTER_SEEDS:
+                    summary = run_router_seed(seed, args.ops, checkpoint)
+                else:
+                    summary = run_seed(
+                        seed,
+                        args.ops,
+                        checkpoint,
+                        cost=seed in COST_SEEDS,
+                        instrument=args.instrument,
+                    )
             except Exception:
                 failures += 1
                 print(f"seed {seed}: FAIL", flush=True)
