@@ -1,0 +1,296 @@
+"""Roofline replay kernel: blocked GEMMs vs per-iteration dispatch.
+
+The blocked kernel (:mod:`repro.core.kernels`) targets the paper's
+dominant ``m ≫ B`` regime: each per-iteration replay product touches at
+most ``B`` summary columns of an ``m``-dimensional weight vector, so a
+τ-step replay is τ dispatches of work far below the BLAS roofline —
+bound by Python/launch overhead, not arithmetic.  Fusing ``b``
+iterations into one rank-``Σr`` descriptor replaces them with two large
+GEMMs of *identical* flops, so any measured win is pure dispatch
+amortization — exactly what the roofline model predicts for skinny
+operands.
+
+This benchmark measures:
+
+* ``kernel_sweep`` — replay seconds per iteration, blocked vs scalar,
+  across block sizes and request widths K on the ``m ≫ B`` workload.
+  The row keys ``blocked_seconds_per_iteration`` /
+  ``scalar_seconds_per_iteration`` are what
+  :meth:`repro.core.costmodel.Calibration.from_bench` fits the
+  fused/scalar cost coefficients from — the decision ring's
+  blocked-vs-scalar veto is calibrated by this table.
+* ``retruncation`` — incremental vs full SVD re-truncation
+  (:func:`repro.linalg.svd.retruncate_summary` with/without
+  ``appended``) on commit-widened factors in the few-columns regime the
+  crossover rule targets.
+
+Answer deviations (blocked vs scalar replay at atol 1e-10, incremental
+vs full reconstruction at 1e-10) are asserted **unconditionally** — a
+fast wrong kernel must fail the bench run, not ship a JSON.  Timing
+ratios (blocked speedup ≥ 2×, incremental beating full) are asserted
+only under ``REPRO_BENCH_ASSERT_TIMING=1``: wall-clock on shared CI
+runners is noisy, and the smoke scale shrinks ``m`` below the regime
+where the win is guaranteed.  The JSON records them either way.
+
+Runable standalone (writes ``BENCH_kernel.json`` for the perf
+trajectory)::
+
+    PYTHONPATH=src REPRO_BENCH_SCALE=0.1 \
+        python benchmarks/bench_kernel.py --out BENCH_kernel.json
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ReplayPlan, train_with_capture
+from repro.linalg import retruncate_summary, truncate_summary
+from repro.linalg.svd import incremental_retruncation_wins
+from repro.models import make_schedule, objective_for
+
+ROOT = Path(__file__).resolve().parents[1]
+ASSERT_TIMING = os.environ.get("REPRO_BENCH_ASSERT_TIMING", "") == "1"
+
+ATOL = 1e-10
+#: The acceptance bar on the m ≫ B sweep (ISSUE 10).
+TARGET_SPEEDUP = 2.0
+
+#: Full-scale m ≫ B workload: 600 features, mini-batches of 10, 300
+#: replay iterations, truncated-SVD summaries.  REPRO_BENCH_SCALE
+#: shrinks m and τ together (B is the paper's "small" axis and stays —
+#: the smaller B is relative to m, the more each scalar iteration is
+#: dispatch overhead rather than arithmetic, which is the regime the
+#: fused kernel exists for).
+FULL_FEATURES = 600
+FULL_ITERATIONS = 300
+BATCH = 10
+#: Keeps each sample in ≲1 expected mini-batch (n ≈ 4·τ·B at full
+#: scale), so a 2-sample GDPR removal invalidates only a block or two
+#: and the sweep measures the fused path, not the hit fallback.
+N_SAMPLES_PER_FEATURE = 20
+
+BLOCK_SIZES = (4, 8, 16, 32)
+REQUEST_WIDTHS = (1, 8)
+N_REPEATS = 5
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+def _workload():
+    """Capture one m ≫ B run; returns (features, labels, store)."""
+    m = max(40, int(round(FULL_FEATURES * _scale())))
+    tau = max(60, int(round(FULL_ITERATIONS * _scale())))
+    n = m * N_SAMPLES_PER_FEATURE
+    rng = np.random.default_rng(17)
+    # Well-conditioned isotropic features: the B×m batch grams have
+    # spectral norm ≈ (√m + √B)²/B, so a 0.01 learning rate keeps the
+    # replay contraction stable and answers O(1) — the 1e-10 deviation
+    # contract is meaningless on a diverging trajectory.
+    features = rng.standard_normal((n, m))
+    labels = features @ rng.standard_normal(m) / np.sqrt(m)
+    labels += 0.01 * rng.standard_normal(n)
+    schedule = make_schedule(n, BATCH, tau, seed=29)
+    objective = objective_for("linear", 0.1)
+    _, store = train_with_capture(
+        objective, features, labels, schedule, 0.01,
+        compression="svd", epsilon=0.01,
+    )
+    return features, labels, store
+
+
+def _removal_sets(n_samples, k, rng):
+    """K small removal sets (a handful of hits each — the GDPR shape)."""
+    return [
+        rng.choice(n_samples, size=2, replace=False) for _ in range(k)
+    ]
+
+
+def _time_replay(plan, sets):
+    """Median replay seconds over N_REPEATS runs of the same query."""
+    timings = []
+    answer = None
+    for _ in range(N_REPEATS):
+        start = time.perf_counter()
+        answer = plan.run(sets)
+        timings.append(time.perf_counter() - start)
+    return float(np.median(timings)), answer
+
+
+def _sweep_rows(features, labels, store):
+    """Blocked-vs-scalar timing across block sizes and request widths."""
+    tau = len(store)
+    scalar_plan = ReplayPlan(store, features, labels, kernel_block_size=1)
+    rng = np.random.default_rng(43)
+    rows = []
+    worst_deviation = 0.0
+    for k in REQUEST_WIDTHS:
+        sets = _removal_sets(store.n_samples, k, rng)
+        scalar_seconds, scalar_answer = _time_replay(scalar_plan, sets)
+        for block_size in BLOCK_SIZES:
+            plan = ReplayPlan(
+                store, features, labels, kernel_block_size=block_size
+            )
+            blocked_seconds, blocked_answer = _time_replay(plan, sets)
+            deviation = float(
+                np.max(np.abs(blocked_answer - scalar_answer))
+            )
+            worst_deviation = max(worst_deviation, deviation)
+            stats = plan.kernel_stats()
+            rows.append(
+                {
+                    "block_size": block_size,
+                    "n_requests": k,
+                    "n_iterations": tau,
+                    "n_features": store.n_features,
+                    "batch_size": BATCH,
+                    "blocked_seconds": blocked_seconds,
+                    "scalar_seconds": scalar_seconds,
+                    "blocked_seconds_per_iteration": blocked_seconds / tau,
+                    "scalar_seconds_per_iteration": scalar_seconds / tau,
+                    "speedup": scalar_seconds / max(blocked_seconds, 1e-12),
+                    "fused_fraction": (
+                        plan._kernel.fused_iterations() / tau
+                        if plan._kernel is not None
+                        else 0.0
+                    ),
+                    "blocks_compiled": stats["blocks_compiled"],
+                    "max_abs_deviation": deviation,
+                }
+            )
+    return rows, worst_deviation
+
+
+def _widened_summary(rng, m, base_rank, appended):
+    """A truncated summary with exact rank-1 corrections appended — the
+    shape ``ProvenanceStore.compact`` leaves behind after commits."""
+    basis = rng.standard_normal((m, base_rank))
+    summary = truncate_summary(
+        basis @ basis.T, epsilon=1e-12, symmetric=True
+    )
+    for _ in range(appended):
+        row = rng.standard_normal(m) * 0.3
+        summary = type(summary)(
+            left=np.hstack([summary.left, -row[:, None]]),
+            right=np.hstack([summary.right, row[:, None]]),
+        )
+    return summary
+
+
+def _retruncation_rows():
+    """Incremental vs full re-truncation in the few-columns regime."""
+    m = max(40, int(round(FULL_FEATURES * _scale())))
+    rng = np.random.default_rng(59)
+    rows = []
+    worst_deviation = 0.0
+    for base_rank, appended in ((BATCH, 2), (BATCH, 4), (2 * BATCH, 8)):
+        assert incremental_retruncation_wins(base_rank, appended)
+        summaries = [
+            _widened_summary(rng, m, base_rank, appended) for _ in range(6)
+        ]
+        full_times, incremental_times = [], []
+        for summary in summaries:
+            start = time.perf_counter()
+            full = retruncate_summary(summary)
+            full_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            incremental = retruncate_summary(summary, appended=appended)
+            incremental_times.append(time.perf_counter() - start)
+            assert incremental.method == "incremental"
+            assert full.method == "qr"
+            deviation = float(
+                np.max(
+                    np.abs(
+                        incremental.summary.reconstruct()
+                        - full.summary.reconstruct()
+                    )
+                )
+            )
+            worst_deviation = max(worst_deviation, deviation)
+        full_seconds = float(np.median(full_times))
+        incremental_seconds = float(np.median(incremental_times))
+        rows.append(
+            {
+                "n_features": m,
+                "retained_rank": base_rank,
+                "appended_columns": appended,
+                "full_seconds": full_seconds,
+                "incremental_seconds": incremental_seconds,
+                "speedup": full_seconds / max(incremental_seconds, 1e-12),
+                "max_abs_deviation": worst_deviation,
+            }
+        )
+    return rows, worst_deviation
+
+
+def main(out_path: str = "BENCH_kernel.json") -> dict:
+    features, labels, store = _workload()
+    sweep, sweep_deviation = _sweep_rows(features, labels, store)
+    retruncation, retrunc_deviation = _retruncation_rows()
+
+    # Correctness is unconditional: a fast wrong kernel must not ship.
+    assert sweep_deviation <= ATOL, (
+        f"blocked replay deviates {sweep_deviation:.2e} > {ATOL:.0e}"
+    )
+    assert retrunc_deviation <= ATOL, (
+        f"incremental re-truncation deviates {retrunc_deviation:.2e}"
+    )
+
+    best = max(row["speedup"] for row in sweep)
+    retrunc_speedup = min(row["speedup"] for row in retruncation)
+    results = {
+        "scale": _scale(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "target_speedup": TARGET_SPEEDUP,
+        "kernel_sweep": sweep,
+        "retruncation": retruncation,
+        "best_blocked_speedup": float(best),
+        "min_incremental_retruncation_speedup": float(retrunc_speedup),
+        "max_abs_deviation": float(max(sweep_deviation, retrunc_deviation)),
+        "within_bar": {
+            "blocked_speedup": bool(best >= TARGET_SPEEDUP),
+            "incremental_retruncation": bool(retrunc_speedup > 1.0),
+        },
+    }
+    with open(out_path, "w") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"wrote {out_path}")
+    for row in sweep:
+        print(
+            f"  block={row['block_size']:3d} K={row['n_requests']}  "
+            f"scalar {row['scalar_seconds'] * 1e3:7.2f} ms  "
+            f"blocked {row['blocked_seconds'] * 1e3:7.2f} ms  "
+            f"speedup {row['speedup']:5.2f}x  "
+            f"fused {row['fused_fraction']:.2f}"
+        )
+    for row in retruncation:
+        print(
+            f"  retruncate rank={row['retained_rank']:3d}"
+            f"+{row['appended_columns']}  "
+            f"full {row['full_seconds'] * 1e3:6.2f} ms  "
+            f"incremental {row['incremental_seconds'] * 1e3:6.2f} ms  "
+            f"speedup {row['speedup']:5.2f}x"
+        )
+
+    if ASSERT_TIMING:
+        assert best >= TARGET_SPEEDUP, (
+            f"best blocked speedup {best:.2f}x < {TARGET_SPEEDUP}x"
+        )
+        assert retrunc_speedup > 1.0, (
+            f"incremental re-truncation slower than full "
+            f"({retrunc_speedup:.2f}x)"
+        )
+    return results
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_kernel.json")
+    args = parser.parse_args()
+    main(args.out)

@@ -121,6 +121,7 @@ class IncrementalTrainer:
         plan_cache_sparse_blocks: bool = True,
         plan_refresh_threshold: float = 0.25,
         eigen_correction_limit: int = 0,
+        kernel_block_size: int | None = None,
         cost_model=None,
         clock=None,
     ) -> None:
@@ -154,6 +155,12 @@ class IncrementalTrainer:
         # this many removed rows use the incremental eigenvalue correction
         # instead of a full re-eigendecomposition (0 = always exact).
         self.eigen_correction_limit = int(eigen_correction_limit)
+        # Replay kernel: iterations fused per block descriptor
+        # (repro.core.kernels).  None -> the module default for dense SVD
+        # plans, <= 1 -> the bit-identical legacy per-iteration engine.
+        # An attached cost model may veto fusion when its calibrated
+        # per-iteration timings say the scalar path wins.
+        self.kernel_block_size = kernel_block_size
         # Optional repro.core.costmodel.CostModel.  When attached, commits
         # pick refresh-vs-recompile from its calibrated crossing point
         # (plan_refresh_threshold becomes the uncalibrated fallback) and
@@ -180,6 +187,20 @@ class IncrementalTrainer:
             stamp = getattr(self.clock, "timestamp", self.clock.now)
             return float(stamp())
         return time.time()  # reprolint: allow[R001] receipt stamping for clock-less standalone trainers; commit-mode servers always inject their Clock
+
+    def _plan_block_size(self) -> int | None:
+        """Replay-kernel block size after the cost model's veto.
+
+        The configured ``kernel_block_size`` is the request; an attached
+        cost model that has *measured* the blocked path losing to the
+        scalar one (``observe_replay`` calibration) resolves it to 0.
+        Uncalibrated models pass the request through unchanged.
+        """
+        if self.cost_model is not None:
+            resolve = getattr(self.cost_model, "kernel_block_size", None)
+            if resolve is not None:
+                return resolve(self.kernel_block_size)
+        return self.kernel_block_size
 
     # -------------------------------------------------------------- fitting
     def fit(self, features, labels: np.ndarray) -> "IncrementalTrainer":
@@ -230,6 +251,7 @@ class IncrementalTrainer:
             features,
             self.labels,
             cache_sparse_blocks=self.plan_cache_sparse_blocks,
+            kernel_block_size=self._plan_block_size(),
         )
         self._build_opt()
         self._closed_form = None
@@ -460,6 +482,7 @@ class IncrementalTrainer:
                 mmap=mmap,
                 cache_sparse_blocks=self.plan_cache_sparse_blocks,
                 plan_cache=plan_cache,
+                kernel_block_size=self._plan_block_size(),
             )
         else:
             self._plan = ReplayPlan(
@@ -467,6 +490,7 @@ class IncrementalTrainer:
                 features,
                 labels,
                 cache_sparse_blocks=self.plan_cache_sparse_blocks,
+                kernel_block_size=self._plan_block_size(),
             )
         self._build_opt()
         weights = getattr(self._plan, "final_weights", None)
@@ -609,7 +633,8 @@ FleetServer` auto-maintenance) needs, since
         performed: list[str] = []
         if "svd" in due:
             svd_receipt = self.store.retruncate_summaries(
-                epsilon=policy.svd_epsilon
+                epsilon=policy.svd_epsilon,
+                incremental=policy.svd_incremental,
             )
             touched = svd_receipt.pop("iterations")
             self._plan.resync_summaries(touched)
@@ -656,6 +681,7 @@ FleetServer` auto-maintenance) needs, since
         self._require_fit()
         removed = normalize_removed_indices(indices)
         chosen = method or ("priu-opt" if self._opt is not None else "priu")
+        kernel_before = self._kernel_snapshot()
         start = time.perf_counter()
         if chosen == "priu-opt":
             if self._opt is None:
@@ -671,6 +697,7 @@ FleetServer` auto-maintenance) needs, since
         else:
             raise ValueError(f"unknown update method: {chosen}")
         seconds = time.perf_counter() - start
+        self._observe_replay(chosen, kernel_before, seconds)
         outcome = UpdateOutcome(
             weights, chosen, seconds, removed, self.store._version
         )
@@ -719,6 +746,7 @@ FleetServer` auto-maintenance) needs, since
             replay_sets = prefixes
         chosen = method or ("priu-opt" if self._opt is not None else "priu")
         version = self.store._version
+        kernel_before = self._kernel_snapshot()
         start = time.perf_counter()
         if chosen == "priu-opt":
             if self._opt is None:
@@ -743,6 +771,7 @@ FleetServer` auto-maintenance) needs, since
         else:
             raise ValueError(f"unknown update method: {chosen}")
         seconds = time.perf_counter() - start
+        self._observe_replay(chosen, kernel_before, seconds)
         share = seconds / len(normalized)
         outcomes = [
             UpdateOutcome(
@@ -754,6 +783,36 @@ FleetServer` auto-maintenance) needs, since
         if commit:
             self._apply_commit(replay_sets[-1], stacked[:, -1])
         return outcomes
+
+    def _kernel_snapshot(self) -> dict | None:
+        """Pre-dispatch copy of the plan's fused/scalar tallies (or None)."""
+        if self.cost_model is None or not self._plan.supported:
+            return None
+        return dict(self._plan._kernel_stats)
+
+    def _observe_replay(
+        self, chosen: str, before: dict | None, seconds: float
+    ) -> None:
+        """Feed one plan replay's fused/scalar split to the cost model.
+
+        Only ``method="priu"`` dispatches run entirely through the
+        compiled plan, so only those timings attribute cleanly to the
+        kernel tallies; opt/seq paths interleave other work and would
+        poison the per-iteration calibration.
+        """
+        if before is None or chosen != "priu":
+            return
+        observe = getattr(self.cost_model, "observe_replay", None)
+        if observe is None:
+            return
+        after = self._plan._kernel_stats
+        observe(
+            fused_iterations=after["fused_iterations"]
+            - before["fused_iterations"],
+            scalar_iterations=after["scalar_iterations"]
+            - before["scalar_iterations"],
+            seconds=seconds,
+        )
 
     # --------------------------------------------------------------- commit
     def commit(self, outcome: UpdateOutcome) -> dict:

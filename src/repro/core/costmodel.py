@@ -143,6 +143,13 @@ class Calibration:
     refresh_seconds_per_fraction: float = 1.0
     recompile_seconds: float = 0.25
     batch_seconds: float = 0.0
+    #: Measured per-iteration replay cost on the fused (blocked-kernel)
+    #: and scalar paths; ``0.0`` means unknown.  Fed by
+    #: :meth:`CostModel.observe_replay` and ``BENCH_kernel.json``'s
+    #: ``kernel_sweep`` rows; consulted by
+    #: :meth:`CostModel.kernel_block_size`.
+    fused_iteration_seconds: float = 0.0
+    scalar_iteration_seconds: float = 0.0
     source: str = "default"
     n_observations: int = 0
 
@@ -153,6 +160,19 @@ class Calibration:
             raise ValueError("recompile_seconds must be > 0")
         if self.batch_seconds < 0.0:
             raise ValueError("batch_seconds must be >= 0")
+        if self.fused_iteration_seconds < 0.0:
+            raise ValueError("fused_iteration_seconds must be >= 0")
+        if self.scalar_iteration_seconds < 0.0:
+            raise ValueError("scalar_iteration_seconds must be >= 0")
+
+    def kernel_speedup(self) -> float:
+        """Measured scalar/fused per-iteration ratio (0.0 = uncalibrated)."""
+        if (
+            self.fused_iteration_seconds <= 0.0
+            or self.scalar_iteration_seconds <= 0.0
+        ):
+            return 0.0
+        return self.scalar_iteration_seconds / self.fused_iteration_seconds
 
     def refresh_threshold(self) -> float:
         """The touched-iteration fraction where recompiling starts winning.
@@ -217,6 +237,26 @@ class Calibration:
                     recompiles.append(seconds * speedup)
             elif row.get("mode") == "recompile":
                 recompiles.append(seconds)
+        # BENCH_kernel.json payloads (or merged trajectories) additionally
+        # carry a ``kernel_sweep`` table with measured per-iteration
+        # replay costs for the fused and scalar paths.
+        sweep = source.get("kernel_sweep", [])
+        if not isinstance(sweep, list):
+            sweep = []
+        fused_times: list[float] = []
+        scalar_times: list[float] = []
+        for row in sweep:
+            if not isinstance(row, dict):
+                continue
+            try:
+                fused = float(row.get("blocked_seconds_per_iteration", 0.0))
+                scalar = float(row.get("scalar_seconds_per_iteration", 0.0))
+            except (TypeError, ValueError):
+                continue
+            if fused > 0.0:
+                fused_times.append(fused)
+            if scalar > 0.0:
+                scalar_times.append(scalar)
         default = cls()
         return cls(
             refresh_seconds_per_fraction=(
@@ -230,8 +270,23 @@ class Calibration:
                 else default.recompile_seconds
             ),
             batch_seconds=default.batch_seconds,
+            fused_iteration_seconds=(
+                float(np.median(fused_times))
+                if fused_times
+                else default.fused_iteration_seconds
+            ),
+            scalar_iteration_seconds=(
+                float(np.median(scalar_times))
+                if scalar_times
+                else default.scalar_iteration_seconds
+            ),
             source=label,
-            n_observations=len(refresh_rates) + len(recompiles),
+            n_observations=(
+                len(refresh_rates)
+                + len(recompiles)
+                + len(fused_times)
+                + len(scalar_times)
+            ),
         )
 
     def as_dict(self) -> dict:
@@ -239,6 +294,9 @@ class Calibration:
             "refresh_seconds_per_fraction": self.refresh_seconds_per_fraction,
             "recompile_seconds": self.recompile_seconds,
             "batch_seconds": self.batch_seconds,
+            "fused_iteration_seconds": self.fused_iteration_seconds,
+            "scalar_iteration_seconds": self.scalar_iteration_seconds,
+            "kernel_speedup": self.kernel_speedup(),
             "refresh_threshold": self.refresh_threshold(),
             "source": self.source,
             "n_observations": self.n_observations,
@@ -361,6 +419,75 @@ class CostModel:
         if saving <= 0.0:
             return False
         return remaining_budget > saving
+
+    # ------------------------------------------------------------- kernel
+    def kernel_block_size(self, requested: int | None = None) -> int | None:
+        """Resolve the replay-kernel block size through the calibration.
+
+        ``requested`` is the caller's configured size (``None`` = the
+        module default).  The model only ever *vetoes* fusion: when both
+        per-iteration timings have been measured
+        (:meth:`observe_replay` / ``kernel_sweep`` rows) and the fused
+        path is not actually faster, it returns 0 (scalar engine);
+        otherwise the request passes through untouched.  Uncalibrated
+        models therefore change nothing — the same inertness contract as
+        every other decision point here.
+        """
+        calibration = self.calibration
+        speedup = calibration.kernel_speedup()
+        if speedup > 0.0 and speedup <= 1.0:
+            return 0
+        return requested
+
+    def observe_replay(
+        self, fused_iterations: int, scalar_iterations: int, seconds: float
+    ) -> None:
+        """Online-refresh the per-iteration replay costs from one dispatch.
+
+        Only *pure* runs teach a coefficient (all iterations fused, or
+        all scalar) — a mixed run cannot attribute its wall clock to
+        either path.  Every observation lands in the decision ring
+        (``kind: "replay"``) so ``BENCH_costmodel`` inspects the fused
+        share actually served.
+        """
+        fused = int(fused_iterations)
+        scalar = int(scalar_iterations)
+        total = fused + scalar
+        if total <= 0 or seconds < 0.0:
+            return
+        with self._lock:
+            calibration = self._calibration
+            updates: dict = {}
+            if seconds > 0.0 and scalar == 0:
+                previous = calibration.fused_iteration_seconds
+                observed = seconds / fused
+                updates["fused_iteration_seconds"] = (
+                    observed if previous <= 0.0
+                    else self._blend(previous, observed)
+                )
+            elif seconds > 0.0 and fused == 0:
+                previous = calibration.scalar_iteration_seconds
+                observed = seconds / scalar
+                updates["scalar_iteration_seconds"] = (
+                    observed if previous <= 0.0
+                    else self._blend(previous, observed)
+                )
+            if updates:
+                updates["source"] = "online"
+                updates["n_observations"] = calibration.n_observations + 1
+                self._calibration = dataclasses.replace(
+                    calibration, **updates
+                )
+            self._decisions.append({
+                "kind": "replay",
+                "actual_mode": "replay",
+                "fused_iterations": fused,
+                "scalar_iterations": scalar,
+                "actual_seconds": float(seconds),
+                "predicted": None,
+            })
+            if len(self._decisions) > MAX_DECISIONS:
+                del self._decisions[: -MAX_DECISIONS]
 
     # ------------------------------------------------------------ learning
     def observe_commit(self, estimate: CostEstimate | None, receipt: dict) -> None:

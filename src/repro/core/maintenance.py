@@ -123,6 +123,14 @@ class MaintenancePolicy:
     approximation family as per-request updates) instead of paying the
     full ``O(m³)`` re-eigendecomposition.  The default 0 always
     recomputes exactly.
+
+    ``svd_incremental`` lets re-truncation fold few appended correction
+    columns into the existing orthogonal factors
+    (:func:`~repro.linalg.svd.retruncate_summary` with ``appended``)
+    instead of re-running thin-QR over the whole width — the crossover
+    is :func:`~repro.linalg.svd.incremental_retruncation_wins`, answers
+    are preserved to machine precision either way.  ``False`` forces the
+    full path (diagnostics / A-B timing).
     """
 
     max_slot_garbage_rows: int = 0
@@ -131,6 +139,7 @@ class MaintenancePolicy:
     refresh_stale_eigen: bool = True
     svd_epsilon: float | None = None
     eigen_correction_limit: int = 0
+    svd_incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.max_slot_garbage_rows < 0:

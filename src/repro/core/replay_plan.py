@@ -43,6 +43,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..linalg.matrix_utils import is_sparse
+from . import kernels
 from .provenance_store import (
     CompactionStats,
     PackedOccurrenceIndex,
@@ -61,13 +62,23 @@ def _drop_rows(arr: np.ndarray, dropped: np.ndarray) -> np.ndarray:
     """
     if dropped.size == 0:
         return np.asarray(arr)
-    bounds = np.concatenate(([-1], dropped, [arr.shape[0]]))
-    return np.concatenate(
-        [
-            arr[int(bounds[i]) + 1 : int(bounds[i + 1])]
-            for i in range(bounds.size - 1)
-        ]
-    )
+    # Collapse consecutive dropped indices into runs so the number of
+    # surviving slices is one per *gap*, not one per dropped row: the old
+    # per-index comprehension paid a Python-level slice even for a dense
+    # run of drops.
+    run_breaks = np.flatnonzero(np.diff(dropped) > 1) + 1
+    run_starts = dropped[np.concatenate(([0], run_breaks))]
+    run_stops = dropped[np.concatenate((run_breaks - 1, [dropped.size - 1]))]
+    keep_lo = np.concatenate(([0], run_stops + 1))
+    keep_hi = np.concatenate((run_starts, [arr.shape[0]]))
+    pieces = [
+        arr[lo:hi]
+        for lo, hi in zip(keep_lo.tolist(), keep_hi.tolist())
+        if lo < hi
+    ]
+    if not pieces:  # every row dropped
+        return np.asarray(arr)[:0]
+    return np.concatenate(pieces)
 
 
 class ReplayPlan:
@@ -83,6 +94,13 @@ class ReplayPlan:
         Sparse mode pre-slices the per-iteration CSR blocks (a time/memory
         trade: the seed path re-slices them on every request).  Disable to
         fall back to slicing inside the loop.
+    kernel_block_size:
+        Iterations fused per replay block (see :mod:`repro.core.kernels`).
+        ``None`` resolves to :data:`~repro.core.kernels.DEFAULT_BLOCK_SIZE`
+        for dense SVD-compressed plans (the only layout with a cached
+        low-rank per-iteration operator); values ``<= 1`` disable fusion
+        entirely — the plan is then bit-identical to the legacy
+        per-iteration engine.
     """
 
     def __init__(
@@ -92,6 +110,7 @@ class ReplayPlan:
         labels: np.ndarray,
         w0: np.ndarray | None = None,
         cache_sparse_blocks: bool = True,
+        kernel_block_size: int | None = None,
     ) -> None:
         self.store = store
         self.task = store.task
@@ -118,6 +137,13 @@ class ReplayPlan:
         self._integrity_check = None
         self.supported = not (self.sparse and self.task == "multinomial_logistic")
         self._cache_sparse_blocks = bool(cache_sparse_blocks)
+        self._kernel_block_size = kernel_block_size
+        self._kernel = None
+        self._kernel_stats = {
+            "fused_blocks": 0,
+            "fused_iterations": 0,
+            "scalar_iterations": 0,
+        }
         if not self.supported:
             return
         self._scale_num = 2.0 * self.eta if self.task == "linear" else self.eta
@@ -145,6 +171,7 @@ class ReplayPlan:
         # committed refresh of the multinomial flats installs a gather map
         # instead of rewriting the (H, q) state arrays (see refresh()).
         self._slot_map = None
+        self._kernel = None
         kind = self.store.compression
         self._kind = {"none": "dense"}.get(kind, kind)
         if self.sparse:
@@ -172,6 +199,40 @@ class ReplayPlan:
                 [r.probabilities for r in records]
             )
             self._wx_flat = np.concatenate([r.wx for r in records])
+        self._compile_kernel()
+
+    def _resolved_block_size(self) -> int:
+        if self._kernel_block_size is None:
+            return kernels.DEFAULT_BLOCK_SIZE
+        return int(self._kernel_block_size)
+
+    def _compile_kernel(self) -> None:
+        """Group the iteration axis into fused replay blocks (dense SVD).
+
+        Only SVD-compressed dense plans carry a cached low-rank operator
+        per iteration, which is what the block composition folds; dense
+        ``m × m`` summaries and sparse CSR blocks stay on the scalar
+        loops.  Splits at the PrIU-opt freeze point so the phase-1
+        replay's ``stop_at = t_s`` never clips a block.
+        """
+        self._kernel = None
+        if self.sparse or self._kind != "svd":
+            return
+        boundaries = ()
+        frozen = self.store.frozen
+        if frozen is not None:
+            boundaries = (int(frozen.t_s),)
+        self._kernel = kernels.compile_blocks(
+            self._lefts,
+            self._rights,
+            self.moments,
+            self.base_sizes,
+            shrink=self.shrink,
+            scale_num=self._scale_num,
+            sigma=-1.0 if self.task == "linear" else 1.0,
+            block_size=self._resolved_block_size(),
+            boundaries=boundaries,
+        )
 
     def _compile_sparse(self, cache_blocks: bool) -> None:
         """Sparse mode: pre-slice CSR batch blocks + precompute base moments.
@@ -263,6 +324,8 @@ class ReplayPlan:
                     # store physically compacted flats, never the map.
                     value = value[self._slot_map]
                 arrays[key] = value
+        if self._kernel is not None:
+            arrays.update(self._kernel.state_arrays())
         return arrays
 
     def state_meta(self) -> dict[str, str]:
@@ -276,6 +339,7 @@ class ReplayPlan:
             "n_samples": str(self.store.n_samples),
             "learning_rate": repr(self.eta),
             "regularization": repr(self.lam),
+            "kernel_block_size": str(self._resolved_block_size()),
         }
 
     @classmethod
@@ -287,6 +351,7 @@ class ReplayPlan:
         meta: dict[str, str],
         arrays: dict[str, np.ndarray],
         cache_sparse_blocks: bool = True,
+        kernel_block_size: int | None = None,
     ) -> "ReplayPlan":
         """Rebuild a plan from persisted state without recompiling.
 
@@ -295,6 +360,12 @@ class ReplayPlan:
         plan was compiled against (same capture run); mismatches in task,
         iteration count, batch sizes or sample count raise ``ValueError``
         rather than silently replaying the wrong trajectory.
+
+        Archived block descriptors (``kernel_*`` members) are rebound as
+        zero-copy row-range views when the requested ``kernel_block_size``
+        matches the one the archive was compiled with; otherwise — or for
+        pre-kernel archives — the blocks are recompiled from the restored
+        per-iteration state.
         """
         if meta["task"] != store.task:
             raise ValueError(
@@ -364,6 +435,13 @@ class ReplayPlan:
         plan._scale_num = 2.0 * plan.eta if plan.task == "linear" else plan.eta
         plan._kind = meta["kind"]
         plan._slot_map = None
+        plan._kernel_block_size = kernel_block_size
+        plan._kernel = None
+        plan._kernel_stats = {
+            "fused_blocks": 0,
+            "fused_iterations": 0,
+            "scalar_iterations": 0,
+        }
 
         plan.base_sizes = arrays["base_sizes"]
         plan._record_offsets = arrays["record_offsets"]
@@ -402,6 +480,19 @@ class ReplayPlan:
         else:
             plan._summaries = [np.asarray(r.summary) for r in records]
             plan._lefts = plan._rights = None
+        if not sparse and plan._kind == "svd":
+            archived = int(meta.get("kernel_block_size", "0"))
+            requested = plan._resolved_block_size()
+            if "kernel_starts" in arrays and archived == requested:
+                plan._kernel = kernels.IterationBlocks.from_state_arrays(
+                    arrays,
+                    block_size=requested,
+                    shrink=plan.shrink,
+                    scale_num=plan._scale_num,
+                    sigma=-1.0 if plan.task == "linear" else 1.0,
+                )
+            else:
+                plan._compile_kernel()
         return plan
 
     # ------------------------------------------------------------- refresh
@@ -526,6 +617,19 @@ class ReplayPlan:
                     else:
                         self._summaries[t] = np.asarray(record.summary)
             self.moments = moments
+        # Fused blocks fold the patched summaries/moments/base sizes, so
+        # every block a touched iteration lands in is recomposed in place
+        # (same spans, new contents) — commits widen SVD factors with
+        # correction columns, and the recomposition picks those up.
+        kernel_blocks_rebuilt = 0
+        if self._kernel is not None:
+            kernel_blocks_rebuilt = self._kernel.rebuild(
+                stats.affected_iterations,
+                self._lefts,
+                self._rights,
+                self.moments,
+                self.base_sizes,
+            )
         self._compiled_version = self.store._version
         # Executed-patch byte accounting, mirrored by predict_patch_bytes.
         patched = int(self._record_offsets.nbytes)
@@ -547,6 +651,10 @@ class ReplayPlan:
             "patched_bytes": patched,
             "dropped_slots": int(stats.dropped_slots.size),
             "touched_iterations": int(stats.n_iterations_touched),
+            # Observability only: block recomposition rewrites derived
+            # kernel state, not plan SoA arrays, so it stays outside the
+            # predict_patch_bytes accounting contract.
+            "kernel_blocks_rebuilt": kernel_blocks_rebuilt,
         }
 
     # -------------------------------------------------------- maintenance
@@ -616,6 +724,10 @@ retruncate_summaries` replaces record summaries (and bumps the store
                 summary = records[t].summary
                 self._lefts[t] = summary.left
                 self._rights[t] = summary.right
+            # Re-truncation changes ranks, so the block schedule is fully
+            # regrouped (not just recomposed): the post-maintenance layout
+            # equals what a fresh compile of the store would produce.
+            self._compile_kernel()
         self._compiled_version = self.store._version
 
     # ------------------------------------------------------------ queries
@@ -771,13 +883,51 @@ CheckpointCorruptionError` on a digest mismatch; the pending check is
                 "binary_logistic": self._run_binary_single,
                 "multinomial_logistic": self._run_multinomial_single,
             }[self.task]
-            return runner(weights[:, 0], hits, start_iteration, end)[:, None]
+            result, tally = kernels.run_blocked(
+                self._kernel, weights[:, 0], hits, start_iteration, end,
+                runner,
+            )
+            self._record_kernel_stats(tally)
+            return result[:, None]
         runner = {
             "linear": self._run_linear,
             "binary_logistic": self._run_binary,
             "multinomial_logistic": self._run_multinomial,
         }[self.task]
-        return runner(weights, hits, start_iteration, end)
+        result, tally = kernels.run_blocked(
+            self._kernel, weights, hits, start_iteration, end, runner
+        )
+        self._record_kernel_stats(tally)
+        return result
+
+    def _record_kernel_stats(self, tally: dict) -> None:
+        for key, value in tally.items():
+            self._kernel_stats[key] += value
+
+    def kernel_stats(self) -> dict:
+        """Cumulative fused-vs-scalar replay tallies (cost-model feed).
+
+        ``fused_iterations`` / ``scalar_iterations`` count iteration
+        advances per weight *matrix* (a K-column batch counts once), so
+        the split directly measures how much of the replay work rode the
+        blocked kernel.
+        """
+        stats = dict(self._kernel_stats)
+        stats["blocks_compiled"] = (
+            len(self._kernel) if self._kernel is not None else 0
+        )
+        stats["block_size"] = self._resolved_block_size()
+        return stats
+
+    def kernel_nbytes(self) -> int:
+        """Memory held by the compiled block descriptors (0 when scalar).
+
+        Deliberately *not* part of :meth:`nbytes`: descriptor width
+        tracks the summaries' current factor widths, so including it
+        would make plan-footprint comparisons depend on maintenance
+        history rather than the compiled SoA layout.
+        """
+        return self._kernel.nbytes() if self._kernel is not None else 0
 
     # ------------------------------------------------------- hit gathering
     def _gather_hits(
@@ -883,6 +1033,8 @@ CheckpointCorruptionError` on a digest mismatch; the pending check is
                 lefts, rights = self._lefts, self._rights
             else:
                 summaries = self._summaries
+        # reprolint: allow[R006] sanctioned per-iteration fallback — kernels.run_blocked
+        # fuses hit-free dense-SVD spans and delegates the rest here
         for t in range(start, end):
             if sparse:
                 block = self._block(t)
@@ -925,6 +1077,8 @@ CheckpointCorruptionError` on a digest mismatch; the pending check is
         summaries = getattr(self, "_summaries", None)
         lefts = getattr(self, "_lefts", None)
         rights = getattr(self, "_rights", None)
+        # reprolint: allow[R006] sanctioned per-iteration fallback — kernels.run_blocked
+        # fuses hit-free dense-SVD spans and delegates the rest here
         for t in range(start, end):
             if sparse:
                 block = self._block(t)
@@ -954,6 +1108,8 @@ CheckpointCorruptionError` on a digest mismatch; the pending check is
         lefts = getattr(self, "_lefts", None)
         rights = getattr(self, "_rights", None)
         rec_off = self._record_offsets
+        # reprolint: allow[R006] sanctioned per-iteration fallback — kernels.run_blocked
+        # fuses hit-free dense-SVD spans and delegates the rest here
         for t in range(start, end):
             if sparse:
                 block = self._block(t)
@@ -989,6 +1145,8 @@ CheckpointCorruptionError` on a digest mismatch; the pending check is
         summaries = getattr(self, "_summaries", None)
         lefts = getattr(self, "_lefts", None)
         rights = getattr(self, "_rights", None)
+        # reprolint: allow[R006] sanctioned per-iteration fallback — kernels.run_blocked
+        # fuses hit-free dense-SVD spans and delegates the rest here
         for t in range(start, end):
             if summaries is not None:
                 gram_w = summaries[t] @ w
@@ -1032,6 +1190,8 @@ CheckpointCorruptionError` on a digest mismatch; the pending check is
             else:
                 summaries = self._summaries
         rec_off = self._record_offsets
+        # reprolint: allow[R006] sanctioned per-iteration fallback — kernels.run_blocked
+        # fuses hit-free dense-SVD spans and delegates the rest here
         for t in range(start, end):
             if sparse:
                 block = self._block(t)
@@ -1083,6 +1243,8 @@ CheckpointCorruptionError` on a digest mismatch; the pending check is
             summaries = None
         else:
             summaries = self._summaries
+        # reprolint: allow[R006] sanctioned per-iteration fallback — kernels.run_blocked
+        # fuses hit-free dense-SVD spans and delegates the rest here
         for t in range(start, end):
             if summaries is not None:
                 gram_w = summaries[t] @ weights

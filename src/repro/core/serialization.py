@@ -997,6 +997,7 @@ def load_plan(
     mmap: bool = True,
     cache_sparse_blocks: bool = True,
     plan_cache: PlanCache | None = None,
+    kernel_block_size: int | None = None,
 ) -> ReplayPlan:
     """Reload a compiled plan saved by :func:`save_plan`.
 
@@ -1051,6 +1052,7 @@ ReplayPlan.run` — mapping exists precisely to avoid touching the bytes
         meta,
         arrays,
         cache_sparse_blocks=cache_sparse_blocks,
+        kernel_block_size=kernel_block_size,
     )
     plan.final_weights = final_weights
     if deferred and checksums is not None:

@@ -246,6 +246,35 @@ class TestSvdRetruncation:
         )
         assert dev < 0.05
 
+    def test_incremental_and_full_retruncation_agree(self):
+        """svd_incremental=True folds few appended columns into the
+        retained factors; answers match the forced-full path at the
+        commit contract and the receipt says which path each took."""
+        fast = _fit("binary_logistic", "svd", dict(batch_size=8))
+        slow = _fit("binary_logistic", "svd", dict(batch_size=8))
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        _churn(fast, rng_a, n_commits=2)
+        _churn(slow, rng_b, n_commits=2)
+        fast_report = fast.maintain()  # default policy: incremental on
+        slow_report = slow.maintain(MaintenancePolicy(svd_incremental=False))
+        assert fast_report.svd["incremental_updates"] > 0
+        assert slow_report.svd["incremental_updates"] == 0
+        assert slow_report.svd["full_updates"] == slow_report.svd["summaries"]
+        assert (
+            fast_report.svd["incremental_updates"]
+            + fast_report.svd["full_updates"]
+            == fast_report.svd["summaries"]
+        )
+        assert fast_report.svd["columns_after"] == (
+            slow_report.svd["columns_after"]
+        )
+        probe = np.arange(5, dtype=np.int64)
+        np.testing.assert_allclose(
+            fast.remove(probe, method="priu").weights,
+            slow.remove(probe, method="priu").weights,
+            atol=ATOL, rtol=0.0,
+        )
+
     def test_plan_resyncs_and_keeps_matching_uncompiled_path(self):
         trainer = _fit("multinomial_logistic", "svd", dict(batch_size=8))
         rng = np.random.default_rng(6)

@@ -212,3 +212,102 @@ class TestRetruncateSummary:
             atol=1e-10,
             rtol=0.0,
         )
+
+
+class TestIncrementalRetruncation:
+    """Folding few appended correction columns into retained QR factors."""
+
+    def _widened(self, rng, m=12, base_rank=8, extra=4):
+        from repro.linalg import retruncate_summary, truncate_summary
+
+        gram_matrix = low_rank_gram(rng, m=m, rank=base_rank)
+        summary = truncate_summary(gram_matrix, epsilon=1e-12, symmetric=True)
+        dense = summary.reconstruct()
+        for _ in range(extra):
+            row = rng.standard_normal(m) * 0.3
+            summary = type(summary)(
+                left=np.hstack([summary.left, -row[:, None]]),
+                right=np.hstack([summary.right, row[:, None]]),
+            )
+            dense = dense - np.outer(row, row)
+        return summary, dense, retruncate_summary
+
+    def test_crossover_rule(self):
+        from repro.linalg.svd import incremental_retruncation_wins
+
+        assert incremental_retruncation_wins(retained=10, appended=2)
+        assert incremental_retruncation_wins(retained=10, appended=5)
+        assert not incremental_retruncation_wins(retained=10, appended=6)
+        assert not incremental_retruncation_wins(retained=10, appended=0)
+        assert not incremental_retruncation_wins(retained=0, appended=1)
+
+    def test_incremental_matches_full_at_contract(self, rng):
+        summary, dense, retruncate_summary = self._widened(rng, extra=3)
+        appended = 3
+        incremental = retruncate_summary(summary, appended=appended)
+        full = retruncate_summary(summary)
+        assert incremental.method == "incremental"
+        assert full.method == "qr"
+        assert incremental.rank_after == full.rank_after
+        np.testing.assert_allclose(
+            incremental.summary.reconstruct(), dense, atol=1e-10, rtol=0.0
+        )
+        np.testing.assert_allclose(
+            incremental.summary.reconstruct(),
+            full.summary.reconstruct(),
+            atol=1e-10, rtol=0.0,
+        )
+
+    def test_past_crossover_takes_the_full_path(self, rng):
+        # 30 appended vs 5 retained: the small-core update would be
+        # larger than the whole width — the full thin-QR wins.
+        summary, dense, retruncate_summary = self._widened(rng, extra=30)
+        result = retruncate_summary(summary, appended=30)
+        assert result.method == "qr"
+        np.testing.assert_allclose(
+            result.summary.reconstruct(), dense, atol=1e-10, rtol=0.0
+        )
+
+    def test_appended_none_is_the_full_path(self, rng):
+        summary, _, retruncate_summary = self._widened(rng, extra=2)
+        assert retruncate_summary(summary, appended=None).method == "qr"
+
+    def test_lossy_epsilon_agrees_between_paths(self, rng):
+        summary, _, retruncate_summary = self._widened(rng, extra=3)
+        incremental = retruncate_summary(summary, epsilon=0.05, appended=3)
+        full = retruncate_summary(summary, epsilon=0.05)
+        assert incremental.method == "incremental"
+        assert incremental.rank_after == full.rank_after
+        np.testing.assert_allclose(
+            incremental.summary.reconstruct(),
+            full.summary.reconstruct(),
+            atol=1e-10, rtol=0.0,
+        )
+
+    def test_max_rank_cap_applies_incrementally(self, rng):
+        summary, _, retruncate_summary = self._widened(rng, extra=3)
+        result = retruncate_summary(summary, max_rank=3, appended=3)
+        assert result.method == "incremental"
+        assert result.summary.rank == 3
+
+    def test_appended_columns_within_retained_span(self, rng):
+        """Corrections that lie inside the retained range-space must not
+        inflate the rank — the Gram–Schmidt residual is numerically zero
+        and the small core absorbs them."""
+        from repro.linalg import retruncate_summary, truncate_summary
+
+        gram_matrix = low_rank_gram(rng, m=10, rank=3)
+        summary = truncate_summary(gram_matrix, epsilon=1e-12, symmetric=True)
+        dense = summary.reconstruct()
+        direction = summary.left[:, 0] / np.linalg.norm(summary.left[:, 0])
+        summary = type(summary)(
+            left=np.hstack([summary.left, -0.2 * direction[:, None]]),
+            right=np.hstack([summary.right, direction[:, None]]),
+        )
+        dense = dense - 0.2 * np.outer(direction, direction)
+        result = retruncate_summary(summary, appended=1)
+        assert result.method == "incremental"
+        assert result.rank_after <= 3
+        np.testing.assert_allclose(
+            result.summary.reconstruct(), dense, atol=1e-10, rtol=0.0
+        )
